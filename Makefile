@@ -1,0 +1,39 @@
+# Development entry points. Everything is plain `go` underneath; the
+# Makefile just names the workflows.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz experiments report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short fuzzing passes over the parsers; extend -fuzztime for real runs.
+fuzz:
+	$(GO) test -fuzz=FuzzDetect -fuzztime=30s ./internal/charset/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/htmlx/
+	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/crawlog/
+
+# Regenerate every paper table/figure at full scale; writes CSVs and an
+# HTML report under results/.
+experiments:
+	mkdir -p results
+	$(GO) run ./cmd/experiments -out results -html results/report.html -parallel 4
+
+clean:
+	rm -rf results
+	$(GO) clean ./...

@@ -1,0 +1,41 @@
+package langcrawl
+
+import "langcrawl/internal/analysis"
+
+// LocalityStats quantifies language locality over a space's links (the
+// paper's §3 observation 1, measured exactly).
+type LocalityStats = analysis.LocalityStats
+
+// ReachabilityStats quantifies how much of the relevant web requires
+// tunneling through irrelevant pages (observation 2).
+type ReachabilityStats = analysis.ReachabilityStats
+
+// LabelStats censuses META declarations on relevant pages
+// (observation 3).
+type LabelStats = analysis.LabelStats
+
+// AnalyzeLocality scans every link of the space and reports its
+// language-locality statistics.
+func AnalyzeLocality(s *Space) LocalityStats { return analysis.Locality(s) }
+
+// AnalyzeReachability reports how many relevant pages are reachable from
+// the seeds at all, and how many only through irrelevant pages.
+func AnalyzeReachability(s *Space) ReachabilityStats { return analysis.Reachability(s) }
+
+// AnalyzeLabels censuses the META charset declarations of the space's
+// relevant pages: correct, sibling-charset, mislabeled, or missing.
+func AnalyzeLabels(s *Space) LabelStats { return analysis.Labels(s) }
+
+// HitsScores holds per-page hub and authority scores.
+type HitsScores = analysis.HitsScores
+
+// ComputeHits runs Kleinberg's HITS algorithm (the engine of the focused
+// crawler's distiller, the paper's reference [8]) over the subgraph
+// induced by include (nil = whole space).
+func ComputeHits(s *Space, include func(uint32) bool, iters int) HitsScores {
+	return analysis.Hits(s, include, iters)
+}
+
+// TopPages returns the indices of the k largest scores in descending
+// order — e.g. the top hubs from ComputeHits(...).Hub.
+func TopPages(scores []float64, k int) []uint32 { return analysis.TopK(scores, k) }

@@ -1,0 +1,61 @@
+// Command chardet detects the character encoding and implied language
+// of files (or stdin), using the same composite detector the crawler's
+// classifiers run. Examples:
+//
+//	chardet page.html another.html
+//	curl -s http://example.co.th/ | chardet
+//	chardet -meta page.html     # also report the META-declared charset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/htmlx"
+)
+
+func main() {
+	meta := flag.Bool("meta", false, "also report the charset declared in META/Content-Type")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		data, err := io.ReadAll(io.LimitReader(os.Stdin, 16<<20))
+		if err != nil {
+			fatal(err)
+		}
+		report("<stdin>", data, *meta)
+		return
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chardet: %v\n", err)
+			exit = 1
+			continue
+		}
+		report(path, data, *meta)
+	}
+	os.Exit(exit)
+}
+
+func report(name string, data []byte, withMeta bool) {
+	r := charset.Detect(data)
+	fmt.Printf("%s: %s (%s, confidence %.2f)", name, r.Charset, r.Language, r.Confidence)
+	if withMeta {
+		declared := htmlx.DeclaredCharset(data)
+		fmt.Printf(" declared=%s", declared)
+		if declared != charset.Unknown && declared != r.Charset {
+			fmt.Printf(" [MISMATCH]")
+		}
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "chardet: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command genweb synthesizes a web space and writes it as a crawl log,
+// the input format of the simulator. Example:
+//
+//	genweb -preset thai -pages 100000 -seed 7 -out thai.crawlog
+//	genweb -preset japanese -pages 50000 -out jp.crawlog
+//
+// The printed statistics are the dataset's Table 3 row.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"langcrawl/internal/analysis"
+	"langcrawl/internal/crawlog"
+	"langcrawl/internal/webgraph"
+)
+
+func main() {
+	var (
+		preset   = flag.String("preset", "thai", "dataset preset: thai or japanese")
+		pages    = flag.Int("pages", 100000, "number of pages to generate")
+		seed     = flag.Uint64("seed", 2005, "generation seed")
+		out      = flag.String("out", "", "output crawl-log path (required)")
+		locality = flag.Float64("locality", -1, "override language locality in [0,1]")
+		ratio    = flag.Float64("ratio", -1, "override relevance ratio in (0,1]")
+		deep     = flag.Bool("stats", false, "also run the §3 structural analyses (locality, tunneling, labels, hubs)")
+		dotPath  = flag.String("dot", "", "write a Graphviz site graph (largest 60 sites) to this path")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "genweb: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var cfg webgraph.Config
+	switch *preset {
+	case "thai":
+		cfg = webgraph.ThaiLike(*pages, *seed)
+	case "japanese", "jp":
+		cfg = webgraph.JapaneseLike(*pages, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "genweb: unknown preset %q (thai, japanese)\n", *preset)
+		os.Exit(2)
+	}
+	if *locality >= 0 {
+		cfg.Locality = *locality
+	}
+	if *ratio > 0 {
+		cfg.RelevanceRatio = *ratio
+	}
+
+	space, err := webgraph.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genweb: %v\n", err)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genweb: %v\n", err)
+		os.Exit(1)
+	}
+	if err := crawlog.WriteSpace(f, space); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "genweb: writing log: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "genweb: %v\n", err)
+		os.Exit(1)
+	}
+
+	st := space.ComputeStats()
+	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("target language     %v\n", st.Target)
+	fmt.Printf("relevant HTML pages %d\n", st.RelevantOK)
+	fmt.Printf("irrelevant pages    %d\n", st.IrrelevantOK)
+	fmt.Printf("total OK pages      %d (of %d URLs)\n", st.OKPages, st.TotalPages)
+	fmt.Printf("relevance ratio     %.1f%%\n", 100*st.RelevanceRatio)
+	fmt.Printf("sites               %d (%d relevant, %d hidden)\n", st.Sites, st.RelevantSites, st.HiddenSites)
+	fmt.Printf("links               %d\n", st.Links)
+	fmt.Printf("seeds               %d\n", len(space.Seeds))
+
+	if *dotPath != "" {
+		df, err := os.Create(*dotPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genweb: %v\n", err)
+			os.Exit(1)
+		}
+		if err := space.WriteDOT(df, 60); err != nil {
+			df.Close()
+			fmt.Fprintf(os.Stderr, "genweb: dot: %v\n", err)
+			os.Exit(1)
+		}
+		df.Close()
+		fmt.Printf("site graph written to %s (render: dot -Tsvg %s > sites.svg)\n", *dotPath, *dotPath)
+	}
+
+	if *deep {
+		loc := analysis.Locality(space)
+		reach := analysis.Reachability(space)
+		labels := analysis.Labels(space)
+		fmt.Printf("\nstructural analyses (the paper's §3 observations):\n")
+		fmt.Printf("inter-site same-language links   %.1f%%\n", 100*loc.InterSameLangRatio())
+		fmt.Printf("relevant inbound from relevant   %.1f%%\n", 100*loc.RelevantInboundRatio())
+		fmt.Printf("relevant pages needing tunneling %d of %d\n", reach.TunnelOnly, reach.Reachable)
+		fmt.Printf("META labels: %d correct, %d mislabeled, %d missing\n",
+			labels.Correct, labels.Mislabeled, labels.Missing)
+		hits := analysis.Hits(space, space.IsRelevant, 30)
+		fmt.Printf("top relevant hubs:\n")
+		for _, id := range analysis.TopK(hits.Hub, 5) {
+			fmt.Printf("  %-50s hub=%.4f\n", space.URL(id), hits.Hub[id])
+		}
+	}
+}

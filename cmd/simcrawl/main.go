@@ -1,0 +1,176 @@
+// Command simcrawl runs one crawl simulation: a strategy × classifier
+// pair over a virtual web space loaded from a crawl log (see genweb) or
+// generated on the fly. Examples:
+//
+//	simcrawl -log thai.crawlog -strategy soft -classifier meta
+//	simcrawl -preset thai -pages 50000 -strategy prior-limited:2 -plot
+//	simcrawl -preset japanese -strategy hard -classifier detector -csv out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"langcrawl/internal/cliutil"
+	"langcrawl/internal/core"
+	"langcrawl/internal/crawlog"
+	"langcrawl/internal/metrics"
+	"langcrawl/internal/sim"
+	"langcrawl/internal/webgraph"
+)
+
+func main() {
+	var (
+		logPath   = flag.String("log", "", "crawl log to replay (overrides -preset)")
+		preset    = flag.String("preset", "thai", "generate dataset: thai or japanese")
+		pages     = flag.Int("pages", 50000, "pages when generating")
+		seed      = flag.Uint64("seed", 2005, "seed when generating")
+		strat     = flag.String("strategy", "soft", "strategy: "+cliutil.StrategyNames())
+		cls       = flag.String("classifier", "meta", "classifier: "+cliutil.ClassifierNames())
+		target    = flag.String("target", "", "target language (default from dataset)")
+		maxPages  = flag.Int("max", 0, "page budget (0 = crawl to exhaustion)")
+		plot      = flag.Bool("plot", false, "render ASCII plots")
+		csvPrefix = flag.String("csv", "", "write <prefix>-{harvest,coverage,queue}.csv")
+		timed     = flag.Bool("timed", false, "use the timed engine (delays + politeness)")
+		interval  = flag.Float64("interval", 1.0, "per-host access interval seconds (timed mode)")
+		conns     = flag.Int("conns", 16, "concurrent connections (timed mode)")
+		spillDir  = flag.String("spill", "", "spill the frontier to disk segments under this directory")
+		spillMem  = flag.Int("spill-mem", 1<<16, "in-memory frontier items per queue before spilling")
+		compare   = flag.String("compare", "", "comma-separated strategies to compare in one table (overrides -strategy)")
+	)
+	flag.Parse()
+
+	space, err := loadSpace(*logPath, *preset, *pages, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	lang := space.Target
+	if *target != "" {
+		if lang, err = cliutil.ParseLanguage(*target); err != nil {
+			fatal(err)
+		}
+	}
+	classifier, err := cliutil.ParseClassifier(*cls, lang)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compare != "" {
+		runComparison(space, *compare, classifier, *maxPages)
+		return
+	}
+
+	strategy, err := cliutil.ParseStrategy(*strat)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := sim.Config{
+		Strategy: strategy, Classifier: classifier, MaxPages: *maxPages,
+		SpillDir: *spillDir, SpillMemLimit: *spillMem,
+	}
+	var res *sim.Result
+	if *timed {
+		tres, err := sim.RunTimed(space, sim.TimedConfig{
+			Config: cfg, HostInterval: *interval, Concurrency: *conns,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		res = &tres.Result
+		fmt.Printf("virtual duration: %.1fs (%.1f pages/s)\n",
+			tres.Duration, float64(res.Crawled)/tres.Duration)
+	} else {
+		if res, err = sim.Run(space, cfg); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Println(res)
+	fmt.Printf("relevant total in space: %d\n", res.RelevantTotal)
+	fmt.Printf("pages whose links were discarded: %d\n", res.DroppedPages)
+
+	sets := []*metrics.Set{
+		seriesSet("Harvest rate", "harvest rate %", res.Harvest),
+		seriesSet("Coverage", "coverage %", res.Coverage),
+		seriesSet("URL queue size", "queue size URLs", res.QueueSize),
+	}
+	if *plot {
+		for _, set := range sets {
+			fmt.Println(set.RenderASCII(72, 16))
+		}
+	}
+	if *csvPrefix != "" {
+		names := []string{"harvest", "coverage", "queue"}
+		for i, set := range sets {
+			path := fmt.Sprintf("%s-%s.csv", *csvPrefix, names[i])
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := set.WriteCSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}
+
+func loadSpace(logPath, preset string, pages int, seed uint64) (*webgraph.Space, error) {
+	if logPath != "" {
+		f, err := os.Open(logPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r, err := crawlog.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		return crawlog.BuildSpace(r)
+	}
+	switch preset {
+	case "thai":
+		return webgraph.Generate(webgraph.ThaiLike(pages, seed))
+	case "japanese", "jp":
+		return webgraph.Generate(webgraph.JapaneseLike(pages, seed))
+	default:
+		return nil, fmt.Errorf("unknown preset %q", preset)
+	}
+}
+
+// runComparison runs several strategies over the same space and prints
+// one summary row each — the quickest way to eyeball a trade-off.
+func runComparison(space *webgraph.Space, spec string, classifier core.Classifier, maxPages int) {
+	fmt.Printf("%-34s %10s %10s %10s %10s\n", "strategy", "crawled", "harvest", "coverage", "max queue")
+	for _, name := range strings.Split(spec, ",") {
+		strategy, err := cliutil.ParseStrategy(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sim.Run(space, sim.Config{
+			Strategy: strategy, Classifier: classifier, MaxPages: maxPages,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-34s %10d %9.1f%% %9.1f%% %10d\n",
+			res.Strategy, res.Crawled, res.FinalHarvest(), res.FinalCoverage(), res.MaxQueueLen)
+	}
+}
+
+func seriesSet(title, ylabel string, s *metrics.Series) *metrics.Set {
+	set := metrics.NewSet(title, "pages crawled", ylabel)
+	set.Series = append(set.Series, s)
+	return set
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "simcrawl: %v\n", err)
+	os.Exit(1)
+}

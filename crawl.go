@@ -1,0 +1,27 @@
+package langcrawl
+
+import (
+	"context"
+
+	"langcrawl/internal/crawler"
+)
+
+// CrawlConfig parameterizes a live HTTP crawl. It is the crawler
+// package's Config re-exported; see its fields for details (seeds,
+// strategy, classifier, politeness interval, robots handling, optional
+// crawl-log and link-database journaling).
+type CrawlConfig = crawler.Config
+
+// CrawlResult summarizes a live crawl.
+type CrawlResult = crawler.Result
+
+// Crawl runs a real HTTP crawl with the same strategies and classifiers
+// the simulator evaluates. It blocks until the frontier drains, the page
+// budget is hit, or ctx is canceled.
+func Crawl(ctx context.Context, cfg CrawlConfig) (*CrawlResult, error) {
+	c, err := crawler.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(ctx)
+}

@@ -1,0 +1,70 @@
+package langcrawl_test
+
+import (
+	"fmt"
+
+	"langcrawl"
+)
+
+// The detector identifies the paper's Table 1 encodings from raw bytes.
+func ExampleDetectCharset() {
+	// "กา" in TIS-620: bytes A1 D2, repeated into a realistic sample.
+	thai := []byte{0xA1, 0xD2, 0xC3, 0xB9, 0xD2, 0xC3, 0xA1, 0xD2, 0xC3, 0xB9, 0xD2}
+	r := langcrawl.DetectCharset(thai)
+	fmt.Println(r.Charset, r.Language)
+	// Output: TIS-620 Thai
+}
+
+// LanguageOf is the paper's Table 1 as a function.
+func ExampleLanguageOf() {
+	fmt.Println(langcrawl.LanguageOf(langcrawl.EUCJP))
+	fmt.Println(langcrawl.LanguageOf(langcrawl.Windows874))
+	// Output:
+	// Japanese
+	// Thai
+}
+
+// A complete simulation: generate a space, crawl it with the paper's
+// headline strategy, read off the metrics.
+func ExampleSimulate() {
+	space, err := langcrawl.ThaiLikeSpace(5000, 1)
+	if err != nil {
+		panic(err)
+	}
+	res, err := langcrawl.Simulate(space, langcrawl.SimConfig{
+		Strategy:   langcrawl.SoftFocused(),
+		Classifier: langcrawl.MetaClassifier(langcrawl.Thai),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("coverage %.0f%%, crawled all %v pages\n",
+		res.FinalCoverage(), res.Crawled == space.N())
+	// Output: coverage 100%, crawled all true pages
+}
+
+// Strategies are plain values; sweeping them is a loop.
+func ExampleLimitedDistance() {
+	space, _ := langcrawl.ThaiLikeSpace(5000, 1)
+	for _, n := range []int{1, 4} {
+		res, _ := langcrawl.Simulate(space, langcrawl.SimConfig{
+			Strategy:   langcrawl.LimitedDistance(n),
+			Classifier: langcrawl.MetaClassifier(langcrawl.Thai),
+		})
+		fmt.Printf("N=%d coverage beats N=1: %v\n", n, res.FinalCoverage() >= 50)
+	}
+	// Output:
+	// N=1 coverage beats N=1: true
+	// N=4 coverage beats N=1: true
+}
+
+// The §3 observations, measured exactly on a synthetic space.
+func ExampleAnalyzeReachability() {
+	space, _ := langcrawl.ThaiLikeSpace(8000, 3)
+	st := langcrawl.AnalyzeReachability(space)
+	fmt.Println("all relevant pages reachable:", st.Reachable == st.RelevantTotal)
+	fmt.Println("some need tunneling:", st.TunnelOnly > 0)
+	// Output:
+	// all relevant pages reachable: true
+	// some need tunneling: true
+}

@@ -1,0 +1,55 @@
+// Chardet: the language-identification layer on its own. Text is
+// synthesized in Japanese and Thai, encoded into each of the paper's
+// Table 1 charsets (plus UTF-8), and pushed through the composite
+// detector — demonstrating the exact classification path the crawler's
+// DetectorClassifier uses, including a mislabeled page the META check
+// gets wrong and the detector gets right.
+package main
+
+import (
+	"fmt"
+
+	"langcrawl"
+	"langcrawl/internal/charset"
+	"langcrawl/internal/htmlx"
+	"langcrawl/internal/rng"
+	"langcrawl/internal/textgen"
+)
+
+func main() {
+	fmt.Printf("%-12s %-12s -> %-12s %-9s %s\n", "language", "encoded as", "detected", "conf", "ok")
+	cases := []struct {
+		lang langcrawl.Language
+		css  []langcrawl.Charset
+	}{
+		{langcrawl.Japanese, []langcrawl.Charset{langcrawl.EUCJP, langcrawl.ShiftJIS, langcrawl.ISO2022JP, langcrawl.UTF8}},
+		{langcrawl.Thai, []langcrawl.Charset{langcrawl.TIS620, langcrawl.Windows874, langcrawl.ISO885911, langcrawl.UTF8}},
+	}
+	for _, c := range cases {
+		for i, cs := range c.css {
+			gen := textgen.New(c.lang, rng.New2(1, uint64(i)))
+			text := gen.Paragraph(6)
+			encoded := charset.CodecFor(cs).Encode(text)
+			r := langcrawl.DetectCharset(encoded)
+			// The three Thai encodings are byte-identical on pure Thai
+			// text, so the detector may name a sibling charset; what the
+			// crawler acts on — the language — must always be right.
+			ok := r.Language == c.lang || (cs == langcrawl.UTF8 && r.Charset == langcrawl.UTF8)
+			fmt.Printf("%-12s %-12s -> %-12s %-9.2f %v\n",
+				c.lang, cs, r.Charset, r.Confidence, ok)
+		}
+	}
+
+	// A mislabeled page: bytes are TIS-620 Thai, but the META tag claims
+	// ISO-8859-1 — the paper's §3 observation 3. The META check is
+	// fooled; byte-level detection is not.
+	page := textgen.HTMLPage(textgen.PageSpec{
+		Lang:            langcrawl.Thai,
+		Charset:         langcrawl.TIS620,
+		DeclaredCharset: langcrawl.Latin1,
+	}, rng.New(5))
+	declared := htmlx.DeclaredCharset(page)
+	detected := langcrawl.DetectCharset(page)
+	fmt.Printf("\nmislabeled page: META says %s (language %s) — bytes say %s (language %s)\n",
+		declared, langcrawl.LanguageOf(declared), detected.Charset, detected.Language)
+}

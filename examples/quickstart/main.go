@@ -1,0 +1,50 @@
+// Quickstart: generate a small Thai-like web space, run the paper's
+// headline strategy comparison on the crawl simulator, and print the
+// results. This is the 30-second tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"langcrawl"
+)
+
+func main() {
+	// A synthetic stand-in for a national web space: ~35% of its pages
+	// are Thai, the rest English/Japanese, with realistic language
+	// locality in the link structure.
+	space, err := langcrawl.ThaiLikeSpace(20000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("web space: %d pages, %d relevant (Thai), %d links, %d seeds\n\n",
+		space.N(), space.RelevantTotal(), space.Links(), len(space.Seeds))
+
+	// The classifier decides relevance the way the paper's Thai crawls
+	// did: by the charset declared in each page's META tag.
+	classifier := langcrawl.MetaClassifier(langcrawl.Thai)
+
+	for _, strategy := range []langcrawl.Strategy{
+		langcrawl.BreadthFirst(),
+		langcrawl.HardFocused(),
+		langcrawl.SoftFocused(),
+		langcrawl.LimitedDistance(2),
+		langcrawl.PrioritizedLimitedDistance(2),
+		langcrawl.DecayingBestFirst(0.5),
+	} {
+		res, err := langcrawl.Simulate(space, langcrawl.SimConfig{
+			Strategy:   strategy,
+			Classifier: classifier,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-30s harvest %5.1f%%  coverage %5.1f%%  max queue %6d  crawled %d\n",
+			res.Strategy, res.FinalHarvest(), res.FinalCoverage(), res.MaxQueueLen, res.Crawled)
+	}
+
+	fmt.Println("\nthe paper's result in one screen: soft-focused reaches full coverage")
+	fmt.Println("but hoards URLs; prioritized limited distance keeps the queue compact")
+	fmt.Println("at nearly the same coverage.")
+}

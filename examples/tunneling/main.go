@@ -1,0 +1,66 @@
+// Tunneling: some relevant pages are reachable only through irrelevant
+// ones (the paper's §3 observation 2 — e.g. a Thai community site linked
+// only from an English portal). A hard-focused crawler can never reach
+// them; the limited-distance strategy tunnels through up to N irrelevant
+// pages. This example sweeps N and shows the coverage/queue trade-off,
+// including coverage of the "hidden" sites specifically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"langcrawl"
+)
+
+func main() {
+	cfg := langcrawl.DefaultSpaceConfig()
+	cfg.Pages = 30000
+	cfg.Seed = 99
+	cfg.HiddenSiteFrac = 0.15 // plenty of Thai sites behind non-Thai doors
+	space, err := langcrawl.GenerateSpace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Count relevant pages living on hidden sites.
+	hiddenTotal := 0
+	for id := 0; id < space.N(); id++ {
+		pid := uint32(id)
+		if space.IsOK(pid) && space.IsRelevant(pid) && space.Site(pid).Hidden {
+			hiddenTotal++
+		}
+	}
+	fmt.Printf("space: %d pages, %d relevant; %d relevant pages are on hidden sites\n\n",
+		space.N(), space.RelevantTotal(), hiddenTotal)
+
+	classifier := langcrawl.MetaClassifier(langcrawl.Thai)
+	fmt.Printf("%-32s %10s %14s %10s\n", "strategy", "coverage", "hidden found", "max queue")
+	for _, strategy := range []langcrawl.Strategy{
+		langcrawl.HardFocused(), // no tunneling at all
+		langcrawl.PrioritizedLimitedDistance(2),
+		langcrawl.PrioritizedLimitedDistance(3),
+		langcrawl.PrioritizedLimitedDistance(4),
+		langcrawl.SoftFocused(), // tunneling without bound
+	} {
+		res, err := langcrawl.Simulate(space, langcrawl.SimConfig{
+			Strategy: strategy, Classifier: classifier, KeepVisited: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hiddenFound := 0
+		for id := 0; id < space.N(); id++ {
+			pid := uint32(id)
+			if res.Visited[id] && space.IsOK(pid) && space.IsRelevant(pid) && space.Site(pid).Hidden {
+				hiddenFound++
+			}
+		}
+		fmt.Printf("%-32s %9.1f%% %8d/%-5d %10d\n",
+			res.Strategy, res.FinalCoverage(), hiddenFound, hiddenTotal, res.MaxQueueLen)
+	}
+
+	fmt.Println("\nhard-focused never reaches the hidden sites; each extra unit of")
+	fmt.Println("tunneling depth N buys more of them, converging on soft-focused —")
+	fmt.Println("with a small N already capturing nearly everything at lower queue cost.")
+}

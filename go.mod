@@ -1,0 +1,3 @@
+module langcrawl
+
+go 1.22

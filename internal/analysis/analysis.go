@@ -1,0 +1,196 @@
+// Package analysis measures the structural properties of a web space
+// that the paper's §3 establishes by sampling real pages — the evidence
+// its whole approach rests on:
+//
+//  1. language locality: pages are mostly linked by pages of the same
+//     language;
+//  2. tunneling necessity: some relevant pages are reachable only
+//     through irrelevant pages;
+//  3. mislabeling: some relevant pages declare the wrong (or no)
+//     charset.
+//
+// On a virtual space all three can be computed exactly rather than
+// estimated, which is what the observations experiment reports.
+package analysis
+
+import (
+	"langcrawl/internal/charset"
+	"langcrawl/internal/webgraph"
+)
+
+// LocalityStats quantifies observation 1 over a space's links.
+type LocalityStats struct {
+	// IntraSite counts links that stay on their site (trivially
+	// same-language in the common case); InterSite the rest.
+	IntraSite, InterSite int
+	// InterSameLang counts inter-site links whose endpoints share a
+	// language.
+	InterSameLang int
+	// RelevantToRelevant counts inter-site links between two pages of
+	// the target language.
+	RelevantToRelevant int
+	// RelevantInbound counts inter-site links *into* relevant pages;
+	// RelevantInboundFromRelevant of those, the ones from relevant
+	// sources — "in most cases, Thai web pages are linked by other Thai
+	// web pages".
+	RelevantInbound             int
+	RelevantInboundFromRelevant int
+}
+
+// InterSameLangRatio returns the fraction of inter-site links joining
+// same-language pages.
+func (s LocalityStats) InterSameLangRatio() float64 {
+	if s.InterSite == 0 {
+		return 0
+	}
+	return float64(s.InterSameLang) / float64(s.InterSite)
+}
+
+// RelevantInboundRatio returns the fraction of inter-site links into
+// relevant pages that come from relevant pages — the paper's
+// observation 1, as a number.
+func (s LocalityStats) RelevantInboundRatio() float64 {
+	if s.RelevantInbound == 0 {
+		return 0
+	}
+	return float64(s.RelevantInboundFromRelevant) / float64(s.RelevantInbound)
+}
+
+// Locality scans every link of the space.
+func Locality(s *webgraph.Space) LocalityStats {
+	var st LocalityStats
+	for id := 0; id < s.N(); id++ {
+		pid := webgraph.PageID(id)
+		srcSite := s.SiteOf[pid]
+		srcLang := s.Lang[pid]
+		srcRelevant := s.IsRelevant(pid)
+		for _, tgt := range s.Outlinks(pid) {
+			if s.SiteOf[tgt] == srcSite {
+				st.IntraSite++
+				continue
+			}
+			st.InterSite++
+			tgtRelevant := s.IsRelevant(tgt)
+			if s.Lang[tgt] == srcLang {
+				st.InterSameLang++
+				if srcRelevant && tgtRelevant {
+					st.RelevantToRelevant++
+				}
+			}
+			if tgtRelevant {
+				st.RelevantInbound++
+				if srcRelevant {
+					st.RelevantInboundFromRelevant++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// ReachabilityStats quantifies observation 2: how much of the relevant
+// web is reachable without ever stepping on an irrelevant page.
+type ReachabilityStats struct {
+	// RelevantTotal is the number of relevant OK pages.
+	RelevantTotal int
+	// ViaRelevantOnly counts relevant OK pages reachable from the seeds
+	// along paths whose intermediate pages are all relevant and OK.
+	ViaRelevantOnly int
+	// Reachable counts relevant OK pages reachable at all.
+	Reachable int
+	// TunnelOnly = Reachable - ViaRelevantOnly: pages that require
+	// passing through at least one irrelevant page — the population the
+	// limited-distance strategy exists for.
+	TunnelOnly int
+}
+
+// Reachability runs two BFS passes from the seeds: one confined to
+// relevant OK pages, one unrestricted.
+func Reachability(s *webgraph.Space) ReachabilityStats {
+	st := ReachabilityStats{RelevantTotal: s.RelevantTotal()}
+
+	relevantOK := func(id webgraph.PageID) bool { return s.IsOK(id) && s.IsRelevant(id) }
+
+	// Pass 1: relevant-only paths.
+	seen := make([]bool, s.N())
+	var queue []webgraph.PageID
+	for _, seed := range s.Seeds {
+		if relevantOK(seed) && !seen[seed] {
+			seen[seed] = true
+			queue = append(queue, seed)
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		st.ViaRelevantOnly++
+		for _, t := range s.Outlinks(p) {
+			if !seen[t] && relevantOK(t) {
+				seen[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+
+	// Pass 2: unrestricted reachability, counting relevant OK pages.
+	seen2 := make([]bool, s.N())
+	queue = queue[:0]
+	for _, seed := range s.Seeds {
+		if !seen2[seed] {
+			seen2[seed] = true
+			queue = append(queue, seed)
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if relevantOK(p) {
+			st.Reachable++
+		}
+		if !s.IsOK(p) {
+			continue // error pages have no outlinks anyway
+		}
+		for _, t := range s.Outlinks(p) {
+			if !seen2[t] {
+				seen2[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	st.TunnelOnly = st.Reachable - st.ViaRelevantOnly
+	return st
+}
+
+// LabelStats quantifies observation 3 over relevant OK pages.
+type LabelStats struct {
+	RelevantTotal int
+	Correct       int // META declares the true charset
+	SiblingLang   int // META declares a different charset of the same language
+	Mislabeled    int // META declares a charset of another language
+	Missing       int // no META declaration
+}
+
+// Labels censuses the META declarations of relevant OK pages.
+func Labels(s *webgraph.Space) LabelStats {
+	var st LabelStats
+	for id := 0; id < s.N(); id++ {
+		pid := webgraph.PageID(id)
+		if !s.IsOK(pid) || !s.IsRelevant(pid) {
+			continue
+		}
+		st.RelevantTotal++
+		declared := s.Declared[pid]
+		truth := s.Charset[pid]
+		switch {
+		case declared == truth:
+			st.Correct++
+		case declared == charset.Unknown:
+			st.Missing++
+		case charset.LanguageOf(declared) == charset.LanguageOf(truth):
+			st.SiblingLang++
+		default:
+			st.Mislabeled++
+		}
+	}
+	return st
+}

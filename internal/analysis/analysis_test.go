@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"testing"
+
+	"langcrawl/internal/webgraph"
+)
+
+var space = func() *webgraph.Space {
+	s, err := webgraph.Generate(webgraph.ThaiLike(15000, 321))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}()
+
+func TestLocalityObservation1(t *testing.T) {
+	st := Locality(space)
+	if st.IntraSite == 0 || st.InterSite == 0 {
+		t.Fatalf("degenerate link census: %+v", st)
+	}
+	// Observation 1: "in most cases, Thai web pages are linked by other
+	// Thai web pages" — the inbound-from-relevant ratio must clear 50%,
+	// and far exceed what random linking would give (the ~35% relevance
+	// ratio).
+	if r := st.RelevantInboundRatio(); r < 0.5 {
+		t.Errorf("relevant-inbound-from-relevant ratio %.3f too low", r)
+	}
+	if r := st.InterSameLangRatio(); r < 0.5 {
+		t.Errorf("inter-site same-language ratio %.3f too low", r)
+	}
+	// Totals are consistent.
+	if st.InterSameLang > st.InterSite || st.RelevantInboundFromRelevant > st.RelevantInbound {
+		t.Errorf("inconsistent census: %+v", st)
+	}
+	if st.IntraSite+st.InterSite != space.Links() {
+		t.Errorf("census covers %d links, space has %d", st.IntraSite+st.InterSite, space.Links())
+	}
+}
+
+func TestReachabilityObservation2(t *testing.T) {
+	st := Reachability(space)
+	// Everything relevant is reachable (generator guarantee).
+	if st.Reachable != st.RelevantTotal {
+		t.Errorf("reachable %d != relevant total %d", st.Reachable, st.RelevantTotal)
+	}
+	// Observation 2: some relevant pages are reachable *only* through
+	// irrelevant pages.
+	if st.TunnelOnly <= 0 {
+		t.Errorf("no tunnel-only pages found: %+v", st)
+	}
+	// But most are reachable through relevant paths (locality).
+	if st.ViaRelevantOnly < st.RelevantTotal/2 {
+		t.Errorf("only %d of %d relevant pages reachable via relevant paths",
+			st.ViaRelevantOnly, st.RelevantTotal)
+	}
+	if st.ViaRelevantOnly+st.TunnelOnly != st.Reachable {
+		t.Errorf("inconsistent: %+v", st)
+	}
+}
+
+func TestLabelsObservation3(t *testing.T) {
+	st := Labels(space)
+	if st.RelevantTotal != space.RelevantTotal() {
+		t.Errorf("censused %d relevant pages, space has %d", st.RelevantTotal, space.RelevantTotal())
+	}
+	if st.Correct+st.SiblingLang+st.Mislabeled+st.Missing != st.RelevantTotal {
+		t.Errorf("categories do not partition: %+v", st)
+	}
+	// Observation 3: some relevant pages are mislabeled or unlabeled...
+	if st.Mislabeled == 0 || st.Missing == 0 {
+		t.Errorf("expected mislabeled and missing labels: %+v", st)
+	}
+	// ...but the majority are correct (or the META method could not work
+	// at all).
+	if float64(st.Correct) < 0.7*float64(st.RelevantTotal) {
+		t.Errorf("only %d of %d labels correct", st.Correct, st.RelevantTotal)
+	}
+}
+
+func TestReachabilityHiddenSitesAreTunnelOnly(t *testing.T) {
+	// Pages on hidden sites must show up in the tunnel-only population:
+	// their only entry is through an irrelevant page.
+	hidden := 0
+	for id := 0; id < space.N(); id++ {
+		pid := webgraph.PageID(id)
+		if space.IsOK(pid) && space.IsRelevant(pid) && space.Site(pid).Hidden {
+			hidden++
+		}
+	}
+	if hidden == 0 {
+		t.Skip("space has no hidden relevant pages")
+	}
+	st := Reachability(space)
+	if st.TunnelOnly < hidden {
+		t.Errorf("tunnel-only %d < hidden relevant pages %d", st.TunnelOnly, hidden)
+	}
+}
+
+func TestLabelsOnCleanSpace(t *testing.T) {
+	cfg := webgraph.ThaiLike(3000, 5)
+	cfg.MislabelRate = 0
+	cfg.MissingMetaRate = 0
+	clean, err := webgraph.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Labels(clean)
+	if st.Mislabeled != 0 || st.Missing != 0 {
+		t.Errorf("clean space reports label problems: %+v", st)
+	}
+	if st.Correct != st.RelevantTotal {
+		t.Errorf("clean space: %d of %d correct", st.Correct, st.RelevantTotal)
+	}
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"math"
+
+	"langcrawl/internal/webgraph"
+)
+
+// HitsScores holds the hub and authority score of every page (zero for
+// pages outside the analyzed subset).
+type HitsScores struct {
+	Hub       []float64
+	Authority []float64
+}
+
+// Hits runs Kleinberg's HITS algorithm (the paper's reference [8], the
+// engine of the focused crawler's distiller component described in
+// §2.1) by power iteration over the subgraph induced by include —
+// typically the pages a crawl has fetched. iters bounds the number of
+// iterations; scores are L2-normalized each round, and iteration stops
+// early once both vectors move less than 1e-9.
+func Hits(s *webgraph.Space, include func(webgraph.PageID) bool, iters int) HitsScores {
+	n := s.N()
+	if include == nil {
+		include = func(webgraph.PageID) bool { return true }
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	in := make([]bool, n)
+	for id := 0; id < n; id++ {
+		in[id] = include(webgraph.PageID(id))
+	}
+
+	hub := make([]float64, n)
+	auth := make([]float64, n)
+	for id := 0; id < n; id++ {
+		if in[id] {
+			hub[id] = 1
+		}
+	}
+
+	newAuth := make([]float64, n)
+	newHub := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		// Authority: sum of hub scores of in-neighbors — computed by
+		// scattering each included page's hub score to its included
+		// targets.
+		for i := range newAuth {
+			newAuth[i] = 0
+		}
+		for id := 0; id < n; id++ {
+			if !in[id] || hub[id] == 0 {
+				continue
+			}
+			for _, t := range s.Outlinks(webgraph.PageID(id)) {
+				if in[t] {
+					newAuth[t] += hub[id]
+				}
+			}
+		}
+		normalize(newAuth)
+
+		// Hub: sum of authority scores of out-neighbors.
+		for i := range newHub {
+			newHub[i] = 0
+		}
+		for id := 0; id < n; id++ {
+			if !in[id] {
+				continue
+			}
+			var sum float64
+			for _, t := range s.Outlinks(webgraph.PageID(id)) {
+				if in[t] {
+					sum += newAuth[t]
+				}
+			}
+			newHub[id] = sum
+		}
+		normalize(newHub)
+
+		if delta(auth, newAuth) < 1e-9 && delta(hub, newHub) < 1e-9 {
+			copy(auth, newAuth)
+			copy(hub, newHub)
+			break
+		}
+		copy(auth, newAuth)
+		copy(hub, newHub)
+	}
+	return HitsScores{Hub: hub, Authority: auth}
+}
+
+func normalize(v []float64) {
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	if sum == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(sum)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+func delta(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}
+
+// TopK returns the indices of the k largest values in scores, in
+// descending score order (ties by lower index). It is a selection over
+// the full slice, O(n·k) — fine for the small k a distiller promotes.
+func TopK(scores []float64, k int) []webgraph.PageID {
+	if k <= 0 {
+		return nil
+	}
+	type cand struct {
+		id    webgraph.PageID
+		score float64
+	}
+	var top []cand
+	for i, sc := range scores {
+		if sc <= 0 {
+			continue
+		}
+		pos := len(top)
+		for pos > 0 && (top[pos-1].score < sc) {
+			pos--
+		}
+		if pos >= k {
+			continue
+		}
+		top = append(top, cand{})
+		copy(top[pos+1:], top[pos:])
+		top[pos] = cand{id: webgraph.PageID(i), score: sc}
+		if len(top) > k {
+			top = top[:k]
+		}
+	}
+	out := make([]webgraph.PageID, len(top))
+	for i, c := range top {
+		out[i] = c.id
+	}
+	return out
+}

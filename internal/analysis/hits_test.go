@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/webgraph"
+)
+
+// tinySpace builds a 6-page, single-site space with hand-chosen links:
+// page 0 is a hub pointing at pages 1,2,3 (authorities); page 4 also
+// points at 1; page 5 is isolated.
+func tinySpace(t *testing.T) *webgraph.Space {
+	t.Helper()
+	const n = 6
+	raw := webgraph.RawSpace{
+		Target:   charset.LangThai,
+		Sites:    []webgraph.Site{{Host: "t.co.th", Lang: charset.LangThai, Start: 0, Count: n}},
+		SiteOf:   make([]webgraph.SiteID, n),
+		Lang:     make([]charset.Language, n),
+		Charset:  make([]charset.Charset, n),
+		Declared: make([]charset.Charset, n),
+		Status:   make([]uint16, n),
+		Size:     make([]uint32, n),
+		Outlinks: make([][]webgraph.PageID, n),
+		Seeds:    []webgraph.PageID{0},
+	}
+	for i := 0; i < n; i++ {
+		raw.Lang[i] = charset.LangThai
+		raw.Charset[i] = charset.TIS620
+		raw.Declared[i] = charset.TIS620
+		raw.Status[i] = 200
+	}
+	raw.Outlinks[0] = []webgraph.PageID{1, 2, 3}
+	raw.Outlinks[4] = []webgraph.PageID{1}
+	s, err := webgraph.Assemble(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHitsHandGraph(t *testing.T) {
+	s := tinySpace(t)
+	sc := Hits(s, nil, 50)
+
+	// Page 0 links to all three authorities: the best hub.
+	for _, id := range []int{1, 2, 3, 4, 5} {
+		if sc.Hub[0] < sc.Hub[id] {
+			t.Errorf("hub[0]=%.4f should dominate hub[%d]=%.4f", sc.Hub[0], id, sc.Hub[id])
+		}
+	}
+	// Page 1 has two in-links (from 0 and 4): the best authority.
+	for _, id := range []int{0, 2, 3, 4, 5} {
+		if sc.Authority[1] < sc.Authority[id] {
+			t.Errorf("auth[1]=%.4f should dominate auth[%d]=%.4f", sc.Authority[1], id, sc.Authority[id])
+		}
+	}
+	// Isolated page scores zero both ways.
+	if sc.Hub[5] != 0 || sc.Authority[5] != 0 {
+		t.Errorf("isolated page scored hub=%.4f auth=%.4f", sc.Hub[5], sc.Authority[5])
+	}
+}
+
+func TestHitsSubsetRestriction(t *testing.T) {
+	s := tinySpace(t)
+	// Exclude page 4: page 1 loses an in-link; with only page 0 linking,
+	// authorities 1,2,3 become symmetric.
+	sc := Hits(s, func(id webgraph.PageID) bool { return id != 4 }, 50)
+	if sc.Hub[4] != 0 || sc.Authority[4] != 0 {
+		t.Error("excluded page must score zero")
+	}
+	if diff := sc.Authority[1] - sc.Authority[2]; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("authorities should be symmetric without page 4: %.6f vs %.6f",
+			sc.Authority[1], sc.Authority[2])
+	}
+}
+
+func TestHitsConvergesOnGeneratedSpace(t *testing.T) {
+	s, err := webgraph.Generate(webgraph.ThaiLike(3000, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Hits(s, nil, 40)
+	b := Hits(s, nil, 80)
+	// Doubling iterations must not change converged scores noticeably.
+	var drift float64
+	for i := range a.Hub {
+		drift += abs64(a.Hub[i]-b.Hub[i]) + abs64(a.Authority[i]-b.Authority[i])
+	}
+	if drift > 1e-6 {
+		t.Errorf("scores drifted %.2e between 40 and 80 iterations", drift)
+	}
+	// Scores are normalized and non-negative.
+	var sum float64
+	for _, x := range a.Authority {
+		if x < 0 {
+			t.Fatal("negative authority")
+		}
+		sum += x * x
+	}
+	if abs64(sum-1) > 1e-6 {
+		t.Errorf("authority L2 norm² = %v", sum)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0, 0.5, 0.9, 0.3}
+	got := TopK(scores, 3)
+	want := []webgraph.PageID{1, 4, 3}
+	if len(got) != 3 {
+		t.Fatalf("TopK = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TopK[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if r := TopK(scores, 0); r != nil {
+		t.Error("TopK(0) should be nil")
+	}
+	if r := TopK(scores, 100); len(r) != 5 { // zero-score page excluded
+		t.Errorf("TopK over-asking = %v", r)
+	}
+	if r := TopK(nil, 3); len(r) != 0 {
+		t.Error("TopK(nil) should be empty")
+	}
+}
+
+func abs64(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

@@ -1,0 +1,148 @@
+// Package bloom implements a Bloom filter sized for crawler visited-URL
+// sets. A Bloom filter answers "definitely not seen" or "probably seen";
+// crawlers use it as a cheap first tier in front of (or instead of) an
+// exact set when the URL universe is large.
+package bloom
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a standard Bloom filter with k hash functions derived from a
+// single 64-bit FNV hash via the Kirsch–Mitzenmacher double-hashing trick.
+// The zero value is not usable; construct with New or NewWithEstimates.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    uint64 // number of hash functions
+	n    uint64 // number of Add calls (for FillRatio / estimates)
+}
+
+// New creates a filter with m bits (rounded up to a multiple of 64) and k
+// hash functions. m and k must be positive.
+func New(m, k uint64) *Filter {
+	if m == 0 {
+		m = 64
+	}
+	if k == 0 {
+		k = 1
+	}
+	words := (m + 63) / 64
+	return &Filter{bits: make([]uint64, words), m: words * 64, k: k}
+}
+
+// NewWithEstimates creates a filter sized for n expected items at false
+// positive rate p, using the optimal m = -n·ln(p)/ln(2)² and k = m/n·ln(2).
+func NewWithEstimates(n uint64, p float64) *Filter {
+	if n == 0 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	k := uint64(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k == 0 {
+		k = 1
+	}
+	return New(m, k)
+}
+
+// hash2 returns two independent 64-bit hashes of s.
+func hash2(s string) (uint64, uint64) {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	h1 := h.Sum64()
+	// Second hash: re-hash the first hash's bytes with a different seed byte.
+	var buf [9]byte
+	binary.LittleEndian.PutUint64(buf[:8], h1)
+	buf[8] = 0x9e
+	h.Reset()
+	_, _ = h.Write(buf[:])
+	return h1, h.Sum64()
+}
+
+// Add inserts s into the filter.
+func (f *Filter) Add(s string) {
+	h1, h2 := hash2(s)
+	for i := uint64(0); i < f.k; i++ {
+		idx := (h1 + i*h2) % f.m
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// Contains reports whether s is probably in the filter. False positives
+// are possible; false negatives are not.
+func (f *Filter) Contains(s string) bool {
+	h1, h2 := hash2(s)
+	for i := uint64(0); i < f.k; i++ {
+		idx := (h1 + i*h2) % f.m
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AddIfNew inserts s and reports whether it was (probably) new, in a
+// single pass over the k bit positions.
+func (f *Filter) AddIfNew(s string) bool {
+	h1, h2 := hash2(s)
+	isNew := false
+	for i := uint64(0); i < f.k; i++ {
+		idx := (h1 + i*h2) % f.m
+		word, bit := idx/64, uint64(1)<<(idx%64)
+		if f.bits[word]&bit == 0 {
+			isNew = true
+			f.bits[word] |= bit
+		}
+	}
+	if isNew {
+		f.n++
+	}
+	return isNew
+}
+
+// Count returns the number of Add/AddIfNew insertions recorded.
+func (f *Filter) Count() uint64 { return f.n }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// FillRatio returns the fraction of set bits, a health indicator: above
+// ~0.5 the false-positive rate degrades past the design point.
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.m)
+}
+
+// EstimatedFalsePositiveRate returns (1 - e^(-kn/m))^k for the current n.
+func (f *Filter) EstimatedFalsePositiveRate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.n)/float64(f.m)), float64(f.k))
+}
+
+// Reset clears the filter for reuse.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

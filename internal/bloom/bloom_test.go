@@ -1,0 +1,121 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1<<14, 4)
+	keys := make([]string, 1000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("http://site%d.example.com/page%d", i%37, i)
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearDesign(t *testing.T) {
+	const n = 10000
+	f := NewWithEstimates(n, 0.01)
+	for i := 0; i < n; i++ {
+		f.Add(fmt.Sprintf("present-%d", i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.Contains(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Errorf("false positive rate %.4f exceeds 3x the 1%% design point", rate)
+	}
+}
+
+func TestAddIfNew(t *testing.T) {
+	f := New(1<<12, 3)
+	if !f.AddIfNew("a") {
+		t.Error("first AddIfNew should report new")
+	}
+	if f.AddIfNew("a") {
+		t.Error("second AddIfNew of same key should report existing")
+	}
+	if f.Count() != 1 {
+		t.Errorf("Count = %d, want 1", f.Count())
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(1<<10, 3)
+	f.Add("x")
+	f.Reset()
+	if f.Contains("x") {
+		t.Error("Contains after Reset should be false")
+	}
+	if f.Count() != 0 || f.FillRatio() != 0 {
+		t.Error("Reset should clear count and bits")
+	}
+}
+
+func TestNewWithEstimatesDefaults(t *testing.T) {
+	// Degenerate arguments must still yield a working filter.
+	for _, f := range []*Filter{
+		NewWithEstimates(0, 0.01),
+		NewWithEstimates(100, 0),
+		NewWithEstimates(100, 1.5),
+		New(0, 0),
+	} {
+		f.Add("k")
+		if !f.Contains("k") {
+			t.Error("filter from degenerate params lost a key")
+		}
+	}
+}
+
+func TestFillRatioGrows(t *testing.T) {
+	f := New(1<<12, 4)
+	prev := f.FillRatio()
+	if prev != 0 {
+		t.Fatalf("empty filter FillRatio = %v, want 0", prev)
+	}
+	for i := 0; i < 500; i++ {
+		f.Add(fmt.Sprintf("k%d", i))
+	}
+	if f.FillRatio() <= 0 {
+		t.Error("FillRatio should grow after insertions")
+	}
+	if f.EstimatedFalsePositiveRate() <= 0 {
+		t.Error("EstimatedFalsePositiveRate should be positive after insertions")
+	}
+}
+
+// Property: Contains(k) is always true after Add(k), for arbitrary keys.
+func TestNoFalseNegativesQuick(t *testing.T) {
+	f := New(1<<16, 5)
+	check := func(key string) bool {
+		f.Add(key)
+		return f.Contains(key)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AddIfNew never reports "new" twice for the same key.
+func TestAddIfNewMonotoneQuick(t *testing.T) {
+	f := New(1<<16, 5)
+	check := func(key string) bool {
+		f.AddIfNew(key)
+		return !f.AddIfNew(key)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

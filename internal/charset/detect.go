@@ -1,0 +1,118 @@
+package charset
+
+import "io"
+
+// Result is the outcome of charset detection.
+type Result struct {
+	Charset    Charset
+	Language   Language
+	Confidence float64 // in [0,1]; 0 means "no idea"
+}
+
+// Detector analyzes byte streams and guesses their character encoding,
+// following the composite approach of the Mozilla Universal Charset
+// Detector: an escape-sequence prober, coding-scheme validity state
+// machines, and character/byte distribution analysis, arbitrated by
+// confidence. A Detector is reusable via Reset but not safe for
+// concurrent use; Detect is the convenient one-shot entry point.
+type Detector struct {
+	bom     bomProber
+	esc     escProber
+	utf8    utf8Prober
+	eucjp   eucJPProber
+	sjis    sjisProber
+	tis     *thaiProber
+	win874  *thaiProber
+	iso11   *thaiProber
+	ascii   asciiProber
+	latin1  latin1Prober
+	probers []prober
+}
+
+// NewDetector returns a fresh Detector.
+func NewDetector() *Detector {
+	d := &Detector{
+		tis:    newThaiProber(TIS620),
+		win874: newThaiProber(Windows874),
+		iso11:  newThaiProber(ISO885911),
+	}
+	d.probers = []prober{
+		&d.bom, &d.esc, &d.utf8, &d.eucjp, &d.sjis, d.tis, d.win874, d.iso11,
+		&d.ascii, &d.latin1,
+	}
+	return d
+}
+
+// Reset prepares the detector for a new input stream.
+func (d *Detector) Reset() {
+	for _, p := range d.probers {
+		p.reset()
+	}
+}
+
+// Feed passes the next chunk of the stream to every live prober. It may
+// be called repeatedly; Feed after a conclusive identification is cheap.
+func (d *Detector) Feed(b []byte) {
+	for _, p := range d.probers {
+		p.feed(b)
+	}
+}
+
+// Best returns the current best guess. An escape-sequence hit is
+// conclusive; otherwise the highest-confidence prober wins and its
+// confidence is reported.
+func (d *Detector) Best() Result {
+	best := Result{Charset: Unknown, Language: LangUnknown}
+	for _, p := range d.probers {
+		c := p.confidence()
+		if c > best.Confidence {
+			best = Result{Charset: p.charset(), Confidence: c}
+		}
+	}
+	best.Language = LanguageOf(best.Charset)
+	return best
+}
+
+// Detect is the one-shot API: detect the charset of b.
+func Detect(b []byte) Result {
+	d := NewDetector()
+	d.Feed(b)
+	return d.Best()
+}
+
+// DetectLanguage returns just the language of b per the detector,
+// LangUnknown when detection fails.
+func DetectLanguage(b []byte) Language {
+	return Detect(b).Language
+}
+
+// DetectReader streams up to maxBytes from r through the detector —
+// the form a crawler uses on a response body without buffering it all.
+// maxBytes <= 0 reads to EOF. Read errors end detection early and the
+// best guess so far is returned alongside the error.
+func DetectReader(r io.Reader, maxBytes int64) (Result, error) {
+	d := NewDetector()
+	var buf [8192]byte
+	var total int64
+	for {
+		limit := int64(len(buf))
+		if maxBytes > 0 && maxBytes-total < limit {
+			limit = maxBytes - total
+		}
+		if limit <= 0 {
+			break
+		}
+		n, err := r.Read(buf[:limit])
+		if n > 0 {
+			d.Feed(buf[:n])
+			total += int64(n)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return d.Best(), err
+		}
+	}
+	return d.Best(), nil
+}

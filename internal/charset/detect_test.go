@@ -1,0 +1,232 @@
+package charset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/iotest"
+	"testing/quick"
+)
+
+// Hand-built sample texts. Realistic detector corpora come from the
+// textgen integration tests; these pin basic behaviour with fixed input.
+const (
+	jaSample = "これはにほんごのぶんしょうです。ひらがなとカタカナと日本語がまざっています。" +
+		"ウェブページのことばをしらべるために、このようなながいぶんしょうをつかいます。"
+	thSample = "ภาษาไทยเป็นภาษาที่ใช้ในประเทศไทย การตรวจสอบรหัสอักขระของหน้าเว็บ " +
+		"ต้องอาศัยการกระจายของไบต์ในเอกสาร"
+	enSample = "The quick brown fox jumps over the lazy dog. Plain ASCII text with no high bytes at all."
+	frSample = "Voilà une page web écrite en français, avec des caractères accentués: é è à ç ù ô."
+)
+
+func TestDetectEUCJP(t *testing.T) {
+	b := CodecFor(EUCJP).Encode(jaSample)
+	r := Detect(b)
+	if r.Charset != EUCJP {
+		t.Fatalf("Detect = %v (conf %.2f), want EUC-JP", r.Charset, r.Confidence)
+	}
+	if r.Language != LangJapanese {
+		t.Errorf("Language = %v", r.Language)
+	}
+}
+
+func TestDetectShiftJIS(t *testing.T) {
+	b := CodecFor(ShiftJIS).Encode(jaSample)
+	r := Detect(b)
+	if r.Charset != ShiftJIS {
+		t.Fatalf("Detect = %v (conf %.2f), want Shift_JIS", r.Charset, r.Confidence)
+	}
+	if r.Language != LangJapanese {
+		t.Errorf("Language = %v", r.Language)
+	}
+}
+
+func TestDetectISO2022JP(t *testing.T) {
+	b := CodecFor(ISO2022JP).Encode(jaSample)
+	r := Detect(b)
+	if r.Charset != ISO2022JP {
+		t.Fatalf("Detect = %v, want ISO-2022-JP", r.Charset)
+	}
+	if r.Confidence < 0.9 {
+		t.Errorf("escape detection should be near-certain, got %.2f", r.Confidence)
+	}
+}
+
+func TestDetectThai(t *testing.T) {
+	b := CodecFor(TIS620).Encode(thSample)
+	r := Detect(b)
+	if r.Language != LangThai {
+		t.Fatalf("Detect = %v (conf %.2f), want a Thai charset", r.Charset, r.Confidence)
+	}
+}
+
+func TestDetectUTF8(t *testing.T) {
+	r := Detect([]byte(jaSample))
+	if r.Charset != UTF8 {
+		t.Fatalf("Detect of UTF-8 Japanese = %v, want UTF-8", r.Charset)
+	}
+	r = Detect([]byte(thSample))
+	if r.Charset != UTF8 {
+		t.Fatalf("Detect of UTF-8 Thai = %v, want UTF-8", r.Charset)
+	}
+}
+
+func TestDetectASCII(t *testing.T) {
+	r := Detect([]byte(enSample))
+	if r.Charset != ASCII {
+		t.Fatalf("Detect = %v, want ASCII", r.Charset)
+	}
+	if r.Language != LangEnglish {
+		t.Errorf("Language = %v", r.Language)
+	}
+}
+
+func TestDetectLatin1(t *testing.T) {
+	b := CodecFor(Latin1).Encode(frSample)
+	r := Detect(b)
+	if r.Charset != Latin1 {
+		t.Fatalf("Detect = %v (conf %.2f), want Latin-1 fallback", r.Charset, r.Confidence)
+	}
+}
+
+func TestDetectEmpty(t *testing.T) {
+	r := Detect(nil)
+	// Empty input is trivially ASCII (no evidence of anything else).
+	if r.Charset != ASCII {
+		t.Errorf("Detect(nil) = %v", r.Charset)
+	}
+}
+
+func TestDetectorIncrementalFeed(t *testing.T) {
+	b := CodecFor(EUCJP).Encode(jaSample)
+	d := NewDetector()
+	// Feed one byte at a time: multibyte state must carry across calls.
+	for i := range b {
+		d.Feed(b[i : i+1])
+	}
+	if got := d.Best().Charset; got != EUCJP {
+		t.Fatalf("incremental detection = %v, want EUC-JP", got)
+	}
+	d.Reset()
+	d.Feed([]byte(enSample))
+	if got := d.Best().Charset; got != ASCII {
+		t.Fatalf("after Reset, detection = %v, want ASCII", got)
+	}
+}
+
+func TestDetectMixedASCIIAndJapanese(t *testing.T) {
+	// Web pages mix markup (ASCII) with body text; detection must survive.
+	mixed := "<html><body><p>" + jaSample + "</p></body></html>"
+	for _, cs := range []Charset{EUCJP, ShiftJIS} {
+		b := CodecFor(cs).Encode(mixed)
+		if got := Detect(b).Charset; got != cs {
+			t.Errorf("Detect of HTML-wrapped %v = %v", cs, got)
+		}
+	}
+}
+
+func TestThaiNotMistakenForEUCJP(t *testing.T) {
+	// Thai bytes all fall inside the EUC-JP double-byte range; the
+	// distribution analysis plus spaces (odd-length high-byte runs) must
+	// still separate them.
+	b := CodecFor(TIS620).Encode(thSample)
+	r := Detect(b)
+	if r.Language == LangJapanese {
+		t.Fatalf("Thai text detected as Japanese (%v)", r.Charset)
+	}
+}
+
+func TestJapaneseNotMistakenForThai(t *testing.T) {
+	b := CodecFor(EUCJP).Encode(jaSample)
+	r := Detect(b)
+	if r.Language == LangThai {
+		t.Fatalf("Japanese text detected as Thai (%v)", r.Charset)
+	}
+}
+
+// Property: the detector never panics and always returns a confidence in
+// [0,1] for arbitrary bytes.
+func TestDetectArbitraryBytesQuick(t *testing.T) {
+	f := func(b []byte) bool {
+		r := Detect(b)
+		return r.Confidence >= 0 && r.Confidence <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: detection is insensitive to the amount of interleaved ASCII.
+func TestDetectWithASCIIPaddingQuick(t *testing.T) {
+	ja := CodecFor(EUCJP).Encode(jaSample)
+	f := func(pad uint8) bool {
+		p := strings.Repeat("x ", int(pad%50))
+		b := append([]byte(p), ja...)
+		b = append(b, []byte(p)...)
+		return Detect(b).Charset == EUCJP
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarkupHeavyThaiSnippet(t *testing.T) {
+	// A short Thai run buried in ASCII markup: the Shift_JIS prober sees
+	// valid half-width katakana, but half-kana-only evidence must stay
+	// weaker than genuine Thai frequency evidence (regression: this used
+	// to detect as Shift_JIS).
+	page := append(
+		[]byte(`<meta http-equiv="content-type" content="text/html; charset=tis-620">`),
+		0xA1, 0xD2, 0xC3, 0xB9, 0xD2, 0xC3, 0xA1, 0xD2, 0xC3, 0xB9, 0xD2)
+	r := Detect(page)
+	if r.Language != LangThai {
+		t.Errorf("markup-heavy Thai snippet detected as %v/%v (%.2f)",
+			r.Charset, r.Language, r.Confidence)
+	}
+}
+
+func TestPureHalfKanaStillJapanese(t *testing.T) {
+	// A page of only half-width katakana is legal Shift_JIS; with no
+	// Thai-frequent skew it should still be claimed (weakly) as
+	// Japanese rather than anything else. Use infrequent-for-Thai bytes.
+	b := []byte{0xCB, 0xDE, 0xCC, 0xDE, 0xCD, 0xDE, 0xCB, 0xDE, 0xCC, 0xDE}
+	r := Detect(b)
+	if r.Language == LangThai && r.Confidence > 0.5 {
+		t.Errorf("non-Thai-skewed kana claimed strongly as Thai: %v %.2f", r.Charset, r.Confidence)
+	}
+}
+
+func TestDetectReader(t *testing.T) {
+	body := CodecFor(EUCJP).Encode(jaSample)
+	r, err := DetectReader(bytes.NewReader(body), 0)
+	if err != nil || r.Charset != EUCJP {
+		t.Errorf("DetectReader = %v, %v", r.Charset, err)
+	}
+	// A byte limit that still covers enough text.
+	r, err = DetectReader(bytes.NewReader(body), 64)
+	if err != nil || r.Language != LangJapanese {
+		t.Errorf("limited DetectReader = %v/%v, %v", r.Charset, r.Language, err)
+	}
+	// One-byte-at-a-time reader exercises cross-chunk state.
+	r, err = DetectReader(iotest.OneByteReader(bytes.NewReader(body)), 0)
+	if err != nil || r.Charset != EUCJP {
+		t.Errorf("one-byte DetectReader = %v, %v", r.Charset, err)
+	}
+	// Read errors surface but keep the partial verdict.
+	r, err = DetectReader(iotest.TimeoutReader(bytes.NewReader(body)), 0)
+	if err == nil {
+		t.Error("expected timeout error")
+	}
+	if r.Confidence < 0 {
+		t.Error("partial verdict missing")
+	}
+}
+
+func TestDetectLanguageHelper(t *testing.T) {
+	if DetectLanguage(CodecFor(ShiftJIS).Encode(jaSample)) != LangJapanese {
+		t.Error("DetectLanguage should report Japanese for SJIS text")
+	}
+	if DetectLanguage(CodecFor(TIS620).Encode(thSample)) != LangThai {
+		t.Error("DetectLanguage should report Thai for TIS-620 text")
+	}
+}

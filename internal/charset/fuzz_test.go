@@ -1,0 +1,43 @@
+package charset
+
+import "testing"
+
+// FuzzDetect hardens the composite detector against arbitrary byte
+// streams: it must never panic, and always report a confidence in [0,1]
+// with a charset/language pair consistent with Table 1.
+func FuzzDetect(f *testing.F) {
+	f.Add([]byte("plain ascii"))
+	f.Add(CodecFor(EUCJP).Encode("これはにほんごです。"))
+	f.Add(CodecFor(ShiftJIS).Encode("カタカナとひらがな"))
+	f.Add(CodecFor(ISO2022JP).Encode("日本語"))
+	f.Add(CodecFor(TIS620).Encode("ภาษาไทย"))
+	f.Add(CodecFor(UTF16LE).Encode("bom text"))
+	f.Add([]byte{0x1B, '$', 'B'})
+	f.Add([]byte{0xFF, 0xFE, 0x00})
+	f.Add([]byte{0x8E, 0xB1, 0x8F, 0xA1, 0xA1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r := Detect(b)
+		if r.Confidence < 0 || r.Confidence > 1 {
+			t.Fatalf("confidence %v out of range", r.Confidence)
+		}
+		if r.Language != LanguageOf(r.Charset) {
+			t.Fatalf("language %v inconsistent with charset %v", r.Language, r.Charset)
+		}
+	})
+}
+
+// FuzzDecodeAll hardens every codec's decoder: arbitrary bytes must
+// decode without panicking, and re-encoding the decoded text must not
+// panic either.
+func FuzzDecodeAll(f *testing.F) {
+	f.Add([]byte{0xA4, 0xA2, 0x8E, 0xFF, 0x1B, '$'})
+	f.Add([]byte("ascii with \x00 nul"))
+	f.Add([]byte{0x81, 0x40, 0xFC, 0xFC, 0xDF})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		for _, cs := range All() {
+			codec := CodecFor(cs)
+			s := codec.Decode(b)
+			_ = codec.Encode(s)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package charset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Half-width katakana (JIS X 0201 right half): ｱ = U+FF71 = SJIS 0xB1 =
+// EUC 0x8E 0xB1; the ideographic halfwidth period ｡ = U+FF61 = 0xA1.
+const halfKanaSample = "ｱｲｳｴｵ｡ﾃｽﾄ"
+
+func TestHalfKanaGoldenBytes(t *testing.T) {
+	// ｱ is U+FF71; offset from U+FF61 is 0x10, so byte 0xA1+0x10 = 0xB1.
+	if got := CodecFor(ShiftJIS).Encode("ｱ"); !bytes.Equal(got, []byte{0xB1}) {
+		t.Errorf("SJIS ｱ = % X, want B1", got)
+	}
+	if got := CodecFor(EUCJP).Encode("ｱ"); !bytes.Equal(got, []byte{0x8E, 0xB1}) {
+		t.Errorf("EUC ｱ = % X, want 8E B1", got)
+	}
+	if got := CodecFor(ShiftJIS).Encode("｡"); !bytes.Equal(got, []byte{0xA1}) {
+		t.Errorf("SJIS ｡ = % X, want A1", got)
+	}
+}
+
+func TestHalfKanaRoundTrip(t *testing.T) {
+	for _, cs := range []Charset{ShiftJIS, EUCJP} {
+		codec := CodecFor(cs)
+		if got := codec.Decode(codec.Encode(halfKanaSample)); got != halfKanaSample {
+			t.Errorf("%v half-width kana round trip = %q", cs, got)
+		}
+	}
+	// Mixed with full-width and ASCII.
+	mixed := "abc ｱｲｳ あいう 日本"
+	for _, cs := range []Charset{ShiftJIS, EUCJP} {
+		codec := CodecFor(cs)
+		if got := codec.Decode(codec.Encode(mixed)); got != mixed {
+			t.Errorf("%v mixed round trip = %q", cs, got)
+		}
+	}
+}
+
+func TestHalfKanaFullRange(t *testing.T) {
+	var all []rune
+	for r := rune(0xFF61); r <= 0xFF9F; r++ {
+		all = append(all, r)
+	}
+	s := string(all)
+	for _, cs := range []Charset{ShiftJIS, EUCJP} {
+		codec := CodecFor(cs)
+		if got := codec.Decode(codec.Encode(s)); got != s {
+			t.Errorf("%v full half-kana range round trip failed", cs)
+		}
+	}
+}
+
+func TestHalfKanaDetectionStillJapanese(t *testing.T) {
+	// Text mixing half-width kana with regular kana must still detect as
+	// Japanese in both encodings.
+	text := "これはﾃｽﾄです。ほんぶんはひらがなとﾊﾝｶｸｶﾅがまざります。" +
+		"にほんごのぶんしょうとしてけんしゅつされるはずです。"
+	for _, cs := range []Charset{ShiftJIS, EUCJP} {
+		enc := CodecFor(cs).Encode(text)
+		if got := Detect(enc); got.Language != LangJapanese {
+			t.Errorf("%v half-kana mix detected as %v/%v", cs, got.Charset, got.Language)
+		}
+	}
+}
+
+func TestEUCTruncatedHalfKana(t *testing.T) {
+	// 0x8E at end of input: replacement, no panic.
+	got := CodecFor(EUCJP).Decode([]byte{'a', 0x8E})
+	if got != "a"+string(replacement) {
+		t.Errorf("truncated 0x8E = %q", got)
+	}
+	// 0x8E followed by a non-kana byte.
+	got = CodecFor(EUCJP).Decode([]byte{0x8E, 0x20})
+	if !bytes.ContainsRune([]byte(got), replacement) {
+		t.Errorf("0x8E + invalid = %q", got)
+	}
+}

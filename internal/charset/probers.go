@@ -1,0 +1,441 @@
+package charset
+
+// Probers in the style of the Mozilla Universal Charset Detector
+// (Li & Momoi, "A composite approach to language/encoding detection").
+// Each prober consumes the byte stream once and reports a probing state
+// plus a confidence in [0,1]. The composite detector (detect.go) feeds
+// all probers and picks the confident winner.
+
+type probeState uint8
+
+const (
+	probing probeState = iota // still collecting evidence
+	foundIt                   // positive identification (e.g. escape seq)
+	notMe                     // input is invalid for this charset
+)
+
+type prober interface {
+	charset() Charset
+	feed(b []byte) probeState
+	confidence() float64
+	reset()
+}
+
+// --- escape-sequence prober (ISO-2022-JP) ---------------------------------
+
+// escProber looks for the ISO-2022-JP designation escapes. Any ESC $ B,
+// ESC $ @ or ESC ( J is conclusive: no other encoding in scope uses them.
+type escProber struct {
+	state probeState
+}
+
+func (p *escProber) charset() Charset { return ISO2022JP }
+func (p *escProber) reset()           { p.state = probing }
+
+func (p *escProber) feed(b []byte) probeState {
+	if p.state != probing {
+		return p.state
+	}
+	for i := 0; i+2 < len(b); i++ {
+		if b[i] != 0x1B {
+			continue
+		}
+		if (b[i+1] == '$' && (b[i+2] == 'B' || b[i+2] == '@')) ||
+			(b[i+1] == '(' && b[i+2] == 'J') {
+			p.state = foundIt
+			return p.state
+		}
+	}
+	return p.state
+}
+
+func (p *escProber) confidence() float64 {
+	if p.state == foundIt {
+		return 0.99
+	}
+	return 0
+}
+
+// --- UTF-8 coding scheme prober -------------------------------------------
+
+type utf8Prober struct {
+	state   probeState
+	multi   int // count of valid multibyte sequences seen
+	pending int // continuation bytes still expected
+}
+
+func (p *utf8Prober) charset() Charset { return UTF8 }
+func (p *utf8Prober) reset()           { *p = utf8Prober{} }
+
+func (p *utf8Prober) feed(b []byte) probeState {
+	if p.state != probing {
+		return p.state
+	}
+	for _, c := range b {
+		switch {
+		case p.pending > 0:
+			if c&0xC0 != 0x80 {
+				p.state = notMe
+				return p.state
+			}
+			p.pending--
+			if p.pending == 0 {
+				p.multi++
+			}
+		case c < 0x80:
+			// ASCII: neutral.
+		case c&0xE0 == 0xC0:
+			if c == 0xC0 || c == 0xC1 { // overlong lead bytes
+				p.state = notMe
+				return p.state
+			}
+			p.pending = 1
+		case c&0xF0 == 0xE0:
+			p.pending = 2
+		case c&0xF8 == 0xF0 && c <= 0xF4:
+			p.pending = 3
+		default:
+			p.state = notMe
+			return p.state
+		}
+	}
+	return p.state
+}
+
+func (p *utf8Prober) confidence() float64 {
+	if p.state == notMe {
+		return 0
+	}
+	if p.multi == 0 {
+		return 0 // pure ASCII: let the ASCII fallback claim it
+	}
+	// Confidence grows quickly with the number of valid multibyte
+	// sequences: random legacy-encoded text invalidates UTF-8 almost
+	// immediately, so surviving even a few sequences is strong evidence.
+	c := 1.0 - 1.0/float64(1+p.multi)
+	if c > 0.99 {
+		c = 0.99
+	}
+	return 0.5 + 0.49*c
+}
+
+// --- Japanese multibyte probers -------------------------------------------
+
+// dblFreq classifies a decoded JIS character (by kuten row / lead byte)
+// into a frequency class: how typical it is of running Japanese text.
+// Hiragana dominates real Japanese; katakana and level-1 kanji are
+// common; anything else is rare.
+func jisRowWeight(row byte) float64 {
+	switch {
+	case row == 4: // hiragana
+		return 1.0
+	case row == 5: // katakana
+		return 0.7
+	case row == 1: // punctuation
+		return 0.6
+	case row >= 16 && row <= 47: // JIS level-1 kanji
+		return 0.5
+	default:
+		return 0.05
+	}
+}
+
+// eucJPProber validates EUC-JP byte structure and scores the character
+// distribution of the decoded stream.
+type eucJPProber struct {
+	state  probeState
+	chars  int     // double-byte chars seen
+	weight float64 // accumulated row weights
+	lead   byte    // pending lead byte (0 = none)
+}
+
+func (p *eucJPProber) charset() Charset { return EUCJP }
+func (p *eucJPProber) reset()           { *p = eucJPProber{} }
+
+func (p *eucJPProber) feed(b []byte) probeState {
+	if p.state != probing {
+		return p.state
+	}
+	for _, c := range b {
+		if p.lead != 0 {
+			if c < 0xA1 || c > 0xFE {
+				p.state = notMe
+				return p.state
+			}
+			p.chars++
+			p.weight += jisRowWeight(p.lead - 0xA0)
+			p.lead = 0
+			continue
+		}
+		switch {
+		case c < 0x80:
+			// ASCII: neutral.
+		case c == 0x8E: // code set 2 lead: one katakana byte follows
+			p.lead = 0x8E
+		case c >= 0xA1 && c <= 0xFE:
+			p.lead = c
+		default:
+			p.state = notMe
+			return p.state
+		}
+	}
+	return p.state
+}
+
+func (p *eucJPProber) confidence() float64 {
+	if p.state == notMe || p.chars == 0 {
+		return 0
+	}
+	if p.lead != 0 {
+		// Stream ended mid-character: odd-length high-byte run. Real
+		// EUC-JP never does this; penalize hard (this is also what
+		// separates EUC-JP from Thai single-byte text).
+		return 0
+	}
+	avg := p.weight / float64(p.chars)
+	// avg is ~0.7+ for real Japanese, ~0.05-0.3 for random pairs.
+	conf := avg
+	if conf > 0.99 {
+		conf = 0.99
+	}
+	return conf
+}
+
+// sjisProber validates Shift_JIS byte structure and scores distribution.
+type sjisProber struct {
+	state  probeState
+	chars  int
+	dbl    int // double-byte (JIS X 0208) characters seen
+	weight float64
+	lead   byte
+}
+
+func (p *sjisProber) charset() Charset { return ShiftJIS }
+func (p *sjisProber) reset()           { *p = sjisProber{} }
+
+func (p *sjisProber) feed(b []byte) probeState {
+	if p.state != probing {
+		return p.state
+	}
+	for _, c := range b {
+		if p.lead != 0 {
+			h, _, ok := sjisToJis(p.lead, c)
+			if !ok {
+				p.state = notMe
+				return p.state
+			}
+			p.chars++
+			p.dbl++
+			p.weight += jisRowWeight(h - 0x20)
+			p.lead = 0
+			continue
+		}
+		switch {
+		case c < 0x80:
+			// ASCII: neutral.
+		case c >= 0xA1 && c <= 0xDF:
+			// Half-width katakana: weak Japanese evidence, but also the
+			// core Thai byte range. Count as a low-weight character.
+			p.chars++
+			p.weight += 0.3
+		case sjisLead(c):
+			p.lead = c
+		default:
+			p.state = notMe
+			return p.state
+		}
+	}
+	return p.state
+}
+
+func (p *sjisProber) confidence() float64 {
+	if p.state == notMe || p.chars == 0 {
+		return 0
+	}
+	if p.lead != 0 {
+		return 0
+	}
+	avg := p.weight / float64(p.chars)
+	if p.dbl == 0 && avg > 0.15 {
+		// Only half-width katakana bytes: structurally valid, but that
+		// byte range is shared with the Thai encodings and pure
+		// half-kana pages are vanishingly rare — keep the claim weak so
+		// genuine Thai evidence outranks it.
+		avg = 0.15
+	}
+	if avg > 0.99 {
+		avg = 0.99
+	}
+	return avg
+}
+
+// --- Thai single-byte prober ----------------------------------------------
+
+// thaiFrequent marks the TIS-620 bytes of the most frequent Thai
+// characters (า น ร อ เ แ ก ง ม ย ว ส ด ท ต ค บ ล and the common vowel /
+// tone marks ั ี ่ ้). In running Thai text these cover well over half of
+// all Thai characters; in non-Thai high-byte streams they appear at
+// roughly their range share (~25%).
+var thaiFrequent = [256]bool{
+	0xA1: true, // ก
+	0xA4: true, // ค
+	0xA7: true, // ง
+	0xB4: true, // ด
+	0xB5: true, // ต
+	0xB7: true, // ท
+	0xB9: true, // น
+	0xBA: true, // บ
+	0xC1: true, // ม
+	0xC2: true, // ย
+	0xC3: true, // ร
+	0xC5: true, // ล
+	0xC7: true, // ว
+	0xCA: true, // ส
+	0xCD: true, // อ
+	0xD1: true, // ั
+	0xD2: true, // า
+	0xD5: true, // ี
+	0xE0: true, // เ
+	0xE1: true, // แ
+	0xE8: true, // ่
+	0xE9: true, // ้
+}
+
+type thaiProber struct {
+	state    probeState
+	cs       Charset
+	thai     int // bytes in the Thai block
+	frequent int // of those, frequent Thai characters
+	invalid  int // high bytes outside the charset
+	letters  int // ASCII letters (density denominator)
+	total    int
+}
+
+func newThaiProber(cs Charset) *thaiProber { return &thaiProber{cs: cs} }
+
+func (p *thaiProber) charset() Charset { return p.cs }
+
+func (p *thaiProber) reset() {
+	cs := p.cs
+	*p = thaiProber{cs: cs}
+}
+
+func (p *thaiProber) feed(b []byte) probeState {
+	if p.state != probing {
+		return p.state
+	}
+	for _, c := range b {
+		p.total++
+		switch {
+		case c < 0x80:
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+				p.letters++
+			}
+		case thaiByteToRune(c) != 0:
+			p.thai++
+			if thaiFrequent[c] {
+				p.frequent++
+			}
+		case c == 0xA0 && p.cs != TIS620:
+			// NBSP in ISO-8859-11 / windows-874.
+		case p.cs == Windows874 && win874Extra[c] != 0:
+			// windows-874 punctuation.
+		default:
+			p.invalid++
+		}
+	}
+	return p.state
+}
+
+func (p *thaiProber) confidence() float64 {
+	if p.thai == 0 {
+		return 0
+	}
+	if p.invalid > 0 {
+		// A handful of stray bytes is tolerable in wild data, but any
+		// substantial amount rules the charset out.
+		if float64(p.invalid)/float64(p.thai+p.invalid) > 0.02 {
+			return 0
+		}
+	}
+	freqRatio := float64(p.frequent) / float64(p.thai)
+	// Real Thai: freqRatio ≳ 0.5. Japanese EUC bytes landing in the Thai
+	// range hit the frequent set at roughly its density (~22/91 ≈ 0.24).
+	conf := freqRatio * 1.4
+	// Density check separates Thai from western text with a sprinkling of
+	// accented letters (é è à all collide with frequent Thai bytes): real
+	// Thai is mostly Thai bytes, so a low Thai-to-letter density caps the
+	// confidence below the Latin-1 fallback.
+	density := float64(p.thai) / float64(p.thai+p.letters)
+	if f := (density / 0.4) * (density / 0.4); f < 1 {
+		conf *= f
+	}
+	if conf > 0.99 {
+		conf = 0.99
+	}
+	return conf
+}
+
+// --- fallbacks --------------------------------------------------------------
+
+// asciiProber claims pure 7-bit ESC-free input.
+type asciiProber struct {
+	state probeState
+}
+
+func (p *asciiProber) charset() Charset { return ASCII }
+func (p *asciiProber) reset()           { p.state = probing }
+
+func (p *asciiProber) feed(b []byte) probeState {
+	if p.state != probing {
+		return p.state
+	}
+	for _, c := range b {
+		if c >= 0x80 || c == 0x1B {
+			p.state = notMe
+			return p.state
+		}
+	}
+	return p.state
+}
+
+func (p *asciiProber) confidence() float64 {
+	if p.state == notMe {
+		return 0
+	}
+	return 0.6 // beaten by anything with positive evidence
+}
+
+// latin1Prober is the last-resort fallback for 8-bit western text: it
+// accepts anything and scores by how "letter-like" the high bytes are in
+// Latin-1 (accented letters live in 0xC0..0xFF).
+type latin1Prober struct {
+	high    int
+	letters int
+	seen    bool
+}
+
+func (p *latin1Prober) charset() Charset { return Latin1 }
+func (p *latin1Prober) reset()           { *p = latin1Prober{} }
+
+func (p *latin1Prober) feed(b []byte) probeState {
+	p.seen = true
+	for _, c := range b {
+		if c >= 0x80 {
+			p.high++
+			if c >= 0xC0 || c == 0xE9 {
+				p.letters++
+			}
+		}
+	}
+	return probing
+}
+
+func (p *latin1Prober) confidence() float64 {
+	if !p.seen || p.high == 0 {
+		return 0
+	}
+	// Never confident: Latin-1 only wins when everything else bowed out.
+	r := float64(p.letters) / float64(p.high)
+	return 0.05 + 0.25*r
+}

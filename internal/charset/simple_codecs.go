@@ -1,0 +1,150 @@
+package charset
+
+import (
+	"strings"
+	"unicode/utf8"
+)
+
+// asciiCodec implements US-ASCII: bytes 0x00..0x7F map to themselves.
+type asciiCodec struct{}
+
+func (asciiCodec) Charset() Charset { return ASCII }
+
+func (asciiCodec) Encode(s string) []byte {
+	out := make([]byte, 0, len(s))
+	for _, r := range s {
+		if r < 0x80 {
+			out = append(out, byte(r))
+		} else {
+			out = append(out, '?')
+		}
+	}
+	return out
+}
+
+func (asciiCodec) Decode(b []byte) string {
+	var sb strings.Builder
+	sb.Grow(len(b))
+	for _, c := range b {
+		if c < 0x80 {
+			sb.WriteByte(c)
+		} else {
+			sb.WriteRune(replacement)
+		}
+	}
+	return sb.String()
+}
+
+// utf8Codec implements UTF-8 via the stdlib, with replacement-character
+// substitution on decode.
+type utf8Codec struct{}
+
+func (utf8Codec) Charset() Charset { return UTF8 }
+
+func (utf8Codec) Encode(s string) []byte { return []byte(s) }
+
+func (utf8Codec) Decode(b []byte) string {
+	if utf8.Valid(b) {
+		return string(b)
+	}
+	var sb strings.Builder
+	sb.Grow(len(b))
+	for len(b) > 0 {
+		r, size := utf8.DecodeRune(b)
+		if r == utf8.RuneError && size <= 1 {
+			sb.WriteRune(replacement)
+			b = b[1:]
+			continue
+		}
+		sb.WriteRune(r)
+		b = b[size:]
+	}
+	return sb.String()
+}
+
+// latin1Codec implements ISO-8859-1: bytes 0x00..0xFF map to U+0000..U+00FF.
+type latin1Codec struct{}
+
+func (latin1Codec) Charset() Charset { return Latin1 }
+
+func (latin1Codec) Encode(s string) []byte {
+	out := make([]byte, 0, len(s))
+	for _, r := range s {
+		if r < 0x100 {
+			out = append(out, byte(r))
+		} else {
+			out = append(out, '?')
+		}
+	}
+	return out
+}
+
+func (latin1Codec) Decode(b []byte) string {
+	var sb strings.Builder
+	sb.Grow(len(b))
+	for _, c := range b {
+		sb.WriteRune(rune(c))
+	}
+	return sb.String()
+}
+
+// thaiCodec implements the three Thai single-byte encodings, which share
+// the TIS-620 core layout. cs selects the variant:
+//
+//	TIS620:     0xA1..0xFB Thai block only
+//	ISO885911:  TIS-620 plus 0xA0 = NBSP
+//	Windows874: ISO-8859-11 plus C1-region punctuation (…, quotes, dashes)
+type thaiCodec struct{ cs Charset }
+
+func (t thaiCodec) Charset() Charset { return t.cs }
+
+func (t thaiCodec) Encode(s string) []byte {
+	out := make([]byte, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r < 0x80:
+			out = append(out, byte(r))
+		case r == 0x00A0 && t.cs != TIS620:
+			out = append(out, 0xA0)
+		default:
+			if b, ok := thaiRuneToByte(r); ok {
+				out = append(out, b)
+				continue
+			}
+			if t.cs == Windows874 {
+				if b, ok := win874ExtraInv[r]; ok {
+					out = append(out, b)
+					continue
+				}
+			}
+			out = append(out, '?')
+		}
+	}
+	return out
+}
+
+func (t thaiCodec) Decode(b []byte) string {
+	var sb strings.Builder
+	sb.Grow(len(b))
+	for _, c := range b {
+		switch {
+		case c < 0x80:
+			sb.WriteByte(c)
+		case c == 0xA0 && t.cs != TIS620:
+			sb.WriteRune(0x00A0)
+		default:
+			if r := thaiByteToRune(c); r != 0 {
+				sb.WriteRune(r)
+				continue
+			}
+			if t.cs == Windows874 {
+				if r, ok := win874Extra[c]; ok {
+					sb.WriteRune(r)
+					continue
+				}
+			}
+			sb.WriteRune(replacement)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,149 @@
+package charset
+
+import (
+	"strings"
+	"unicode/utf16"
+)
+
+// utf16Codec implements UTF-16 in both byte orders. Encode emits a BOM
+// (the convention for standalone UTF-16 documents); Decode accepts input
+// with or without one, trusting an explicit BOM over the configured
+// order, as browsers do.
+type utf16Codec struct {
+	big bool
+}
+
+func (c utf16Codec) Charset() Charset {
+	if c.big {
+		return UTF16BE
+	}
+	return UTF16LE
+}
+
+func (c utf16Codec) Encode(s string) []byte {
+	units := utf16.Encode([]rune(s))
+	out := make([]byte, 0, 2+2*len(units))
+	out = c.appendUnit(out, 0xFEFF) // BOM
+	for _, u := range units {
+		out = c.appendUnit(out, u)
+	}
+	return out
+}
+
+func (c utf16Codec) appendUnit(out []byte, u uint16) []byte {
+	if c.big {
+		return append(out, byte(u>>8), byte(u))
+	}
+	return append(out, byte(u), byte(u>>8))
+}
+
+func (c utf16Codec) Decode(b []byte) string {
+	big := c.big
+	if len(b) >= 2 {
+		switch {
+		case b[0] == 0xFE && b[1] == 0xFF:
+			big, b = true, b[2:]
+		case b[0] == 0xFF && b[1] == 0xFE:
+			big, b = false, b[2:]
+		}
+	}
+	units := make([]uint16, 0, len(b)/2)
+	for i := 0; i+1 < len(b); i += 2 {
+		if big {
+			units = append(units, uint16(b[i])<<8|uint16(b[i+1]))
+		} else {
+			units = append(units, uint16(b[i+1])<<8|uint16(b[i]))
+		}
+	}
+	var sb strings.Builder
+	for _, r := range utf16.Decode(units) {
+		if r == 0xFFFD {
+			sb.WriteRune(replacement)
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	if len(b)%2 == 1 {
+		sb.WriteRune(replacement) // dangling odd byte
+	}
+	return sb.String()
+}
+
+// bomProber identifies UTF-16 two ways: a byte-order mark is conclusive,
+// and for BOM-less input the null-byte distribution decides — ASCII-range
+// text encoded as UTF-16 puts a NUL in every other byte, on the high
+// side for LE and the low side for BE, a pattern no other supported
+// encoding produces (they never contain NULs in real text at all).
+type bomProber struct {
+	state   probeState
+	cs      Charset
+	offset  int // absolute stream offset across feeds
+	total   int
+	nulEven int
+	nulOdd  int
+}
+
+func (p *bomProber) charset() Charset {
+	if p.cs == Unknown {
+		return UTF16LE
+	}
+	return p.cs
+}
+
+func (p *bomProber) reset() { *p = bomProber{} }
+
+func (p *bomProber) feed(b []byte) probeState {
+	if p.state != probing {
+		return p.state
+	}
+	// Only the very start of the stream can carry a BOM.
+	if p.offset == 0 && len(b) >= 2 {
+		switch {
+		case b[0] == 0xFE && b[1] == 0xFF:
+			p.cs, p.state = UTF16BE, foundIt
+			return p.state
+		case b[0] == 0xFF && b[1] == 0xFE:
+			p.cs, p.state = UTF16LE, foundIt
+			return p.state
+		}
+	}
+	for _, c := range b {
+		if c == 0 {
+			if p.offset%2 == 0 {
+				p.nulEven++
+			} else {
+				p.nulOdd++
+			}
+		}
+		p.offset++
+		p.total++
+	}
+	return p.state
+}
+
+func (p *bomProber) confidence() float64 {
+	if p.state == foundIt {
+		return 1
+	}
+	if p.total < 8 {
+		return 0
+	}
+	nuls := p.nulEven + p.nulOdd
+	if float64(nuls) < 0.25*float64(p.total) {
+		return 0
+	}
+	// Strong endianness skew in the NUL positions seals it.
+	var skewed int
+	if p.nulOdd > p.nulEven {
+		skewed = p.nulOdd
+		p.cs = UTF16LE // text bytes at even offsets, NUL highs at odd
+	} else {
+		skewed = p.nulEven
+		p.cs = UTF16BE
+	}
+	ratio := float64(skewed) / float64(nuls)
+	if ratio < 0.8 {
+		return 0
+	}
+	return 0.85
+}

@@ -1,0 +1,103 @@
+// Package cliutil holds the flag-value parsers shared by the cmd/
+// binaries: strategy, classifier and language specs.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/core"
+)
+
+// ParseLanguage resolves a language name ("thai", "japanese", "english").
+func ParseLanguage(name string) (charset.Language, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "thai", "th":
+		return charset.LangThai, nil
+	case "japanese", "ja", "jp":
+		return charset.LangJapanese, nil
+	case "english", "en":
+		return charset.LangEnglish, nil
+	default:
+		return charset.LangUnknown, fmt.Errorf("unknown language %q (thai, japanese, english)", name)
+	}
+}
+
+// StrategyNames lists the accepted -strategy spellings.
+func StrategyNames() string {
+	return "breadth-first, hard, soft, limited:N, prior-limited:N, context:L, best-first[:DECAY%], adaptive:QUEUE_BUDGET"
+}
+
+// ParseStrategy resolves a strategy spec such as "soft", "limited:3" or
+// "prior-limited:2".
+func ParseStrategy(spec string) (core.Strategy, error) {
+	name, arg, hasArg := strings.Cut(strings.ToLower(strings.TrimSpace(spec)), ":")
+	n := 0
+	if hasArg {
+		v, err := strconv.Atoi(arg)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("strategy %q: parameter must be a positive integer", spec)
+		}
+		n = v
+	}
+	switch name {
+	case "breadth-first", "bfs", "breadth":
+		return core.BreadthFirst{}, nil
+	case "hard", "hard-focused":
+		return core.HardFocused{}, nil
+	case "soft", "soft-focused":
+		return core.SoftFocused{}, nil
+	case "limited", "limited-distance":
+		if n == 0 {
+			return nil, fmt.Errorf("strategy %q needs a parameter, e.g. limited:2", spec)
+		}
+		return core.LimitedDistance{N: n}, nil
+	case "prior-limited", "prioritized-limited", "prior":
+		if n == 0 {
+			return nil, fmt.Errorf("strategy %q needs a parameter, e.g. prior-limited:2", spec)
+		}
+		return core.LimitedDistance{N: n, Prioritized: true}, nil
+	case "context", "context-layers":
+		if n == 0 {
+			return nil, fmt.Errorf("strategy %q needs a parameter, e.g. context:3", spec)
+		}
+		return core.ContextLayers{Layers: n}, nil
+	case "best-first", "bestfirst", "shark":
+		// Optional parameter: decay as a percentage (best-first:30 = 0.3).
+		if !hasArg {
+			return core.DecayingBestFirst{}, nil
+		}
+		if n < 1 || n > 99 {
+			return nil, fmt.Errorf("strategy %q: decay percent must be 1..99", spec)
+		}
+		return core.DecayingBestFirst{Decay: float64(n) / 100}, nil
+	case "adaptive", "adaptive-limited":
+		if n == 0 {
+			return nil, fmt.Errorf("strategy %q needs a queue budget, e.g. adaptive:500000", spec)
+		}
+		return core.NewAdaptiveLimitedDistance(n, 0), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (%s)", spec, StrategyNames())
+	}
+}
+
+// ClassifierNames lists the accepted -classifier spellings.
+func ClassifierNames() string { return "meta, detector, hybrid, oracle" }
+
+// ParseClassifier resolves a classifier name for a target language.
+func ParseClassifier(name string, target charset.Language) (core.Classifier, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "meta":
+		return core.MetaClassifier{Target: target}, nil
+	case "detector":
+		return core.DetectorClassifier{Target: target}, nil
+	case "hybrid":
+		return core.HybridClassifier{Target: target}, nil
+	case "oracle":
+		return core.OracleClassifier{Target: target}, nil
+	default:
+		return nil, fmt.Errorf("unknown classifier %q (%s)", name, ClassifierNames())
+	}
+}

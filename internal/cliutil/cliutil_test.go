@@ -1,0 +1,97 @@
+package cliutil
+
+import (
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/core"
+)
+
+func TestParseLanguage(t *testing.T) {
+	cases := []struct {
+		in   string
+		want charset.Language
+		err  bool
+	}{
+		{"thai", charset.LangThai, false},
+		{"TH", charset.LangThai, false},
+		{"Japanese", charset.LangJapanese, false},
+		{"jp", charset.LangJapanese, false},
+		{"ja", charset.LangJapanese, false},
+		{" english ", charset.LangEnglish, false},
+		{"klingon", charset.LangUnknown, true},
+		{"", charset.LangUnknown, true},
+	}
+	for _, c := range cases {
+		got, err := ParseLanguage(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseLanguage(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseLanguage(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want core.Strategy
+		err  bool
+	}{
+		{"breadth-first", core.BreadthFirst{}, false},
+		{"bfs", core.BreadthFirst{}, false},
+		{"hard", core.HardFocused{}, false},
+		{"HARD-FOCUSED", core.HardFocused{}, false},
+		{"soft", core.SoftFocused{}, false},
+		{"limited:3", core.LimitedDistance{N: 3}, false},
+		{"prior-limited:2", core.LimitedDistance{N: 2, Prioritized: true}, false},
+		{"prior:4", core.LimitedDistance{N: 4, Prioritized: true}, false},
+		{"context:5", core.ContextLayers{Layers: 5}, false},
+		{"best-first", core.DecayingBestFirst{}, false},
+		{"best-first:30", core.DecayingBestFirst{Decay: 0.3}, false},
+		{"shark:70", core.DecayingBestFirst{Decay: 0.7}, false},
+		{"best-first:0", nil, true},
+		{"best-first:150", nil, true},
+		{"limited", nil, true},   // missing parameter
+		{"limited:0", nil, true}, // non-positive parameter
+		{"limited:x", nil, true}, // non-numeric
+		{"context", nil, true},   // missing parameter
+		{"unknown", nil, true},
+		{"", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseStrategy(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseStrategy(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseStrategy(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseClassifier(t *testing.T) {
+	for name, want := range map[string]core.Classifier{
+		"meta":     core.MetaClassifier{Target: charset.LangThai},
+		"detector": core.DetectorClassifier{Target: charset.LangThai},
+		"hybrid":   core.HybridClassifier{Target: charset.LangThai},
+		"oracle":   core.OracleClassifier{Target: charset.LangThai},
+	} {
+		got, err := ParseClassifier(name, charset.LangThai)
+		if err != nil || got != want {
+			t.Errorf("ParseClassifier(%q) = %#v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseClassifier("psychic", charset.LangThai); err == nil {
+		t.Error("unknown classifier accepted")
+	}
+}
+
+func TestHelpStringsNonEmpty(t *testing.T) {
+	if StrategyNames() == "" || ClassifierNames() == "" {
+		t.Error("help strings empty")
+	}
+}

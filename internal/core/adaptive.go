@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"langcrawl/internal/frontier"
+)
+
+// QueueObserver is an optional Strategy extension: engines report the
+// frontier length after every fetch, letting a strategy steer itself by
+// queue pressure. Plain strategies ignore it by not implementing it.
+type QueueObserver interface {
+	ObserveQueueLen(n int)
+}
+
+// AdaptiveLimitedDistance is an extension beyond the paper: prioritized
+// limited distance whose tunneling depth N tunes itself at runtime to
+// hold the frontier near a queue budget. The paper leaves "specifying a
+// suitable value of parameter N" to the operator; this strategy turns
+// the memory budget — the quantity an operator actually knows — into the
+// control input, growing N while the queue is comfortable (buying
+// coverage) and shrinking it under pressure (capping memory).
+//
+// A fresh value must be used per crawl (the strategy is stateful);
+// construct with NewAdaptiveLimitedDistance.
+type AdaptiveLimitedDistance struct {
+	queueBudget int
+	maxN        int
+	n           int
+	sinceAdjust int
+}
+
+// NewAdaptiveLimitedDistance returns an adaptive strategy targeting the
+// given frontier budget (in queued URLs). maxN bounds the tunneling
+// depth; values ≤ 0 default to 8.
+func NewAdaptiveLimitedDistance(queueBudget, maxN int) *AdaptiveLimitedDistance {
+	if queueBudget <= 0 {
+		queueBudget = 1 << 20
+	}
+	if maxN <= 0 {
+		maxN = 8
+	}
+	return &AdaptiveLimitedDistance{queueBudget: queueBudget, maxN: maxN, n: 2}
+}
+
+// Name implements Strategy.
+func (s *AdaptiveLimitedDistance) Name() string {
+	return fmt.Sprintf("adaptive-limited-distance(budget=%d)", s.queueBudget)
+}
+
+// QueueKind implements Strategy.
+func (s *AdaptiveLimitedDistance) QueueKind() frontier.Kind { return frontier.KindBucket }
+
+// CurrentN returns the present tunneling depth (for tests and logs).
+func (s *AdaptiveLimitedDistance) CurrentN() int { return s.n }
+
+// ObserveQueueLen implements QueueObserver: shrink N when the frontier
+// exceeds the budget, grow it when there is comfortable headroom. The
+// adjustment interval provides hysteresis so one noisy sample cannot
+// whipsaw the depth.
+func (s *AdaptiveLimitedDistance) ObserveQueueLen(qlen int) {
+	s.sinceAdjust++
+	if s.sinceAdjust < 64 {
+		return
+	}
+	switch {
+	case qlen > s.queueBudget && s.n > 1:
+		s.n--
+		s.sinceAdjust = 0
+	case qlen < s.queueBudget*7/10 && s.n < s.maxN:
+		s.n++
+		s.sinceAdjust = 0
+	}
+}
+
+// Decide implements Strategy with the current depth, using the same
+// distance semantics as LimitedDistance.
+func (s *AdaptiveLimitedDistance) Decide(score float64, dist int) Decision {
+	d := dist + 1
+	if score >= relevanceThreshold {
+		d = 0
+	}
+	if d >= s.n {
+		return Decision{Follow: false}
+	}
+	return Decision{Follow: true, Priority: -float64(d), Dist: d}
+}

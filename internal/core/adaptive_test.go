@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"langcrawl/internal/frontier"
+)
+
+func TestAdaptiveDefaults(t *testing.T) {
+	s := NewAdaptiveLimitedDistance(0, 0)
+	if s.CurrentN() != 2 {
+		t.Errorf("initial N = %d, want 2", s.CurrentN())
+	}
+	if s.QueueKind() != frontier.KindBucket {
+		t.Error("adaptive strategy needs a bucket queue")
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestAdaptiveShrinksUnderPressure(t *testing.T) {
+	s := NewAdaptiveLimitedDistance(1000, 8)
+	// Sustained over-budget queue: N must fall to its floor of 1.
+	for i := 0; i < 1000; i++ {
+		s.ObserveQueueLen(5000)
+	}
+	if s.CurrentN() != 1 {
+		t.Errorf("N = %d after sustained pressure, want 1", s.CurrentN())
+	}
+	// And never below 1.
+	for i := 0; i < 200; i++ {
+		s.ObserveQueueLen(5000)
+	}
+	if s.CurrentN() < 1 {
+		t.Errorf("N fell below 1: %d", s.CurrentN())
+	}
+}
+
+func TestAdaptiveGrowsWithHeadroom(t *testing.T) {
+	s := NewAdaptiveLimitedDistance(1000, 5)
+	for i := 0; i < 2000; i++ {
+		s.ObserveQueueLen(10) // far under budget
+	}
+	if s.CurrentN() != 5 {
+		t.Errorf("N = %d with headroom, want max 5", s.CurrentN())
+	}
+}
+
+func TestAdaptiveHysteresis(t *testing.T) {
+	s := NewAdaptiveLimitedDistance(1000, 8)
+	// A single over-budget sample must not trigger an adjustment.
+	before := s.CurrentN()
+	s.ObserveQueueLen(5000)
+	if s.CurrentN() != before {
+		t.Error("adjusted on a single sample")
+	}
+}
+
+func TestAdaptiveDecideUsesCurrentN(t *testing.T) {
+	s := NewAdaptiveLimitedDistance(1000, 8)
+	// With N=2: distance-1 links survive, distance-2 links drop.
+	if !s.Decide(0, 0).Follow {
+		t.Error("d=1 should survive at N=2")
+	}
+	if s.Decide(0, 1).Follow {
+		t.Error("d=2 should drop at N=2")
+	}
+	// Shrink to N=1 and re-check: now only relevant referrers survive.
+	for i := 0; i < 1000; i++ {
+		s.ObserveQueueLen(5000)
+	}
+	if s.Decide(0, 0).Follow {
+		t.Error("d=1 should drop at N=1")
+	}
+	if !s.Decide(1, 3).Follow {
+		t.Error("relevant referrer must always survive")
+	}
+}
+
+func TestAdaptivePriorities(t *testing.T) {
+	s := NewAdaptiveLimitedDistance(1000, 8)
+	hi := s.Decide(1, 0)
+	lo := s.Decide(0, 0)
+	if hi.Priority <= lo.Priority {
+		t.Errorf("relevant-referrer priority %v must exceed distance-1 %v", hi.Priority, lo.Priority)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/frontier"
+)
+
+// TestClassifierConformance exercises the full Classifier surface of
+// every implementation: distinct non-empty names, a coherent NeedsBody
+// answer, and scores bounded to [0,1] over a matrix of visits.
+func TestClassifierConformance(t *testing.T) {
+	classifiers := []Classifier{
+		MetaClassifier{Target: charset.LangThai},
+		MetaClassifier{Target: charset.LangJapanese},
+		DetectorClassifier{Target: charset.LangThai},
+		DetectorClassifier{Target: charset.LangJapanese, MinConfidence: 0.5},
+		HybridClassifier{Target: charset.LangThai},
+		OracleClassifier{Target: charset.LangJapanese},
+		AnyOf(MetaClassifier{Target: charset.LangThai}, OracleClassifier{Target: charset.LangJapanese}),
+		AnyOf(), // degenerate composition
+	}
+	visits := []*Visit{
+		{},
+		{Status: 200},
+		{Status: 200, Declared: charset.TIS620, TrueCharset: charset.TIS620},
+		{Status: 200, Declared: charset.EUCJP, TrueCharset: charset.EUCJP},
+		{Status: 404, Declared: charset.TIS620, TrueCharset: charset.TIS620},
+		{Status: 200, Body: []byte("<html>plain</html>")},
+		{Status: 200, Declared: charset.Latin1, TrueCharset: charset.TIS620,
+			Body: []byte{0xA1, 0xD2, 0xC3, 0xB9, 0xD2}},
+	}
+	names := map[string]bool{}
+	for _, c := range classifiers {
+		name := c.Name()
+		if name == "" {
+			t.Errorf("%T has empty name", c)
+		}
+		if names[name] {
+			t.Errorf("duplicate classifier name %q", name)
+		}
+		names[name] = true
+		_ = c.NeedsBody()
+		for i, v := range visits {
+			s := c.Score(v)
+			if s < 0 || s > 1 {
+				t.Errorf("%s.Score(visit %d) = %v out of [0,1]", name, i, s)
+			}
+		}
+	}
+}
+
+// TestStrategyConformance exercises the full Strategy surface: names,
+// queue kinds within the known alphabet, and decisions over a score ×
+// distance matrix with coherent invariants (relevant referrers always
+// followed at distance 0; discarded links carry no other promises).
+func TestStrategyConformance(t *testing.T) {
+	strategies := []Strategy{
+		BreadthFirst{},
+		HardFocused{},
+		SoftFocused{},
+		LimitedDistance{N: 1},
+		LimitedDistance{N: 4},
+		LimitedDistance{N: 2, Prioritized: true},
+		ContextLayers{Layers: 3},
+		DecayingBestFirst{},
+		DecayingBestFirst{Decay: 0.3},
+		NewAdaptiveLimitedDistance(1000, 4),
+	}
+	for _, s := range strategies {
+		if s.Name() == "" {
+			t.Errorf("%T has empty name", s)
+		}
+		switch s.QueueKind() {
+		case frontier.KindFIFO, frontier.KindBucket, frontier.KindHeap:
+		default:
+			t.Errorf("%s: unknown queue kind %v", s.Name(), s.QueueKind())
+		}
+		for _, score := range []float64{0, 0.49, 0.5, 1} {
+			for dist := 0; dist <= 6; dist++ {
+				d := s.Decide(score, dist)
+				if score >= 0.5 {
+					if !d.Follow {
+						t.Errorf("%s: relevant referrer discarded (score %v, dist %d)",
+							s.Name(), score, dist)
+					}
+					if d.Dist != 0 {
+						t.Errorf("%s: relevant referrer should reset distance, got %d",
+							s.Name(), d.Dist)
+					}
+				}
+				if d.Follow && d.Dist < 0 {
+					t.Errorf("%s: negative distance state %d", s.Name(), d.Dist)
+				}
+			}
+		}
+	}
+}
+
+// TestThresholdBoundary pins the binary relevance cut at 0.5 exactly.
+func TestThresholdBoundary(t *testing.T) {
+	h := HardFocused{}
+	if !h.Decide(0.5, 0).Follow {
+		t.Error("score 0.5 must count as relevant")
+	}
+	if h.Decide(0.4999, 0).Follow {
+		t.Error("score just under 0.5 must count as irrelevant")
+	}
+}

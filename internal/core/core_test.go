@@ -1,0 +1,257 @@
+package core
+
+import (
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/frontier"
+	"langcrawl/internal/rng"
+	"langcrawl/internal/textgen"
+)
+
+func thaiVisit(declared charset.Charset, status int) *Visit {
+	return &Visit{Status: status, Declared: declared, TrueCharset: charset.TIS620}
+}
+
+func TestMetaClassifier(t *testing.T) {
+	c := MetaClassifier{Target: charset.LangThai}
+	cases := []struct {
+		v    *Visit
+		want float64
+	}{
+		{thaiVisit(charset.TIS620, 200), 1},
+		{thaiVisit(charset.Windows874, 200), 1},
+		{thaiVisit(charset.ISO885911, 200), 1},
+		{thaiVisit(charset.EUCJP, 200), 0},
+		{thaiVisit(charset.Unknown, 200), 0}, // missing META: false negative
+		{thaiVisit(charset.Latin1, 200), 0},  // mislabeled: false negative
+		{thaiVisit(charset.TIS620, 404), 0},  // errors are never relevant
+		{thaiVisit(charset.TIS620, 500), 0},
+	}
+	for i, tc := range cases {
+		if got := c.Score(tc.v); got != tc.want {
+			t.Errorf("case %d: Score = %v, want %v", i, got, tc.want)
+		}
+	}
+	if c.NeedsBody() {
+		t.Error("meta classifier must not request bodies")
+	}
+	if c.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestDetectorClassifier(t *testing.T) {
+	c := DetectorClassifier{Target: charset.LangJapanese}
+	if !c.NeedsBody() {
+		t.Fatal("detector classifier needs bodies")
+	}
+	jaBody := textgen.HTMLPage(textgen.PageSpec{
+		Lang: charset.LangJapanese, Charset: charset.EUCJP, DeclaredCharset: charset.EUCJP,
+	}, rng.New(1))
+	thBody := textgen.HTMLPage(textgen.PageSpec{
+		Lang: charset.LangThai, Charset: charset.TIS620, DeclaredCharset: charset.TIS620,
+	}, rng.New(1))
+	if got := c.Score(&Visit{Status: 200, Body: jaBody}); got != 1 {
+		t.Errorf("Japanese page scored %v", got)
+	}
+	if got := c.Score(&Visit{Status: 200, Body: thBody}); got != 0 {
+		t.Errorf("Thai page scored %v for Japanese target", got)
+	}
+	if got := c.Score(&Visit{Status: 200}); got != 0 {
+		t.Errorf("empty body scored %v", got)
+	}
+	if got := c.Score(&Visit{Status: 404, Body: jaBody}); got != 0 {
+		t.Errorf("404 scored %v", got)
+	}
+	// The detector ignores the (possibly lying) META declaration.
+	mislabeled := textgen.HTMLPage(textgen.PageSpec{
+		Lang: charset.LangJapanese, Charset: charset.ShiftJIS, DeclaredCharset: charset.Latin1,
+	}, rng.New(2))
+	if got := c.Score(&Visit{Status: 200, Declared: charset.Latin1, Body: mislabeled}); got != 1 {
+		t.Errorf("mislabeled Japanese page scored %v, detector should see through META", got)
+	}
+}
+
+func TestDetectorMinConfidence(t *testing.T) {
+	c := DetectorClassifier{Target: charset.LangThai, MinConfidence: 0.999}
+	body := textgen.HTMLPage(textgen.PageSpec{
+		Lang: charset.LangThai, Charset: charset.TIS620,
+	}, rng.New(3))
+	if got := c.Score(&Visit{Status: 200, Body: body}); got != 0 {
+		t.Errorf("impossible confidence bar should zero the score, got %v", got)
+	}
+}
+
+func TestHybridClassifier(t *testing.T) {
+	c := HybridClassifier{Target: charset.LangThai}
+	// META present and right: no body needed in practice.
+	if got := c.Score(&Visit{Status: 200, Declared: charset.TIS620}); got != 1 {
+		t.Errorf("declared Thai scored %v", got)
+	}
+	// META absent: falls back to detection.
+	body := textgen.HTMLPage(textgen.PageSpec{
+		Lang: charset.LangThai, Charset: charset.TIS620,
+	}, rng.New(4))
+	if got := c.Score(&Visit{Status: 200, Body: body}); got != 1 {
+		t.Errorf("undeclared Thai page scored %v", got)
+	}
+	// META wrong (mislabel): detection overrides.
+	if got := c.Score(&Visit{Status: 200, Declared: charset.Latin1, Body: body}); got != 1 {
+		t.Errorf("mislabeled Thai page scored %v", got)
+	}
+	// Genuinely foreign page.
+	enBody := []byte("<html><body>plain english</body></html>")
+	if got := c.Score(&Visit{Status: 200, Declared: charset.ASCII, Body: enBody}); got != 0 {
+		t.Errorf("English page scored %v", got)
+	}
+}
+
+func TestOracleClassifier(t *testing.T) {
+	c := OracleClassifier{Target: charset.LangThai}
+	// The oracle reads ground truth, ignoring the (lying) declaration.
+	v := &Visit{Status: 200, Declared: charset.Latin1, TrueCharset: charset.TIS620}
+	if got := c.Score(v); got != 1 {
+		t.Errorf("oracle scored %v despite true Thai charset", got)
+	}
+	v = &Visit{Status: 200, Declared: charset.TIS620, TrueCharset: charset.ASCII}
+	if got := c.Score(v); got != 0 {
+		t.Errorf("oracle fooled by declaration: %v", got)
+	}
+}
+
+// TestSimpleStrategyMatrix pins the paper's Table 2 exactly:
+//
+//	mode  | relevant referrer            | irrelevant referrer
+//	hard  | add extracted links          | discard extracted links
+//	soft  | add with high priority       | add with low priority
+func TestSimpleStrategyMatrix(t *testing.T) {
+	hard, soft := HardFocused{}, SoftFocused{}
+
+	if d := hard.Decide(1, 0); !d.Follow {
+		t.Error("hard × relevant: must add links")
+	}
+	if d := hard.Decide(0, 0); d.Follow {
+		t.Error("hard × irrelevant: must discard links")
+	}
+	dHigh := soft.Decide(1, 0)
+	dLow := soft.Decide(0, 0)
+	if !dHigh.Follow || !dLow.Follow {
+		t.Error("soft: must never discard links")
+	}
+	if dHigh.Priority <= dLow.Priority {
+		t.Errorf("soft: relevant-referrer priority %v must exceed irrelevant %v",
+			dHigh.Priority, dLow.Priority)
+	}
+}
+
+func TestBreadthFirst(t *testing.T) {
+	b := BreadthFirst{}
+	for _, score := range []float64{0, 1} {
+		d := b.Decide(score, 5)
+		if !d.Follow || d.Priority != 0 {
+			t.Errorf("breadth-first must enqueue everything uniformly: %+v", d)
+		}
+	}
+	if b.QueueKind() != frontier.KindFIFO {
+		t.Error("breadth-first needs a FIFO")
+	}
+}
+
+func TestLimitedDistanceSemantics(t *testing.T) {
+	// Figure 1, N=2: starting from a relevant page the crawler visits
+	// irrelevant pages n=1 and n=2 and stops.
+	s := LimitedDistance{N: 2}
+
+	// Relevant page: links carried at distance 0.
+	d := s.Decide(1, 7) // a relevant page resets any prior distance
+	if !d.Follow || d.Dist != 0 {
+		t.Fatalf("relevant referrer: %+v", d)
+	}
+	// First irrelevant page (dist 0): links allowed, distance 1.
+	d = s.Decide(0, 0)
+	if !d.Follow || d.Dist != 1 {
+		t.Fatalf("irrelevant at dist 0: %+v", d)
+	}
+	// Second irrelevant page (dist 1): its links would lead to a third
+	// consecutive irrelevant page — discard.
+	d = s.Decide(0, 1)
+	if d.Follow {
+		t.Fatalf("irrelevant at dist 1 with N=2 must discard: %+v", d)
+	}
+}
+
+func TestLimitedDistanceN1EquivalentToHard(t *testing.T) {
+	// With N=1 the limited-distance rule degenerates to hard-focused:
+	// links survive only from relevant referrers.
+	ld := LimitedDistance{N: 1}
+	hard := HardFocused{}
+	for _, score := range []float64{0, 1} {
+		for dist := 0; dist < 4; dist++ {
+			if ld.Decide(score, dist).Follow != hard.Decide(score, dist).Follow {
+				t.Errorf("N=1 diverges from hard at score=%v dist=%d", score, dist)
+			}
+		}
+	}
+}
+
+func TestLimitedDistancePriorities(t *testing.T) {
+	p := LimitedDistance{N: 4, Prioritized: true}
+	np := LimitedDistance{N: 4}
+	// Prioritized: closer to relevant = higher priority.
+	if a, b := p.Decide(1, 3).Priority, p.Decide(0, 0).Priority; a <= b {
+		t.Errorf("relevant-referrer priority %v must exceed distance-1 priority %v", a, b)
+	}
+	if a, b := p.Decide(0, 0).Priority, p.Decide(0, 1).Priority; a <= b {
+		t.Errorf("distance-1 priority %v must exceed distance-2 priority %v", a, b)
+	}
+	// Non-prioritized: all equal.
+	if np.Decide(1, 0).Priority != np.Decide(0, 2).Priority {
+		t.Error("non-prioritized mode must assign equal priorities")
+	}
+	if p.QueueKind() != frontier.KindBucket {
+		t.Error("prioritized mode needs a bucket queue")
+	}
+	if np.QueueKind() != frontier.KindFIFO {
+		t.Error("non-prioritized mode needs only a FIFO")
+	}
+}
+
+func TestContextLayers(t *testing.T) {
+	s := ContextLayers{Layers: 2}
+	// Never discards, no matter how far.
+	for dist := 0; dist < 10; dist++ {
+		if !s.Decide(0, dist).Follow {
+			t.Fatalf("context strategy must not discard (dist %d)", dist)
+		}
+	}
+	// Distance state keeps growing past the layer cap...
+	if d := s.Decide(0, 5); d.Dist != 6 {
+		t.Errorf("Dist = %d, want 6", d.Dist)
+	}
+	// ...but priority saturates at the outermost layer.
+	if a, b := s.Decide(0, 5).Priority, s.Decide(0, 9).Priority; a != b {
+		t.Errorf("saturated priorities differ: %v vs %v", a, b)
+	}
+	if a, b := s.Decide(1, 5).Priority, s.Decide(0, 0).Priority; a <= b {
+		t.Errorf("layer 0 priority %v must exceed layer 1 priority %v", a, b)
+	}
+}
+
+func TestStrategyNamesDistinct(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range []Strategy{
+		BreadthFirst{}, HardFocused{}, SoftFocused{},
+		LimitedDistance{N: 1}, LimitedDistance{N: 2},
+		LimitedDistance{N: 1, Prioritized: true},
+		ContextLayers{Layers: 3},
+	} {
+		if s.Name() == "" {
+			t.Error("empty strategy name")
+		}
+		if names[s.Name()] {
+			t.Errorf("duplicate strategy name %q", s.Name())
+		}
+		names[s.Name()] = true
+	}
+}

@@ -1,0 +1,384 @@
+// Package crawler is a real HTTP language-specific web crawler driven by
+// the same core classifiers and strategies the simulator evaluates: the
+// deployment target the paper's simulation study de-risks. It fetches
+// over net/http, honors robots.txt and per-host access intervals,
+// extracts links with the htmlx tokenizer, classifies pages by charset,
+// and can journal everything it learns to a crawl log and a link
+// database — which the simulator can then replay.
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/core"
+	"langcrawl/internal/crawlog"
+	"langcrawl/internal/frontier"
+	"langcrawl/internal/htmlx"
+	"langcrawl/internal/linkdb"
+	"langcrawl/internal/metrics"
+	"langcrawl/internal/urlutil"
+)
+
+// Config parameterizes a crawl.
+type Config struct {
+	// Seeds are the entry-point URLs (normalized or normalizable).
+	Seeds []string
+	// Strategy orders and prunes the frontier.
+	Strategy core.Strategy
+	// Classifier scores fetched pages.
+	Classifier core.Classifier
+	// Client performs the HTTP requests; http.DefaultClient if nil.
+	// Tests inject a client whose transport dials a local server.
+	Client *http.Client
+	// UserAgent identifies the crawler (default "langcrawl/1.0").
+	UserAgent string
+	// MaxPages bounds the crawl; 0 means until the frontier drains.
+	MaxPages int
+	// MaxBodyBytes caps each response body read (default 1 MiB).
+	MaxBodyBytes int64
+	// HostInterval is the minimum delay between requests to one host.
+	// The crawl loop is sequential, so this is enforced by sleeping when
+	// the next URL's host was hit too recently.
+	HostInterval time.Duration
+	// IgnoreRobots skips robots.txt handling (simulated webs only).
+	IgnoreRobots bool
+	// Log, if non-nil, receives one record per fetched page.
+	Log *crawlog.Writer
+	// DB, if non-nil, receives one record per fetched page and also
+	// serves as the resume set: URLs already in the DB are not refetched.
+	DB *linkdb.DB
+	// FrontierPath, if non-empty, persists the pending frontier: on
+	// startup any saved frontier at this path is loaded ahead of the
+	// seeds, and on exit (budget reached or context canceled) the
+	// remaining queue is written back. A crawl that drains its frontier
+	// removes the file. Combined with DB this gives stop/resume crawls.
+	FrontierPath string
+	// Parallelism is the number of concurrent fetch workers (default 1,
+	// fully deterministic). With more workers, frontier order is
+	// approximate and politeness is still enforced per host.
+	Parallelism int
+}
+
+// Result summarizes a crawl.
+type Result struct {
+	Crawled       int
+	Relevant      int // pages the classifier scored relevant
+	Errors        int // transport-level failures
+	RobotsBlocked int
+	MaxQueueLen   int
+	Harvest       *metrics.Series // % classifier-relevant vs pages crawled
+}
+
+// Crawler runs one crawl. Create with New, run with Run; a Crawler is
+// single-use.
+type Crawler struct {
+	cfg     Config
+	client  *http.Client
+	robots  map[string]*Robots
+	lastHit map[string]time.Time
+}
+
+// New validates cfg and returns a ready crawler.
+func New(cfg Config) (*Crawler, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, errors.New("crawler: at least one seed URL is required")
+	}
+	if cfg.Strategy == nil || cfg.Classifier == nil {
+		return nil, errors.New("crawler: Strategy and Classifier are required")
+	}
+	if cfg.UserAgent == "" {
+		cfg.UserAgent = "langcrawl/1.0"
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	c := &Crawler{
+		cfg:     cfg,
+		client:  cfg.Client,
+		robots:  make(map[string]*Robots),
+		lastHit: make(map[string]time.Time),
+	}
+	if c.client == nil {
+		c.client = http.DefaultClient
+	}
+	return c, nil
+}
+
+type qitem struct {
+	url  string
+	dist int32
+	prio float64
+}
+
+// Run crawls until the frontier drains, MaxPages is reached, or ctx is
+// canceled (in-flight requests finish first). With Config.Parallelism
+// greater than one the concurrent engine in parallel.go takes over.
+func (c *Crawler) Run(ctx context.Context) (*Result, error) {
+	if c.cfg.Parallelism > 1 {
+		return c.runParallel(ctx)
+	}
+	return c.runSequential(ctx)
+}
+
+// runSequential is the deterministic single-worker crawl loop.
+func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
+	res := &Result{Harvest: &metrics.Series{Name: c.cfg.Strategy.Name()}}
+	queue := frontier.New[qitem](c.cfg.Strategy.QueueKind())
+	visited := make(map[string]bool)
+	observer, _ := c.cfg.Strategy.(core.QueueObserver)
+
+	if c.cfg.FrontierPath != "" {
+		items, err := loadFrontier(c.cfg.FrontierPath)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: loading frontier: %w", err)
+		}
+		for _, it := range items {
+			queue.Push(it, it.prio)
+		}
+	}
+	for _, s := range c.cfg.Seeds {
+		u, err := urlutil.Normalize(s)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: seed %q: %w", s, err)
+		}
+		queue.Push(qitem{url: u, prio: 1}, 1)
+	}
+
+	for {
+		if ctx.Err() != nil {
+			break
+		}
+		if c.cfg.MaxPages > 0 && res.Crawled >= c.cfg.MaxPages {
+			break
+		}
+		item, ok := queue.Pop()
+		if !ok {
+			break
+		}
+		if visited[item.url] {
+			continue
+		}
+		visited[item.url] = true
+		if c.cfg.DB != nil && c.cfg.DB.Has(item.url) {
+			continue // already crawled in a previous run
+		}
+
+		host := urlutil.Host(item.url)
+		if !c.cfg.IgnoreRobots && !c.allowed(ctx, item.url, host) {
+			res.RobotsBlocked++
+			continue
+		}
+		interval := c.cfg.HostInterval
+		if rb := c.robots[host]; rb != nil {
+			interval = rb.Delay(interval) // honor Crawl-delay
+		}
+		c.politeWait(host, interval)
+
+		visit, links, rec, err := c.fetch(ctx, item.url)
+		if err != nil {
+			res.Errors++
+			continue
+		}
+		res.Crawled++
+		score := c.cfg.Classifier.Score(visit)
+		if score >= 0.5 {
+			res.Relevant++
+		}
+		res.Harvest.Add(float64(res.Crawled), 100*float64(res.Relevant)/float64(res.Crawled))
+
+		if c.cfg.Log != nil {
+			if err := c.cfg.Log.Write(rec); err != nil {
+				return res, fmt.Errorf("crawler: writing log: %w", err)
+			}
+		}
+		if c.cfg.DB != nil {
+			if err := c.cfg.DB.Put(rec); err != nil {
+				return res, fmt.Errorf("crawler: writing linkdb: %w", err)
+			}
+		}
+
+		dec := c.cfg.Strategy.Decide(score, int(item.dist))
+		if visit.Status == 200 && dec.Follow {
+			for _, l := range links {
+				if !visited[l] {
+					queue.Push(qitem{url: l, dist: int32(dec.Dist), prio: dec.Priority}, dec.Priority)
+				}
+			}
+		}
+		if observer != nil {
+			observer.ObserveQueueLen(queue.Len())
+		}
+	}
+	res.MaxQueueLen = queue.MaxLen()
+	if c.cfg.FrontierPath != "" {
+		if err := saveFrontier(c.cfg.FrontierPath, queue); err != nil {
+			return res, fmt.Errorf("crawler: saving frontier: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// politeWait sleeps until host may be hit again, given the effective
+// per-host interval (the configured one, possibly raised by the host's
+// Crawl-delay).
+func (c *Crawler) politeWait(host string, interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	if last, ok := c.lastHit[host]; ok {
+		if wait := interval - time.Since(last); wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	c.lastHit[host] = time.Now()
+}
+
+// allowed consults (fetching and caching once per host) robots.txt.
+func (c *Crawler) allowed(ctx context.Context, pageURL, host string) bool {
+	rb, ok := c.robots[host]
+	if !ok {
+		rb = c.fetchRobots(ctx, pageURL)
+		c.robots[host] = rb
+	}
+	return robotsAllowsURL(rb, pageURL)
+}
+
+// robotsAllowsURL applies a parsed robots policy to a page URL.
+func robotsAllowsURL(rb *Robots, pageURL string) bool {
+	u, err := url.Parse(pageURL)
+	if err != nil {
+		return false
+	}
+	return rb.Allowed(u.Path)
+}
+
+func (c *Crawler) fetchRobots(ctx context.Context, pageURL string) *Robots {
+	u, err := url.Parse(pageURL)
+	if err != nil {
+		return &Robots{}
+	}
+	u.Path, u.RawQuery, u.Fragment = "/robots.txt", "", ""
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return &Robots{}
+	}
+	req.Header.Set("User-Agent", c.cfg.UserAgent)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return &Robots{} // unreachable robots: assume allowed
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &Robots{}
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if err != nil {
+		return &Robots{}
+	}
+	return ParseRobots(body, c.cfg.UserAgent)
+}
+
+// fetch GETs pageURL and assembles the visit record: status, declared
+// charset (Content-Type header first, META second), true charset (by
+// detection over the body), and normalized extracted links.
+func (c *Crawler) fetch(ctx context.Context, pageURL string) (*core.Visit, []string, *crawlog.Record, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, pageURL, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	req.Header.Set("User-Agent", c.cfg.UserAgent)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer resp.Body.Close()
+
+	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	declared := charset.Unknown
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		if _, params, found := cutParams(ct); found {
+			declared = charset.Parse(params)
+		}
+	}
+	var links []string
+	if resp.StatusCode == http.StatusOK {
+		if declared == charset.Unknown {
+			declared = htmlx.DeclaredCharset(body)
+		}
+		parseAs := declared
+		if parseAs == charset.Unknown {
+			parseAs = charset.Detect(body).Charset
+		}
+		doc := htmlx.ParseWithCharset(body, parseAs, pageURL)
+		if declared == charset.Unknown {
+			declared = doc.MetaCharset
+		}
+		if !doc.NoFollow {
+			links = doc.Links
+		}
+	}
+
+	visit := &core.Visit{
+		URL:         pageURL,
+		Status:      resp.StatusCode,
+		Declared:    declared,
+		TrueCharset: charset.Detect(body).Charset,
+		Body:        body,
+	}
+	rec := &crawlog.Record{
+		URL:         pageURL,
+		Status:      uint16(resp.StatusCode),
+		TrueCharset: visit.TrueCharset,
+		Declared:    declared,
+		Size:        uint32(len(body)),
+		Links:       links,
+	}
+	return visit, links, rec, nil
+}
+
+// cutParams splits "text/html; charset=x" and returns the charset value.
+func cutParams(contentType string) (mime, cs string, found bool) {
+	for i := 0; i+8 <= len(contentType); i++ {
+		if equalFold(contentType[i:i+8], "charset=") {
+			rest := contentType[i+8:]
+			for j := 0; j < len(rest); j++ {
+				if rest[j] == ';' || rest[j] == ' ' {
+					rest = rest[:j]
+					break
+				}
+			}
+			return contentType, rest, true
+		}
+	}
+	return contentType, "", false
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,112 @@
+package crawler
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"os"
+
+	"langcrawl/internal/frontier"
+)
+
+// Frontier persistence: a simple length-prefixed record file holding the
+// pending (url, dist, priority) entries of an interrupted crawl, in pop
+// order, so a resumed run continues exactly where the budget or the
+// operator stopped it.
+
+var frontierMagic = []byte("LCFRONT1\n")
+
+// saveFrontier drains queue into path. An emptied frontier removes the
+// file instead, so stale state never shadows a completed crawl.
+func saveFrontier(path string, queue frontier.Queue[qitem]) error {
+	if queue.Len() == 0 {
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		return nil
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if _, err := w.Write(frontierMagic); err != nil {
+		f.Close()
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	for {
+		it, ok := queue.Pop()
+		if !ok {
+			break
+		}
+		n := binary.PutUvarint(scratch[:], uint64(len(it.url)))
+		if _, err := w.Write(scratch[:n]); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := w.WriteString(it.url); err != nil {
+			f.Close()
+			return err
+		}
+		var meta [12]byte
+		binary.LittleEndian.PutUint32(meta[:4], uint32(it.dist))
+		binary.LittleEndian.PutUint64(meta[4:], math.Float64bits(it.prio))
+		if _, err := w.Write(meta[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadFrontier reads a saved frontier; a missing file is an empty
+// frontier. Entries come back in their saved pop order.
+func loadFrontier(path string) ([]qitem, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, len(frontierMagic))
+	if _, err := io.ReadFull(r, hdr); err != nil || string(hdr) != string(frontierMagic) {
+		return nil, errors.New("not a frontier file")
+	}
+	var items []qitem
+	for {
+		ulen, err := binary.ReadUvarint(r)
+		if err == io.EOF {
+			return items, nil
+		}
+		if err != nil || ulen > 1<<20 {
+			return nil, errors.New("corrupt frontier file")
+		}
+		buf := make([]byte, ulen+12)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, errors.New("truncated frontier file")
+		}
+		items = append(items, qitem{
+			url:  string(buf[:ulen]),
+			dist: int32(binary.LittleEndian.Uint32(buf[ulen : ulen+4])),
+			prio: math.Float64frombits(binary.LittleEndian.Uint64(buf[ulen+4:])),
+		})
+	}
+}

@@ -1,0 +1,131 @@
+package crawler
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/core"
+	"langcrawl/internal/frontier"
+	"langcrawl/internal/linkdb"
+)
+
+func TestFrontierSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frontier")
+	q := frontier.NewFIFO[qitem]()
+	want := []qitem{
+		{url: "http://a.co.th/", dist: 0, prio: 1},
+		{url: "http://b.co.th/p1.html", dist: 2, prio: -2},
+		{url: "", dist: 0, prio: 0}, // degenerate entry survives too
+	}
+	for _, it := range want {
+		q.Push(it, it.prio)
+	}
+	if err := saveFrontier(path, q); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadFrontier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("item %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFrontierSaveEmptyRemovesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frontier")
+	os.WriteFile(path, []byte("stale"), 0o644)
+	if err := saveFrontier(path, frontier.NewFIFO[qitem]()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("empty save should remove the file")
+	}
+}
+
+func TestFrontierLoadMissingIsEmpty(t *testing.T) {
+	items, err := loadFrontier(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || items != nil {
+		t.Errorf("missing file: %v, %v", items, err)
+	}
+}
+
+func TestFrontierLoadRejectsJunk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	os.WriteFile(path, []byte("definitely not a frontier"), 0o644)
+	if _, err := loadFrontier(path); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestCrawlStopAndResume(t *testing.T) {
+	// A budgeted crawl persists its frontier and linkdb; a second run
+	// picks up exactly where it left off, and together they cover the
+	// whole space without refetching anything.
+	space, srv, client := testWeb(t, 400, 31)
+	dir := t.TempDir()
+	fpath := filepath.Join(dir, "frontier")
+	db, err := linkdb.Open(filepath.Join(dir, "links.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	mk := func(max int) *Crawler {
+		c, err := New(Config{
+			Seeds:        seedsOf(space),
+			Strategy:     core.SoftFocused{},
+			Classifier:   core.MetaClassifier{Target: charset.LangThai},
+			Client:       client,
+			DB:           db,
+			FrontierPath: fpath,
+			MaxPages:     max,
+			IgnoreRobots: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	res1, err := mk(150).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Crawled != 150 {
+		t.Fatalf("first leg crawled %d", res1.Crawled)
+	}
+	if _, err := os.Stat(fpath); err != nil {
+		t.Fatal("frontier not persisted after budgeted stop")
+	}
+
+	reqsAfterLeg1 := srv.Requests()
+	res2, err := mk(0).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Crawled+res2.Crawled != space.N() {
+		t.Errorf("legs crawled %d + %d, want %d total",
+			res1.Crawled, res2.Crawled, space.N())
+	}
+	// No page fetched twice: total page requests across leg 2 equals its
+	// crawled count (robots are off, so every request is a page).
+	if got := srv.Requests() - reqsAfterLeg1; got != int64(res2.Crawled) {
+		t.Errorf("leg 2 issued %d requests for %d pages", got, res2.Crawled)
+	}
+	// Drained crawl removes the frontier file.
+	if _, err := os.Stat(fpath); !os.IsNotExist(err) {
+		t.Error("frontier file left after drained crawl")
+	}
+	if db.Len() != space.N() {
+		t.Errorf("linkdb has %d of %d pages", db.Len(), space.N())
+	}
+}

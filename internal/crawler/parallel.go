@@ -1,0 +1,201 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"langcrawl/internal/frontier"
+	"langcrawl/internal/metrics"
+	"langcrawl/internal/urlutil"
+)
+
+// runParallel is the concurrent crawl engine: Parallelism workers share
+// one frontier under a mutex, claim page-budget slots before fetching
+// (so MaxPages is exact), and respect the per-host access interval by
+// booking start times the way the timed simulator's limiter does.
+func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
+	res := &Result{Harvest: &metrics.Series{Name: c.cfg.Strategy.Name()}}
+	queue := frontier.New[qitem](c.cfg.Strategy.QueueKind())
+	visited := make(map[string]bool)
+
+	var (
+		mu       sync.Mutex
+		started  int // budget slots claimed (successful or in flight)
+		inflight int
+		runErr   error
+	)
+
+	if c.cfg.FrontierPath != "" {
+		items, err := loadFrontier(c.cfg.FrontierPath)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: loading frontier: %w", err)
+		}
+		for _, it := range items {
+			queue.Push(it, it.prio)
+		}
+	}
+	for _, s := range c.cfg.Seeds {
+		u, err := urlutil.Normalize(s)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: seed %q: %w", s, err)
+		}
+		queue.Push(qitem{url: u, prio: 1}, 1)
+	}
+
+	// nextAllowed books per-host start times under mu; workers sleep
+	// outside the lock until their slot.
+	nextAllowed := make(map[string]time.Time)
+
+	worker := func() {
+		for {
+			mu.Lock()
+			if runErr != nil || ctx.Err() != nil {
+				mu.Unlock()
+				return
+			}
+			if c.cfg.MaxPages > 0 && started >= c.cfg.MaxPages {
+				mu.Unlock()
+				return
+			}
+			var item qitem
+			var ok bool
+			for {
+				item, ok = queue.Pop()
+				if !ok || !visited[item.url] {
+					break
+				}
+			}
+			if !ok {
+				if inflight == 0 {
+					mu.Unlock()
+					return // global quiescence: nothing queued, nothing in flight
+				}
+				mu.Unlock()
+				time.Sleep(time.Millisecond) // peers may still add links
+				continue
+			}
+			visited[item.url] = true
+			if c.cfg.DB != nil && c.cfg.DB.Has(item.url) {
+				mu.Unlock()
+				continue
+			}
+			host := urlutil.Host(item.url)
+			interval := c.cfg.HostInterval
+			if rb := c.robots[host]; rb != nil {
+				// Crawl-delay is honored once the host's robots have been
+				// fetched (best effort: the very first request per host
+				// books with the configured interval).
+				interval = rb.Delay(interval)
+			}
+			var wait time.Duration
+			if interval > 0 {
+				now := time.Now()
+				start := now
+				if t, booked := nextAllowed[host]; booked && t.After(start) {
+					start = t
+				}
+				nextAllowed[host] = start.Add(interval)
+				wait = start.Sub(now)
+			}
+			started++
+			inflight++
+			mu.Unlock()
+
+			if wait > 0 {
+				time.Sleep(wait)
+			}
+
+			allowed := true
+			if !c.cfg.IgnoreRobots {
+				allowed = c.allowedLocked(ctx, &mu, item.url, host)
+			}
+
+			if allowed {
+				visit, links, rec, ferr := c.fetch(ctx, item.url)
+				mu.Lock()
+				if ferr != nil {
+					res.Errors++
+					started-- // free the budget slot for another page
+				} else {
+					res.Crawled++
+					s := c.cfg.Classifier.Score(visit)
+					if s >= 0.5 {
+						res.Relevant++
+					}
+					res.Harvest.Add(float64(res.Crawled), 100*float64(res.Relevant)/float64(res.Crawled))
+					if c.cfg.Log != nil {
+						if werr := c.cfg.Log.Write(rec); werr != nil && runErr == nil {
+							runErr = fmt.Errorf("crawler: writing log: %w", werr)
+						}
+					}
+					if c.cfg.DB != nil {
+						if werr := c.cfg.DB.Put(rec); werr != nil && runErr == nil {
+							runErr = fmt.Errorf("crawler: writing linkdb: %w", werr)
+						}
+					}
+					dec := c.cfg.Strategy.Decide(s, int(item.dist))
+					if visit.Status == 200 && dec.Follow {
+						for _, l := range links {
+							if !visited[l] {
+								queue.Push(qitem{url: l, dist: int32(dec.Dist), prio: dec.Priority}, dec.Priority)
+							}
+						}
+					}
+					if observer, isObs := c.cfg.Strategy.(interface{ ObserveQueueLen(int) }); isObs {
+						observer.ObserveQueueLen(queue.Len())
+					}
+				}
+				inflight--
+				mu.Unlock()
+			} else {
+				mu.Lock()
+				res.RobotsBlocked++
+				started-- // robots blocks do not consume page budget
+				inflight--
+				mu.Unlock()
+			}
+		}
+	}
+
+	n := c.cfg.Parallelism
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	wg.Wait()
+
+	res.MaxQueueLen = queue.MaxLen()
+	if c.cfg.FrontierPath != "" {
+		if err := saveFrontier(c.cfg.FrontierPath, queue); err != nil && runErr == nil {
+			runErr = fmt.Errorf("crawler: saving frontier: %w", err)
+		}
+	}
+	return res, runErr
+}
+
+// allowedLocked is the robots check for the parallel engine: the cache
+// is consulted under the caller's mutex, but the robots.txt fetch itself
+// happens unlocked (a host's robots may be fetched more than once under
+// a race, which is harmless).
+func (c *Crawler) allowedLocked(ctx context.Context, mu *sync.Mutex, pageURL, host string) bool {
+	mu.Lock()
+	rb, ok := c.robots[host]
+	mu.Unlock()
+	if !ok {
+		rb = c.fetchRobots(ctx, pageURL)
+		mu.Lock()
+		if cached, again := c.robots[host]; again {
+			rb = cached // lost the race; use the first result
+		} else {
+			c.robots[host] = rb
+		}
+		mu.Unlock()
+	}
+	return robotsAllowsURL(rb, pageURL)
+}

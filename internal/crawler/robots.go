@@ -1,0 +1,125 @@
+package crawler
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Robots holds the subset of a robots.txt that matters to a crawler:
+// the Allow/Disallow path rules applicable to its user agent, plus the
+// Crawl-delay directive. Rules are prefix rules per the original 1994
+// REP; among matching rules the longest path wins, Allow breaking ties
+// (the de-facto standard Google/RFC 9309 behaviour).
+type Robots struct {
+	rules []robotsRule
+	// CrawlDelay is the host's requested minimum spacing between
+	// requests (0 = unspecified). Polite crawlers honor the larger of
+	// this and their own configured interval.
+	CrawlDelay time.Duration
+}
+
+type robotsRule struct {
+	path  string
+	allow bool
+}
+
+// ParseRobots parses body for the given user agent (case-insensitive
+// product-token match, with "*" groups as fallback). A nil/empty body
+// allows everything.
+func ParseRobots(body []byte, userAgent string) *Robots {
+	ua := strings.ToLower(userAgent)
+	r := &Robots{}
+	var starRules []robotsRule
+	var starDelay, mineDelay time.Duration
+
+	inStar, inMine := false, false
+	sawAgentLine := false
+	sc := bufio.NewScanner(strings.NewReader(string(body)))
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch key {
+		case "user-agent":
+			if sawAgentLine {
+				// A new group starts after at least one rule line.
+				inStar, inMine = false, false
+				sawAgentLine = false
+			}
+			agent := strings.ToLower(val)
+			if agent == "*" {
+				inStar = true
+			} else if strings.Contains(ua, agent) {
+				inMine = true
+			}
+		case "disallow", "allow":
+			sawAgentLine = true
+			if val == "" && key == "disallow" {
+				// "Disallow:" (empty) means allow all; representable as
+				// no rule.
+				continue
+			}
+			rule := robotsRule{path: val, allow: key == "allow"}
+			if inMine {
+				r.rules = append(r.rules, rule)
+			} else if inStar {
+				starRules = append(starRules, rule)
+			}
+		case "crawl-delay":
+			sawAgentLine = true
+			if secs, err := strconv.ParseFloat(val, 64); err == nil && secs > 0 && secs < 3600 {
+				d := time.Duration(secs * float64(time.Second))
+				if inMine {
+					mineDelay = d
+				} else if inStar {
+					starDelay = d
+				}
+			}
+		}
+	}
+	if len(r.rules) == 0 && mineDelay == 0 {
+		r.rules = starRules
+		r.CrawlDelay = starDelay
+	} else {
+		r.CrawlDelay = mineDelay
+	}
+	return r
+}
+
+// Delay returns the effective per-host interval given the crawler's own
+// configured interval: the larger of the two wins.
+func (r *Robots) Delay(configured time.Duration) time.Duration {
+	if r == nil || r.CrawlDelay <= configured {
+		return configured
+	}
+	return r.CrawlDelay
+}
+
+// Allowed reports whether path may be fetched.
+func (r *Robots) Allowed(path string) bool {
+	if r == nil || len(r.rules) == 0 {
+		return true
+	}
+	if path == "" {
+		path = "/"
+	}
+	bestLen, allow := -1, true
+	for _, rule := range r.rules {
+		if strings.HasPrefix(path, rule.path) {
+			l := len(rule.path)
+			if l > bestLen || (l == bestLen && rule.allow && !allow) {
+				bestLen, allow = l, rule.allow
+			}
+		}
+	}
+	return allow
+}

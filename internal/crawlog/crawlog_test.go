@@ -1,0 +1,183 @@
+package crawlog
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"langcrawl/internal/charset"
+)
+
+func sampleRecord() *Record {
+	return &Record{
+		URL:         "http://site00001.co.th/p3.html",
+		Status:      200,
+		TrueCharset: charset.TIS620,
+		Declared:    charset.Windows874,
+		Size:        4096,
+		Links:       []string{"http://site00001.co.th/", "http://site00002.example.com/p1.html"},
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	rec := sampleRecord()
+	got, err := DecodeRecord(EncodeRecord(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("round trip: got %+v, want %+v", got, rec)
+	}
+}
+
+func TestRecordCodecEdgeCases(t *testing.T) {
+	cases := []*Record{
+		{URL: "http://x/", Status: 404},                      // no links, zero size
+		{URL: "http://x/", Status: 200, Links: []string{""}}, // empty link
+		{URL: "", Status: 0},                                 // degenerate
+	}
+	for i, rec := range cases {
+		got, err := DecodeRecord(EncodeRecord(rec))
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if got.URL != rec.URL || got.Status != rec.Status || len(got.Links) != len(rec.Links) {
+			t.Errorf("case %d: got %+v", i, got)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{
+		{},
+		{0xFF},
+		{0x05, 'a', 'b'},                 // truncated string
+		EncodeRecord(sampleRecord())[:5], // truncated record
+		append(EncodeRecord(sampleRecord()), 0x00), // trailing bytes
+	} {
+		if _, err := DecodeRecord(b); err == nil {
+			t.Errorf("DecodeRecord(% X) accepted garbage", b)
+		}
+	}
+}
+
+// Property: the record codec round-trips arbitrary field values.
+func TestRecordCodecQuick(t *testing.T) {
+	f := func(url string, status uint16, tc, dc uint8, size uint32, links []string) bool {
+		rec := &Record{
+			URL:         url,
+			Status:      status % 1000,
+			TrueCharset: charset.Charset(tc % 10),
+			Declared:    charset.Charset(dc % 10),
+			Size:        size,
+			Links:       links,
+		}
+		got, err := DecodeRecord(EncodeRecord(rec))
+		if err != nil {
+			return false
+		}
+		if len(rec.Links) == 0 && len(got.Links) == 0 {
+			got.Links, rec.Links = nil, nil
+		}
+		return reflect.DeepEqual(got, rec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriterReaderStream(t *testing.T) {
+	var buf bytes.Buffer
+	h := Header{Target: charset.LangThai, SpaceSeed: 42, Seeds: []string{"http://a/"}, Comment: "test"}
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []*Record{
+		sampleRecord(),
+		{URL: "http://b/", Status: 404},
+		{URL: "http://c/", Status: 200, TrueCharset: charset.EUCJP},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Header(); got.Target != h.Target || got.SpaceSeed != 42 ||
+		len(got.Seeds) != 1 || got.Comment != "test" {
+		t.Errorf("Header = %+v", got)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range recs {
+		if got[i].URL != recs[i].URL || got[i].Status != recs[i].Status {
+			t.Errorf("record %d = %+v", i, got[i])
+		}
+	}
+	// A drained reader reports clean EOF.
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("Next after end = %v", err)
+	}
+}
+
+func TestReaderRejectsJunk(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a log at all"))); err == nil {
+		t.Error("junk accepted as log")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted as log")
+	}
+}
+
+func TestReaderTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{Target: charset.LangThai})
+	w.Write(sampleRecord())
+	w.Write(sampleRecord())
+	w.Flush()
+	data := buf.Bytes()
+
+	// Truncate mid-record.
+	r, err := NewReader(bytes.NewReader(data[:len(data)-7]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != ErrCorrupt {
+		t.Errorf("torn tail error = %v, want ErrCorrupt", err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("salvaged %d records, want 1", len(recs))
+	}
+
+	// Flip a payload byte: CRC must catch it.
+	damaged := append([]byte(nil), data...)
+	damaged[len(damaged)-3] ^= 0xFF
+	r2, _ := NewReader(bytes.NewReader(damaged))
+	recs, err = r2.ReadAll()
+	if err != ErrCorrupt {
+		t.Errorf("bit flip error = %v, want ErrCorrupt", err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("salvaged %d records after bit flip, want 1", len(recs))
+	}
+}

@@ -1,0 +1,55 @@
+package crawlog
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeRecord hardens the record decoder: arbitrary bytes either
+// decode to a record that re-encodes to the identical bytes, or fail
+// cleanly.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add(EncodeRecord(sampleRecord()))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, err := DecodeRecord(b)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeRecord(rec), b) {
+			t.Fatalf("decode/encode not canonical for % X", b)
+		}
+	})
+}
+
+// FuzzReader hardens the log reader against arbitrary streams: it must
+// terminate with clean EOF or ErrCorrupt, never panic or loop.
+func FuzzReader(f *testing.F) {
+	var good bytes.Buffer
+	w, _ := NewWriter(&good, Header{})
+	w.Write(sampleRecord())
+	w.Flush()
+	f.Add(good.Bytes())
+	f.Add([]byte("LCLOG1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := NewReader(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		for i := 0; ; i++ {
+			_, err := r.Next()
+			if err == io.EOF || err == ErrCorrupt {
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			if i > len(b) {
+				t.Fatal("reader yielded more records than input bytes")
+			}
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package crawlog
+
+import (
+	"fmt"
+	"io"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/urlutil"
+	"langcrawl/internal/webgraph"
+)
+
+// WriteSpace serializes a synthetic space as a crawl log, pages in ID
+// order, preserving everything a replay needs (including the content
+// seed, so detector-based classifiers regenerate identical page bytes).
+func WriteSpace(w io.Writer, s *webgraph.Space) error {
+	seeds := make([]string, len(s.Seeds))
+	for i, id := range s.Seeds {
+		seeds[i] = s.URL(id)
+	}
+	lw, err := NewWriter(w, Header{
+		Target:    s.Target,
+		SpaceSeed: s.Seed,
+		Seeds:     seeds,
+		Comment:   "serialized webgraph.Space",
+	})
+	if err != nil {
+		return err
+	}
+	var rec Record
+	for id := 0; id < s.N(); id++ {
+		pid := webgraph.PageID(id)
+		out := s.Outlinks(pid)
+		links := make([]string, len(out))
+		for i, t := range out {
+			links[i] = s.URL(t)
+		}
+		rec = Record{
+			URL:         s.URL(pid),
+			Status:      s.Status[id],
+			TrueCharset: s.Charset[id],
+			Declared:    s.Declared[id],
+			Size:        s.Size[id],
+			Links:       links,
+		}
+		if err := lw.Write(&rec); err != nil {
+			return err
+		}
+	}
+	return lw.Flush()
+}
+
+// BuildSpace reconstitutes a simulatable Space from crawl-log records —
+// the paper's "virtual web space ... logically constructed from the
+// information available in the input crawl logs". Pages are regrouped by
+// host (hosts in first-occurrence order, pages within a host in log
+// order), links to URLs absent from the log are dropped (the virtual web
+// cannot answer for pages that were never observed), and page language
+// is derived from the recorded true charset via the Table 1 mapping.
+func BuildSpace(r *Reader) (*webgraph.Space, error) {
+	records, err := r.ReadAll()
+	if err != nil && len(records) == 0 {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("crawlog: empty log")
+	}
+	h := r.Header()
+
+	// Pass 1: group record indices by host, preserving first-occurrence
+	// order of hosts and log order within a host.
+	hostOrder := []string{}
+	byHost := make(map[string][]int)
+	for i, rec := range records {
+		host := urlutil.Host(rec.URL)
+		if host == "" {
+			return nil, fmt.Errorf("crawlog: record %d has unusable URL %q", i, rec.URL)
+		}
+		if _, seen := byHost[host]; !seen {
+			hostOrder = append(hostOrder, host)
+		}
+		byHost[host] = append(byHost[host], i)
+	}
+
+	n := len(records)
+	raw := webgraph.RawSpace{
+		Target:   h.Target,
+		Seed:     h.SpaceSeed,
+		SiteOf:   make([]webgraph.SiteID, n),
+		Lang:     make([]charset.Language, n),
+		Charset:  make([]charset.Charset, n),
+		Declared: make([]charset.Charset, n),
+		Status:   make([]uint16, n),
+		Size:     make([]uint32, n),
+		Outlinks: make([][]webgraph.PageID, n),
+	}
+	idByURL := make(map[string]webgraph.PageID, n)
+	var next webgraph.PageID
+	for sid, host := range hostOrder {
+		recIdxs := byHost[host]
+		site := webgraph.Site{Host: host, Start: next, Count: uint32(len(recIdxs))}
+		langVotes := make(map[charset.Language]int)
+		for _, ri := range recIdxs {
+			rec := records[ri]
+			id := next
+			next++
+			idByURL[rec.URL] = id
+			raw.SiteOf[id] = webgraph.SiteID(sid)
+			raw.Status[id] = rec.Status
+			raw.Charset[id] = rec.TrueCharset
+			raw.Declared[id] = rec.Declared
+			raw.Size[id] = rec.Size
+			lang := charset.LanguageOf(rec.TrueCharset)
+			raw.Lang[id] = lang
+			langVotes[lang]++
+		}
+		best, bestN := charset.LangUnknown, -1
+		for lang, c := range langVotes {
+			if c > bestN {
+				best, bestN = lang, c
+			}
+		}
+		site.Lang = best
+		raw.Sites = append(raw.Sites, site)
+	}
+
+	// Pass 2: links, resolving URL targets to IDs; unknown targets drop.
+	pos := 0
+	for _, host := range hostOrder {
+		for _, ri := range byHost[host] {
+			rec := records[ri]
+			var links []webgraph.PageID
+			for _, l := range rec.Links {
+				if tid, ok := idByURL[l]; ok {
+					links = append(links, tid)
+				}
+			}
+			raw.Outlinks[pos] = links
+			pos++
+		}
+	}
+
+	for _, su := range h.Seeds {
+		if id, ok := idByURL[su]; ok {
+			raw.Seeds = append(raw.Seeds, id)
+		}
+	}
+	return webgraph.Assemble(raw)
+}

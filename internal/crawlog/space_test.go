@@ -1,0 +1,163 @@
+package crawlog
+
+import (
+	"bytes"
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/core"
+	"langcrawl/internal/sim"
+	"langcrawl/internal/webgraph"
+)
+
+func roundTripSpace(t *testing.T, s *webgraph.Space) *webgraph.Space {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSpace(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BuildSpace(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestSpaceLogRoundTripIdentity(t *testing.T) {
+	// A space written in ID order regroups to itself: same page count,
+	// same per-page properties, same links, same seeds.
+	orig, err := webgraph.Generate(webgraph.ThaiLike(2500, 55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTripSpace(t, orig)
+
+	if got.N() != orig.N() || got.Links() != orig.Links() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d", got.N(), got.Links(), orig.N(), orig.Links())
+	}
+	if got.Target != orig.Target || got.Seed != orig.Seed {
+		t.Error("header fields lost")
+	}
+	for id := 0; id < orig.N(); id++ {
+		pid := webgraph.PageID(id)
+		if got.Status[id] != orig.Status[id] || got.Charset[id] != orig.Charset[id] ||
+			got.Declared[id] != orig.Declared[id] || got.Lang[id] != orig.Lang[id] ||
+			got.Size[id] != orig.Size[id] {
+			t.Fatalf("page %d properties differ", id)
+		}
+		if got.URL(pid) != orig.URL(pid) {
+			t.Fatalf("page %d URL %q != %q", id, got.URL(pid), orig.URL(pid))
+		}
+		a, b := got.Outlinks(pid), orig.Outlinks(pid)
+		if len(a) != len(b) {
+			t.Fatalf("page %d outdegree %d != %d", id, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("page %d link %d differs", id, i)
+			}
+		}
+	}
+	if len(got.Seeds) != len(orig.Seeds) {
+		t.Fatalf("seeds %v vs %v", got.Seeds, orig.Seeds)
+	}
+	for i := range got.Seeds {
+		if got.Seeds[i] != orig.Seeds[i] {
+			t.Errorf("seed %d: %d vs %d", i, got.Seeds[i], orig.Seeds[i])
+		}
+	}
+	if got.RelevantTotal() != orig.RelevantTotal() {
+		t.Errorf("RelevantTotal %d vs %d", got.RelevantTotal(), orig.RelevantTotal())
+	}
+}
+
+func TestReplayedSpaceSimulatesIdentically(t *testing.T) {
+	// The whole point of the log format: a simulation on the replayed
+	// space must match a simulation on the original exactly.
+	orig, err := webgraph.Generate(webgraph.ThaiLike(2500, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := roundTripSpace(t, orig)
+	cfg := sim.Config{
+		Strategy:   core.LimitedDistance{N: 2, Prioritized: true},
+		Classifier: core.MetaClassifier{Target: charset.LangThai},
+	}
+	a, err := sim.Run(orig, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(replay, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Crawled != b.Crawled || a.RelevantCrawled != b.RelevantCrawled ||
+		a.MaxQueueLen != b.MaxQueueLen {
+		t.Errorf("replayed simulation diverged: %v vs %v", a, b)
+	}
+}
+
+func TestBuildSpaceDropsUnknownLinkTargets(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{Target: charset.LangThai, Seeds: []string{"http://h1.co.th/"}})
+	w.Write(&Record{URL: "http://h1.co.th/", Status: 200, TrueCharset: charset.TIS620,
+		Links: []string{"http://h1.co.th/p1.html", "http://never-crawled.example.com/"}})
+	w.Write(&Record{URL: "http://h1.co.th/p1.html", Status: 200, TrueCharset: charset.TIS620})
+	w.Flush()
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	s, err := BuildSpace(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 2 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.OutDegree(0) != 1 {
+		t.Errorf("dangling link not dropped: outdegree %d", s.OutDegree(0))
+	}
+	if len(s.Seeds) != 1 {
+		t.Errorf("seed resolution failed: %v", s.Seeds)
+	}
+}
+
+func TestBuildSpaceGroupsByHost(t *testing.T) {
+	// Interleaved hosts in the log must regroup into contiguous sites.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{Target: charset.LangThai, Seeds: []string{"http://a.co.th/"}})
+	w.Write(&Record{URL: "http://a.co.th/", Status: 200, TrueCharset: charset.TIS620})
+	w.Write(&Record{URL: "http://b.com/", Status: 200, TrueCharset: charset.ASCII})
+	w.Write(&Record{URL: "http://a.co.th/p1.html", Status: 200, TrueCharset: charset.TIS620})
+	w.Write(&Record{URL: "http://b.com/x.html", Status: 404})
+	w.Flush()
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	s, err := BuildSpace(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Sites) != 2 {
+		t.Fatalf("sites = %d", len(s.Sites))
+	}
+	if s.Sites[0].Host != "a.co.th" || s.Sites[0].Count != 2 {
+		t.Errorf("site 0 = %+v", s.Sites[0])
+	}
+	if s.Sites[1].Host != "b.com" || s.Sites[1].Count != 2 {
+		t.Errorf("site 1 = %+v", s.Sites[1])
+	}
+	if s.Sites[0].Lang != charset.LangThai {
+		t.Errorf("site 0 lang = %v", s.Sites[0].Lang)
+	}
+}
+
+func TestBuildSpaceEmptyLog(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{Target: charset.LangThai})
+	w.Flush()
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := BuildSpace(r); err == nil {
+		t.Error("empty log should not build a space")
+	}
+}

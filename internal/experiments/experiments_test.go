@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testRunner uses small datasets so the full suite stays CI-friendly.
+func testRunner() *Runner {
+	return New(Options{ThaiPages: 9000, JPPages: 4000, Seed: 1234})
+}
+
+func TestIDsDispatch(t *testing.T) {
+	r := testRunner()
+	for _, id := range IDs() {
+		o, err := r.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if o.ID != id {
+			t.Errorf("outcome ID %q for %q", o.ID, id)
+		}
+		if o.Title == "" {
+			t.Errorf("%s has no title", id)
+		}
+	}
+	if _, err := r.Run("nonsense"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestAllPaperChecksPass is the headline integration test: every
+// qualitative claim extracted from the paper must hold on the synthetic
+// datasets.
+func TestAllPaperChecksPass(t *testing.T) {
+	r := testRunner()
+	for _, o := range r.All() {
+		for _, c := range o.Checks {
+			if !c.Pass {
+				t.Errorf("%s: CLAIM FAILED: %s — %s", o.ID, c.Claim, c.Detail)
+			}
+		}
+		if len(o.Checks) == 0 {
+			t.Errorf("%s has no checks", o.ID)
+		}
+	}
+}
+
+func TestOutcomeRender(t *testing.T) {
+	r := testRunner()
+	o := r.Table2()
+	var sb strings.Builder
+	o.Render(&sb, true)
+	out := sb.String()
+	for _, want := range []string{"table2", "hard-focused", "soft-focused", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOutcomeCSVs(t *testing.T) {
+	r := testRunner()
+	o := r.Fig5()
+	dir := t.TempDir()
+	if err := o.WriteCSVs(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(o.Sets) {
+		t.Fatalf("wrote %d CSVs for %d sets", len(entries), len(o.Sets))
+	}
+	b, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "pages crawled") {
+		t.Errorf("CSV lacks header: %q", string(b[:60]))
+	}
+}
+
+func TestDatasetsCached(t *testing.T) {
+	r := testRunner()
+	if r.Thai() != r.Thai() {
+		t.Error("Thai dataset regenerated")
+	}
+	if r.JP() != r.JP() {
+		t.Error("JP dataset regenerated")
+	}
+}
+
+func TestPassedHelper(t *testing.T) {
+	o := &Outcome{Checks: []Check{{Pass: true}, {Pass: true}}}
+	if !o.Passed() {
+		t.Error("all-pass outcome reported failed")
+	}
+	o.Checks = append(o.Checks, Check{Pass: false})
+	if o.Passed() {
+		t.Error("failed check unnoticed")
+	}
+}

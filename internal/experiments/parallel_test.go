@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// TestRunAllParallelMatchesSequential runs the whole suite both ways and
+// compares every check verdict — concurrent execution must not change
+// any result (experiments share only immutable datasets).
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite twice is slow")
+	}
+	seqR := testRunner()
+	parR := testRunner()
+	seq := seqR.RunAll(1)
+	par := parR.RunAll(4)
+	if len(seq) != len(par) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].ID != par[i].ID {
+			t.Fatalf("order differs at %d: %s vs %s", i, seq[i].ID, par[i].ID)
+		}
+		if len(seq[i].Checks) != len(par[i].Checks) {
+			t.Errorf("%s: check counts differ", seq[i].ID)
+			continue
+		}
+		for j := range seq[i].Checks {
+			a, b := seq[i].Checks[j], par[i].Checks[j]
+			if a.Pass != b.Pass || a.Detail != b.Detail {
+				t.Errorf("%s check %d differs:\n seq: %v %s\n par: %v %s",
+					seq[i].ID, j, a.Pass, a.Detail, b.Pass, b.Detail)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+)
+
+// WriteHTMLReport renders the outcomes as a single self-contained HTML
+// document: per-experiment SVG figure panels, tabular bodies, and the
+// claim checklist — the shareable form of a reproduction run.
+func WriteHTMLReport(w io.Writer, title string, outcomes []*Outcome) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString(`<style>
+body { font-family: system-ui, sans-serif; max-width: 980px; margin: 2em auto; color: #222; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2em; border-bottom: 1px solid #ddd; }
+pre { background: #f6f6f6; padding: .8em; overflow-x: auto; font-size: .85em; }
+ul.checks { list-style: none; padding-left: 0; }
+ul.checks li { margin: .25em 0; }
+.pass::before { content: "✔ "; color: #008a3e; font-weight: bold; }
+.fail::before { content: "✘ "; color: #c22; font-weight: bold; }
+.detail { color: #666; }
+figure { margin: 1em 0; }
+.summary { background: #eef6ee; border: 1px solid #cde5cd; padding: .7em 1em; }
+.summary.bad { background: #fbecec; border-color: #ecc; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+
+	total, passed := 0, 0
+	for _, o := range outcomes {
+		for _, c := range o.Checks {
+			total++
+			if c.Pass {
+				passed++
+			}
+		}
+	}
+	cls := "summary"
+	if passed != total {
+		cls = "summary bad"
+	}
+	fmt.Fprintf(&b, `<p class="%s">%d of %d paper claims reproduce across %d experiments.</p>`+"\n",
+		cls, passed, total, len(outcomes))
+
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, "<h2 id=%q>%s: %s</h2>\n", o.ID, html.EscapeString(o.ID), html.EscapeString(o.Title))
+		if o.Text != "" {
+			fmt.Fprintf(&b, "<pre>%s</pre>\n", html.EscapeString(o.Text))
+		}
+		for _, set := range o.Sets {
+			fmt.Fprintf(&b, "<figure>%s</figure>\n", set.RenderSVG(900, 340))
+		}
+		b.WriteString("<ul class=\"checks\">\n")
+		for _, c := range o.Checks {
+			cls := "pass"
+			if !c.Pass {
+				cls = "fail"
+			}
+			fmt.Fprintf(&b, `<li class=%q>%s <span class="detail">— %s</span></li>`+"\n",
+				cls, html.EscapeString(c.Claim), html.EscapeString(c.Detail))
+		}
+		b.WriteString("</ul>\n")
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteHTMLReport(t *testing.T) {
+	r := testRunner()
+	outcomes := []*Outcome{r.Table2(), r.Fig5()}
+	var sb strings.Builder
+	if err := WriteHTMLReport(&sb, "repro <report>", outcomes); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"repro &lt;report&gt;",
+		"table2", "fig5",
+		"<svg",
+		`class="pass"`,
+		"paper claims reproduce",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, `class="fail"`) {
+		t.Error("unexpected failing checks in report")
+	}
+}
+
+func TestWriteHTMLReportFlagsFailures(t *testing.T) {
+	o := &Outcome{ID: "x", Title: "t", Checks: []Check{{Claim: "c", Pass: false, Detail: "d"}}}
+	var sb strings.Builder
+	if err := WriteHTMLReport(&sb, "title", []*Outcome{o}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `class="fail"`) || !strings.Contains(out, "summary bad") {
+		t.Error("failures not flagged in report")
+	}
+}

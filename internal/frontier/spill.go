@@ -1,0 +1,209 @@
+package frontier
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SpillFIFO is a FIFO queue with bounded memory: when the in-memory
+// portion exceeds a limit, the middle of the queue is spilled to disk in
+// segment files and reloaded in order as the head drains. This is the
+// engineering answer to the paper's §5.2.1 problem — the soft-focused
+// queue "would end up with the exhaustion of physical space" — for
+// deployments that want soft-focused coverage anyway.
+//
+// Items must round-trip through the provided encode/decode functions.
+// Priority is ignored (FIFO discipline); bucket strategies can layer one
+// SpillFIFO per priority class.
+type SpillFIFO[T any] struct {
+	encode func(T) []byte
+	decode func([]byte) (T, error)
+
+	dir      string
+	memLimit int // max items held in memory across head+tail
+
+	head     *FIFO[T] // pops come from here
+	tail     *FIFO[T] // pushes go here
+	segments []string // on-disk middle, oldest first
+	segSeq   int
+	diskLen  int // items currently on disk
+	maxLen   int
+	err      error // first I/O error; queue degrades to memory-only
+}
+
+// NewSpillFIFO creates a spilling FIFO storing segments under dir
+// (created if needed). memLimit is the maximum number of in-memory
+// items before spilling (minimum 64).
+func NewSpillFIFO[T any](dir string, memLimit int, encode func(T) []byte, decode func([]byte) (T, error)) (*SpillFIFO[T], error) {
+	if memLimit < 64 {
+		memLimit = 64
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("frontier: spill dir: %w", err)
+	}
+	return &SpillFIFO[T]{
+		encode:   encode,
+		decode:   decode,
+		dir:      dir,
+		memLimit: memLimit,
+		head:     NewFIFO[T](),
+		tail:     NewFIFO[T](),
+	}, nil
+}
+
+// Err returns the first I/O error encountered, if any. After an error
+// the queue keeps working in memory (no items are lost), but spilling
+// stops.
+func (q *SpillFIFO[T]) Err() error { return q.err }
+
+// DiskLen returns the number of items currently spilled to disk.
+func (q *SpillFIFO[T]) DiskLen() int { return q.diskLen }
+
+// Push implements Queue. The priority argument is ignored.
+func (q *SpillFIFO[T]) Push(item T, _ float64) {
+	q.tail.Push(item, 0)
+	if q.Len() > q.maxLen {
+		q.maxLen = q.Len()
+	}
+	if q.err == nil && q.head.Len()+q.tail.Len() > q.memLimit && q.tail.Len() >= q.memLimit/2 {
+		q.spillTail()
+	}
+}
+
+// spillTail writes the whole tail to a new segment file.
+func (q *SpillFIFO[T]) spillTail() {
+	q.segSeq++
+	path := filepath.Join(q.dir, fmt.Sprintf("seg-%08d.q", q.segSeq))
+	f, err := os.Create(path)
+	if err != nil {
+		q.err = err
+		return
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	n := 0
+	for {
+		item, ok := q.tail.Pop()
+		if !ok {
+			break
+		}
+		buf := q.encode(item)
+		var lenBuf [binary.MaxVarintLen64]byte
+		ln := binary.PutUvarint(lenBuf[:], uint64(len(buf)))
+		if _, err := w.Write(lenBuf[:ln]); err != nil {
+			q.err = err
+		}
+		if _, err := w.Write(buf); err != nil {
+			q.err = err
+		}
+		n++
+	}
+	if err := w.Flush(); err != nil {
+		q.err = err
+	}
+	if err := f.Close(); err != nil {
+		q.err = err
+	}
+	if q.err != nil {
+		// Reload what we just wrote back into memory so nothing is lost,
+		// then stop spilling.
+		q.loadSegmentInto(path, q.tail)
+		os.Remove(path)
+		return
+	}
+	q.segments = append(q.segments, path)
+	q.diskLen += n
+}
+
+// loadSegmentInto reads a segment file into dst, preserving order.
+func (q *SpillFIFO[T]) loadSegmentInto(path string, dst *FIFO[T]) {
+	f, err := os.Open(path)
+	if err != nil {
+		q.err = err
+		return
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		n, err := binary.ReadUvarint(r)
+		if err == io.EOF {
+			return
+		}
+		if err != nil || n > 1<<24 {
+			q.err = fmt.Errorf("frontier: corrupt spill segment %s", path)
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			q.err = err
+			return
+		}
+		item, err := q.decode(buf)
+		if err != nil {
+			q.err = err
+			return
+		}
+		dst.Push(item, 0)
+	}
+}
+
+// Pop implements Queue.
+func (q *SpillFIFO[T]) Pop() (T, bool) {
+	if item, ok := q.head.Pop(); ok {
+		return item, true
+	}
+	// Head empty: refill from the oldest disk segment, else from tail.
+	if len(q.segments) > 0 {
+		path := q.segments[0]
+		q.segments = q.segments[1:]
+		before := q.head.Len()
+		q.loadSegmentInto(path, q.head)
+		q.diskLen -= q.head.Len() - before
+		os.Remove(path)
+		if item, ok := q.head.Pop(); ok {
+			return item, true
+		}
+	}
+	return q.tail.Pop()
+}
+
+// Len implements Queue: total items in memory and on disk.
+func (q *SpillFIFO[T]) Len() int { return q.head.Len() + q.tail.Len() + q.diskLen }
+
+// MemLen returns the number of in-memory items.
+func (q *SpillFIFO[T]) MemLen() int { return q.head.Len() + q.tail.Len() }
+
+// MaxLen implements Queue.
+func (q *SpillFIFO[T]) MaxLen() int { return q.maxLen }
+
+// Reset implements Queue: drops all items and removes segment files.
+func (q *SpillFIFO[T]) Reset() {
+	q.head.Reset()
+	q.tail.Reset()
+	for _, path := range q.segments {
+		os.Remove(path)
+	}
+	q.segments = nil
+	q.diskLen = 0
+	q.maxLen = 0
+	q.err = nil
+}
+
+// Close removes any remaining segment files (and the segment directory,
+// if it ends up empty). The queue must not be used afterward.
+func (q *SpillFIFO[T]) Close() error {
+	var first error
+	for _, path := range q.segments {
+		if err := os.Remove(path); err != nil && first == nil {
+			first = err
+		}
+	}
+	q.segments = nil
+	q.diskLen = 0
+	// Best effort: tidy the directory away when nothing else lives there.
+	_ = os.Remove(q.dir)
+	return first
+}

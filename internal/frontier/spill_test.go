@@ -1,0 +1,229 @@
+package frontier
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func newSpill(t *testing.T, memLimit int) *SpillFIFO[uint32] {
+	t.Helper()
+	q, err := NewSpillFIFO(t.TempDir(), memLimit,
+		func(v uint32) []byte {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], v)
+			return b[:]
+		},
+		func(b []byte) (uint32, error) {
+			if len(b) != 4 {
+				return 0, errors.New("bad item")
+			}
+			return binary.LittleEndian.Uint32(b), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { q.Close() })
+	return q
+}
+
+func TestSpillFIFOOrderPreserved(t *testing.T) {
+	q := newSpill(t, 64)
+	const n = 10000
+	for i := uint32(0); i < n; i++ {
+		q.Push(i, 0)
+	}
+	if q.DiskLen() == 0 {
+		t.Fatal("nothing spilled despite tiny memory limit")
+	}
+	if q.MemLen() > 200 {
+		t.Errorf("MemLen %d far above limit", q.MemLen())
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := uint32(0); i < n; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("queue should be empty")
+	}
+	if err := q.Err(); err != nil {
+		t.Errorf("I/O error: %v", err)
+	}
+}
+
+func TestSpillFIFOInterleaved(t *testing.T) {
+	q := newSpill(t, 64)
+	next, expect := uint32(0), uint32(0)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 37; i++ {
+			q.Push(next, 0)
+			next++
+		}
+		for i := 0; i < 23; i++ {
+			v, ok := q.Pop()
+			if !ok || v != expect {
+				t.Fatalf("round %d: pop = %d, %v; want %d", round, v, ok, expect)
+			}
+			expect++
+		}
+	}
+	// Drain the rest.
+	for expect < next {
+		v, ok := q.Pop()
+		if !ok || v != expect {
+			t.Fatalf("drain: pop = %d, %v; want %d", v, ok, expect)
+		}
+		expect++
+	}
+}
+
+func TestSpillFIFOSegmentFilesCleanedUp(t *testing.T) {
+	dir := t.TempDir()
+	q, err := NewSpillFIFO(dir, 64,
+		func(v uint32) []byte { b := make([]byte, 4); binary.LittleEndian.PutUint32(b, v); return b },
+		func(b []byte) (uint32, error) { return binary.LittleEndian.Uint32(b), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 5000; i++ {
+		q.Push(i, 0)
+	}
+	for {
+		if _, ok := q.Pop(); !ok {
+			break
+		}
+	}
+	q.Close()
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("%d segment files left after drain+close", len(entries))
+	}
+}
+
+func TestSpillFIFOCloseRemovesPending(t *testing.T) {
+	dir := t.TempDir()
+	q, _ := NewSpillFIFO(dir, 64,
+		func(v uint32) []byte { b := make([]byte, 4); binary.LittleEndian.PutUint32(b, v); return b },
+		func(b []byte) (uint32, error) { return binary.LittleEndian.Uint32(b), nil })
+	for i := uint32(0); i < 5000; i++ {
+		q.Push(i, 0)
+	}
+	if q.DiskLen() == 0 {
+		t.Fatal("nothing spilled")
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("%d segment files left after Close", len(entries))
+	}
+}
+
+func TestSpillFIFOReset(t *testing.T) {
+	q := newSpill(t, 64)
+	for i := uint32(0); i < 1000; i++ {
+		q.Push(i, 0)
+	}
+	q.Reset()
+	if q.Len() != 0 || q.MaxLen() != 0 || q.DiskLen() != 0 {
+		t.Error("Reset left state behind")
+	}
+	q.Push(7, 0)
+	if v, ok := q.Pop(); !ok || v != 7 {
+		t.Error("queue unusable after Reset")
+	}
+}
+
+func TestSpillFIFOMaxLen(t *testing.T) {
+	q := newSpill(t, 64)
+	for i := uint32(0); i < 500; i++ {
+		q.Push(i, 0)
+	}
+	for i := 0; i < 100; i++ {
+		q.Pop()
+	}
+	if q.MaxLen() != 500 {
+		t.Errorf("MaxLen = %d", q.MaxLen())
+	}
+}
+
+func TestSpillFIFODecodeErrorSurfaces(t *testing.T) {
+	q, err := NewSpillFIFO(t.TempDir(), 64,
+		func(v uint32) []byte { b := make([]byte, 4); binary.LittleEndian.PutUint32(b, v); return b },
+		func(b []byte) (uint32, error) { return 0, errors.New("always fails") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	for i := uint32(0); i < 5000; i++ {
+		q.Push(i, 0)
+	}
+	for {
+		if _, ok := q.Pop(); !ok {
+			break
+		}
+	}
+	if q.Err() == nil {
+		t.Error("decode failure not surfaced")
+	}
+}
+
+// Property: SpillFIFO agrees with a plain FIFO on arbitrary interleaved
+// push/pop sequences.
+func TestSpillFIFOAgreesWithFIFOQuick(t *testing.T) {
+	dir := t.TempDir()
+	seq := 0
+	f := func(ops []uint8) bool {
+		seq++
+		spill, err := NewSpillFIFO(filepath.Join(dir, "q", string(rune('a'+seq%26))), 64,
+			func(v uint32) []byte { b := make([]byte, 4); binary.LittleEndian.PutUint32(b, v); return b },
+			func(b []byte) (uint32, error) { return binary.LittleEndian.Uint32(b), nil })
+		if err != nil {
+			return false
+		}
+		defer spill.Close()
+		plain := NewFIFO[uint32]()
+		next := uint32(0)
+		for _, op := range ops {
+			if op%3 != 0 { // 2/3 pushes
+				for i := 0; i < int(op%7)+1; i++ {
+					spill.Push(next, 0)
+					plain.Push(next, 0)
+					next++
+				}
+			} else {
+				a, okA := spill.Pop()
+				b, okB := plain.Pop()
+				if okA != okB || (okA && a != b) {
+					return false
+				}
+			}
+		}
+		// Drain both; must agree to the end.
+		for {
+			a, okA := spill.Pop()
+			b, okB := plain.Pop()
+			if okA != okB {
+				return false
+			}
+			if !okA {
+				return spill.Err() == nil
+			}
+			if a != b {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

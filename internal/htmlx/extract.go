@@ -1,0 +1,203 @@
+package htmlx
+
+import (
+	"strings"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/urlutil"
+)
+
+// Document holds everything the crawler extracts from one HTML page in a
+// single tokenization pass.
+type Document struct {
+	// Title is the text inside the first <title> element (byte-level;
+	// decode with the page charset for display).
+	Title string
+	// Base is the href of the first <base> tag, if any.
+	Base string
+	// Links are the normalized absolute URLs of all anchors, in document
+	// order, de-duplicated, with non-HTTP schemes and unparsable hrefs
+	// dropped.
+	Links []string
+	// MetaCharset is the charset declared in a META tag (either the
+	// legacy http-equiv form the paper describes or the HTML5
+	// <meta charset=...> form), charset.Unknown when absent.
+	MetaCharset charset.Charset
+	// MetaCharsetRaw is the raw declared name, "" when absent.
+	MetaCharsetRaw string
+	// NoFollow is set when <meta name="robots" content="...nofollow...">
+	// appears; polite crawlers then discard Links.
+	NoFollow bool
+	// NoIndex is the analogous noindex directive.
+	NoIndex bool
+}
+
+// ParseWithCharset is Parse for pages whose encoding is already known
+// (from HTTP headers or detection). Most supported encodings keep markup
+// bytes at their ASCII values, so byte-level parsing is sound; the
+// exception is ISO-2022-JP, whose JIS double-byte sections reuse the
+// whole 0x21..0x7E range — including '<' and '"'. For that encoding the
+// page is transcoded to UTF-8 before tokenizing, exactly as a browser
+// would.
+func ParseWithCharset(page []byte, cs charset.Charset, baseURL string) Document {
+	if cs == charset.ISO2022JP {
+		if codec := charset.CodecFor(cs); codec != nil {
+			page = []byte(codec.Decode(page))
+		}
+	}
+	return Parse(page, baseURL)
+}
+
+// Parse tokenizes page and extracts title, base, links and META charset.
+// baseURL is the page's own URL, used to absolutize relative hrefs; it
+// should already be normalized.
+func Parse(page []byte, baseURL string) Document {
+	var doc Document
+	base := baseURL
+	seen := make(map[string]struct{})
+	z := NewTokenizer(page)
+	inTitle := false
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			break
+		}
+		switch tok.Type {
+		case TextToken:
+			if inTitle {
+				doc.Title += tok.Data
+			}
+		case StartTagToken, SelfClosingTagToken:
+			switch tok.Name {
+			case "title":
+				if tok.Type == StartTagToken {
+					inTitle = true
+				}
+			case "base":
+				if href, ok := tok.Attr("href"); ok && doc.Base == "" {
+					doc.Base = strings.TrimSpace(href)
+					if resolved, err := urlutil.Resolve(baseURL, doc.Base); err == nil {
+						base = resolved
+					}
+				}
+			case "meta":
+				handleMeta(&doc, &tok)
+			case "a", "area":
+				addLink(&doc, seen, base, tok.Attrs, "href")
+			case "frame", "iframe":
+				// Frames are navigation edges as real as anchors; a
+				// language-specific archive crawler must follow them or
+				// lose every frameset-era site.
+				addLink(&doc, seen, base, tok.Attrs, "src")
+			}
+		case EndTagToken:
+			if tok.Name == "title" {
+				inTitle = false
+			}
+		}
+	}
+	doc.Title = strings.TrimSpace(DecodeEntities(doc.Title))
+	return doc
+}
+
+// addLink resolves the named URL attribute against base and appends it
+// to the document's links, deduplicating and dropping non-HTTP targets.
+func addLink(doc *Document, seen map[string]struct{}, base string, attrs []Attr, attrName string) {
+	var raw string
+	for _, a := range attrs {
+		if a.Name == attrName {
+			raw = a.Value
+			break
+		}
+	}
+	raw = DecodeEntities(strings.TrimSpace(raw))
+	if raw == "" {
+		return
+	}
+	abs, err := urlutil.Resolve(base, raw)
+	if err != nil {
+		return
+	}
+	if _, dup := seen[abs]; dup {
+		return
+	}
+	seen[abs] = struct{}{}
+	doc.Links = append(doc.Links, abs)
+}
+
+func handleMeta(doc *Document, tok *Token) {
+	// HTML5 form: <meta charset="utf-8">.
+	if cs, ok := tok.Attr("charset"); ok && doc.MetaCharset == charset.Unknown {
+		doc.MetaCharsetRaw = strings.TrimSpace(cs)
+		doc.MetaCharset = charset.Parse(doc.MetaCharsetRaw)
+		return
+	}
+	httpEquiv, _ := tok.Attr("http-equiv")
+	name, _ := tok.Attr("name")
+	content, _ := tok.Attr("content")
+	switch {
+	case strings.EqualFold(httpEquiv, "content-type"):
+		if raw := charsetFromContentType(content); raw != "" && doc.MetaCharset == charset.Unknown {
+			doc.MetaCharsetRaw = raw
+			doc.MetaCharset = charset.Parse(raw)
+		}
+	case strings.EqualFold(name, "robots"):
+		lc := strings.ToLower(content)
+		if strings.Contains(lc, "nofollow") {
+			doc.NoFollow = true
+		}
+		if strings.Contains(lc, "noindex") {
+			doc.NoIndex = true
+		}
+	}
+}
+
+// charsetFromContentType extracts the charset parameter from a
+// Content-Type value like "text/html; charset=euc-jp". It returns ""
+// when no charset parameter is present.
+func charsetFromContentType(v string) string {
+	lc := strings.ToLower(v)
+	idx := strings.Index(lc, "charset=")
+	if idx < 0 {
+		return ""
+	}
+	rest := v[idx+len("charset="):]
+	rest = strings.TrimSpace(rest)
+	rest = strings.Trim(rest, `"'`)
+	if end := strings.IndexAny(rest, "; \t"); end >= 0 {
+		rest = rest[:end]
+	}
+	return rest
+}
+
+// DeclaredCharset is the convenience used by classifiers: the charset a
+// page claims for itself via META, without full link extraction. It
+// scans only the head portion (stops at <body> or after maxMetaScan
+// bytes) the way real browsers' pre-scan does.
+func DeclaredCharset(page []byte) charset.Charset {
+	const maxMetaScan = 4096
+	scan := page
+	if len(scan) > maxMetaScan {
+		scan = scan[:maxMetaScan]
+	}
+	z := NewTokenizer(scan)
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			return charset.Unknown
+		}
+		switch tok.Type {
+		case StartTagToken, SelfClosingTagToken:
+			switch tok.Name {
+			case "meta":
+				var doc Document
+				handleMeta(&doc, &tok)
+				if doc.MetaCharset != charset.Unknown {
+					return doc.MetaCharset
+				}
+			case "body":
+				return charset.Unknown
+			}
+		}
+	}
+}

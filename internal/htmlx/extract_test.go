@@ -1,0 +1,204 @@
+package htmlx
+
+import (
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/rng"
+	"langcrawl/internal/textgen"
+)
+
+const samplePage = `<!DOCTYPE html>
+<html><head>
+<meta http-equiv="Content-Type" content="text/html; charset=euc-jp">
+<title>Test &amp; Title</title>
+<base href="http://base.example.jp/dir/">
+</head><body>
+<a href="page1.html">one</a>
+<a href="/rooted.html">two</a>
+<a href="http://other.example.com/abs">three</a>
+<a href="page1.html">duplicate</a>
+<a href="mailto:user@example.com">mail</a>
+<a href="javascript:void(0)">js</a>
+<area href="map.html">
+</body></html>`
+
+func TestParseExtractsEverything(t *testing.T) {
+	doc := Parse([]byte(samplePage), "http://page.example.jp/x/y.html")
+	if doc.Title != "Test & Title" {
+		t.Errorf("Title = %q", doc.Title)
+	}
+	if doc.MetaCharset != charset.EUCJP {
+		t.Errorf("MetaCharset = %v", doc.MetaCharset)
+	}
+	if doc.MetaCharsetRaw != "euc-jp" {
+		t.Errorf("MetaCharsetRaw = %q", doc.MetaCharsetRaw)
+	}
+	want := []string{
+		"http://base.example.jp/dir/page1.html",
+		"http://base.example.jp/rooted.html",
+		"http://other.example.com/abs",
+		"http://base.example.jp/dir/map.html",
+	}
+	if len(doc.Links) != len(want) {
+		t.Fatalf("Links = %v, want %v", doc.Links, want)
+	}
+	for i, w := range want {
+		if doc.Links[i] != w {
+			t.Errorf("Links[%d] = %q, want %q", i, doc.Links[i], w)
+		}
+	}
+}
+
+func TestParseFrames(t *testing.T) {
+	page := `<frameset>
+<frame src="menu.html"><frame src="body.html">
+</frameset>
+<iframe src="http://embed.example.org/widget"></iframe>
+<iframe></iframe>`
+	doc := Parse([]byte(page), "http://site.example.th/dir/index.html")
+	want := []string{
+		"http://site.example.th/dir/menu.html",
+		"http://site.example.th/dir/body.html",
+		"http://embed.example.org/widget",
+	}
+	if len(doc.Links) != len(want) {
+		t.Fatalf("Links = %v", doc.Links)
+	}
+	for i := range want {
+		if doc.Links[i] != want[i] {
+			t.Errorf("Links[%d] = %q, want %q", i, doc.Links[i], want[i])
+		}
+	}
+}
+
+func TestParseFrameAnchorDedup(t *testing.T) {
+	page := `<a href="same.html">x</a><frame src="same.html">`
+	doc := Parse([]byte(page), "http://h.example.com/")
+	if len(doc.Links) != 1 {
+		t.Errorf("frame+anchor to same URL not deduplicated: %v", doc.Links)
+	}
+}
+
+func TestParseWithoutBaseUsesPageURL(t *testing.T) {
+	doc := Parse([]byte(`<a href="rel.html">x</a>`), "http://h.example.th/a/b.html")
+	if len(doc.Links) != 1 || doc.Links[0] != "http://h.example.th/a/rel.html" {
+		t.Errorf("Links = %v", doc.Links)
+	}
+}
+
+func TestParseHTML5MetaCharset(t *testing.T) {
+	doc := Parse([]byte(`<meta charset="UTF-8"><a href="http://x.com/">l</a>`), "http://x.com/")
+	if doc.MetaCharset != charset.UTF8 {
+		t.Errorf("MetaCharset = %v", doc.MetaCharset)
+	}
+}
+
+func TestParseFirstMetaWins(t *testing.T) {
+	page := `<meta charset="tis-620"><meta charset="utf-8">`
+	doc := Parse([]byte(page), "http://x.com/")
+	if doc.MetaCharset != charset.TIS620 {
+		t.Errorf("MetaCharset = %v, want first declaration", doc.MetaCharset)
+	}
+}
+
+func TestParseRobotsMeta(t *testing.T) {
+	page := `<meta name="robots" content="NOINDEX, NOFOLLOW">`
+	doc := Parse([]byte(page), "http://x.com/")
+	if !doc.NoFollow || !doc.NoIndex {
+		t.Errorf("robots meta not honored: %+v", doc)
+	}
+}
+
+func TestParseEntityHref(t *testing.T) {
+	page := `<a href="http://x.com/?a=1&amp;b=2">x</a>`
+	doc := Parse([]byte(page), "http://x.com/")
+	if len(doc.Links) != 1 || doc.Links[0] != "http://x.com/?a=1&b=2" {
+		t.Errorf("Links = %v", doc.Links)
+	}
+}
+
+func TestParseNoMeta(t *testing.T) {
+	doc := Parse([]byte(`<p>no head</p>`), "http://x.com/")
+	if doc.MetaCharset != charset.Unknown {
+		t.Errorf("MetaCharset = %v, want Unknown", doc.MetaCharset)
+	}
+}
+
+func TestDeclaredCharset(t *testing.T) {
+	cases := []struct {
+		page string
+		want charset.Charset
+	}{
+		{`<meta http-equiv="content-type" content="text/html; charset=Shift_JIS">`, charset.ShiftJIS},
+		{`<META HTTP-EQUIV="Content-Type" CONTENT="text/html; charset=tis-620">`, charset.TIS620},
+		{`<meta charset=windows-874>`, charset.Windows874},
+		{`<body>no meta</body>`, charset.Unknown},
+		{`<meta http-equiv="content-type" content="text/html">`, charset.Unknown},
+	}
+	for _, c := range cases {
+		if got := DeclaredCharset([]byte(c.page)); got != c.want {
+			t.Errorf("DeclaredCharset(%q) = %v, want %v", c.page, got, c.want)
+		}
+	}
+}
+
+func TestDeclaredCharsetStopsAtBody(t *testing.T) {
+	page := `<body><p>text</p><meta charset="utf-8"></body>`
+	if got := DeclaredCharset([]byte(page)); got != charset.Unknown {
+		t.Errorf("META after <body> should be ignored, got %v", got)
+	}
+}
+
+func TestParseGeneratedPagesAllCharsets(t *testing.T) {
+	// End-to-end with textgen: pages generated in every legacy charset
+	// must yield their links and their META declaration byte-exactly,
+	// because markup stays ASCII in all supported encodings.
+	links := []string{"http://a.example.jp/1", "http://b.example.th/2", "http://c.example.com/3"}
+	for _, tc := range []struct {
+		lang charset.Language
+		cs   charset.Charset
+	}{
+		{charset.LangJapanese, charset.EUCJP},
+		{charset.LangJapanese, charset.ShiftJIS},
+		{charset.LangJapanese, charset.ISO2022JP},
+		{charset.LangThai, charset.TIS620},
+		{charset.LangThai, charset.Windows874},
+		{charset.LangThai, charset.ISO885911},
+		{charset.LangEnglish, charset.ASCII},
+		{charset.LangJapanese, charset.UTF8},
+	} {
+		page := textgen.HTMLPage(textgen.PageSpec{
+			Lang: tc.lang, Charset: tc.cs, DeclaredCharset: tc.cs, Links: links,
+		}, rng.New2(1, uint64(tc.cs)))
+		doc := ParseWithCharset(page, tc.cs, "http://self.example.com/")
+		if doc.MetaCharset != tc.cs {
+			t.Errorf("%v/%v: MetaCharset = %v", tc.lang, tc.cs, doc.MetaCharset)
+		}
+		if len(doc.Links) != len(links) {
+			t.Errorf("%v/%v: got %d links, want %d", tc.lang, tc.cs, len(doc.Links), len(links))
+			continue
+		}
+		for i := range links {
+			if doc.Links[i] != links[i] {
+				t.Errorf("%v/%v: link %d = %q", tc.lang, tc.cs, i, doc.Links[i])
+			}
+		}
+	}
+}
+
+func TestCharsetFromContentType(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"text/html; charset=euc-jp", "euc-jp"},
+		{"text/html; charset=EUC-JP; foo=bar", "EUC-JP"},
+		{"text/html; charset=\"utf-8\"", "utf-8"},
+		{"text/html", ""},
+		{"", ""},
+		{"charset=tis-620", "tis-620"},
+	}
+	for _, c := range cases {
+		if got := charsetFromContentType(c.in); got != c.want {
+			t.Errorf("charsetFromContentType(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package htmlx
+
+import "testing"
+
+// FuzzParse hardens the tokenizer and extractor against arbitrary
+// markup: no panics, no unbounded loops (the testing framework's timeout
+// covers the latter), and every extracted link is an absolute http(s)
+// URL.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`<a href="x.html">t</a>`))
+	f.Add([]byte(`<meta http-equiv="content-type" content="text/html; charset=euc-jp">`))
+	f.Add([]byte(`<!-- <a href=no> --><base href="/b/"><frame src=f.html>`))
+	f.Add([]byte(`<script>"<a href='x'>"</script><a href=&amp;>`))
+	f.Add([]byte("<a href=\"\x80\xFF\">bytes</a>"))
+	f.Add([]byte(`<`))
+	f.Fuzz(func(t *testing.T, page []byte) {
+		doc := Parse(page, "http://fuzz.example.com/base/page.html")
+		for _, l := range doc.Links {
+			if len(l) < 8 || (l[:7] != "http://" && l[:8] != "https://") {
+				t.Fatalf("non-absolute link extracted: %q", l)
+			}
+		}
+		_ = DeclaredCharset(page)
+	})
+}
+
+// FuzzDecodeEntities checks the entity decoder never panics and never
+// grows its input unreasonably.
+func FuzzDecodeEntities(f *testing.F) {
+	f.Add("&amp;&#x3042;&bogus;&#999999999;&")
+	f.Fuzz(func(t *testing.T, s string) {
+		out := DecodeEntities(s)
+		if len(out) > len(s)+4 {
+			t.Fatalf("entity decoding grew input: %d -> %d", len(s), len(out))
+		}
+	})
+}

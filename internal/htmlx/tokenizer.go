@@ -1,0 +1,360 @@
+// Package htmlx is a small, robust HTML tokenizer and the extraction
+// helpers a crawler needs: anchor hrefs, <base href>, and the charset
+// declared in <meta> tags. It is written from scratch (the stdlib has no
+// HTML parser) and is tolerant by design — real crawl content is full of
+// unclosed tags, bare ampersands, and attribute soup, none of which may
+// stop a crawl.
+package htmlx
+
+import "strings"
+
+// TokenType classifies tokens produced by the Tokenizer.
+type TokenType uint8
+
+// Token types. Malformed markup never yields an error: it degrades to
+// Text tokens.
+const (
+	TextToken TokenType = iota
+	StartTagToken
+	EndTagToken
+	SelfClosingTagToken
+	CommentToken
+	DoctypeToken
+)
+
+// Attr is a single name="value" attribute. Names are lowercased; values
+// are unquoted but not entity-decoded (use DecodeEntities when needed).
+type Attr struct {
+	Name, Value string
+}
+
+// Token is one lexical unit of the input.
+type Token struct {
+	Type  TokenType
+	Name  string // tag name, lowercased (tags only)
+	Data  string // text, comment body, or doctype body
+	Attrs []Attr
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (t *Token) Attr(name string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Tokenizer walks a byte slice producing Tokens. It treats the input as
+// an ASCII-compatible byte stream: EUC-JP, Shift_JIS, the TIS-620 family,
+// UTF-8 and Latin-1 all keep the markup-significant bytes <, >, ", ', =
+// and / at their ASCII values inside text, so byte-level tokenization is
+// sound without decoding first (Shift_JIS trail bytes collide with ASCII
+// letters but never with '<' or '>', which is all the scanner dispatches
+// on). The one exception is ISO-2022-JP, whose JIS sections reuse the
+// full 0x21..0x7E range — transcode first via ParseWithCharset.
+type Tokenizer struct {
+	in  []byte
+	pos int
+}
+
+// NewTokenizer returns a Tokenizer over b. The tokenizer does not copy b.
+func NewTokenizer(b []byte) *Tokenizer {
+	return &Tokenizer{in: b}
+}
+
+// Next returns the next token, or ok=false at end of input.
+func (z *Tokenizer) Next() (Token, bool) {
+	if z.pos >= len(z.in) {
+		return Token{}, false
+	}
+	if z.in[z.pos] == '<' {
+		if tok, ok := z.scanTag(); ok {
+			return tok, true
+		}
+		// A lone '<' that opens nothing: emit it as text.
+		z.pos++
+		return Token{Type: TextToken, Data: "<"}, true
+	}
+	return z.scanText(), true
+}
+
+func (z *Tokenizer) scanText() Token {
+	start := z.pos
+	for z.pos < len(z.in) && z.in[z.pos] != '<' {
+		z.pos++
+	}
+	return Token{Type: TextToken, Data: string(z.in[start:z.pos])}
+}
+
+// scanTag is entered at a '<'. It handles comments, doctypes, end tags,
+// and start tags with attributes. ok=false means the '<' does not begin
+// any recognizable construct.
+func (z *Tokenizer) scanTag() (Token, bool) {
+	in, p := z.in, z.pos
+	if p+1 >= len(in) {
+		return Token{}, false
+	}
+	switch {
+	case in[p+1] == '!':
+		if p+3 < len(in) && in[p+2] == '-' && in[p+3] == '-' {
+			return z.scanComment(), true
+		}
+		return z.scanDoctype(), true
+	case in[p+1] == '/':
+		return z.scanEndTag(), true
+	case isTagNameStart(in[p+1]):
+		return z.scanStartTag(), true
+	case in[p+1] == '?':
+		// Processing instruction (<?xml ...?>): skip to '>'.
+		end := indexByteFrom(in, p, '>')
+		if end < 0 {
+			z.pos = len(in)
+		} else {
+			z.pos = end + 1
+		}
+		return Token{Type: CommentToken, Data: ""}, true
+	default:
+		return Token{}, false
+	}
+}
+
+func (z *Tokenizer) scanComment() Token {
+	// Entered at "<!--".
+	start := z.pos + 4
+	end := strings.Index(string(z.in[start:]), "-->")
+	if end < 0 {
+		data := string(z.in[start:])
+		z.pos = len(z.in)
+		return Token{Type: CommentToken, Data: data}
+	}
+	data := string(z.in[start : start+end])
+	z.pos = start + end + 3
+	return Token{Type: CommentToken, Data: data}
+}
+
+func (z *Tokenizer) scanDoctype() Token {
+	end := indexByteFrom(z.in, z.pos, '>')
+	var data string
+	if end < 0 {
+		data = string(z.in[z.pos+2:])
+		z.pos = len(z.in)
+	} else {
+		data = string(z.in[z.pos+2 : end])
+		z.pos = end + 1
+	}
+	return Token{Type: DoctypeToken, Data: data}
+}
+
+func (z *Tokenizer) scanEndTag() Token {
+	end := indexByteFrom(z.in, z.pos, '>')
+	var body string
+	if end < 0 {
+		body = string(z.in[z.pos+2:])
+		z.pos = len(z.in)
+	} else {
+		body = string(z.in[z.pos+2 : end])
+		z.pos = end + 1
+	}
+	name := body
+	if i := strings.IndexAny(name, " \t\r\n"); i >= 0 {
+		name = name[:i]
+	}
+	return Token{Type: EndTagToken, Name: strings.ToLower(name)}
+}
+
+func (z *Tokenizer) scanStartTag() Token {
+	in := z.in
+	p := z.pos + 1
+	start := p
+	for p < len(in) && isTagNameChar(in[p]) {
+		p++
+	}
+	tok := Token{Type: StartTagToken, Name: strings.ToLower(string(in[start:p]))}
+
+	// Attributes.
+	for {
+		for p < len(in) && isSpace(in[p]) {
+			p++
+		}
+		if p >= len(in) {
+			break
+		}
+		if in[p] == '>' {
+			p++
+			break
+		}
+		if in[p] == '/' {
+			p++
+			if p < len(in) && in[p] == '>' {
+				p++
+				tok.Type = SelfClosingTagToken
+				break
+			}
+			continue
+		}
+		// Attribute name.
+		nameStart := p
+		for p < len(in) && !isSpace(in[p]) && in[p] != '=' && in[p] != '>' && in[p] != '/' {
+			p++
+		}
+		name := strings.ToLower(string(in[nameStart:p]))
+		for p < len(in) && isSpace(in[p]) {
+			p++
+		}
+		var value string
+		if p < len(in) && in[p] == '=' {
+			p++
+			for p < len(in) && isSpace(in[p]) {
+				p++
+			}
+			if p < len(in) && (in[p] == '"' || in[p] == '\'') {
+				quote := in[p]
+				p++
+				vStart := p
+				for p < len(in) && in[p] != quote {
+					p++
+				}
+				value = string(in[vStart:p])
+				if p < len(in) {
+					p++ // closing quote
+				}
+			} else {
+				vStart := p
+				for p < len(in) && !isSpace(in[p]) && in[p] != '>' {
+					p++
+				}
+				value = string(in[vStart:p])
+			}
+		}
+		if name != "" {
+			tok.Attrs = append(tok.Attrs, Attr{Name: name, Value: value})
+		}
+	}
+	z.pos = p
+
+	// Raw-text elements: swallow everything up to the matching close tag
+	// so scripts and styles never leak '<a href' false positives.
+	if tok.Type == StartTagToken && (tok.Name == "script" || tok.Name == "style") {
+		closer := "</" + tok.Name
+		rest := string(in[z.pos:])
+		idx := strings.Index(strings.ToLower(rest), closer)
+		if idx < 0 {
+			z.pos = len(in)
+		} else {
+			end := indexByteFrom(in, z.pos+idx, '>')
+			if end < 0 {
+				z.pos = len(in)
+			} else {
+				z.pos = end + 1
+			}
+		}
+	}
+	return tok
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func isTagNameStart(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isTagNameChar(c byte) bool {
+	return isTagNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == ':'
+}
+
+func indexByteFrom(b []byte, from int, c byte) int {
+	for i := from; i < len(b); i++ {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// DecodeEntities resolves the named entities a crawler actually meets in
+// URLs and titles (&amp; &lt; &gt; &quot; &#39; &apos; &nbsp;) plus
+// numeric references. Unknown entities pass through verbatim.
+func DecodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '&' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 10 {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		ent := s[i+1 : i+semi]
+		switch ent {
+		case "amp":
+			sb.WriteByte('&')
+		case "lt":
+			sb.WriteByte('<')
+		case "gt":
+			sb.WriteByte('>')
+		case "quot":
+			sb.WriteByte('"')
+		case "apos":
+			sb.WriteByte('\'')
+		case "nbsp":
+			sb.WriteRune(' ')
+		default:
+			if n, ok := parseNumericEntity(ent); ok {
+				sb.WriteRune(n)
+			} else {
+				sb.WriteByte('&')
+				i++
+				continue
+			}
+		}
+		i += semi + 1
+	}
+	return sb.String()
+}
+
+func parseNumericEntity(ent string) (rune, bool) {
+	if len(ent) < 2 || ent[0] != '#' {
+		return 0, false
+	}
+	body := ent[1:]
+	base := 10
+	if body[0] == 'x' || body[0] == 'X' {
+		base = 16
+		body = body[1:]
+		if body == "" {
+			return 0, false
+		}
+	}
+	var n int64
+	for _, r := range body {
+		var d int64
+		switch {
+		case r >= '0' && r <= '9':
+			d = int64(r - '0')
+		case base == 16 && r >= 'a' && r <= 'f':
+			d = int64(r-'a') + 10
+		case base == 16 && r >= 'A' && r <= 'F':
+			d = int64(r-'A') + 10
+		default:
+			return 0, false
+		}
+		n = n*int64(base) + d
+		if n > 0x10FFFF {
+			return 0, false
+		}
+	}
+	return rune(n), true
+}

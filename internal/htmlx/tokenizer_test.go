@@ -1,0 +1,184 @@
+package htmlx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func collect(t *testing.T, in string) []Token {
+	t.Helper()
+	var toks []Token
+	z := NewTokenizer([]byte(in))
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			return toks
+		}
+		toks = append(toks, tok)
+	}
+}
+
+func TestBasicTags(t *testing.T) {
+	toks := collect(t, `<html><body>hello</body></html>`)
+	want := []struct {
+		typ  TokenType
+		name string
+		data string
+	}{
+		{StartTagToken, "html", ""},
+		{StartTagToken, "body", ""},
+		{TextToken, "", "hello"},
+		{EndTagToken, "body", ""},
+		{EndTagToken, "html", ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %+v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Type != w.typ || toks[i].Name != w.name || toks[i].Data != w.data {
+			t.Errorf("token %d = %+v, want %+v", i, toks[i], w)
+		}
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	toks := collect(t, `<a HREF="http://x.com/" Title='t' checked data-x=plain>`)
+	if len(toks) != 1 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	a := toks[0]
+	if v, ok := a.Attr("href"); !ok || v != "http://x.com/" {
+		t.Errorf("href = %q, %v", v, ok)
+	}
+	if v, ok := a.Attr("title"); !ok || v != "t" {
+		t.Errorf("title = %q", v)
+	}
+	if _, ok := a.Attr("checked"); !ok {
+		t.Error("bare attribute missing")
+	}
+	if v, _ := a.Attr("data-x"); v != "plain" {
+		t.Errorf("unquoted value = %q", v)
+	}
+	if _, ok := a.Attr("nope"); ok {
+		t.Error("absent attribute reported present")
+	}
+}
+
+func TestSelfClosing(t *testing.T) {
+	toks := collect(t, `<br/><img src="x"/>`)
+	if toks[0].Type != SelfClosingTagToken || toks[0].Name != "br" {
+		t.Errorf("br: %+v", toks[0])
+	}
+	if toks[1].Type != SelfClosingTagToken || toks[1].Name != "img" {
+		t.Errorf("img: %+v", toks[1])
+	}
+	if v, _ := toks[1].Attr("src"); v != "x" {
+		t.Errorf("src = %q", v)
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := collect(t, `a<!-- <a href="no"> -->b`)
+	if len(toks) != 3 {
+		t.Fatalf("got %+v", toks)
+	}
+	if toks[1].Type != CommentToken || toks[1].Data != ` <a href="no"> ` {
+		t.Errorf("comment = %+v", toks[1])
+	}
+	// Unterminated comment: rest of input is the comment.
+	toks = collect(t, `x<!-- open`)
+	if len(toks) != 2 || toks[1].Type != CommentToken {
+		t.Errorf("unterminated comment: %+v", toks)
+	}
+}
+
+func TestDoctype(t *testing.T) {
+	toks := collect(t, `<!DOCTYPE html><p>x</p>`)
+	if toks[0].Type != DoctypeToken {
+		t.Errorf("doctype: %+v", toks[0])
+	}
+}
+
+func TestScriptSwallowed(t *testing.T) {
+	in := `<script>if (a<b) { document.write('<a href="fake">'); }</script><a href="real">x</a>`
+	var hrefs []string
+	z := NewTokenizer([]byte(in))
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			break
+		}
+		if tok.Type == StartTagToken && tok.Name == "a" {
+			v, _ := tok.Attr("href")
+			hrefs = append(hrefs, v)
+		}
+	}
+	if len(hrefs) != 1 || hrefs[0] != "real" {
+		t.Errorf("hrefs = %v, want [real]", hrefs)
+	}
+}
+
+func TestStyleSwallowed(t *testing.T) {
+	in := `<style>a { content: "<a href='no'>"; }</style>ok`
+	toks := collect(t, in)
+	for _, tok := range toks {
+		if tok.Type == StartTagToken && tok.Name == "a" {
+			t.Fatal("anchor inside <style> leaked")
+		}
+	}
+}
+
+func TestMalformedInputNeverPanics(t *testing.T) {
+	cases := []string{
+		"<", "<>", "< >", "<a", "<a href=", `<a href="unterminated`,
+		"</", "</>", "<!", "<!-", "<!--", "<a/", "text<", "<a href>",
+		"<a = b>", "<<a>>", "<?xml version='1.0'?>",
+	}
+	for _, in := range cases {
+		collect(t, in) // must not panic
+	}
+}
+
+func TestTokenizeArbitraryBytesQuick(t *testing.T) {
+	f := func(b []byte) bool {
+		z := NewTokenizer(b)
+		n := 0
+		for {
+			_, ok := z.Next()
+			if !ok {
+				return true
+			}
+			n++
+			if n > len(b)+16 {
+				return false // must terminate
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeEntities(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a&amp;b", "a&b"},
+		{"&lt;x&gt;", "<x>"},
+		{"&quot;q&quot;", `"q"`},
+		{"&apos;", "'"},
+		{"&#65;", "A"},
+		{"&#x3042;", "あ"},
+		{"&#X3042;", "あ"},
+		{"no entities", "no entities"},
+		{"&unknown;", "&unknown;"},
+		{"bare & amp", "bare & amp"},
+		{"&#;", "&#;"},
+		{"&#x;", "&#x;"},
+		{"&#99999999999;", "&#99999999999;"},
+		{"a&amp;&amp;b", "a&&b"},
+	}
+	for _, c := range cases {
+		if got := DecodeEntities(c.in); got != c.want {
+			t.Errorf("DecodeEntities(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMixedOps hammers the store from many goroutines; run
+// with -race this shakes out locking bugs. Each goroutine owns a key
+// range, so final contents are checkable.
+func TestConcurrentMixedOps(t *testing.T) {
+	s := openTemp(t)
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				if err := s.Put(key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					if _, err := s.Get(key); err != nil {
+						t.Errorf("Get: %v", err)
+						return
+					}
+				}
+				if i%7 == 0 {
+					if err := s.Delete(key); err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
+				}
+				// Cross-reads of other workers' keys: any outcome is
+				// fine, but it must not error except ErrNotFound.
+				other := fmt.Sprintf("w%d-k%d", (w+1)%workers, i)
+				if _, err := s.Get(other); err != nil && err != ErrNotFound {
+					t.Errorf("cross Get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Deterministic final state per worker: keys with i%7==0 deleted.
+	want := workers * (perWorker - (perWorker+6)/7)
+	if s.Len() != want {
+		t.Errorf("Len = %d, want %d", s.Len(), want)
+	}
+}
+
+func TestConcurrentReadsDuringCompact(t *testing.T) {
+	s := openTemp(t)
+	for i := 0; i < 500; i++ {
+		s.Put(fmt.Sprintf("k%d", i%50), []byte("value"))
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := s.Get(fmt.Sprintf("k%d", i)); err != nil {
+				t.Errorf("Get during compact: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if err := s.Compact(); err != nil {
+			t.Errorf("Compact: %v", err)
+		}
+	}()
+	wg.Wait()
+	if s.Len() != 50 {
+		t.Errorf("Len after concurrent compact = %d", s.Len())
+	}
+}
+
+func TestFlushErrorsOnClosed(t *testing.T) {
+	s := openTemp(t)
+	s.Close()
+	if err := s.Flush(); err != ErrClosed {
+		t.Errorf("Flush on closed = %v", err)
+	}
+	if err := s.Sync(); err != ErrClosed {
+		t.Errorf("Sync on closed = %v", err)
+	}
+	if s.Has("k") {
+		t.Error("Has on closed store")
+	}
+}
+
+func TestDeadBytesAccounting(t *testing.T) {
+	s := openTemp(t)
+	if s.DeadBytes() != 0 {
+		t.Error("fresh store has dead bytes")
+	}
+	s.Put("k", []byte("1"))
+	first := s.DeadBytes()
+	s.Put("k", []byte("2"))
+	if s.DeadBytes() <= first {
+		t.Error("overwrite did not grow dead bytes")
+	}
+	s.Delete("k")
+	afterDelete := s.DeadBytes()
+	if afterDelete <= first {
+		t.Error("delete did not grow dead bytes")
+	}
+}

@@ -1,0 +1,246 @@
+// Package metrics records and renders the measurements the paper's
+// evaluation plots: harvest rate, coverage, and URL-queue size as
+// functions of pages crawled. A Series is a sampled curve; a Set groups
+// the curves of one figure and can render itself as CSV (for external
+// plotting) or as a terminal ASCII chart (for the experiment harness's
+// immediate output).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one sample: X is typically "pages crawled", Y the metric.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sampled curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the final sample, or a zero Point when empty.
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// MaxY returns the maximum Y over the series (0 when empty).
+func (s *Series) MaxY() float64 {
+	m := 0.0
+	for _, p := range s.Points {
+		if p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+// At linearly interpolates the series at x, clamping outside the sampled
+// range. It lets tests compare strategies at a common crawl progress.
+func (s *Series) At(x float64) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	pts := s.Points
+	if x <= pts[0].X {
+		return pts[0].Y
+	}
+	if x >= pts[len(pts)-1].X {
+		return pts[len(pts)-1].Y
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].X >= x })
+	a, b := pts[i-1], pts[i]
+	if b.X == a.X {
+		return b.Y
+	}
+	t := (x - a.X) / (b.X - a.X)
+	return a.Y + t*(b.Y-a.Y)
+}
+
+// Set is an ordered collection of series sharing an X axis — one figure
+// panel.
+type Set struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewSet creates an empty set.
+func NewSet(title, xlabel, ylabel string) *Set {
+	return &Set{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// NewSeries adds and returns a new named series.
+func (set *Set) NewSeries(name string) *Series {
+	s := &Series{Name: name}
+	set.Series = append(set.Series, s)
+	return s
+}
+
+// Get returns the series with the given name, or nil.
+func (set *Set) Get(name string) *Series {
+	for _, s := range set.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the set as CSV: an x column followed by one column per
+// series. Series are sampled at the union of all X values via
+// interpolation, so curves with different sampling strides still align.
+func (set *Set) WriteCSV(w io.Writer) error {
+	xsSet := make(map[float64]struct{})
+	for _, s := range set.Series {
+		for _, p := range s.Points {
+			xsSet[p.X] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	cols := make([]string, 0, len(set.Series)+1)
+	cols = append(cols, csvEscape(set.XLabel))
+	for _, s := range set.Series {
+		cols = append(cols, csvEscape(s.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		row := make([]string, 0, len(set.Series)+1)
+		row = append(row, formatNum(x))
+		for _, s := range set.Series {
+			row = append(row, formatNum(s.At(x)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func formatNum(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%.4f", f)
+}
+
+// plotGlyphs distinguish series in ASCII charts.
+var plotGlyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// RenderASCII draws the set as a fixed-size ASCII chart with a legend —
+// the terminal rendition of one paper figure panel.
+func (set *Set) RenderASCII(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	var minX, maxX, maxY float64
+	first := true
+	for _, s := range set.Series {
+		for _, p := range s.Points {
+			if first {
+				minX, maxX = p.X, p.X
+				first = false
+			}
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", set.Title)
+	if first {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range set.Series {
+		g := plotGlyphs[si%len(plotGlyphs)]
+		for _, p := range s.Points {
+			cx := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			cy := int(p.Y / maxY * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = g
+		}
+	}
+	yTop := fmt.Sprintf("%10.4g |", maxY)
+	yBot := fmt.Sprintf("%10.4g |", 0.0)
+	pad := strings.Repeat(" ", 10) + " |"
+	for i, row := range grid {
+		switch i {
+		case 0:
+			sb.WriteString(yTop)
+		case height - 1:
+			sb.WriteString(yBot)
+		default:
+			sb.WriteString(pad)
+		}
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&sb, "%12s%-*.4g%*.4g\n", "", width/2, minX, width/2, maxX)
+	fmt.Fprintf(&sb, "%12sx: %s   y: %s\n", "", set.XLabel, set.YLabel)
+	for si, s := range set.Series {
+		fmt.Fprintf(&sb, "%12s%c %s\n", "", plotGlyphs[si%len(plotGlyphs)], s.Name)
+	}
+	return sb.String()
+}
+
+// Summary prints one line per series: final X/Y, max Y — the quick
+// numbers EXPERIMENTS.md quotes.
+func (set *Set) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", set.Title)
+	for _, s := range set.Series {
+		last := s.Last()
+		fmt.Fprintf(&sb, "  %-42s final(%s=%s) %s=%s  max(%s)=%s\n",
+			s.Name, set.XLabel, formatNum(last.X), set.YLabel, formatNum(last.Y),
+			set.YLabel, formatNum(s.MaxY()))
+	}
+	return sb.String()
+}

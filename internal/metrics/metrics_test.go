@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Len() != 0 || s.MaxY() != 0 || (s.Last() != Point{}) {
+		t.Error("empty series accessors")
+	}
+	s.Add(0, 10)
+	s.Add(5, 30)
+	s.Add(10, 20)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Last() != (Point{10, 20}) {
+		t.Errorf("Last = %+v", s.Last())
+	}
+	if s.MaxY() != 30 {
+		t.Errorf("MaxY = %v", s.MaxY())
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	var s Series
+	s.Add(0, 0)
+	s.Add(10, 100)
+	cases := []struct{ x, want float64 }{
+		{-5, 0},   // clamp left
+		{0, 0},    // endpoint
+		{5, 50},   // midpoint
+		{10, 100}, // endpoint
+		{20, 100}, // clamp right
+		{2.5, 25}, // interpolation
+	}
+	for _, c := range cases {
+		if got := s.At(c.x); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	var empty Series
+	if empty.At(5) != 0 {
+		t.Error("At on empty series should be 0")
+	}
+}
+
+func TestSeriesAtDuplicateX(t *testing.T) {
+	var s Series
+	s.Add(5, 1)
+	s.Add(5, 9)
+	if got := s.At(5); got != 1 && got != 9 {
+		t.Errorf("At(5) with duplicate x = %v", got)
+	}
+}
+
+func TestSetCSV(t *testing.T) {
+	set := NewSet("Fig X", "pages", "harvest")
+	a := set.NewSeries("soft")
+	a.Add(0, 100)
+	a.Add(10, 60)
+	b := set.NewSeries("hard,weird\"name")
+	b.Add(5, 80)
+
+	var sb strings.Builder
+	if err := set.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + x∈{0,5,10}
+		t.Fatalf("CSV lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != `pages,soft,"hard,weird""name"` {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "5,80") {
+		t.Errorf("interpolated row = %q", lines[2])
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	set := NewSet("t", "x", "y")
+	s := set.NewSeries("a")
+	if set.Get("a") != s {
+		t.Error("Get should find the series")
+	}
+	if set.Get("missing") != nil {
+		t.Error("Get of absent series should be nil")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	set := NewSet("Coverage", "pages", "%")
+	s := set.NewSeries("soft")
+	for i := 0; i <= 10; i++ {
+		s.Add(float64(i*1000), float64(i*10))
+	}
+	out := set.RenderASCII(60, 12)
+	if !strings.Contains(out, "Coverage") || !strings.Contains(out, "soft") {
+		t.Errorf("render missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("render has no data glyphs")
+	}
+	// Tiny dimensions are clamped, not crashed.
+	_ = set.RenderASCII(1, 1)
+	// Empty set renders a placeholder.
+	empty := NewSet("none", "x", "y")
+	if !strings.Contains(empty.RenderASCII(40, 8), "no data") {
+		t.Error("empty set should render 'no data'")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	set := NewSet("Fig", "pages", "harvest")
+	s := set.NewSeries("bfs")
+	s.Add(0, 50)
+	s.Add(100, 35)
+	sum := set.Summary()
+	if !strings.Contains(sum, "bfs") || !strings.Contains(sum, "35") || !strings.Contains(sum, "50") {
+		t.Errorf("summary missing values:\n%s", sum)
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	if formatNum(3) != "3" {
+		t.Errorf("formatNum(3) = %q", formatNum(3))
+	}
+	if formatNum(3.5) != "3.5000" {
+		t.Errorf("formatNum(3.5) = %q", formatNum(3.5))
+	}
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgPalette holds distinguishable line colors (Okabe–Ito, colorblind
+// safe).
+var svgPalette = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7",
+	"#E69F00", "#56B4E9", "#F0E442", "#000000",
+}
+
+// RenderSVG draws the set as a self-contained SVG line chart — the
+// vector rendition of one paper figure panel, suitable for embedding in
+// the experiment harness's HTML report.
+func (set *Set) RenderSVG(width, height int) string {
+	if width < 200 {
+		width = 200
+	}
+	if height < 120 {
+		height = 120
+	}
+	const (
+		padL = 64
+		padR = 16
+		padT = 28
+		padB = 40
+	)
+	plotW := float64(width - padL - padR)
+	plotH := float64(height - padT - padB)
+
+	var minX, maxX, maxY float64
+	first := true
+	for _, s := range set.Series {
+		for _, p := range s.Points {
+			if first {
+				minX, maxX = p.X, p.X
+				first = false
+			}
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`,
+		width, height, width, height)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	fmt.Fprintf(&sb, `<text x="%d" y="16" font-size="13" font-weight="bold">%s</text>`,
+		padL, escapeXML(set.Title))
+
+	if first {
+		sb.WriteString(`<text x="50%" y="50%" text-anchor="middle">no data</text></svg>`)
+		return sb.String()
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	toX := func(x float64) float64 { return padL + (x-minX)/(maxX-minX)*plotW }
+	toY := func(y float64) float64 { return padT + plotH - y/maxY*plotH }
+
+	// Frame and gridlines with tick labels.
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#999"/>`,
+		padL, padT, plotW, plotH)
+	for i := 0; i <= 4; i++ {
+		fy := padT + plotH*float64(i)/4
+		val := maxY * float64(4-i) / 4
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`,
+			padL, fy, padL+float64(plotW), fy)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="end" fill="#555">%s</text>`,
+			padL-6, fy+4, compactNum(val))
+		fx := padL + plotW*float64(i)/4
+		xval := minX + (maxX-minX)*float64(i)/4
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle" fill="#555">%s</text>`,
+			fx, height-padB+16, compactNum(xval))
+	}
+	fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle" fill="#333">%s</text>`,
+		padL+plotW/2, height-6, escapeXML(set.XLabel))
+	fmt.Fprintf(&sb, `<text x="14" y="%.1f" text-anchor="middle" fill="#333" transform="rotate(-90 14 %.1f)">%s</text>`,
+		padT+plotH/2, padT+plotH/2, escapeXML(set.YLabel))
+
+	// Series polylines.
+	for si, s := range set.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		color := svgPalette[si%len(svgPalette)]
+		var pts strings.Builder
+		for i, p := range s.Points {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", toX(p.X), toY(p.Y))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`,
+			pts.String(), color)
+	}
+
+	// Legend.
+	lx, ly := padL+8, padT+8
+	for si, s := range set.Series {
+		color := svgPalette[si%len(svgPalette)]
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2.5"/>`,
+			lx, ly+si*15, lx+18, ly+si*15, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d">%s</text>`, lx+24, ly+si*15+4, escapeXML(s.Name))
+	}
+
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+func compactNum(f float64) string {
+	af := math.Abs(f)
+	switch {
+	case af >= 1e6:
+		return fmt.Sprintf("%.3gM", f/1e6)
+	case af >= 1e4:
+		return fmt.Sprintf("%.3gk", f/1e3)
+	case f == math.Trunc(f):
+		return fmt.Sprintf("%.0f", f)
+	default:
+		return fmt.Sprintf("%.3g", f)
+	}
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSVGBasics(t *testing.T) {
+	set := NewSet("Queue <size>", "pages", "URLs")
+	a := set.NewSeries("soft & hard")
+	for i := 0; i <= 10; i++ {
+		a.Add(float64(i*1000), float64(i*i*100))
+	}
+	b := set.NewSeries("bfs")
+	b.Add(0, 50)
+	b.Add(10000, 900)
+
+	out := set.RenderSVG(800, 300)
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline",
+		"Queue &lt;size&gt;", // title escaped
+		"soft &amp; hard",    // legend escaped
+		"bfs",
+		"pages", "URLs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("expected 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestRenderSVGEmpty(t *testing.T) {
+	set := NewSet("empty", "x", "y")
+	out := set.RenderSVG(400, 200)
+	if !strings.Contains(out, "no data") || !strings.Contains(out, "</svg>") {
+		t.Errorf("empty SVG malformed: %s", out)
+	}
+}
+
+func TestRenderSVGClampsTinyDimensions(t *testing.T) {
+	set := NewSet("t", "x", "y")
+	s := set.NewSeries("s")
+	s.Add(1, 1)
+	out := set.RenderSVG(1, 1)
+	if !strings.Contains(out, "</svg>") {
+		t.Error("tiny SVG truncated")
+	}
+}
+
+func TestRenderSVGSinglePointAndZeroY(t *testing.T) {
+	set := NewSet("degenerate", "x", "y")
+	s := set.NewSeries("flat-zero")
+	s.Add(5, 0)
+	out := set.RenderSVG(400, 200)
+	if !strings.Contains(out, "polyline") {
+		t.Error("single zero point should still render a polyline")
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Error("degenerate ranges leaked non-finite coordinates")
+	}
+}
+
+func TestCompactNum(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{42, "42"},
+		{1500, "1500"},
+		{25000, "25k"},
+		{2_500_000, "2.5M"},
+		{0.125, "0.125"},
+	}
+	for _, c := range cases {
+		if got := compactNum(c.in); got != c.want {
+			t.Errorf("compactNum(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

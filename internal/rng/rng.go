@@ -1,0 +1,197 @@
+// Package rng provides a small, fast, deterministic random number
+// generator for simulations. Determinism across Go versions matters
+// here: page content and web-graph structure are *regenerated* from
+// seeds rather than stored, so the generator must be stable — hence a
+// self-contained splitmix64/xoshiro core instead of math/rand, whose
+// stream is not guaranteed across releases.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256** generator seeded via splitmix64. The zero value
+// is not usable; construct with New.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed. Distinct seeds give
+// independent-looking streams (splitmix64 scrambles the seed).
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// New2 returns a generator seeded from a (seed, stream) pair — the usual
+// way to derive a per-page or per-site stream from a space seed.
+func New2(seed, stream uint64) *RNG {
+	return New(seed*0x9E3779B97F4A7C15 + stream*0xD1B54A32D192ED03 + 0x8CB92BA72F3D8DD7)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// IntRange returns a uniform int in [lo, hi]. hi must be >= lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// LogNormal returns exp(mu + sigma*N(0,1)); heavy-tailed sizes such as
+// page lengths and site page counts are drawn from this.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s via a precomputed CDF and binary search. It is
+// deterministic given the RNG stream, unlike math/rand's rejection
+// sampler which consumes a variable number of uniforms — CDF inversion
+// consumes exactly one uniform per sample, keeping derived streams
+// aligned.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one rank using r.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Weighted samples indices 0..n-1 proportionally to the given
+// non-negative weights, again via CDF inversion.
+type Weighted struct {
+	cdf []float64
+}
+
+// NewWeighted builds a sampler from weights. At least one weight must be
+// positive.
+func NewWeighted(weights []float64) *Weighted {
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight")
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum == 0 {
+		panic("rng: all weights zero")
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[len(cdf)-1] = 1
+	return &Weighted{cdf: cdf}
+}
+
+// Sample draws one index using r.
+func (w *Weighted) Sample(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(w.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"langcrawl/internal/core"
+	"langcrawl/internal/webgraph"
+)
+
+// TestEngineInvariantsQuick runs randomized (space, strategy, mode,
+// budget) combinations and checks the invariants every crawl must
+// satisfy, whatever the policy:
+//
+//   - pages crawled never exceed the space or the budget;
+//   - relevant crawled never exceeds relevant total;
+//   - harvest and coverage stay in [0,100] and coverage is monotone;
+//   - the queue high-water mark bounds every sampled queue length.
+func TestEngineInvariantsQuick(t *testing.T) {
+	strategies := []core.Strategy{
+		core.BreadthFirst{},
+		core.HardFocused{},
+		core.SoftFocused{},
+		core.LimitedDistance{N: 2},
+		core.LimitedDistance{N: 3, Prioritized: true},
+		core.ContextLayers{Layers: 2},
+	}
+	f := func(seed uint64, stratIdx, modeIdx uint8, budget uint16) bool {
+		space, err := webgraph.Generate(webgraph.ThaiLike(int(budget%1500)+300, seed))
+		if err != nil {
+			return false
+		}
+		cfg := Config{
+			Strategy:   strategies[int(stratIdx)%len(strategies)],
+			Classifier: metaThai(),
+			QueueMode:  QueueMode(modeIdx % 2),
+			MaxPages:   int(budget % 700), // 0 = unbounded is included
+		}
+		res, err := Run(space, cfg)
+		if err != nil {
+			return false
+		}
+		if res.Crawled > space.N() {
+			return false
+		}
+		if cfg.MaxPages > 0 && res.Crawled > cfg.MaxPages {
+			return false
+		}
+		if res.RelevantCrawled > res.RelevantTotal {
+			return false
+		}
+		if h := res.FinalHarvest(); h < 0 || h > 100 {
+			return false
+		}
+		if c := res.FinalCoverage(); c < 0 || c > 100 {
+			return false
+		}
+		prevCov, prevX := -1.0, -1.0
+		for _, p := range res.Coverage.Points {
+			if p.Y+1e-9 < prevCov || p.X < prevX {
+				return false
+			}
+			prevCov, prevX = p.Y, p.X
+		}
+		for _, p := range res.QueueSize.Points {
+			if int(p.Y) > res.MaxQueueLen {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

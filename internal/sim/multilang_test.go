@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/core"
+	"langcrawl/internal/webgraph"
+)
+
+func TestMultiLanguageCrawl(t *testing.T) {
+	// Target Thai AND Japanese on the Thai-sim space (whose filler
+	// languages include Japanese). The multi-language classifier plus
+	// matching ground truth must lift both harvest and coverage above
+	// the single-language run.
+	multi := core.AnyOf(
+		core.MetaClassifier{Target: charset.LangThai},
+		core.MetaClassifier{Target: charset.LangJapanese},
+	)
+	bothLangs := func(s *webgraph.Space, id webgraph.PageID) bool {
+		return s.Lang[id] == charset.LangThai || s.Lang[id] == charset.LangJapanese
+	}
+
+	single, err := Run(thaiSpace, Config{Strategy: core.HardFocused{}, Classifier: metaThai()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Run(thaiSpace, Config{
+		Strategy:   core.HardFocused{},
+		Classifier: multi,
+		RelevantFn: bothLangs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if both.RelevantTotal <= single.RelevantTotal {
+		t.Fatalf("multi-language ground truth %d should exceed Thai-only %d",
+			both.RelevantTotal, single.RelevantTotal)
+	}
+	if both.RelevantCrawled <= single.RelevantCrawled {
+		t.Errorf("multi-language crawl banked %d pages, Thai-only %d",
+			both.RelevantCrawled, single.RelevantCrawled)
+	}
+	// The multi-target hard crawl expands through Japanese pages too, so
+	// it must fetch more pages overall.
+	if both.Crawled <= single.Crawled {
+		t.Errorf("multi-language crawled %d, Thai-only %d", both.Crawled, single.Crawled)
+	}
+}
+
+func TestAnyOfClassifier(t *testing.T) {
+	multi := core.AnyOf(
+		core.MetaClassifier{Target: charset.LangThai},
+		core.MetaClassifier{Target: charset.LangJapanese},
+	)
+	if multi.NeedsBody() {
+		t.Error("meta-only composition must not request bodies")
+	}
+	cases := []struct {
+		declared charset.Charset
+		want     float64
+	}{
+		{charset.TIS620, 1},
+		{charset.EUCJP, 1},
+		{charset.ASCII, 0},
+		{charset.Unknown, 0},
+	}
+	for _, c := range cases {
+		v := &core.Visit{Status: 200, Declared: c.declared}
+		if got := multi.Score(v); got != c.want {
+			t.Errorf("Score(%v) = %v, want %v", c.declared, got, c.want)
+		}
+	}
+	if multi.Name() == "" {
+		t.Error("empty name")
+	}
+	withDetector := core.AnyOf(
+		core.MetaClassifier{Target: charset.LangThai},
+		core.DetectorClassifier{Target: charset.LangJapanese},
+	)
+	if !withDetector.NeedsBody() {
+		t.Error("composition with a detector must request bodies")
+	}
+}
+
+func TestRelevantFnChangesDenominator(t *testing.T) {
+	none := func(*webgraph.Space, webgraph.PageID) bool { return false }
+	res, err := Run(thaiSpace, Config{
+		Strategy: core.BreadthFirst{}, Classifier: metaThai(),
+		RelevantFn: none, MaxPages: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelevantTotal != 0 || res.RelevantCrawled != 0 {
+		t.Errorf("nothing-is-relevant truth: total=%d crawled=%d",
+			res.RelevantTotal, res.RelevantCrawled)
+	}
+	if res.FinalCoverage() != 0 || res.FinalHarvest() != 0 {
+		t.Error("metrics should be zero under empty truth")
+	}
+}

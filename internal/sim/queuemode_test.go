@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"langcrawl/internal/core"
+)
+
+func runMode(t *testing.T, strat core.Strategy, mode QueueMode) *Result {
+	t.Helper()
+	res, err := Run(thaiSpace, Config{Strategy: strat, Classifier: metaThai(), QueueMode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestUpgradeModeSameCoverage(t *testing.T) {
+	// The two queue semantics must visit the same page *set* for every
+	// strategy (the priority-upgrade heap is an optimization, not a
+	// policy change), even though visit order may differ.
+	for _, strat := range []core.Strategy{
+		core.BreadthFirst{},
+		core.HardFocused{},
+		core.SoftFocused{},
+		core.LimitedDistance{N: 2, Prioritized: true},
+	} {
+		dup := runMode(t, strat, QueueDuplicates)
+		up := runMode(t, strat, QueueUpgrade)
+		if dup.Crawled != up.Crawled {
+			// Limited-distance with upgrades can differ marginally: an
+			// upgrade rewrites the distance state of a queued entry,
+			// where duplicate mode would have popped both. Allow a hair
+			// of slack for the distance-bearing strategy only.
+			if _, isLD := strat.(core.LimitedDistance); !isLD {
+				t.Errorf("%s: crawled %d (dup) vs %d (upgrade)", strat.Name(), dup.Crawled, up.Crawled)
+				continue
+			}
+			diff := dup.Crawled - up.Crawled
+			if diff < 0 {
+				diff = -diff
+			}
+			if float64(diff) > 0.02*float64(dup.Crawled) {
+				t.Errorf("%s: crawled %d (dup) vs %d (upgrade)", strat.Name(), dup.Crawled, up.Crawled)
+			}
+			continue
+		}
+		if dup.RelevantCrawled != up.RelevantCrawled {
+			t.Errorf("%s: relevant %d (dup) vs %d (upgrade)", strat.Name(), dup.RelevantCrawled, up.RelevantCrawled)
+		}
+	}
+}
+
+func TestUpgradeModeShrinksQueue(t *testing.T) {
+	// The whole point: one entry per URL instead of one per discovery.
+	dup := runMode(t, core.SoftFocused{}, QueueDuplicates)
+	up := runMode(t, core.SoftFocused{}, QueueUpgrade)
+	if up.MaxQueueLen >= dup.MaxQueueLen {
+		t.Errorf("upgrade queue %d not below duplicates queue %d", up.MaxQueueLen, dup.MaxQueueLen)
+	}
+	// And it is bounded by the number of pages.
+	if up.MaxQueueLen > thaiSpace.N() {
+		t.Errorf("upgrade queue %d exceeds page count %d", up.MaxQueueLen, thaiSpace.N())
+	}
+}
+
+func TestUpgradeModePreservesPrioritizedBehavior(t *testing.T) {
+	// Prioritized limited distance relies on re-discovery promotion; the
+	// upgrade heap provides it in place. Mid-crawl harvest must stay in
+	// the same band as duplicates mode.
+	x := float64(thaiSpace.N()) / 3
+	dup := runMode(t, core.LimitedDistance{N: 3, Prioritized: true}, QueueDuplicates)
+	up := runMode(t, core.LimitedDistance{N: 3, Prioritized: true}, QueueUpgrade)
+	d, u := dup.Harvest.At(x), up.Harvest.At(x)
+	if diff := d - u; diff > 8 || diff < -8 {
+		t.Errorf("mid-crawl harvest: duplicates %.1f%% vs upgrade %.1f%%", d, u)
+	}
+	if up.FinalCoverage() < dup.FinalCoverage()-2 {
+		t.Errorf("coverage: duplicates %.1f%% vs upgrade %.1f%%",
+			dup.FinalCoverage(), up.FinalCoverage())
+	}
+}
+
+func TestUpgradeModeRejectsSpill(t *testing.T) {
+	_, err := Run(thaiSpace, Config{
+		Strategy: core.SoftFocused{}, Classifier: metaThai(),
+		QueueMode: QueueUpgrade, SpillDir: t.TempDir(),
+	})
+	if err == nil {
+		t.Error("QueueUpgrade + SpillDir should be rejected")
+	}
+}

@@ -1,0 +1,401 @@
+// Package sim is the Web Crawling Simulator of the paper's §4: a
+// trace-driven system in which a virtual web space — here a
+// webgraph.Space, either synthesized or reconstructed from crawl logs —
+// answers page requests with status, charset and outlinks, while a
+// pluggable strategy (the paper's "observer") orders the URL queue and a
+// classifier scores relevance. The engine measures harvest rate,
+// coverage and queue size as the crawl progresses, producing the curves
+// of Figures 3–7.
+//
+// Like the paper's first simulator, the default engine "omits details
+// such as elapsed time and per-server queue"; the timed engine in
+// timed.go adds the paper's stated future work (transfer delays and
+// per-host access intervals).
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+
+	"langcrawl/internal/core"
+	"langcrawl/internal/frontier"
+	"langcrawl/internal/metrics"
+	"langcrawl/internal/webgraph"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Strategy is the priority-assignment policy under evaluation.
+	Strategy core.Strategy
+	// Classifier scores page relevance. In paper terms: MetaClassifier
+	// for the Thai dataset, DetectorClassifier for the Japanese one.
+	Classifier core.Classifier
+	// MaxPages bounds the number of fetches; 0 crawls until the queue
+	// empties.
+	MaxPages int
+	// SampleEvery sets the metric sampling stride in pages; 0 picks
+	// ~256 samples across the space.
+	SampleEvery int
+	// KeepVisited retains the per-page visited bitmap in the Result for
+	// post-hoc analysis (which pages a strategy reached). Off by default
+	// to keep large sweeps lean.
+	KeepVisited bool
+	// SpillDir, when set, backs the frontier with disk-spilling FIFO
+	// segments stored under this directory, bounding queue memory to
+	// roughly SpillMemLimit items (per priority class for bucket
+	// strategies) — the memory-exhaustion fix for the paper's §5.2.1
+	// soft-focused queue problem. Heap-based strategies are unaffected.
+	SpillDir string
+	// SpillMemLimit is the in-memory item budget per spilling queue
+	// (default 1<<16).
+	SpillMemLimit int
+	// QueueMode selects the frontier's duplicate-handling semantics.
+	QueueMode QueueMode
+	// RelevantFn overrides the ground-truth relevance used by the
+	// harvest/coverage metrics; nil means "page language equals the
+	// space's target". Multi-language crawls (core.AnyOf classifiers)
+	// supply the matching multi-language truth here.
+	RelevantFn func(*webgraph.Space, webgraph.PageID) bool
+	// Seeds overrides the space's own crawl seeds (seed-selection
+	// experiments); nil uses space.Seeds.
+	Seeds []webgraph.PageID
+}
+
+// QueueMode selects how the frontier treats re-discovered URLs.
+type QueueMode uint8
+
+const (
+	// QueueDuplicates retains one entry per discovery, as the paper's
+	// simulator does — re-discovery from a better referrer enqueues a
+	// fresh entry at the new priority, and stale entries are skipped at
+	// pop time. Memory is O(discoveries).
+	QueueDuplicates QueueMode = iota
+	// QueueUpgrade keeps at most one entry per URL in an indexed heap
+	// and raises its priority in place on re-discovery (downgrades
+	// ignored). Memory is O(distinct frontier URLs) — the engineering
+	// fix for the paper's queue blow-up, at the cost of O(log n) ops.
+	// Incompatible with SpillDir.
+	QueueUpgrade
+)
+
+// Result is the outcome of a run: summary numbers plus the sampled
+// series the figures are drawn from. Harvest and coverage are percent.
+type Result struct {
+	Strategy   string
+	Classifier string
+
+	Crawled         int // pages fetched (OK + non-OK, as in the paper)
+	RelevantCrawled int // ground-truth relevant OK pages fetched
+	RelevantTotal   int // ground-truth relevant OK pages in the space
+	MaxQueueLen     int
+	DroppedPages    int // visited pages whose outlinks the strategy discarded
+
+	Harvest   *metrics.Series // % relevant among crawled, vs pages crawled
+	Coverage  *metrics.Series // % of relevant pages found, vs pages crawled
+	QueueSize *metrics.Series // frontier length, vs pages crawled
+
+	// Visited is the per-page fetched bitmap, retained only when
+	// Config.KeepVisited was set.
+	Visited []bool
+}
+
+// FinalHarvest returns the overall harvest rate in percent.
+func (r *Result) FinalHarvest() float64 {
+	if r.Crawled == 0 {
+		return 0
+	}
+	return 100 * float64(r.RelevantCrawled) / float64(r.Crawled)
+}
+
+// FinalCoverage returns the overall coverage in percent.
+func (r *Result) FinalCoverage() float64 {
+	if r.RelevantTotal == 0 {
+		return 0
+	}
+	return 100 * float64(r.RelevantCrawled) / float64(r.RelevantTotal)
+}
+
+// String summarizes the run on one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: crawled=%d harvest=%.1f%% coverage=%.1f%% maxqueue=%d",
+		r.Strategy, r.Classifier, r.Crawled, r.FinalHarvest(), r.FinalCoverage(), r.MaxQueueLen)
+}
+
+// Run executes one crawl simulation over space. It is deterministic:
+// identical (space, cfg) pairs produce identical results.
+func Run(space *webgraph.Space, cfg Config) (*Result, error) {
+	if cfg.Strategy == nil {
+		return nil, fmt.Errorf("sim: Config.Strategy is required")
+	}
+	if cfg.Classifier == nil {
+		return nil, fmt.Errorf("sim: Config.Classifier is required")
+	}
+	n := space.N()
+	sample := cfg.SampleEvery
+	if sample <= 0 {
+		sample = n / 256
+		if sample < 1 {
+			sample = 1
+		}
+	}
+
+	relevant := cfg.RelevantFn
+	if relevant == nil {
+		relevant = func(s *webgraph.Space, id webgraph.PageID) bool { return s.IsRelevant(id) }
+	}
+	relevantTotal := 0
+	if cfg.RelevantFn == nil {
+		relevantTotal = space.RelevantTotal()
+	} else {
+		for id := 0; id < n; id++ {
+			pid := webgraph.PageID(id)
+			if space.IsOK(pid) && relevant(space, pid) {
+				relevantTotal++
+			}
+		}
+	}
+
+	res := &Result{
+		Strategy:      cfg.Strategy.Name(),
+		Classifier:    cfg.Classifier.Name(),
+		RelevantTotal: relevantTotal,
+		Harvest:       &metrics.Series{Name: cfg.Strategy.Name()},
+		Coverage:      &metrics.Series{Name: cfg.Strategy.Name()},
+		QueueSize:     &metrics.Series{Name: cfg.Strategy.Name()},
+	}
+
+	// In the default QueueDuplicates mode the frontier holds one (page,
+	// distance) entry per *discovery*: a URL re-discovered from a better
+	// referrer is enqueued again at the new priority, and stale entries
+	// are skipped at pop time. This matches the paper's simulator — its
+	// soft-focused queue peaks at ~8M URLs on a 3.9M-OK-page dataset,
+	// which is only possible if entries are kept per discovery — and is
+	// what makes the prioritized limited-distance mode work: a page first
+	// seen far from relevant territory is promoted when a relevant page
+	// later links to it. QueueUpgrade reaches the same crawl via an
+	// indexed heap with in-place upgrades (see QueueMode).
+	//
+	// The frontier is abstracted behind closures so both modes share the
+	// crawl loop.
+	fr, err := buildFrontier(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	defer fr.close()
+	push, pop, qlen, qmax := fr.push, fr.pop, fr.len, fr.max
+	visited := make([]bool, n)
+	needBody := cfg.Classifier.NeedsBody()
+	observer, _ := cfg.Strategy.(core.QueueObserver)
+
+	seeds := cfg.Seeds
+	if seeds == nil {
+		seeds = space.Seeds
+	}
+	for _, seed := range seeds {
+		if int(seed) >= n {
+			return nil, fmt.Errorf("sim: seed %d out of range", seed)
+		}
+		// Seeds are enqueued as if referred by a relevant page, at the
+		// top priority class.
+		push(seed, 0, 1)
+	}
+
+	recordSample := func() {
+		x := float64(res.Crawled)
+		res.Harvest.Add(x, 100*safeDiv(res.RelevantCrawled, res.Crawled))
+		res.Coverage.Add(x, 100*safeDiv(res.RelevantCrawled, res.RelevantTotal))
+		res.QueueSize.Add(x, float64(qlen()))
+	}
+	recordSample()
+
+	var visit core.Visit
+	for {
+		if cfg.MaxPages > 0 && res.Crawled >= cfg.MaxPages {
+			break
+		}
+		item, ok := pop()
+		if !ok {
+			break
+		}
+		id := item.id
+		if visited[id] {
+			continue
+		}
+		visited[id] = true
+
+		// "Fetch" from the virtual web space.
+		visit = core.Visit{
+			Status:      int(space.Status[id]),
+			Declared:    space.Declared[id],
+			TrueCharset: space.Charset[id],
+		}
+		if needBody && visit.Status == 200 {
+			visit.Body = space.PageBytes(id)
+		}
+		res.Crawled++
+		if visit.Status == 200 && relevant(space, id) {
+			res.RelevantCrawled++
+		}
+
+		score := cfg.Classifier.Score(&visit)
+		dec := cfg.Strategy.Decide(score, int(item.dist))
+		if visit.Status == 200 {
+			if dec.Follow {
+				for _, t := range space.Outlinks(id) {
+					if visited[t] {
+						continue
+					}
+					push(t, int32(dec.Dist), dec.Priority)
+				}
+			} else if space.OutDegree(id) > 0 {
+				res.DroppedPages++
+			}
+		}
+		if observer != nil {
+			observer.ObserveQueueLen(qlen())
+		}
+
+		if res.Crawled%sample == 0 {
+			recordSample()
+		}
+	}
+	recordSample()
+	res.MaxQueueLen = qmax()
+	if cfg.KeepVisited {
+		res.Visited = visited
+	}
+	return res, nil
+}
+
+// entry is one frontier element: a page plus the crawl-path distance
+// state attached when it was enqueued.
+type entry struct {
+	id   webgraph.PageID
+	dist int32
+}
+
+// simFrontier is the frontier abstraction both engines crawl through:
+// push/pop/len/max closures over whichever queue the Config selected.
+type simFrontier struct {
+	push  func(id webgraph.PageID, dist int32, prio float64)
+	pop   func() (entry, bool)
+	len   func() int
+	max   func() int
+	close func()
+}
+
+// buildFrontier assembles the frontier for the configured queue mode:
+// an indexed heap with in-place upgrades, or the paper-faithful
+// duplicate-retaining queue (optionally disk-spilling).
+func buildFrontier(cfg Config, n int) (*simFrontier, error) {
+	if cfg.QueueMode == QueueUpgrade {
+		if cfg.SpillDir != "" {
+			return nil, fmt.Errorf("sim: QueueUpgrade is incompatible with SpillDir")
+		}
+		heap := frontier.NewIndexedHeap[webgraph.PageID]()
+		distOf := make([]int32, n)
+		return &simFrontier{
+			push: func(id webgraph.PageID, dist int32, prio float64) {
+				if prev, ok := heap.Priority(id); ok && prio <= prev {
+					return // queued entry is already at least as good
+				}
+				heap.Push(id, prio)
+				distOf[id] = dist
+			},
+			pop: func() (entry, bool) {
+				id, ok := heap.Pop()
+				if !ok {
+					return entry{}, false
+				}
+				return entry{id: id, dist: distOf[id]}, true
+			},
+			len:   heap.Len,
+			max:   heap.MaxLen,
+			close: func() {},
+		}, nil
+	}
+	queue, closeFn, err := buildDuplicateQueue(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &simFrontier{
+		push: func(id webgraph.PageID, dist int32, prio float64) {
+			queue.Push(entry{id: id, dist: dist}, prio)
+		},
+		pop:   queue.Pop,
+		len:   queue.Len,
+		max:   queue.MaxLen,
+		close: closeFn,
+	}, nil
+}
+
+// buildDuplicateQueue constructs the duplicates-mode frontier: the
+// strategy's in-memory queue kind, or its disk-spilling variant when
+// SpillDir is set. The returned closer releases spill resources.
+func buildDuplicateQueue(cfg Config) (frontier.Queue[entry], func(), error) {
+	if cfg.SpillDir == "" {
+		return frontier.New[entry](cfg.Strategy.QueueKind()), func() {}, nil
+	}
+	enc := func(it entry) []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint32(b[:4], it.id)
+		binary.LittleEndian.PutUint32(b[4:], uint32(it.dist))
+		return b[:]
+	}
+	dec := func(b []byte) (entry, error) {
+		if len(b) != 8 {
+			return entry{}, fmt.Errorf("sim: corrupt spilled frontier item")
+		}
+		return entry{
+			id:   binary.LittleEndian.Uint32(b[:4]),
+			dist: int32(binary.LittleEndian.Uint32(b[4:])),
+		}, nil
+	}
+	return newSpillQueue(cfg, enc, dec)
+}
+
+func safeDiv(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// newSpillQueue builds a disk-spilling frontier for the strategy's queue
+// kind: a single SpillFIFO for FIFO strategies, spill-backed classes for
+// bucket strategies. The returned closer removes leftover segment files.
+// Heap strategies (continuous priorities) cannot spill and fall back to
+// the in-memory heap.
+func newSpillQueue[T any](cfg Config, enc func(T) []byte, dec func([]byte) (T, error)) (frontier.Queue[T], func(), error) {
+	limit := cfg.SpillMemLimit
+	if limit <= 0 {
+		limit = 1 << 16
+	}
+	switch cfg.Strategy.QueueKind() {
+	case frontier.KindFIFO:
+		q, err := frontier.NewSpillFIFO(cfg.SpillDir, limit, enc, dec)
+		if err != nil {
+			return nil, nil, err
+		}
+		return q, func() { q.Close() }, nil
+	case frontier.KindBucket:
+		seq := 0
+		var firstErr error
+		bucket := frontier.NewBucketWith(func() frontier.Queue[T] {
+			seq++
+			q, err := frontier.NewSpillFIFO(
+				filepath.Join(cfg.SpillDir, fmt.Sprintf("class-%d", seq)), limit, enc, dec)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return frontier.NewFIFO[T]() // degrade to memory
+			}
+			return q
+		})
+		return bucket, func() { bucket.Close() }, nil
+	default:
+		return frontier.New[T](cfg.Strategy.QueueKind()), func() {}, nil
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+
+	"langcrawl/internal/core"
+	"langcrawl/internal/simtime"
+)
+
+func runTimed(t *testing.T, cfg TimedConfig) *TimedResult {
+	t.Helper()
+	res, err := RunTimed(thaiSpace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTimedBasics(t *testing.T) {
+	res := runTimed(t, TimedConfig{
+		Config: Config{Strategy: core.SoftFocused{}, Classifier: metaThai()},
+	})
+	if res.Duration <= 0 {
+		t.Error("timed run must advance the clock")
+	}
+	if res.Crawled != thaiSpace.N() {
+		t.Errorf("soft timed crawl fetched %d of %d", res.Crawled, thaiSpace.N())
+	}
+	if res.FinalCoverage() < 99.9 {
+		t.Errorf("coverage = %.2f%%", res.FinalCoverage())
+	}
+	if res.Throughput.Len() == 0 {
+		t.Error("no throughput samples")
+	}
+}
+
+func TestTimedValidation(t *testing.T) {
+	if _, err := RunTimed(thaiSpace, TimedConfig{}); err == nil {
+		t.Error("missing strategy/classifier should error")
+	}
+}
+
+func TestTimedDeterministic(t *testing.T) {
+	cfg := TimedConfig{Config: Config{Strategy: core.SoftFocused{}, Classifier: metaThai()}}
+	a := runTimed(t, cfg)
+	b := runTimed(t, cfg)
+	if a.Duration != b.Duration || a.Crawled != b.Crawled || a.RelevantCrawled != b.RelevantCrawled {
+		t.Error("timed runs diverged")
+	}
+}
+
+func TestTimedPolitenessSlowsCrawl(t *testing.T) {
+	// A longer per-host access interval must lengthen the crawl: with
+	// one request at a time per host, host interval bounds throughput.
+	fast := runTimed(t, TimedConfig{
+		Config:       Config{Strategy: core.BreadthFirst{}, Classifier: metaThai(), MaxPages: 2000},
+		HostInterval: 0.1,
+	})
+	slow := runTimed(t, TimedConfig{
+		Config:       Config{Strategy: core.BreadthFirst{}, Classifier: metaThai(), MaxPages: 2000},
+		HostInterval: 5.0,
+	})
+	if slow.Duration <= fast.Duration {
+		t.Errorf("politeness interval 5s (%.1fs) should be slower than 0.1s (%.1fs)",
+			slow.Duration, fast.Duration)
+	}
+}
+
+func TestTimedConcurrencySpeedsCrawl(t *testing.T) {
+	serial := runTimed(t, TimedConfig{
+		Config:      Config{Strategy: core.BreadthFirst{}, Classifier: metaThai(), MaxPages: 2000},
+		Concurrency: 1,
+	})
+	parallel := runTimed(t, TimedConfig{
+		Config:      Config{Strategy: core.BreadthFirst{}, Classifier: metaThai(), MaxPages: 2000},
+		Concurrency: 64,
+	})
+	if parallel.Duration >= serial.Duration {
+		t.Errorf("64-way crawl (%.1fs) should beat serial (%.1fs)",
+			parallel.Duration, serial.Duration)
+	}
+}
+
+func TestTimedBandwidthMatters(t *testing.T) {
+	slow := runTimed(t, TimedConfig{
+		Config: Config{Strategy: core.BreadthFirst{}, Classifier: metaThai(), MaxPages: 1000},
+		Delays: simtime.DelayModel{BaseLatency: 0.05, BytesPerSecond: 1 << 14, Jitter: 0.2, Seed: 1},
+	})
+	fast := runTimed(t, TimedConfig{
+		Config: Config{Strategy: core.BreadthFirst{}, Classifier: metaThai(), MaxPages: 1000},
+		Delays: simtime.DelayModel{BaseLatency: 0.05, BytesPerSecond: 1 << 24, Jitter: 0.2, Seed: 1},
+	})
+	if fast.Duration >= slow.Duration {
+		t.Errorf("16MB/s crawl (%.1fs) should beat 16KB/s (%.1fs)", fast.Duration, slow.Duration)
+	}
+}
+
+func TestTimedMaxVirtualTime(t *testing.T) {
+	res := runTimed(t, TimedConfig{
+		Config:         Config{Strategy: core.BreadthFirst{}, Classifier: metaThai()},
+		MaxVirtualTime: 30,
+	})
+	if res.Crawled >= thaiSpace.N() {
+		t.Error("time budget should cut the crawl short")
+	}
+}
+
+func TestTimedSupportsQueueModesAndSpill(t *testing.T) {
+	// The timed engine shares the frontier abstraction: upgrade and
+	// spill modes must yield the same crawled totals as the default.
+	base := runTimed(t, TimedConfig{
+		Config: Config{Strategy: core.SoftFocused{}, Classifier: metaThai()},
+	})
+	up := runTimed(t, TimedConfig{
+		Config: Config{Strategy: core.SoftFocused{}, Classifier: metaThai(), QueueMode: QueueUpgrade},
+	})
+	if up.Crawled != base.Crawled || up.RelevantCrawled != base.RelevantCrawled {
+		t.Errorf("upgrade timed run: %d/%d vs %d/%d",
+			up.Crawled, up.RelevantCrawled, base.Crawled, base.RelevantCrawled)
+	}
+	if up.MaxQueueLen >= base.MaxQueueLen {
+		t.Errorf("upgrade queue %d not below duplicates %d", up.MaxQueueLen, base.MaxQueueLen)
+	}
+	spill := runTimed(t, TimedConfig{
+		Config: Config{Strategy: core.SoftFocused{}, Classifier: metaThai(),
+			SpillDir: t.TempDir(), SpillMemLimit: 256},
+	})
+	if spill.Crawled != base.Crawled || spill.Duration != base.Duration {
+		t.Errorf("spill timed run diverged: %d pages %.1fs vs %d pages %.1fs",
+			spill.Crawled, spill.Duration, base.Crawled, base.Duration)
+	}
+}
+
+func TestTimedAgreesWithUntimedOnTotals(t *testing.T) {
+	// Ordering differs, but an exhaustive soft crawl must fetch the same
+	// set of pages (all of them) either way.
+	timed := runTimed(t, TimedConfig{
+		Config: Config{Strategy: core.SoftFocused{}, Classifier: metaThai()},
+	})
+	untimed := run(t, thaiSpace, core.SoftFocused{}, metaThai())
+	if timed.Crawled != untimed.Crawled || timed.RelevantCrawled != untimed.RelevantCrawled {
+		t.Errorf("timed %d/%d vs untimed %d/%d",
+			timed.Crawled, timed.RelevantCrawled, untimed.Crawled, untimed.RelevantCrawled)
+	}
+}

@@ -1,0 +1,78 @@
+package textgen
+
+import (
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/rng"
+)
+
+// TestDetectorAccuracySweep measures language-identification accuracy
+// over generated corpora as a function of sample length. The composite
+// detector must be near-perfect on realistic page-sized inputs and
+// degrade gracefully — never below a usable floor — on short snippets.
+func TestDetectorAccuracySweep(t *testing.T) {
+	type cell struct{ correct, total int }
+	configs := []struct {
+		lang charset.Language
+		cs   charset.Charset
+	}{
+		{charset.LangJapanese, charset.EUCJP},
+		{charset.LangJapanese, charset.ShiftJIS},
+		{charset.LangJapanese, charset.ISO2022JP},
+		{charset.LangThai, charset.TIS620},
+		{charset.LangThai, charset.Windows874},
+	}
+	lengths := []int{3, 10, 40, 200} // words per sample
+
+	for _, cfg := range configs {
+		codec := charset.CodecFor(cfg.cs)
+		for _, words := range lengths {
+			var c cell
+			for trial := 0; trial < 40; trial++ {
+				g := New(cfg.lang, rng.New2(uint64(words), uint64(trial)))
+				enc := codec.Encode(g.Sentence(words))
+				if charset.Detect(enc).Language == cfg.lang {
+					c.correct++
+				}
+				c.total++
+			}
+			acc := float64(c.correct) / float64(c.total)
+			min := 0.95
+			if words <= 3 {
+				// Three words of ISO-2022-JP still carry the escape
+				// sequence; multibyte distributions need more evidence.
+				min = 0.70
+				if cfg.cs == charset.ISO2022JP {
+					min = 0.95
+				}
+			}
+			if acc < min {
+				t.Errorf("%v/%v at %d words: accuracy %.2f below %.2f",
+					cfg.lang, cfg.cs, words, acc, min)
+			}
+		}
+	}
+}
+
+// TestDetectorNoCrossLanguageConfusion feeds each language's corpus to
+// the detector and requires zero confusions *between the two target
+// languages* at paragraph length: misreading Thai as Japanese (or vice
+// versa) is the error class that would silently poison a national
+// archive crawl.
+func TestDetectorNoCrossLanguageConfusion(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		jg := New(charset.LangJapanese, rng.New2(7, uint64(trial)))
+		for _, cs := range []charset.Charset{charset.EUCJP, charset.ShiftJIS} {
+			enc := charset.CodecFor(cs).Encode(jg.Paragraph(4))
+			if got := charset.Detect(enc).Language; got == charset.LangThai {
+				t.Fatalf("trial %d: Japanese/%v detected as Thai", trial, cs)
+			}
+		}
+		tg := New(charset.LangThai, rng.New2(11, uint64(trial)))
+		enc := charset.CodecFor(charset.TIS620).Encode(tg.Paragraph(4))
+		if got := charset.Detect(enc).Language; got == charset.LangJapanese {
+			t.Fatalf("trial %d: Thai detected as Japanese", trial)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package textgen
+
+import (
+	"bytes"
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/rng"
+)
+
+func TestHTMLPageStructure(t *testing.T) {
+	spec := PageSpec{
+		Lang:            charset.LangThai,
+		Charset:         charset.TIS620,
+		DeclaredCharset: charset.TIS620,
+		Links:           []string{"http://a.example.th/1", "http://b.example.th/2"},
+	}
+	b := HTMLPage(spec, rng.New(1))
+	for _, want := range []string{"<!DOCTYPE html>", "<title>", "charset=TIS-620", "http://a.example.th/1", "http://b.example.th/2"} {
+		if !bytes.Contains(b, []byte(want)) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+}
+
+func TestHTMLPageOmitsMetaWhenUnknown(t *testing.T) {
+	spec := PageSpec{Lang: charset.LangThai, Charset: charset.TIS620, DeclaredCharset: charset.Unknown}
+	b := HTMLPage(spec, rng.New(1))
+	if bytes.Contains(b, []byte("http-equiv")) {
+		t.Error("page should omit META when DeclaredCharset is Unknown")
+	}
+}
+
+func TestHTMLPageMislabeled(t *testing.T) {
+	// A page whose META claims Latin-1 but whose bytes are TIS-620 — the
+	// paper's observation 3 (mislabeled pages).
+	spec := PageSpec{Lang: charset.LangThai, Charset: charset.TIS620, DeclaredCharset: charset.Latin1}
+	b := HTMLPage(spec, rng.New(1))
+	if !bytes.Contains(b, []byte("charset=ISO-8859-1")) {
+		t.Error("mislabeled page should declare the wrong charset")
+	}
+	// The detector should still see Thai bytes.
+	if got := charset.Detect(b); got.Language != charset.LangThai {
+		t.Errorf("detector fooled by mislabel: %v", got.Charset)
+	}
+}
+
+func TestHTMLPageDeterministic(t *testing.T) {
+	spec := PageSpec{Lang: charset.LangJapanese, Charset: charset.EUCJP, DeclaredCharset: charset.EUCJP,
+		Links: []string{"http://x.jp/"}}
+	a := HTMLPage(spec, rng.New2(5, 77))
+	b := HTMLPage(spec, rng.New2(5, 77))
+	if !bytes.Equal(a, b) {
+		t.Error("HTMLPage not deterministic for identical (spec, stream)")
+	}
+}
+
+func TestHTMLPageAllLinksPresent(t *testing.T) {
+	links := make([]string, 17)
+	for i := range links {
+		links[i] = "http://site.example.jp/page" + string(rune('a'+i))
+	}
+	spec := PageSpec{Lang: charset.LangJapanese, Charset: charset.ShiftJIS,
+		DeclaredCharset: charset.ShiftJIS, Links: links, Paragraphs: 4}
+	b := HTMLPage(spec, rng.New(3))
+	for _, l := range links {
+		if !bytes.Contains(b, []byte(l)) {
+			t.Errorf("page missing link %s", l)
+		}
+	}
+}
+
+func TestHTMLPageDetectorIntegration(t *testing.T) {
+	// Full page bytes (markup + text) must still be detectable — the
+	// exact classifier path used for the Japanese dataset in the paper.
+	for _, cs := range []charset.Charset{charset.EUCJP, charset.ShiftJIS, charset.ISO2022JP} {
+		spec := PageSpec{Lang: charset.LangJapanese, Charset: cs, Paragraphs: 3}
+		b := HTMLPage(spec, rng.New2(8, uint64(cs)))
+		if got := charset.Detect(b); got.Language != charset.LangJapanese {
+			t.Errorf("page in %v detected as %v/%v", cs, got.Charset, got.Language)
+		}
+	}
+	for _, cs := range []charset.Charset{charset.TIS620, charset.Windows874} {
+		spec := PageSpec{Lang: charset.LangThai, Charset: cs, Paragraphs: 3}
+		b := HTMLPage(spec, rng.New2(8, uint64(cs)))
+		if got := charset.Detect(b); got.Language != charset.LangThai {
+			t.Errorf("page in %v detected as %v/%v", cs, got.Charset, got.Language)
+		}
+	}
+}
+
+func TestHTMLPageEscapesText(t *testing.T) {
+	spec := PageSpec{Lang: charset.LangEnglish, Charset: charset.ASCII,
+		Links: []string{"http://x.com/?a=1&b=2"}}
+	b := HTMLPage(spec, rng.New(4))
+	if !bytes.Contains(b, []byte("a=1&amp;b=2")) {
+		t.Error("ampersand in href should be escaped")
+	}
+}

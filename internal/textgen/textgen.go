@@ -1,0 +1,237 @@
+// Package textgen synthesizes natural-language-like text and full HTML
+// pages in Japanese, Thai and English. The simulator never stores page
+// bodies: when a detector-based classifier needs bytes, the page is
+// regenerated deterministically from (spaceSeed, pageID) — so every
+// generator here is a pure function of its RNG stream.
+//
+// The character-frequency models are deliberately aligned with reality
+// (hiragana dominates Japanese text; the Thai model favours the same
+// frequent characters real Thai does) so the charset detector sees input
+// with realistic distribution properties.
+package textgen
+
+import (
+	"strings"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/rng"
+)
+
+// Lang re-exports charset.Language for generator selection.
+type Lang = charset.Language
+
+// frequency-weighted character inventories -------------------------------
+
+// hiraganaCommon lists frequent hiragana with weights approximating
+// running-text frequency (い の ん し か … dominate real Japanese).
+var hiraganaCommon = []struct {
+	r rune
+	w float64
+}{
+	{'い', 9}, {'の', 9}, {'ん', 8}, {'し', 7}, {'か', 7}, {'た', 7},
+	{'と', 6}, {'て', 6}, {'に', 6}, {'な', 6}, {'は', 5}, {'を', 5},
+	{'る', 5}, {'す', 5}, {'が', 5}, {'で', 5}, {'ま', 4}, {'き', 4},
+	{'こ', 4}, {'う', 4}, {'く', 4}, {'れ', 3}, {'そ', 3}, {'も', 3},
+	{'ら', 3}, {'り', 3}, {'さ', 3}, {'あ', 2}, {'お', 2}, {'え', 2},
+	{'つ', 2}, {'け', 2}, {'せ', 2}, {'や', 2}, {'よ', 2}, {'わ', 2},
+	{'ひ', 1}, {'ふ', 1}, {'へ', 1}, {'ほ', 1}, {'み', 1}, {'む', 1},
+	{'め', 1}, {'ち', 1}, {'ぬ', 1}, {'ね', 1},
+}
+
+var katakanaCommon = []struct {
+	r rune
+	w float64
+}{
+	{'ア', 4}, {'イ', 4}, {'ン', 6}, {'ス', 4}, {'ト', 4}, {'ル', 4},
+	{'ラ', 3}, {'リ', 3}, {'ク', 3}, {'タ', 3}, {'シ', 3}, {'カ', 2},
+	{'コ', 2}, {'サ', 2}, {'テ', 2}, {'ニ', 2}, {'マ', 2}, {'ミ', 1},
+	{'メ', 2}, {'モ', 1}, {'ヤ', 1}, {'ユ', 1}, {'ヨ', 1}, {'ロ', 2},
+	{'ワ', 1}, {'エ', 1}, {'オ', 1}, {'ウ', 1}, {'ナ', 1}, {'ネ', 1},
+	{'ー', 5},
+}
+
+// kanjiCommon is the curated externally-validated kanji subset.
+var kanjiCommon = []struct {
+	r rune
+	w float64
+}{
+	{'日', 5}, {'本', 4}, {'人', 4}, {'語', 3},
+}
+
+// thaiCommon lists frequent Thai characters with realistic weights; the
+// set intentionally overlaps the detector's frequent-character table the
+// way real Thai running text does.
+var thaiCommon = []struct {
+	r rune
+	w float64
+}{
+	{'า', 9}, {'น', 8}, {'ร', 8}, {'อ', 7}, {'เ', 7}, {'ก', 6},
+	{'ง', 6}, {'ม', 6}, {'ย', 5}, {'ว', 5}, {'ส', 5}, {'ด', 5},
+	{'ท', 5}, {'ต', 4}, {'ค', 4}, {'บ', 4}, {'ล', 4}, {'แ', 4},
+	{'ี', 6}, {'ั', 6}, {'่', 6}, {'้', 5}, {'ิ', 4}, {'ะ', 3},
+	{'ุ', 3}, {'ู', 2}, {'ำ', 2}, {'ไ', 3}, {'ใ', 2}, {'โ', 2},
+	{'ห', 3}, {'จ', 3}, {'ช', 2}, {'ข', 2}, {'พ', 3}, {'ป', 3},
+	{'ผ', 1}, {'ถ', 1}, {'ภ', 1}, {'ษ', 1}, {'ศ', 2}, {'ซ', 1},
+	{'ฟ', 1}, {'ๆ', 1}, {'ญ', 1}, {'ณ', 1}, {'ธ', 1}, {'ฐ', 1},
+}
+
+// englishSyllables builds pronounceable pseudo-English.
+var englishSyllables = []string{
+	"the", "re", "in", "on", "at", "er", "an", "ti", "es", "or",
+	"to", "con", "ver", "com", "per", "ment", "tion", "al", "ing", "ly",
+	"pro", "sta", "net", "web", "data", "arch", "ive", "page", "link", "site",
+}
+
+// Generator produces text in one language from a deterministic stream.
+// It is not safe for concurrent use; create one per goroutine.
+type Generator struct {
+	lang   Lang
+	r      *rng.RNG
+	hira   *rng.Weighted
+	kata   *rng.Weighted
+	kanji  *rng.Weighted
+	thai   *rng.Weighted
+	engSyl *rng.Weighted
+}
+
+// New returns a Generator for lang drawing randomness from r.
+func New(lang Lang, r *rng.RNG) *Generator {
+	g := &Generator{lang: lang, r: r}
+	g.hira = weighted(hiraganaCommon)
+	g.kata = weighted(katakanaCommon)
+	g.kanji = weighted(kanjiCommon)
+	g.thai = weighted(thaiCommon)
+	w := make([]float64, len(englishSyllables))
+	for i := range w {
+		w[i] = 1 + 3/float64(i+1)
+	}
+	g.engSyl = rng.NewWeighted(w)
+	return g
+}
+
+func weighted(tab []struct {
+	r rune
+	w float64
+}) *rng.Weighted {
+	w := make([]float64, len(tab))
+	for i, e := range tab {
+		w[i] = e.w
+	}
+	return rng.NewWeighted(w)
+}
+
+// Lang returns the generator's language.
+func (g *Generator) Lang() Lang { return g.lang }
+
+// Word returns one word-like unit.
+func (g *Generator) Word() string {
+	switch g.lang {
+	case charset.LangJapanese:
+		return g.japaneseWord()
+	case charset.LangThai:
+		return g.thaiWord()
+	default:
+		return g.englishWord()
+	}
+}
+
+func (g *Generator) japaneseWord() string {
+	var sb strings.Builder
+	n := g.r.IntRange(2, 6)
+	// Occasionally a katakana loanword or a kanji compound.
+	switch g.r.Intn(10) {
+	case 0:
+		for i := 0; i < n; i++ {
+			sb.WriteRune(katakanaCommon[g.kata.Sample(g.r)].r)
+		}
+	case 1:
+		for i := 0; i < 2; i++ {
+			sb.WriteRune(kanjiCommon[g.kanji.Sample(g.r)].r)
+		}
+	default:
+		for i := 0; i < n; i++ {
+			sb.WriteRune(hiraganaCommon[g.hira.Sample(g.r)].r)
+		}
+	}
+	return sb.String()
+}
+
+func (g *Generator) thaiWord() string {
+	var sb strings.Builder
+	n := g.r.IntRange(3, 8)
+	for i := 0; i < n; i++ {
+		sb.WriteRune(thaiCommon[g.thai.Sample(g.r)].r)
+	}
+	return sb.String()
+}
+
+func (g *Generator) englishWord() string {
+	var sb strings.Builder
+	n := g.r.IntRange(1, 3)
+	for i := 0; i < n; i++ {
+		sb.WriteString(englishSyllables[g.engSyl.Sample(g.r)])
+	}
+	return sb.String()
+}
+
+// Sentence returns a sentence of roughly n words with language-appropriate
+// separators and terminal punctuation.
+func (g *Generator) Sentence(n int) string {
+	if n <= 0 {
+		n = g.r.IntRange(4, 12)
+	}
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			switch g.lang {
+			case charset.LangJapanese:
+				// Japanese does not use spaces; insert an occasional comma.
+				if g.r.Bool(0.15) {
+					sb.WriteRune('、')
+				}
+			default:
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteString(g.Word())
+	}
+	switch g.lang {
+	case charset.LangJapanese:
+		sb.WriteRune('。')
+	case charset.LangThai:
+		// Thai marks sentence boundaries with a space; nothing to add.
+	default:
+		sb.WriteByte('.')
+	}
+	return sb.String()
+}
+
+// Paragraph returns roughly n sentences joined appropriately.
+func (g *Generator) Paragraph(n int) string {
+	if n <= 0 {
+		n = g.r.IntRange(2, 6)
+	}
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = g.Sentence(0)
+	}
+	sep := " "
+	if g.lang == charset.LangJapanese {
+		sep = ""
+	}
+	return strings.Join(parts, sep)
+}
+
+// Title returns a short title-like phrase.
+func (g *Generator) Title() string {
+	n := g.r.IntRange(2, 5)
+	var parts []string
+	for i := 0; i < n; i++ {
+		parts = append(parts, g.Word())
+	}
+	sep := " "
+	if g.lang == charset.LangJapanese {
+		sep = ""
+	}
+	return strings.Join(parts, sep)
+}

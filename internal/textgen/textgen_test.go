@@ -1,0 +1,145 @@
+package textgen
+
+import (
+	"strings"
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/rng"
+)
+
+func TestDeterministic(t *testing.T) {
+	for _, lang := range []Lang{charset.LangJapanese, charset.LangThai, charset.LangEnglish} {
+		a := New(lang, rng.New2(1, 42)).Paragraph(5)
+		b := New(lang, rng.New2(1, 42)).Paragraph(5)
+		if a != b {
+			t.Errorf("%v generator not deterministic", lang)
+		}
+		c := New(lang, rng.New2(1, 43)).Paragraph(5)
+		if a == c {
+			t.Errorf("%v generator ignores stream id", lang)
+		}
+	}
+}
+
+func TestJapaneseTextEncodable(t *testing.T) {
+	g := New(charset.LangJapanese, rng.New(7))
+	text := g.Paragraph(10)
+	for _, cs := range charset.CharsetsFor(charset.LangJapanese) {
+		codec := charset.CodecFor(cs)
+		enc := codec.Encode(text)
+		// Round-trip equality is the encodability check (the source text
+		// contains no '?', so any substitution would surface here). A
+		// byte-level scan for '?' would be wrong for ISO-2022-JP, whose
+		// JIS bytes legitimately cover the ASCII range.
+		if codec.Decode(enc) != text {
+			t.Errorf("round trip through %v altered generated text", cs)
+		}
+	}
+}
+
+func TestThaiTextEncodable(t *testing.T) {
+	g := New(charset.LangThai, rng.New(7))
+	text := g.Paragraph(10)
+	for _, cs := range charset.CharsetsFor(charset.LangThai) {
+		codec := charset.CodecFor(cs)
+		enc := codec.Encode(text)
+		if strings.Contains(codec.Decode(enc), "?") && !strings.Contains(text, "?") {
+			t.Errorf("Thai text not fully encodable in %v", cs)
+		}
+	}
+}
+
+func TestGeneratedTextDetectable(t *testing.T) {
+	// The core contract: generated text, encoded in a language's charset,
+	// must be identified as that language by the detector — this is the
+	// code path the paper's Japanese-dataset classifier exercises.
+	cases := []struct {
+		lang Lang
+		css  []charset.Charset
+	}{
+		{charset.LangJapanese, []charset.Charset{charset.EUCJP, charset.ShiftJIS, charset.ISO2022JP}},
+		{charset.LangThai, []charset.Charset{charset.TIS620, charset.Windows874, charset.ISO885911}},
+	}
+	for seed := uint64(0); seed < 20; seed++ {
+		for _, c := range cases {
+			g := New(c.lang, rng.New2(99, seed))
+			text := g.Paragraph(8)
+			for _, cs := range c.css {
+				b := charset.CodecFor(cs).Encode(text)
+				got := charset.Detect(b)
+				if got.Language != c.lang {
+					t.Errorf("seed %d: %v text in %v detected as %v/%v (conf %.2f)",
+						seed, c.lang, cs, got.Charset, got.Language, got.Confidence)
+				}
+			}
+		}
+	}
+}
+
+func TestEnglishIsASCII(t *testing.T) {
+	g := New(charset.LangEnglish, rng.New(3))
+	text := g.Paragraph(10)
+	for _, r := range text {
+		if r >= 0x80 {
+			t.Fatalf("English text contains non-ASCII rune %q", r)
+		}
+	}
+	if got := charset.Detect([]byte(text)); got.Charset != charset.ASCII {
+		t.Errorf("English text detected as %v", got.Charset)
+	}
+}
+
+func TestWordNonEmpty(t *testing.T) {
+	for _, lang := range []Lang{charset.LangJapanese, charset.LangThai, charset.LangEnglish, charset.LangOther} {
+		g := New(lang, rng.New(5))
+		for i := 0; i < 100; i++ {
+			if g.Word() == "" {
+				t.Fatalf("%v produced empty word", lang)
+			}
+		}
+	}
+}
+
+func TestSentenceWordCounts(t *testing.T) {
+	g := New(charset.LangEnglish, rng.New(9))
+	s := g.Sentence(7)
+	if n := len(strings.Fields(s)); n != 7 {
+		t.Errorf("Sentence(7) has %d fields: %q", n, s)
+	}
+	if !strings.HasSuffix(s, ".") {
+		t.Errorf("English sentence should end with '.': %q", s)
+	}
+	j := New(charset.LangJapanese, rng.New(9)).Sentence(5)
+	if !strings.HasSuffix(j, "。") {
+		t.Errorf("Japanese sentence should end with '。': %q", j)
+	}
+}
+
+func TestTitleNonEmpty(t *testing.T) {
+	for _, lang := range []Lang{charset.LangJapanese, charset.LangThai, charset.LangEnglish} {
+		if New(lang, rng.New(2)).Title() == "" {
+			t.Errorf("%v Title empty", lang)
+		}
+	}
+}
+
+func TestHiraganaDominatesJapanese(t *testing.T) {
+	// Distribution sanity: the frequency model must make hiragana the
+	// majority script, as in real Japanese, or the detector's row-weight
+	// analysis would not see realistic input.
+	g := New(charset.LangJapanese, rng.New(12))
+	text := g.Paragraph(60)
+	var hira, total int
+	for _, r := range text {
+		if r >= 0x80 {
+			total++
+			if r >= 0x3041 && r <= 0x3093 {
+				hira++
+			}
+		}
+	}
+	if total == 0 || float64(hira)/float64(total) < 0.5 {
+		t.Errorf("hiragana ratio %d/%d too low for realistic Japanese", hira, total)
+	}
+}

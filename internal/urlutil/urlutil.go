@@ -1,0 +1,161 @@
+// Package urlutil provides URL normalization and canonicalization for web
+// crawling. Crawlers must treat "http://Example.COM:80/a/../b" and
+// "http://example.com/b" as the same resource or the frontier fills with
+// duplicates; the functions here define that equivalence.
+package urlutil
+
+import (
+	"errors"
+	"net/url"
+	"path"
+	"strings"
+)
+
+// Errors returned by Normalize.
+var (
+	ErrEmptyURL          = errors.New("urlutil: empty URL")
+	ErrUnsupportedScheme = errors.New("urlutil: unsupported scheme")
+	ErrNoHost            = errors.New("urlutil: missing host")
+)
+
+// Normalize parses raw and returns its canonical form:
+//
+//   - scheme and host are lowercased,
+//   - default ports (:80 for http, :443 for https) are stripped,
+//   - the path is cleaned of "." and ".." segments,
+//   - an empty path becomes "/",
+//   - the fragment is dropped (fragments never reach the server),
+//   - percent-encoding of unreserved characters is undone by url.Parse.
+//
+// Only http and https URLs are accepted; everything else (mailto:,
+// javascript:, ftp:, data:) is rejected with ErrUnsupportedScheme so link
+// extractors can filter with a single error check.
+func Normalize(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", ErrEmptyURL
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", err
+	}
+	return normalizeURL(u)
+}
+
+// Resolve resolves ref against base (both raw strings) and normalizes the
+// result. It is the one call a link extractor needs per anchor.
+func Resolve(base, ref string) (string, error) {
+	ref = strings.TrimSpace(ref)
+	if ref == "" {
+		return "", ErrEmptyURL
+	}
+	b, err := url.Parse(base)
+	if err != nil {
+		return "", err
+	}
+	r, err := url.Parse(ref)
+	if err != nil {
+		return "", err
+	}
+	return normalizeURL(b.ResolveReference(r))
+}
+
+func normalizeURL(u *url.URL) (string, error) {
+	u.Scheme = strings.ToLower(u.Scheme)
+	switch u.Scheme {
+	case "http", "https":
+	case "":
+		return "", ErrUnsupportedScheme
+	default:
+		return "", ErrUnsupportedScheme
+	}
+	host := strings.ToLower(u.Host)
+	// Strip default ports.
+	if u.Scheme == "http" {
+		host = strings.TrimSuffix(host, ":80")
+	} else {
+		host = strings.TrimSuffix(host, ":443")
+	}
+	if host == "" || strings.HasPrefix(host, ":") {
+		return "", ErrNoHost
+	}
+	u.Host = host
+	u.Fragment = ""
+	u.RawFragment = ""
+	if u.Path == "" {
+		u.Path = "/"
+	} else {
+		// path.Clean removes trailing slashes except root; keep them,
+		// since /dir/ and /dir are distinct resources.
+		trailing := strings.HasSuffix(u.Path, "/") && u.Path != "/"
+		u.Path = path.Clean(u.Path)
+		if trailing && u.Path != "/" {
+			u.Path += "/"
+		}
+	}
+	// Drop the raw path so String() re-encodes from the decoded Path,
+	// normalizing unnecessary percent-escapes like %7E.
+	u.RawPath = ""
+	// Empty query ("?") is equivalent to no query.
+	if u.RawQuery == "" {
+		u.ForceQuery = false
+	}
+	return u.String(), nil
+}
+
+// Host returns the lowercased host (without port) of a normalized URL.
+// It returns "" if raw does not parse.
+func Host(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return ""
+	}
+	return strings.ToLower(u.Hostname())
+}
+
+// Site returns the registrable-site key used for per-server queues and
+// locality statistics. Without a public-suffix list (stdlib only), the
+// heuristic is: the last two labels, or the last three when the
+// second-to-last label is a well-known second-level domain (co, ac, go,
+// or, ne, com, net, org, edu, gov) under a two-letter ccTLD — which covers
+// the .jp and .th hierarchies this project targets (e.g. "foo.co.th",
+// "bar.ac.jp").
+func Site(raw string) string {
+	h := Host(raw)
+	if h == "" {
+		return ""
+	}
+	labels := strings.Split(h, ".")
+	n := len(labels)
+	if n <= 2 {
+		return h
+	}
+	tld := labels[n-1]
+	sld := labels[n-2]
+	if len(tld) == 2 && isSecondLevel(sld) {
+		return strings.Join(labels[n-3:], ".")
+	}
+	return strings.Join(labels[n-2:], ".")
+}
+
+func isSecondLevel(label string) bool {
+	switch label {
+	case "co", "ac", "go", "or", "ne", "com", "net", "org", "edu", "gov", "in":
+		return true
+	}
+	return false
+}
+
+// IsHTTP reports whether raw has an http or https scheme. It is a cheap
+// pre-filter that avoids a full parse for obviously non-web links.
+func IsHTTP(raw string) bool {
+	raw = strings.TrimSpace(raw)
+	l := strings.ToLower(raw)
+	return strings.HasPrefix(l, "http://") || strings.HasPrefix(l, "https://")
+}
+
+// SameSite reports whether a and b belong to the same site key.
+func SameSite(a, b string) bool {
+	sa, sb := Site(a), Site(b)
+	return sa != "" && sa == sb
+}

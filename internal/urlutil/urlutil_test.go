@@ -1,0 +1,209 @@
+package urlutil
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"http://Example.COM/", "http://example.com/"},
+		{"HTTP://EXAMPLE.COM", "http://example.com/"},
+		{"http://example.com:80/a", "http://example.com/a"},
+		{"https://example.com:443/a", "https://example.com/a"},
+		{"http://example.com:8080/a", "http://example.com:8080/a"},
+		{"http://example.com/a/../b", "http://example.com/b"},
+		{"http://example.com/a/./b", "http://example.com/a/b"},
+		{"http://example.com/a/b/", "http://example.com/a/b/"},
+		{"http://example.com/a#frag", "http://example.com/a"},
+		{"http://example.com/a?x=1#frag", "http://example.com/a?x=1"},
+		{"  http://example.com/a  ", "http://example.com/a"},
+		{"http://example.com/%7Euser", "http://example.com/~user"},
+		{"http://example.com//a//b", "http://example.com/a/b"},
+	}
+	for _, c := range cases {
+		got, err := Normalize(c.in)
+		if err != nil {
+			t.Errorf("Normalize(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr error
+	}{
+		{"", ErrEmptyURL},
+		{"   ", ErrEmptyURL},
+		{"mailto:user@example.com", ErrUnsupportedScheme},
+		{"javascript:void(0)", ErrUnsupportedScheme},
+		{"ftp://example.com/file", ErrUnsupportedScheme},
+		{"relative/path", ErrUnsupportedScheme},
+		{"/rooted/path", ErrUnsupportedScheme},
+		{"http://", ErrNoHost},
+	}
+	for _, c := range cases {
+		_, err := Normalize(c.in)
+		if err == nil {
+			t.Errorf("Normalize(%q) succeeded, want error", c.in)
+			continue
+		}
+		if c.wantErr != nil && err != c.wantErr {
+			t.Errorf("Normalize(%q) error = %v, want %v", c.in, err, c.wantErr)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	inputs := []string{
+		"http://Example.COM:80/a/../b?q=1#f",
+		"https://site.co.th/path/",
+		"http://a.b.c.example.jp/x/y/z.html",
+		"http://example.com/%7Euser/page?a=b&c=d",
+	}
+	for _, in := range inputs {
+		once, err := Normalize(in)
+		if err != nil {
+			t.Fatalf("Normalize(%q): %v", in, err)
+		}
+		twice, err := Normalize(once)
+		if err != nil {
+			t.Fatalf("Normalize(Normalize(%q)): %v", in, err)
+		}
+		if once != twice {
+			t.Errorf("not idempotent: %q -> %q -> %q", in, once, twice)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	base := "http://example.com/dir/page.html"
+	cases := []struct {
+		ref, want string
+	}{
+		{"other.html", "http://example.com/dir/other.html"},
+		{"/rooted.html", "http://example.com/rooted.html"},
+		{"../up.html", "http://example.com/up.html"},
+		{"http://other.org/abs", "http://other.org/abs"},
+		{"?q=1", "http://example.com/dir/page.html?q=1"},
+		{"sub/", "http://example.com/dir/sub/"},
+	}
+	for _, c := range cases {
+		got, err := Resolve(base, c.ref)
+		if err != nil {
+			t.Errorf("Resolve(%q, %q) error: %v", base, c.ref, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Resolve(%q, %q) = %q, want %q", base, c.ref, got, c.want)
+		}
+	}
+}
+
+func TestResolveRejectsNonHTTP(t *testing.T) {
+	base := "http://example.com/"
+	for _, ref := range []string{"mailto:x@y.z", "javascript:alert(1)", ""} {
+		if _, err := Resolve(base, ref); err == nil {
+			t.Errorf("Resolve(%q, %q) succeeded, want error", base, ref)
+		}
+	}
+}
+
+func TestHostAndSite(t *testing.T) {
+	cases := []struct {
+		in, host, site string
+	}{
+		{"http://www.example.com/x", "www.example.com", "example.com"},
+		{"http://example.com/", "example.com", "example.com"},
+		{"http://sub.foo.co.th/", "sub.foo.co.th", "foo.co.th"},
+		{"http://www.bar.ac.jp/x", "www.bar.ac.jp", "bar.ac.jp"},
+		{"http://deep.sub.example.org/", "deep.sub.example.org", "example.org"},
+		{"http://localhost/", "localhost", "localhost"},
+		{"http://Site.COM:8080/x", "site.com", "site.com"},
+	}
+	for _, c := range cases {
+		if got := Host(c.in); got != c.host {
+			t.Errorf("Host(%q) = %q, want %q", c.in, got, c.host)
+		}
+		if got := Site(c.in); got != c.site {
+			t.Errorf("Site(%q) = %q, want %q", c.in, got, c.site)
+		}
+	}
+}
+
+func TestSameSite(t *testing.T) {
+	if !SameSite("http://a.example.com/x", "http://b.example.com/y") {
+		t.Error("subdomains of example.com should be same site")
+	}
+	if SameSite("http://example.com/", "http://example.org/") {
+		t.Error("different TLDs are not same site")
+	}
+	if SameSite("", "") {
+		t.Error("empty URLs are never same site")
+	}
+}
+
+func TestIsHTTP(t *testing.T) {
+	if !IsHTTP("http://x/") || !IsHTTP("HTTPS://X/") || !IsHTTP("  http://x/") {
+		t.Error("IsHTTP should accept http/https with any case and leading space")
+	}
+	if IsHTTP("ftp://x/") || IsHTTP("mailto:a@b") || IsHTTP("") {
+		t.Error("IsHTTP should reject non-web schemes")
+	}
+}
+
+// Property: Normalize is idempotent on every URL it accepts.
+func TestNormalizeIdempotentQuick(t *testing.T) {
+	hosts := []string{"example.com", "WWW.Example.ORG", "foo.co.th", "a.b.ac.jp"}
+	paths := []string{"/", "/a", "/a/b/../c", "/x/./y/", "", "/p?q=1"}
+	f := func(hi, pi uint8, port uint16) bool {
+		u := "http://" + hosts[int(hi)%len(hosts)]
+		if port%3 == 0 {
+			u += ":80"
+		}
+		u += paths[int(pi)%len(paths)]
+		once, err := Normalize(u)
+		if err != nil {
+			return true // rejection is fine; idempotence applies to accepted URLs
+		}
+		twice, err := Normalize(once)
+		return err == nil && once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the normalized URL never contains a fragment and always has a
+// non-empty path.
+func TestNormalizeInvariantsQuick(t *testing.T) {
+	f := func(path, frag string) bool {
+		u := "http://example.com/" + sanitize(path) + "#" + sanitize(frag)
+		got, err := Normalize(u)
+		if err != nil {
+			return true
+		}
+		return !strings.Contains(got, "#") && strings.Contains(got, "example.com/")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '/' || r == '.' {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,103 @@
+package webgraph
+
+import (
+	"sort"
+	"testing"
+)
+
+// Distribution-shape tests: the generator claims Zipf-ish site sizes and
+// lognormal degrees; the strategies' queue dynamics depend on these
+// skews actually being present.
+
+func TestSiteSizesHeavyTailed(t *testing.T) {
+	s := genSmall(t, ThaiLike(40000, 71))
+	sizes := make([]int, len(s.Sites))
+	total := 0
+	for i := range s.Sites {
+		sizes[i] = int(s.Sites[i].Count)
+		total += sizes[i]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	mean := float64(total) / float64(len(sizes))
+	if float64(sizes[0]) < 4*mean {
+		t.Errorf("largest site %d not heavy-tailed vs mean %.1f", sizes[0], mean)
+	}
+	// The top 10% of sites should hold a disproportionate share of pages.
+	topDecile := 0
+	for _, v := range sizes[:len(sizes)/10+1] {
+		topDecile += v
+	}
+	if share := float64(topDecile) / float64(total); share < 0.2 {
+		t.Errorf("top-decile site share %.2f too uniform", share)
+	}
+}
+
+func TestOutDegreeDistribution(t *testing.T) {
+	s := genSmall(t, ThaiLike(40000, 73))
+	var degs []int
+	total := 0
+	for id := 0; id < s.N(); id++ {
+		if !s.IsOK(PageID(id)) {
+			continue
+		}
+		d := s.OutDegree(PageID(id))
+		degs = append(degs, d)
+		total += d
+	}
+	sort.Ints(degs)
+	mean := float64(total) / float64(len(degs))
+	// Lognormal with the configured parameters: mean near MeanOutDegree
+	// (plus backbone edges), p99 well above the mean, capped at ~200.
+	if mean < 6 || mean > 20 {
+		t.Errorf("mean OK-page out-degree %.1f outside plausible band", mean)
+	}
+	p99 := float64(degs[len(degs)*99/100])
+	if p99 < 2*mean {
+		t.Errorf("p99 degree %.0f not heavy-tailed vs mean %.1f", p99, mean)
+	}
+	if degs[len(degs)-1] > 220 {
+		t.Errorf("max degree %d exceeds cap+backbone slack", degs[len(degs)-1])
+	}
+}
+
+func TestInDegreeConcentration(t *testing.T) {
+	// Home pages (ordinal 0) must collect a disproportionate share of
+	// inbound links — the quadratic home bias that makes site entry
+	// points discoverable.
+	s := genSmall(t, ThaiLike(20000, 79))
+	inDeg := make([]int, s.N())
+	for id := 0; id < s.N(); id++ {
+		for _, tgt := range s.Outlinks(PageID(id)) {
+			inDeg[tgt]++
+		}
+	}
+	var homeSum, homeCount, otherSum, otherCount float64
+	for i := range s.Sites {
+		site := &s.Sites[i]
+		for ord := uint32(0); ord < site.Count; ord++ {
+			id := site.Start + PageID(ord)
+			if ord == 0 {
+				homeSum += float64(inDeg[id])
+				homeCount++
+			} else {
+				otherSum += float64(inDeg[id])
+				otherCount++
+			}
+		}
+	}
+	if otherCount == 0 || homeCount == 0 {
+		t.Skip("degenerate space")
+	}
+	homeMean := homeSum / homeCount
+	otherMean := otherSum / otherCount
+	if homeMean < 2*otherMean {
+		t.Errorf("home-page in-degree %.1f not concentrated vs %.1f", homeMean, otherMean)
+	}
+	// Every page has at least one inbound link (reachability backbone),
+	// except seeds' own entry which also gets backbone links — check all.
+	for id, d := range inDeg {
+		if d == 0 && id != int(s.Sites[0].Start) {
+			t.Fatalf("page %d has no inbound links", id)
+		}
+	}
+}

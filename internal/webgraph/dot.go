@@ -1,0 +1,99 @@
+package webgraph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"langcrawl/internal/charset"
+)
+
+// WriteDOT emits a Graphviz rendering of the space's *site* graph (the
+// page graph is far too dense to draw): up to maxSites of the largest
+// sites as nodes, colored by language, hidden relevant sites dashed, and
+// edges weighted by inter-site link counts. Useful for eyeballing the
+// locality structure a dataset was generated with:
+//
+//	genweb ... && dot -Tsvg sites.dot > sites.svg
+func (s *Space) WriteDOT(w io.Writer, maxSites int) error {
+	if maxSites <= 0 || maxSites > len(s.Sites) {
+		maxSites = len(s.Sites)
+	}
+	// Pick the largest sites.
+	order := make([]SiteID, len(s.Sites))
+	for i := range order {
+		order[i] = SiteID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := s.Sites[order[a]].Count, s.Sites[order[b]].Count
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
+	keep := make(map[SiteID]bool, maxSites)
+	for _, sid := range order[:maxSites] {
+		keep[sid] = true
+	}
+
+	// Aggregate inter-site edges among kept sites.
+	type edge struct{ from, to SiteID }
+	counts := make(map[edge]int)
+	for id := 0; id < s.N(); id++ {
+		from := s.SiteOf[id]
+		if !keep[from] {
+			continue
+		}
+		for _, t := range s.Outlinks(PageID(id)) {
+			to := s.SiteOf[t]
+			if to != from && keep[to] {
+				counts[edge{from, to}]++
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintln(w, "digraph sites {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=LR; node [shape=box, style=filled, fontsize=10];")
+	for _, sid := range order[:maxSites] {
+		site := &s.Sites[sid]
+		color := colorFor(site.Lang, site.Lang == s.Target)
+		style := "filled"
+		if site.Hidden {
+			style = "filled,dashed"
+		}
+		fmt.Fprintf(w, "  s%d [label=\"%s\\n%d pages\", fillcolor=%q, style=%q];\n",
+			sid, site.Host, site.Count, color, style)
+	}
+	// Deterministic edge order.
+	edges := make([]edge, 0, len(counts))
+	for e := range counts {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].from != edges[b].from {
+			return edges[a].from < edges[b].from
+		}
+		return edges[a].to < edges[b].to
+	})
+	for _, e := range edges {
+		fmt.Fprintf(w, "  s%d -> s%d [penwidth=%.1f];\n",
+			e.from, e.to, 0.5+float64(min(counts[e], 20))/5)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func colorFor(lang charset.Language, relevant bool) string {
+	switch {
+	case relevant:
+		return "#9ecae1" // target language: blue
+	case lang == charset.LangEnglish:
+		return "#fdd0a2"
+	case lang == charset.LangJapanese:
+		return "#c7e9c0"
+	default:
+		return "#d9d9d9"
+	}
+}

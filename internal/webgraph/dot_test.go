@@ -1,0 +1,44 @@
+package webgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	s := genSmall(t, ThaiLike(3000, 91))
+	var sb strings.Builder
+	if err := s.WriteDOT(&sb, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph sites {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("not a DOT digraph")
+	}
+	if strings.Count(out, "[label=") != 20 {
+		t.Errorf("expected 20 site nodes, got %d", strings.Count(out, "[label="))
+	}
+	if !strings.Contains(out, "->") {
+		t.Error("no edges among the largest sites")
+	}
+	if !strings.Contains(out, ".th") {
+		t.Error("no Thai hosts rendered")
+	}
+	// Deterministic output.
+	var sb2 strings.Builder
+	s.WriteDOT(&sb2, 20)
+	if sb2.String() != out {
+		t.Error("DOT output not deterministic")
+	}
+}
+
+func TestWriteDOTAllSites(t *testing.T) {
+	s := genSmall(t, ThaiLike(500, 93))
+	var sb strings.Builder
+	if err := s.WriteDOT(&sb, 0); err != nil { // 0 = all sites
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "[label="); got != len(s.Sites) {
+		t.Errorf("nodes %d, sites %d", got, len(s.Sites))
+	}
+}

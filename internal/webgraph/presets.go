@@ -1,0 +1,40 @@
+package webgraph
+
+import "langcrawl/internal/charset"
+
+// Presets matching the paper's two datasets (Table 3), scaled by the
+// pages argument. The paper's absolute sizes (Thai 3.9M OK HTML pages,
+// Japanese 95M) do not fit an experiment harness; what the findings rest
+// on — relevance ratio and locality structure — is preserved.
+
+// ThaiLike configures a Thai-target space with the paper's ~35%
+// relevance ratio and a substantial irrelevant periphery: the dataset on
+// which focusing strategies have room to differ, and the one the paper
+// uses for all limited-distance experiments.
+func ThaiLike(pages int, seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Pages = pages
+	cfg.Target = charset.LangThai
+	cfg.RelevanceRatio = 0.35
+	cfg.FillerLangs = []charset.Language{charset.LangEnglish, charset.LangJapanese}
+	cfg.Locality = 0.82
+	cfg.HiddenSiteFrac = 0.06
+	return cfg
+}
+
+// JapaneseLike configures a Japanese-target space with the paper's ~71%
+// relevance ratio — a "highly language specific" web space where even
+// breadth-first harvests >70%, which is exactly why the paper abandons
+// it after Figure 4.
+func JapaneseLike(pages int, seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Pages = pages
+	cfg.Target = charset.LangJapanese
+	cfg.RelevanceRatio = 0.71
+	cfg.FillerLangs = []charset.Language{charset.LangEnglish}
+	cfg.Locality = 0.90
+	cfg.HiddenSiteFrac = 0.02
+	return cfg
+}

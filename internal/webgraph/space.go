@@ -1,0 +1,298 @@
+// Package webgraph models and synthesizes web spaces for crawl
+// simulation. A Space is an immutable snapshot — pages with language,
+// charset, HTTP status and outlinks — standing in for the crawl-log
+// datasets of the paper (Thai ~14M URLs, Japanese ~110M URLs), which are
+// not available. The generator (generate.go) reproduces the properties
+// the paper's findings rest on: relevance ratio, language locality,
+// skewed site sizes and degrees, bridge paths through irrelevant pages,
+// and META mislabeling.
+package webgraph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/rng"
+	"langcrawl/internal/textgen"
+)
+
+// PageID identifies a page within a Space. IDs are dense, starting at 0.
+type PageID = uint32
+
+// NoPage is the sentinel for "no page".
+const NoPage PageID = ^PageID(0)
+
+// SiteID identifies a site (host) within a Space.
+type SiteID = uint32
+
+// Site is one host: a contiguous run of pages sharing a hostname and a
+// dominant language.
+type Site struct {
+	Host   string
+	Lang   charset.Language
+	Start  PageID // first page ID
+	Count  uint32 // number of pages
+	Hidden bool   // relevant site reachable only via irrelevant pages
+}
+
+// Space is an immutable synthetic web snapshot. Page properties are
+// struct-of-arrays; links are CSR. Content bytes are not stored — they
+// are regenerated deterministically per page on demand.
+type Space struct {
+	Seed   uint64
+	Target charset.Language
+
+	Sites  []Site
+	byHost map[string]SiteID
+
+	// Per-page property arrays, all of length N().
+	SiteOf   []SiteID
+	Lang     []charset.Language
+	Charset  []charset.Charset // the encoding page bytes are really in
+	Declared []charset.Charset // META-declared charset (Unknown = absent)
+	Status   []uint16          // HTTP status code
+	Size     []uint32          // synthetic transfer size in bytes
+
+	// CSR adjacency.
+	linkOff []uint64
+	links   []PageID
+
+	// Seeds are the crawl entry points (home pages of prominent relevant
+	// sites).
+	Seeds []PageID
+
+	relevantOK int // cached count of relevant pages with 200 status
+}
+
+// N returns the number of pages.
+func (s *Space) N() int { return len(s.SiteOf) }
+
+// Outlinks returns the outgoing links of page id. The returned slice
+// aliases internal storage and must not be modified. Pages with non-200
+// status have no outlinks.
+func (s *Space) Outlinks(id PageID) []PageID {
+	return s.links[s.linkOff[id]:s.linkOff[id+1]]
+}
+
+// Links returns the total number of links in the space.
+func (s *Space) Links() int { return len(s.links) }
+
+// OutDegree returns the out-degree of page id.
+func (s *Space) OutDegree(id PageID) int {
+	return int(s.linkOff[id+1] - s.linkOff[id])
+}
+
+// Site returns the site record of page id.
+func (s *Space) Site(id PageID) *Site { return &s.Sites[s.SiteOf[id]] }
+
+// IsRelevant reports whether page id is in the target language — the
+// ground truth a simulation measures coverage against.
+func (s *Space) IsRelevant(id PageID) bool { return s.Lang[id] == s.Target }
+
+// IsOK reports whether page id has HTTP status 200.
+func (s *Space) IsOK(id PageID) bool { return s.Status[id] == 200 }
+
+// RelevantTotal returns the number of relevant pages with OK status —
+// the coverage denominator, matching the paper's Table 3 accounting
+// ("we show only the number of pages with OK status").
+func (s *Space) RelevantTotal() int { return s.relevantOK }
+
+// URL returns the canonical URL of page id: the site root for the
+// site's first page, /p<ordinal>.html otherwise.
+func (s *Space) URL(id PageID) string {
+	site := s.Site(id)
+	ord := id - site.Start
+	if ord == 0 {
+		return "http://" + site.Host + "/"
+	}
+	return fmt.Sprintf("http://%s/p%d.html", site.Host, ord)
+}
+
+// PageByURL resolves a URL produced by URL back to its PageID. ok is
+// false for hosts or paths outside the space.
+func (s *Space) PageByURL(u string) (PageID, bool) {
+	rest, found := strings.CutPrefix(u, "http://")
+	if !found {
+		return NoPage, false
+	}
+	host, path, found := strings.Cut(rest, "/")
+	if !found {
+		path = ""
+	}
+	sid, okHost := s.byHost[host]
+	if !okHost {
+		return NoPage, false
+	}
+	site := &s.Sites[sid]
+	if path == "" {
+		return site.Start, true
+	}
+	body, foundP := strings.CutPrefix(path, "p")
+	body, foundH := strings.CutSuffix(body, ".html")
+	if !foundP || !foundH {
+		return NoPage, false
+	}
+	ord, err := strconv.ParseUint(body, 10, 32)
+	if err != nil || uint32(ord) >= site.Count {
+		return NoPage, false
+	}
+	return site.Start + PageID(ord), true
+}
+
+// PageBytes regenerates the page's content: a complete HTML document in
+// the page's language, encoded in its true charset, declaring its
+// Declared charset, and containing anchors for exactly its outlinks. The
+// bytes are a pure function of (Space.Seed, id), so repeated calls agree
+// — this is what lets the simulator run a byte-level charset detector
+// without storing petabytes of page text.
+func (s *Space) PageBytes(id PageID) []byte {
+	out := s.Outlinks(id)
+	hrefs := make([]string, len(out))
+	for i, t := range out {
+		hrefs[i] = s.URL(t)
+	}
+	spec := textgen.PageSpec{
+		Lang:            s.Lang[id],
+		Charset:         s.Charset[id],
+		DeclaredCharset: s.Declared[id],
+		Links:           hrefs,
+		Paragraphs:      2 + int(id%3),
+	}
+	return textgen.HTMLPage(spec, rng.New2(s.Seed^0xC0FFEE, uint64(id)))
+}
+
+// Stats summarizes the space the way the paper's Table 3 does.
+type Stats struct {
+	Target         charset.Language
+	TotalPages     int // all URLs in the space
+	OKPages        int // pages with 200 status
+	RelevantOK     int // relevant pages with 200 status
+	IrrelevantOK   int // irrelevant pages with 200 status
+	RelevanceRatio float64
+	Sites          int
+	RelevantSites  int
+	HiddenSites    int
+	Links          int
+	MislabeledOK   int // relevant OK pages whose META is wrong or absent
+}
+
+// ComputeStats scans the space and returns its Table 3 row.
+func (s *Space) ComputeStats() Stats {
+	st := Stats{Target: s.Target, TotalPages: s.N(), Sites: len(s.Sites), Links: s.Links()}
+	for id := 0; id < s.N(); id++ {
+		if s.Status[id] != 200 {
+			continue
+		}
+		st.OKPages++
+		if s.Lang[id] == s.Target {
+			st.RelevantOK++
+			if s.Declared[id] != s.Charset[id] {
+				st.MislabeledOK++
+			}
+		} else {
+			st.IrrelevantOK++
+		}
+	}
+	if st.OKPages > 0 {
+		st.RelevanceRatio = float64(st.RelevantOK) / float64(st.OKPages)
+	}
+	for _, site := range s.Sites {
+		if site.Lang == s.Target {
+			st.RelevantSites++
+			if site.Hidden {
+				st.HiddenSites++
+			}
+		}
+	}
+	return st
+}
+
+// Validate checks structural invariants; it is used by tests and the
+// generator's own self-check. It returns the first violation found.
+func (s *Space) Validate() error {
+	n := s.N()
+	if len(s.Lang) != n || len(s.Charset) != n || len(s.Declared) != n ||
+		len(s.Status) != n || len(s.Size) != n {
+		return fmt.Errorf("webgraph: property array lengths disagree")
+	}
+	if len(s.linkOff) != n+1 {
+		return fmt.Errorf("webgraph: linkOff has %d entries, want %d", len(s.linkOff), n+1)
+	}
+	if s.linkOff[0] != 0 || s.linkOff[n] != uint64(len(s.links)) {
+		return fmt.Errorf("webgraph: CSR offsets do not span links")
+	}
+	for i := 0; i < n; i++ {
+		if s.linkOff[i] > s.linkOff[i+1] {
+			return fmt.Errorf("webgraph: CSR offsets not monotone at %d", i)
+		}
+	}
+	for i, t := range s.links {
+		if int(t) >= n {
+			return fmt.Errorf("webgraph: link %d targets out-of-range page %d", i, t)
+		}
+	}
+	var covered uint64
+	for sid, site := range s.Sites {
+		if s.byHost[site.Host] != SiteID(sid) {
+			return fmt.Errorf("webgraph: host index broken for %s", site.Host)
+		}
+		for p := site.Start; p < site.Start+PageID(site.Count); p++ {
+			if s.SiteOf[p] != SiteID(sid) {
+				return fmt.Errorf("webgraph: page %d not attributed to site %d", p, sid)
+			}
+		}
+		covered += uint64(site.Count)
+	}
+	if covered != uint64(n) {
+		return fmt.Errorf("webgraph: sites cover %d pages, want %d", covered, n)
+	}
+	for _, seed := range s.Seeds {
+		if int(seed) >= n {
+			return fmt.Errorf("webgraph: seed %d out of range", seed)
+		}
+		if s.Status[seed] != 200 {
+			return fmt.Errorf("webgraph: seed %d is not an OK page", seed)
+		}
+		if s.Lang[seed] != s.Target {
+			return fmt.Errorf("webgraph: seed %d is not relevant", seed)
+		}
+	}
+	for id := 0; id < n; id++ {
+		if s.Status[id] != 200 && s.OutDegree(PageID(id)) != 0 {
+			return fmt.Errorf("webgraph: non-OK page %d has outlinks", id)
+		}
+	}
+	return nil
+}
+
+// ReachableFromSeeds returns the number of OK relevant pages reachable
+// from the seeds, and the number of pages visited overall — a BFS used
+// by tests to confirm the generator's reachability guarantee (100%
+// coverage must be attainable, as in the paper's soft-focused runs).
+func (s *Space) ReachableFromSeeds() (relevantOK, visited int) {
+	seen := make([]bool, s.N())
+	queue := make([]PageID, 0, len(s.Seeds))
+	for _, sd := range s.Seeds {
+		if !seen[sd] {
+			seen[sd] = true
+			queue = append(queue, sd)
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		visited++
+		if s.IsOK(p) && s.IsRelevant(p) {
+			relevantOK++
+		}
+		for _, t := range s.Outlinks(p) {
+			if !seen[t] {
+				seen[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	return relevantOK, visited
+}

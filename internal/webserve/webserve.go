@@ -1,0 +1,68 @@
+// Package webserve exposes a synthetic web space over real HTTP, so the
+// live crawler (internal/crawler) can be exercised end-to-end against
+// ground truth without touching the Internet. Each site of the space is
+// a virtual host: the handler routes on the request's Host header, which
+// a test client reaches by dialing every host to the same listener.
+package webserve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"langcrawl/internal/webgraph"
+)
+
+// Server wraps a Space as an http.Handler.
+type Server struct {
+	space *webgraph.Space
+	// Requests counts pages served (including errors), for test
+	// assertions about politeness and fetch volume.
+	requests atomic.Int64
+	// RobotsDisallow lists path prefixes served as disallowed in every
+	// host's robots.txt.
+	RobotsDisallow []string
+}
+
+// New returns a Server for space.
+func New(space *webgraph.Space) *Server {
+	return &Server{space: space}
+}
+
+// Requests returns the number of requests served so far.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	host := r.Host
+	if i := strings.IndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+
+	if r.URL.Path == "/robots.txt" {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "User-agent: *")
+		for _, p := range s.RobotsDisallow {
+			fmt.Fprintf(w, "Disallow: %s\n", p)
+		}
+		return
+	}
+
+	id, ok := s.space.PageByURL("http://" + host + r.URL.Path)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	status := int(s.space.Status[id])
+	if status != 200 {
+		http.Error(w, http.StatusText(status), status)
+		return
+	}
+	body := s.space.PageBytes(id)
+	w.Header().Set("Content-Type", "text/html; charset="+s.space.Charset[id].String())
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}

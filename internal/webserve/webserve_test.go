@@ -1,0 +1,141 @@
+package webserve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/webgraph"
+)
+
+func testServer(t *testing.T) (*webgraph.Space, *Server) {
+	t.Helper()
+	space, err := webgraph.Generate(webgraph.ThaiLike(300, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space, New(space)
+}
+
+func get(t *testing.T, srv *Server, host, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "http://"+host+path, nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func TestServesPages(t *testing.T) {
+	space, srv := testServer(t)
+	seed := space.Seeds[0]
+	host := space.Site(seed).Host
+	w := get(t, srv, host, "/")
+	if w.Code != 200 {
+		t.Fatalf("status %d", w.Code)
+	}
+	body, _ := io.ReadAll(w.Result().Body)
+	if len(body) == 0 || !strings.Contains(string(body), "<html>") {
+		t.Error("no HTML body served")
+	}
+	ct := w.Header().Get("Content-Type")
+	if !strings.Contains(ct, "charset=") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	// Served bytes match PageBytes exactly.
+	if string(body) != string(space.PageBytes(seed)) {
+		t.Error("served body differs from PageBytes")
+	}
+}
+
+func TestHostPortStripped(t *testing.T) {
+	space, srv := testServer(t)
+	host := space.Site(space.Seeds[0]).Host
+	if w := get(t, srv, host+":8080", "/"); w.Code != 200 {
+		t.Errorf("host with port: status %d", w.Code)
+	}
+}
+
+func TestErrorStatusesPropagate(t *testing.T) {
+	space, srv := testServer(t)
+	for id := 0; id < space.N(); id++ {
+		if space.Status[id] == 200 {
+			continue
+		}
+		pid := webgraph.PageID(id)
+		site := space.Site(pid)
+		path := "/"
+		if pid != site.Start {
+			path = strings.TrimPrefix(space.URL(pid), "http://"+site.Host)
+		}
+		w := get(t, srv, site.Host, path)
+		if w.Code != int(space.Status[id]) {
+			t.Fatalf("page %d: served %d, want %d", id, w.Code, space.Status[id])
+		}
+		return // one is enough
+	}
+	t.Skip("space has no error pages")
+}
+
+func TestUnknownHostAndPath404(t *testing.T) {
+	_, srv := testServer(t)
+	if w := get(t, srv, "unknown.example.com", "/"); w.Code != 404 {
+		t.Errorf("unknown host: %d", w.Code)
+	}
+	space, srv2 := testServer(t)
+	host := space.Site(space.Seeds[0]).Host
+	if w := get(t, srv2, host, "/nonsense.gif"); w.Code != 404 {
+		t.Errorf("unknown path: %d", w.Code)
+	}
+}
+
+func TestRobotsTxt(t *testing.T) {
+	space, srv := testServer(t)
+	srv.RobotsDisallow = []string{"/secret/"}
+	host := space.Site(space.Seeds[0]).Host
+	w := get(t, srv, host, "/robots.txt")
+	if w.Code != 200 {
+		t.Fatalf("robots status %d", w.Code)
+	}
+	body, _ := io.ReadAll(w.Result().Body)
+	if !strings.Contains(string(body), "Disallow: /secret/") {
+		t.Errorf("robots body = %q", body)
+	}
+}
+
+func TestRequestCounter(t *testing.T) {
+	space, srv := testServer(t)
+	host := space.Site(space.Seeds[0]).Host
+	if srv.Requests() != 0 {
+		t.Error("counter not zero initially")
+	}
+	get(t, srv, host, "/")
+	get(t, srv, host, "/robots.txt")
+	if srv.Requests() != 2 {
+		t.Errorf("Requests = %d", srv.Requests())
+	}
+}
+
+func TestCharsetHeaderMatchesPage(t *testing.T) {
+	space, srv := testServer(t)
+	checked := 0
+	for id := 0; id < space.N() && checked < 10; id++ {
+		pid := webgraph.PageID(id)
+		if !space.IsOK(pid) {
+			continue
+		}
+		checked++
+		site := space.Site(pid)
+		path := strings.TrimPrefix(space.URL(pid), "http://"+site.Host)
+		w := get(t, srv, site.Host, path)
+		want := "charset=" + space.Charset[id].String()
+		if got := w.Header().Get("Content-Type"); !strings.Contains(got, want) {
+			t.Errorf("page %d Content-Type %q missing %q", id, got, want)
+		}
+		if space.Charset[id] == charset.Unknown {
+			t.Errorf("page %d has unknown charset", id)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package langcrawl is a library for language-specific web crawling and
+// its simulation, reproducing "Simulation Study of Language Specific Web
+// Crawling" (Somboonviwat, Tamura, Kitsuregawa; DEWS/ICDE 2005).
+//
+// It provides, behind one import:
+//
+//   - charset detection and the charset↔language mapping of the paper's
+//     Table 1 (DetectCharset, DetectLanguage, LanguageOf);
+//   - synthetic web spaces with controllable language locality, standing
+//     in for the paper's Thai and Japanese crawl-log datasets
+//     (ThaiLikeSpace, JapaneseLikeSpace, GenerateSpace);
+//   - the paper's crawl strategies (BreadthFirst, HardFocused,
+//     SoftFocused, LimitedDistance, PrioritizedLimitedDistance) and
+//     relevance classifiers (MetaClassifier, DetectorClassifier, ...);
+//   - the trace-driven Web Crawling Simulator (Simulate, SimulateTimed);
+//   - crawl-log persistence (WriteCrawlLog, ReadCrawlLog) so spaces and
+//     live crawls can be replayed; and
+//   - a real HTTP crawler plus an HTTP server for generated spaces
+//     (Crawl, ServeSpace), closing the loop between simulation and
+//     deployment.
+//
+// The examples/ directory contains runnable end-to-end programs; the
+// cmd/ directory holds the experiment harness that regenerates every
+// table and figure of the paper.
+package langcrawl
+
+import (
+	"io"
+	"net/http"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/core"
+	"langcrawl/internal/crawlog"
+	"langcrawl/internal/sim"
+	"langcrawl/internal/simtime"
+	"langcrawl/internal/webgraph"
+	"langcrawl/internal/webserve"
+)
+
+// Language identifies a natural language.
+type Language = charset.Language
+
+// Charset identifies a character encoding scheme.
+type Charset = charset.Charset
+
+// Languages.
+const (
+	Japanese = charset.LangJapanese
+	Thai     = charset.LangThai
+	English  = charset.LangEnglish
+)
+
+// Charsets (the paper's Table 1 plus the universal ones).
+const (
+	ASCII      = charset.ASCII
+	UTF8       = charset.UTF8
+	Latin1     = charset.Latin1
+	EUCJP      = charset.EUCJP
+	ShiftJIS   = charset.ShiftJIS
+	ISO2022JP  = charset.ISO2022JP
+	TIS620     = charset.TIS620
+	Windows874 = charset.Windows874
+	ISO885911  = charset.ISO885911
+)
+
+// DetectResult is the outcome of charset detection.
+type DetectResult = charset.Result
+
+// DetectCharset guesses the character encoding of raw page bytes using a
+// composite detector (escape sequences, coding-scheme state machines,
+// byte distribution).
+func DetectCharset(b []byte) DetectResult { return charset.Detect(b) }
+
+// DetectLanguage returns the language implied by the detected charset.
+func DetectLanguage(b []byte) Language { return charset.DetectLanguage(b) }
+
+// LanguageOf maps a charset to its language per the paper's Table 1.
+func LanguageOf(c Charset) Language { return charset.LanguageOf(c) }
+
+// ParseCharset resolves a charset name (as found in Content-Type headers
+// or META tags) to a Charset.
+func ParseCharset(name string) Charset { return charset.Parse(name) }
+
+// Space is a (virtual) web space: pages with language, charset, status
+// and links. It is the dataset a simulation runs against.
+type Space = webgraph.Space
+
+// SpaceConfig parameterizes synthetic space generation.
+type SpaceConfig = webgraph.Config
+
+// SpaceStats summarizes a space the way the paper's Table 3 does.
+type SpaceStats = webgraph.Stats
+
+// DefaultSpaceConfig returns a baseline configuration to customize.
+func DefaultSpaceConfig() SpaceConfig { return webgraph.DefaultConfig() }
+
+// ThaiLikeSpace generates a Thai-target space with the paper's ~35%
+// relevance ratio (its "low language specificity" dataset).
+func ThaiLikeSpace(pages int, seed uint64) (*Space, error) {
+	return webgraph.Generate(webgraph.ThaiLike(pages, seed))
+}
+
+// JapaneseLikeSpace generates a Japanese-target space with the paper's
+// ~71% relevance ratio (its "high language specificity" dataset).
+func JapaneseLikeSpace(pages int, seed uint64) (*Space, error) {
+	return webgraph.Generate(webgraph.JapaneseLike(pages, seed))
+}
+
+// GenerateSpace synthesizes a space from an explicit configuration.
+func GenerateSpace(cfg SpaceConfig) (*Space, error) { return webgraph.Generate(cfg) }
+
+// Strategy is a crawl priority-assignment policy (paper §3.3).
+type Strategy = core.Strategy
+
+// Classifier scores page relevance to the target language (paper §3.2).
+type Classifier = core.Classifier
+
+// BreadthFirst returns the FIFO baseline strategy.
+func BreadthFirst() Strategy { return core.BreadthFirst{} }
+
+// HardFocused returns the simple strategy's hard mode: follow links only
+// from relevant pages.
+func HardFocused() Strategy { return core.HardFocused{} }
+
+// SoftFocused returns the simple strategy's soft mode: follow all links,
+// prioritizing those from relevant pages.
+func SoftFocused() Strategy { return core.SoftFocused{} }
+
+// LimitedDistance returns the non-prioritized limited-distance strategy
+// with parameter N: proceed through at most N consecutive irrelevant
+// pages.
+func LimitedDistance(n int) Strategy { return core.LimitedDistance{N: n} }
+
+// PrioritizedLimitedDistance returns the prioritized limited-distance
+// strategy: as LimitedDistance, with priority by closeness to the latest
+// relevant page.
+func PrioritizedLimitedDistance(n int) Strategy {
+	return core.LimitedDistance{N: n, Prioritized: true}
+}
+
+// ContextLayers returns the tunneling baseline with per-layer queues and
+// no discard cutoff.
+func ContextLayers(layers int) Strategy { return core.ContextLayers{Layers: layers} }
+
+// DecayingBestFirst returns the continuous-priority best-first strategy
+// (shark-search style): link priority decays geometrically with distance
+// from the latest relevant page; nothing is discarded. decay outside
+// (0,1) defaults to 0.5.
+func DecayingBestFirst(decay float64) Strategy { return core.DecayingBestFirst{Decay: decay} }
+
+// AdaptiveLimitedDistance returns the self-tuning extension: prioritized
+// limited distance whose depth N adjusts at runtime to hold the frontier
+// near queueBudget URLs (maxN ≤ 0 defaults to 8). The returned strategy
+// is stateful — construct a fresh one per crawl.
+func AdaptiveLimitedDistance(queueBudget, maxN int) Strategy {
+	return core.NewAdaptiveLimitedDistance(queueBudget, maxN)
+}
+
+// MetaClassifier scores by the charset declared in META/headers (the
+// paper's Thai-dataset method).
+func MetaClassifier(target Language) Classifier { return core.MetaClassifier{Target: target} }
+
+// DetectorClassifier scores by byte-level charset detection (the paper's
+// Japanese-dataset method).
+func DetectorClassifier(target Language) Classifier {
+	return core.DetectorClassifier{Target: target}
+}
+
+// HybridClassifier checks META first and falls back to detection.
+func HybridClassifier(target Language) Classifier { return core.HybridClassifier{Target: target} }
+
+// OracleClassifier scores from trace ground truth (ablations only).
+func OracleClassifier(target Language) Classifier { return core.OracleClassifier{Target: target} }
+
+// AnyOf composes classifiers: relevant if any child says so — the
+// multi-language archive case (e.g. collect Thai and Japanese at once).
+func AnyOf(children ...Classifier) Classifier { return core.AnyOf(children...) }
+
+// SimConfig parameterizes a simulation run.
+type SimConfig = sim.Config
+
+// SimResult is a simulation outcome with harvest/coverage/queue series.
+type SimResult = sim.Result
+
+// Simulate runs the trace-driven crawl simulator (paper §4) over space.
+func Simulate(space *Space, cfg SimConfig) (*SimResult, error) { return sim.Run(space, cfg) }
+
+// TimedSimConfig parameterizes a discrete-event timed simulation.
+type TimedSimConfig = sim.TimedConfig
+
+// TimedSimResult adds virtual-time measurements to SimResult.
+type TimedSimResult = sim.TimedResult
+
+// DelayModel shapes synthetic transfer delays for timed simulation.
+type DelayModel = simtime.DelayModel
+
+// SimulateTimed runs the timed simulator: concurrent fetches, per-host
+// access intervals and transfer delays (the paper's stated future work).
+func SimulateTimed(space *Space, cfg TimedSimConfig) (*TimedSimResult, error) {
+	return sim.RunTimed(space, cfg)
+}
+
+// WriteCrawlLog serializes a space as a replayable crawl log.
+func WriteCrawlLog(w io.Writer, s *Space) error { return crawlog.WriteSpace(w, s) }
+
+// ReadCrawlLog reconstitutes a simulatable space from a crawl log.
+func ReadCrawlLog(r io.Reader) (*Space, error) {
+	cr, err := crawlog.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return crawlog.BuildSpace(cr)
+}
+
+// ServeSpace returns an http.Handler exposing a space as a set of
+// virtual hosts — a loopback web for exercising real crawlers.
+func ServeSpace(s *Space) http.Handler { return webserve.New(s) }
+
+// SeedURLs returns a space's crawl entry points as URLs.
+func SeedURLs(s *Space) []string {
+	out := make([]string, len(s.Seeds))
+	for i, id := range s.Seeds {
+		out[i] = s.URL(id)
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package langcrawl
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// These tests exercise the public API exactly the way a downstream user
+// would — no internal imports in the test bodies beyond what the API
+// exposes.
+
+func TestDetectAPI(t *testing.T) {
+	if got := DetectCharset([]byte("plain english text")); got.Charset != ASCII {
+		t.Errorf("DetectCharset = %v", got.Charset)
+	}
+	if LanguageOf(TIS620) != Thai || LanguageOf(ShiftJIS) != Japanese {
+		t.Error("LanguageOf mapping broken")
+	}
+	if ParseCharset("euc-jp") != EUCJP {
+		t.Error("ParseCharset broken")
+	}
+	if DetectLanguage([]byte("abc")) != English {
+		t.Error("DetectLanguage broken")
+	}
+}
+
+func TestSpaceAndSimulateAPI(t *testing.T) {
+	space, err := ThaiLikeSpace(3000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.N() != 3000 {
+		t.Errorf("N = %d", space.N())
+	}
+	res, err := Simulate(space, SimConfig{
+		Strategy:   SoftFocused(),
+		Classifier: MetaClassifier(Thai),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalCoverage() < 99.9 {
+		t.Errorf("coverage %.2f%%", res.FinalCoverage())
+	}
+
+	jp, err := JapaneseLikeSpace(2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := jp.ComputeStats()
+	if st.RelevanceRatio < 0.6 {
+		t.Errorf("JP relevance ratio %.2f", st.RelevanceRatio)
+	}
+}
+
+func TestGenerateSpaceAPI(t *testing.T) {
+	cfg := DefaultSpaceConfig()
+	cfg.Pages = 1500
+	cfg.Seed = 3
+	space, err := GenerateSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(SeedURLs(space)) == 0 {
+		t.Error("no seed URLs")
+	}
+}
+
+func TestAllStrategiesConstructible(t *testing.T) {
+	space, err := ThaiLikeSpace(1200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{
+		BreadthFirst(), HardFocused(), SoftFocused(),
+		LimitedDistance(2), PrioritizedLimitedDistance(2), ContextLayers(3),
+	} {
+		for _, c := range []Classifier{
+			MetaClassifier(Thai), DetectorClassifier(Thai),
+			HybridClassifier(Thai), OracleClassifier(Thai),
+		} {
+			if _, err := Simulate(space, SimConfig{Strategy: s, Classifier: c, MaxPages: 100}); err != nil {
+				t.Fatalf("%s/%s: %v", s.Name(), c.Name(), err)
+			}
+		}
+	}
+}
+
+func TestSimulateTimedAPI(t *testing.T) {
+	space, err := ThaiLikeSpace(1500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateTimed(space, TimedSimConfig{
+		Config: SimConfig{Strategy: SoftFocused(), Classifier: MetaClassifier(Thai)},
+		Delays: DelayModel{BaseLatency: 0.05, BytesPerSecond: 1 << 20, Jitter: 0.2, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= 0 || res.Crawled != space.N() {
+		t.Errorf("timed run: %.1fs, %d pages", res.Duration, res.Crawled)
+	}
+}
+
+func TestCrawlLogRoundTripAPI(t *testing.T) {
+	space, err := ThaiLikeSpace(1200, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCrawlLog(&buf, space); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReadCrawlLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.N() != space.N() || replay.RelevantTotal() != space.RelevantTotal() {
+		t.Error("replayed space differs")
+	}
+}
+
+func TestServeAndCrawlAPI(t *testing.T) {
+	space, err := ThaiLikeSpace(400, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ServeSpace(space))
+	defer srv.Close()
+	addr := srv.Listener.Addr().String()
+	client := &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, network, addr)
+			},
+		},
+		Timeout: 10 * time.Second,
+	}
+	res, err := Crawl(context.Background(), CrawlConfig{
+		Seeds:      SeedURLs(space),
+		Strategy:   SoftFocused(),
+		Classifier: MetaClassifier(Thai),
+		Client:     client,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crawled != space.N() {
+		t.Errorf("live crawl fetched %d of %d", res.Crawled, space.N())
+	}
+	if res.Relevant != space.RelevantTotal() {
+		t.Errorf("live relevant %d, ground truth %d", res.Relevant, space.RelevantTotal())
+	}
+}
