@@ -70,6 +70,7 @@ func BenchmarkAblationMislabel(b *testing.B)   { benchExperiment(b, "abl-mislabe
 func BenchmarkAblationAdaptive(b *testing.B)   { benchExperiment(b, "abl-adaptive") }
 func BenchmarkAblationQueueMode(b *testing.B)  { benchExperiment(b, "abl-queue") }
 func BenchmarkAblationSeeds(b *testing.B)      { benchExperiment(b, "abl-seeds") }
+func BenchmarkAblationFaults(b *testing.B)     { benchExperiment(b, "abl-faults") }
 func BenchmarkAblationTimed(b *testing.B)      { benchExperiment(b, "abl-timed") }
 
 // --- component micro-benchmarks ----------------------------------------------

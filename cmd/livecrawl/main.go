@@ -24,25 +24,30 @@ import (
 	"langcrawl/internal/cliutil"
 	"langcrawl/internal/crawler"
 	"langcrawl/internal/crawlog"
+	"langcrawl/internal/faults"
 	"langcrawl/internal/webgraph"
 	"langcrawl/internal/webserve"
 )
 
 func main() {
 	var (
-		preset   = flag.String("preset", "thai", "dataset preset when self-serving: thai or japanese")
-		pages    = flag.Int("pages", 20000, "pages to generate when self-serving")
-		seed     = flag.Uint64("seed", 2005, "generation seed")
-		seeds    = flag.String("seeds", "", "comma-separated external seed URLs (disables self-serving)")
-		target   = flag.String("target", "", "target language (default from preset)")
-		strat    = flag.String("strategy", "soft", "strategy: "+cliutil.StrategyNames())
-		cls      = flag.String("classifier", "meta", "classifier: "+cliutil.ClassifierNames())
-		maxPages = flag.Int("max", 0, "page budget (0 = until the frontier drains)")
-		logPath  = flag.String("log", "", "write a crawl log for later replay")
-		frontier = flag.String("frontier", "", "persist/resume the pending frontier at this path")
-		parallel = flag.Int("parallel", 1, "concurrent fetch workers")
-		interval = flag.Duration("interval", 0, "per-host politeness interval (e.g. 500ms)")
-		timeout  = flag.Duration("timeout", 0, "overall crawl timeout (0 = none)")
+		preset       = flag.String("preset", "thai", "dataset preset when self-serving: thai or japanese")
+		pages        = flag.Int("pages", 20000, "pages to generate when self-serving")
+		seed         = flag.Uint64("seed", 2005, "generation seed")
+		seeds        = flag.String("seeds", "", "comma-separated external seed URLs (disables self-serving)")
+		target       = flag.String("target", "", "target language (default from preset)")
+		strat        = flag.String("strategy", "soft", "strategy: "+cliutil.StrategyNames())
+		cls          = flag.String("classifier", "meta", "classifier: "+cliutil.ClassifierNames())
+		maxPages     = flag.Int("max", 0, "page budget (0 = until the frontier drains)")
+		logPath      = flag.String("log", "", "write a crawl log for later replay")
+		frontier     = flag.String("frontier", "", "persist/resume the pending frontier at this path")
+		parallel     = flag.Int("parallel", 1, "concurrent fetch workers")
+		interval     = flag.Duration("interval", 0, "per-host politeness interval (e.g. 500ms)")
+		timeout      = flag.Duration("timeout", 0, "overall crawl timeout (0 = none)")
+		retries      = flag.Int("retries", 0, "max fetch attempts per URL (0 = no retries)")
+		retryBase    = flag.Float64("retry-base", 0.5, "base retry backoff seconds (doubles per attempt, jittered)")
+		brkThreshold = flag.Int("breaker-threshold", 0, "consecutive failures to open a host's circuit breaker (0 = no breakers)")
+		brkCooldown  = flag.Float64("breaker-cooldown", 30, "seconds an open breaker waits before probing the host again")
 	)
 	flag.Parse()
 
@@ -102,6 +107,14 @@ func main() {
 	cfg.MaxPages = *maxPages
 	cfg.FrontierPath = *frontier
 	cfg.Parallelism = *parallel
+	if *retries > 0 {
+		cfg.Retry = faults.DefaultRetryPolicy()
+		cfg.Retry.MaxAttempts = *retries
+		cfg.Retry.BaseDelay = *retryBase
+	}
+	if *brkThreshold > 0 {
+		cfg.Breaker = faults.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown}
+	}
 
 	if *logPath != "" {
 		f, err := os.Create(*logPath)
@@ -140,6 +153,9 @@ func main() {
 		res.Relevant, 100*float64(res.Relevant)/float64(maxi(res.Crawled, 1)))
 	fmt.Printf("errors: %d, robots-blocked: %d, max queue: %d\n",
 		res.Errors, res.RobotsBlocked, res.MaxQueueLen)
+	if res.Faults.Any() {
+		fmt.Printf("faults: %s\n", res.Faults.String())
+	}
 	if space != nil && res.Crawled > 0 {
 		fmt.Printf("ground truth: %d relevant pages exist; classifier found %d (%.1f%% coverage)\n",
 			space.RelevantTotal(), res.Relevant,

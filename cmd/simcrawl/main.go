@@ -16,6 +16,7 @@ import (
 	"langcrawl/internal/cliutil"
 	"langcrawl/internal/core"
 	"langcrawl/internal/crawlog"
+	"langcrawl/internal/faults"
 	"langcrawl/internal/metrics"
 	"langcrawl/internal/sim"
 	"langcrawl/internal/webgraph"
@@ -39,6 +40,10 @@ func main() {
 		spillDir  = flag.String("spill", "", "spill the frontier to disk segments under this directory")
 		spillMem  = flag.Int("spill-mem", 1<<16, "in-memory frontier items per queue before spilling")
 		compare   = flag.String("compare", "", "comma-separated strategies to compare in one table (overrides -strategy)")
+		faultRate = flag.Float64("fault-rate", 0, "per-attempt transient fault probability (0 disables fault injection)")
+		faultDead = flag.Float64("fault-dead", 0, "fraction of hosts that are permanently dead")
+		faultSeed = flag.Uint64("fault-seed", 0, "fault model seed (0 = derive from the space seed)")
+		retries   = flag.Int("retries", 0, "max fetch attempts per URL under faults (0 = no retries)")
 	)
 	flag.Parse()
 
@@ -72,6 +77,17 @@ func main() {
 		Strategy: strategy, Classifier: classifier, MaxPages: *maxPages,
 		SpillDir: *spillDir, SpillMemLimit: *spillMem,
 	}
+	if *faultRate > 0 || *faultDead > 0 {
+		fc := &faults.Config{
+			Model:   faults.Model{Rate: *faultRate, DeadHostRate: *faultDead, Seed: *faultSeed},
+			Breaker: faults.BreakerConfig{Threshold: 5, Cooldown: 120},
+		}
+		if *retries > 0 {
+			fc.Retry = faults.DefaultRetryPolicy()
+			fc.Retry.MaxAttempts = *retries
+		}
+		cfg.Faults = fc
+	}
 	var res *sim.Result
 	if *timed {
 		tres, err := sim.RunTimed(space, sim.TimedConfig{
@@ -92,6 +108,9 @@ func main() {
 	fmt.Println(res)
 	fmt.Printf("relevant total in space: %d\n", res.RelevantTotal)
 	fmt.Printf("pages whose links were discarded: %d\n", res.DroppedPages)
+	if res.Faults.Any() {
+		fmt.Printf("faults: %s\n", res.Faults.String())
+	}
 
 	sets := []*metrics.Set{
 		seriesSet("Harvest rate", "harvest rate %", res.Harvest),

@@ -40,6 +40,11 @@ type Visit struct {
 	// classifier's NeedsBody reports true, because regenerating or
 	// fetching bodies dominates simulation cost.
 	Body []byte
+	// Truncated marks a body cut short (the fetch hit the engine's size
+	// cap, or a fault model truncated the transfer). Detector-style
+	// classifiers relax confidence floors on truncated bodies — the
+	// partial evidence is the page's fault, not the language's.
+	Truncated bool
 }
 
 // Classifier judges the relevance of a visited page to the target
@@ -102,7 +107,7 @@ func (c DetectorClassifier) Score(v *Visit) float64 {
 		return 0
 	}
 	r := charset.Detect(v.Body)
-	if r.Language == c.Target && r.Confidence >= c.MinConfidence {
+	if r.Language == c.Target && (v.Truncated || r.Confidence >= c.MinConfidence) {
 		return 1
 	}
 	return 0

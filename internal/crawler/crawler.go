@@ -19,6 +19,7 @@ import (
 	"langcrawl/internal/charset"
 	"langcrawl/internal/core"
 	"langcrawl/internal/crawlog"
+	"langcrawl/internal/faults"
 	"langcrawl/internal/frontier"
 	"langcrawl/internal/htmlx"
 	"langcrawl/internal/linkdb"
@@ -64,16 +65,26 @@ type Config struct {
 	// fully deterministic). With more workers, frontier order is
 	// approximate and politeness is still enforced per host.
 	Parallelism int
+	// Retry refetches failed URLs (5xx, timeouts, connection errors) with
+	// exponential backoff; see faults.RetryPolicy. The zero value disables
+	// retries, leaving single-attempt behavior.
+	Retry faults.RetryPolicy
+	// Breaker trips a per-host circuit breaker after consecutive failures
+	// (cooldown in wall seconds); while open, the host's queued URLs are
+	// demoted rather than fetched. The zero value disables breakers.
+	Breaker faults.BreakerConfig
 }
 
 // Result summarizes a crawl.
 type Result struct {
 	Crawled       int
 	Relevant      int // pages the classifier scored relevant
-	Errors        int // transport-level failures
+	Errors        int // transport-level failures (one per failed attempt)
 	RobotsBlocked int
 	MaxQueueLen   int
 	Harvest       *metrics.Series // % classifier-relevant vs pages crawled
+	// Faults tallies attempts, retries, truncations and breaker activity.
+	Faults metrics.FaultCounters
 }
 
 // Crawler runs one crawl. Create with New, run with Run; a Crawler is
@@ -83,6 +94,7 @@ type Crawler struct {
 	client  *http.Client
 	robots  map[string]*Robots
 	lastHit map[string]time.Time
+	flt     *faultCtl
 }
 
 // New validates cfg and returns a ready crawler.
@@ -104,6 +116,7 @@ func New(cfg Config) (*Crawler, error) {
 		client:  cfg.Client,
 		robots:  make(map[string]*Robots),
 		lastHit: make(map[string]time.Time),
+		flt:     newFaultCtl(cfg.Retry, cfg.Breaker),
 	}
 	if c.client == nil {
 		c.client = http.DefaultClient
@@ -115,6 +128,10 @@ type qitem struct {
 	url  string
 	dist int32
 	prio float64
+	// demoted counts how many times an open breaker pushed this item back
+	// at lower priority. In-memory only — not part of the persisted
+	// frontier format.
+	demoted int32
 }
 
 // Run crawls until the frontier drains, MaxPages is reached, or ctx is
@@ -165,12 +182,23 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 		if visited[item.url] {
 			continue
 		}
+		host := urlutil.Host(item.url)
+		if !c.flt.allow(host) {
+			// Open breaker: demote the URL so other hosts go first, and
+			// drop it for good only after maxDemotions round trips.
+			if item.demoted < maxDemotions {
+				item.demoted++
+				queue.Push(item, item.prio-float64(item.demoted))
+			} else {
+				c.flt.gaveUp()
+			}
+			continue
+		}
 		visited[item.url] = true
 		if c.cfg.DB != nil && c.cfg.DB.Has(item.url) {
 			continue // already crawled in a previous run
 		}
 
-		host := urlutil.Host(item.url)
 		if !c.cfg.IgnoreRobots && !c.allowed(ctx, item.url, host) {
 			res.RobotsBlocked++
 			continue
@@ -181,11 +209,19 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 		}
 		c.politeWait(host, interval)
 
-		visit, links, rec, err := c.fetch(ctx, item.url)
-		if err != nil {
-			res.Errors++
-			continue
+		out := c.fetchWithRetry(ctx, item.url, host)
+		res.Errors += out.transportErrs
+		if c.cfg.Log != nil {
+			for _, frec := range out.failed {
+				if err := c.cfg.Log.Write(frec); err != nil {
+					return res, fmt.Errorf("crawler: writing log: %w", err)
+				}
+			}
 		}
+		if out.err != nil {
+			continue // gave up on this URL; the failure is on record
+		}
+		visit, links, rec := out.visit, out.links, out.rec
 		res.Crawled++
 		score := c.cfg.Classifier.Score(visit)
 		if score >= 0.5 {
@@ -217,6 +253,7 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 		}
 	}
 	res.MaxQueueLen = queue.MaxLen()
+	res.Faults = c.flt.snapshot()
 	if c.cfg.FrontierPath != "" {
 		if err := saveFrontier(c.cfg.FrontierPath, queue); err != nil {
 			return res, fmt.Errorf("crawler: saving frontier: %w", err)
@@ -300,9 +337,15 @@ func (c *Crawler) fetch(ctx context.Context, pageURL string) (*core.Visit, []str
 	}
 	defer resp.Body.Close()
 
-	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+	// Read one byte past the cap so truncation is detectable: a body of
+	// exactly MaxBodyBytes is complete, one more byte means it was cut.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes+1))
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	truncated := int64(len(body)) > c.cfg.MaxBodyBytes
+	if truncated {
+		body = body[:c.cfg.MaxBodyBytes]
 	}
 
 	declared := charset.Unknown
@@ -335,6 +378,7 @@ func (c *Crawler) fetch(ctx context.Context, pageURL string) (*core.Visit, []str
 		Declared:    declared,
 		TrueCharset: charset.Detect(body).Charset,
 		Body:        body,
+		Truncated:   truncated,
 	}
 	rec := &crawlog.Record{
 		URL:         pageURL,
@@ -343,6 +387,7 @@ func (c *Crawler) fetch(ctx context.Context, pageURL string) (*core.Visit, []str
 		Declared:    declared,
 		Size:        uint32(len(body)),
 		Links:       links,
+		Truncated:   truncated,
 	}
 	return visit, links, rec, nil
 }

@@ -1,0 +1,232 @@
+package crawler
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"langcrawl/internal/core"
+	"langcrawl/internal/crawlog"
+	"langcrawl/internal/faults"
+	"langcrawl/internal/metrics"
+	"langcrawl/internal/rng"
+)
+
+// maxDemotions bounds how many times a queued URL is re-queued at lower
+// priority because its host's breaker was open; past that the URL is
+// dropped as a permanent failure.
+const maxDemotions = 3
+
+// faultCtl is the crawler's fault-tolerance state: retry policy, per-host
+// circuit breakers (on the wall clock), and the fault counters. It has
+// its own mutex so both engines — the lock-free sequential loop and the
+// mutex-sharing parallel workers — use the same calls.
+type faultCtl struct {
+	mu       sync.Mutex
+	retry    faults.RetryPolicy
+	retryOn  bool
+	breakers *faults.BreakerSet
+	budget   int // remaining crawl-wide retries; -1 = unlimited
+	jitter   *rng.RNG
+	epoch    time.Time
+	counters metrics.FaultCounters
+}
+
+func newFaultCtl(retry faults.RetryPolicy, breaker faults.BreakerConfig) *faultCtl {
+	f := &faultCtl{
+		retryOn: retry.Enabled(),
+		budget:  -1,
+		jitter:  rng.New(0x10C4),
+		epoch:   time.Now(),
+	}
+	if f.retryOn {
+		f.retry = retry.WithDefaults()
+		if f.retry.Budget > 0 {
+			f.budget = f.retry.Budget
+		}
+	}
+	if breaker.Enabled() {
+		f.breakers = faults.NewBreakerSet(breaker)
+	}
+	return f
+}
+
+// now is the breaker clock: wall seconds since the crawl started.
+func (f *faultCtl) now() float64 { return time.Since(f.epoch).Seconds() }
+
+// allow gates a fetch on host's breaker; a refusal counts a breaker skip.
+func (f *faultCtl) allow(host string) bool {
+	if f.breakers == nil {
+		return true
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.breakers.Get(host).Allow(f.now()) {
+		return true
+	}
+	f.counters.BreakerSkips++
+	return false
+}
+
+// countAttempt books one fetch attempt (a retry when refetch is true).
+func (f *faultCtl) countAttempt(refetch bool) {
+	f.mu.Lock()
+	f.counters.Attempts++
+	if refetch {
+		f.counters.Retries++
+		if f.budget > 0 {
+			f.budget--
+		}
+	}
+	f.mu.Unlock()
+}
+
+func (f *faultCtl) countTruncated() {
+	f.mu.Lock()
+	f.counters.Truncated++
+	f.mu.Unlock()
+}
+
+// success/failure report an attempt outcome to host's breaker.
+func (f *faultCtl) success(host string) {
+	if f.breakers == nil {
+		return
+	}
+	f.mu.Lock()
+	f.breakers.Get(host).RecordSuccess(f.now())
+	f.mu.Unlock()
+}
+
+func (f *faultCtl) failure(host string) {
+	f.mu.Lock()
+	f.counters.WastedFetches++
+	if f.breakers != nil {
+		f.breakers.Get(host).RecordFailure(f.now())
+	}
+	f.mu.Unlock()
+}
+
+// gaveUp books one permanently failed URL.
+func (f *faultCtl) gaveUp() {
+	f.mu.Lock()
+	f.counters.Failures++
+	f.mu.Unlock()
+}
+
+// canRetry reports whether the attempt-th failure against host may be
+// refetched: retries on, the per-URL cap and crawl-wide budget not
+// exhausted, and the breaker still admitting requests.
+func (f *faultCtl) canRetry(host string, attempt int) bool {
+	if !f.retryOn {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if attempt >= f.retry.MaxAttempts || f.budget == 0 {
+		return false
+	}
+	return f.breakers == nil || f.breakers.Get(host).Allow(f.now())
+}
+
+// backoff returns the jittered post-failure delay.
+func (f *faultCtl) backoff(attempt int) time.Duration {
+	f.mu.Lock()
+	d := f.retry.Backoff(attempt, f.jitter)
+	f.mu.Unlock()
+	return time.Duration(d * float64(time.Second))
+}
+
+// snapshot returns the counters with end-of-run breaker statistics.
+func (f *faultCtl) snapshot() metrics.FaultCounters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.counters
+	if f.breakers != nil {
+		c.BreakerTrips = f.breakers.Trips()
+	}
+	return c
+}
+
+// sleepBackoff waits d, returning false if ctx was canceled first.
+func sleepBackoff(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// fetchOutcome is what one URL's fetch — possibly several attempts —
+// produced. When err is nil, visit/links/rec describe the page that was
+// finally obtained. failed carries one crawlog record per attempt that
+// did not produce that page (transport errors and retried 5xx), so no
+// failure is silently dropped from the log. transportErrs counts
+// attempts that died below HTTP (the Result.Errors unit).
+type fetchOutcome struct {
+	visit         *core.Visit
+	links         []string
+	rec           *crawlog.Record
+	err           error
+	failed        []*crawlog.Record
+	transportErrs int
+}
+
+// fetchWithRetry fetches pageURL under the configured retry policy. With
+// retries disabled it degenerates to exactly one c.fetch call, preserving
+// the engine's original behavior; an exhausted-retries 5xx is returned as
+// a normal page (the status is recorded, as a single-attempt crawl would).
+func (c *Crawler) fetchWithRetry(ctx context.Context, pageURL, host string) fetchOutcome {
+	var out fetchOutcome
+	for attempt := 1; ; attempt++ {
+		c.flt.countAttempt(attempt > 1)
+		visit, links, rec, err := c.fetch(ctx, pageURL)
+		status := 0
+		if visit != nil {
+			status = visit.Status
+		}
+		class := faults.Classify(status, err)
+		if err != nil {
+			out.transportErrs++
+		}
+		if !class.Failed() {
+			c.flt.success(host)
+			if visit.Truncated {
+				c.flt.countTruncated()
+			}
+			out.visit, out.links, out.rec = visit, links, rec
+			return out
+		}
+		c.flt.failure(host)
+		if ctx.Err() != nil || !c.flt.canRetry(host, attempt) {
+			if err != nil {
+				// Transport-level give-up: no page, but the log still
+				// learns the attempt happened and why it failed.
+				out.failed = append(out.failed, &crawlog.Record{URL: pageURL, Failure: uint8(class)})
+				out.err = err
+				c.flt.gaveUp()
+			} else {
+				// Final 5xx: deliver it as the page's observation.
+				out.visit, out.links, out.rec = visit, links, rec
+			}
+			return out
+		}
+		// Log the failed attempt, back off, refetch.
+		frec := rec
+		if frec == nil {
+			frec = &crawlog.Record{URL: pageURL}
+		}
+		frec.Failure = uint8(class)
+		out.failed = append(out.failed, frec)
+		if !sleepBackoff(ctx, c.flt.backoff(attempt)) {
+			out.err = ctx.Err()
+			c.flt.gaveUp()
+			return out
+		}
+	}
+}

@@ -26,6 +26,16 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 		inflight int
 		runErr   error
 	)
+	// idle workers wait on cond instead of polling; every event that can
+	// create work or end the crawl — a link push, an in-flight fetch
+	// finishing, cancellation — broadcasts.
+	cond := sync.NewCond(&mu)
+	stopWake := context.AfterFunc(ctx, func() {
+		mu.Lock()
+		cond.Broadcast()
+		mu.Unlock()
+	})
+	defer stopWake()
 
 	if c.cfg.FrontierPath != "" {
 		items, err := loadFrontier(c.cfg.FrontierPath)
@@ -52,10 +62,12 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 		for {
 			mu.Lock()
 			if runErr != nil || ctx.Err() != nil {
+				cond.Broadcast() // wake peers so they observe the same exit condition
 				mu.Unlock()
 				return
 			}
 			if c.cfg.MaxPages > 0 && started >= c.cfg.MaxPages {
+				cond.Broadcast()
 				mu.Unlock()
 				return
 			}
@@ -69,11 +81,25 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 			}
 			if !ok {
 				if inflight == 0 {
+					cond.Broadcast() // global quiescence: release waiting peers
 					mu.Unlock()
-					return // global quiescence: nothing queued, nothing in flight
+					return
+				}
+				cond.Wait() // peers may still add links; they broadcast when done
+				mu.Unlock()
+				continue
+			}
+			host := urlutil.Host(item.url)
+			if !c.flt.allow(host) {
+				// Open breaker: demote rather than lose the URL, dropping
+				// it only after maxDemotions round trips.
+				if item.demoted < maxDemotions {
+					item.demoted++
+					queue.Push(item, item.prio-float64(item.demoted))
+				} else {
+					c.flt.gaveUp()
 				}
 				mu.Unlock()
-				time.Sleep(time.Millisecond) // peers may still add links
 				continue
 			}
 			visited[item.url] = true
@@ -81,7 +107,6 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 				mu.Unlock()
 				continue
 			}
-			host := urlutil.Host(item.url)
 			interval := c.cfg.HostInterval
 			if rb := c.robots[host]; rb != nil {
 				// Crawl-delay is honored once the host's robots have been
@@ -113,12 +138,20 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 			}
 
 			if allowed {
-				visit, links, rec, ferr := c.fetch(ctx, item.url)
+				out := c.fetchWithRetry(ctx, item.url, host)
 				mu.Lock()
-				if ferr != nil {
-					res.Errors++
+				res.Errors += out.transportErrs
+				if c.cfg.Log != nil {
+					for _, frec := range out.failed {
+						if werr := c.cfg.Log.Write(frec); werr != nil && runErr == nil {
+							runErr = fmt.Errorf("crawler: writing log: %w", werr)
+						}
+					}
+				}
+				if out.err != nil {
 					started-- // free the budget slot for another page
 				} else {
+					visit, links, rec := out.visit, out.links, out.rec
 					res.Crawled++
 					s := c.cfg.Classifier.Score(visit)
 					if s >= 0.5 {
@@ -148,12 +181,14 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 					}
 				}
 				inflight--
+				cond.Broadcast() // new links and/or a freed in-flight slot
 				mu.Unlock()
 			} else {
 				mu.Lock()
 				res.RobotsBlocked++
 				started-- // robots blocks do not consume page budget
 				inflight--
+				cond.Broadcast()
 				mu.Unlock()
 			}
 		}
@@ -171,6 +206,7 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 	wg.Wait()
 
 	res.MaxQueueLen = queue.MaxLen()
+	res.Faults = c.flt.snapshot()
 	if c.cfg.FrontierPath != "" {
 		if err := saveFrontier(c.cfg.FrontierPath, queue); err != nil && runErr == nil {
 			runErr = fmt.Errorf("crawler: saving frontier: %w", err)

@@ -50,6 +50,54 @@ func TestRecordCodecEdgeCases(t *testing.T) {
 	}
 }
 
+func TestRecordFaultExtension(t *testing.T) {
+	plain := EncodeRecord(sampleRecord())
+
+	rec := sampleRecord()
+	rec.Failure = 3 // faults.DeadHost
+	rec.Truncated = true
+	enc := EncodeRecord(rec)
+	if len(enc) != len(plain)+1 {
+		t.Errorf("fault extension added %d bytes, want 1", len(enc)-len(plain))
+	}
+	got, err := DecodeRecord(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("round trip: got %+v, want %+v", got, rec)
+	}
+
+	// Each flag round-trips alone too.
+	for _, r := range []*Record{
+		{URL: "http://x/", Failure: 1},
+		{URL: "http://x/", Status: 200, Truncated: true},
+	} {
+		got, err := DecodeRecord(EncodeRecord(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Failure != r.Failure || got.Truncated != r.Truncated {
+			t.Errorf("got %+v, want %+v", got, r)
+		}
+	}
+}
+
+func TestRecordWithoutFaultsStaysByteIdentical(t *testing.T) {
+	// A record with zero fault fields must encode with no extension byte:
+	// the faulted encoding is exactly the fault-free bytes plus one.
+	plain := EncodeRecord(sampleRecord())
+	faulted := sampleRecord()
+	faulted.Truncated = true
+	enc := EncodeRecord(faulted)
+	if len(enc) != len(plain)+1 || !bytes.Equal(enc[:len(plain)], plain) {
+		t.Errorf("fault-free encoding is not a strict prefix of the faulted one:\n plain % X\n fault % X", plain, enc)
+	}
+	if enc[len(plain)] != 0x01 {
+		t.Errorf("ext byte = %#x, want 0x01 (truncated)", enc[len(plain)])
+	}
+}
+
 func TestDecodeRejectsGarbage(t *testing.T) {
 	for _, b := range [][]byte{
 		{},

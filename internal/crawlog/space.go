@@ -66,6 +66,27 @@ func BuildSpace(r *Reader) (*webgraph.Space, error) {
 	}
 	h := r.Header()
 
+	// A crawl run with retries logs a URL once per attempt — failures
+	// first, then the refetch that finally landed. Keep only each URL's
+	// last record (at its first position) so the replayed space sees one
+	// page per URL with its final observation.
+	last := make(map[string]int, len(records))
+	for i, rec := range records {
+		last[rec.URL] = i
+	}
+	if len(last) != len(records) {
+		seen := make(map[string]bool, len(last))
+		deduped := records[:0]
+		for _, rec := range records {
+			if seen[rec.URL] {
+				continue
+			}
+			seen[rec.URL] = true
+			deduped = append(deduped, records[last[rec.URL]])
+		}
+		records = deduped
+	}
+
 	// Pass 1: group record indices by host, preserving first-occurrence
 	// order of hosts and log order within a host.
 	hostOrder := []string{}

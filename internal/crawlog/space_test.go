@@ -152,6 +152,53 @@ func TestBuildSpaceGroupsByHost(t *testing.T) {
 	}
 }
 
+func TestBuildSpaceDedupsRetriedURLs(t *testing.T) {
+	// A crawl with retries logs failed attempts before the eventual
+	// success; replay must keep one page per URL — the final observation.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{Target: charset.LangThai, Seeds: []string{"http://a.co.th/"}})
+	w.Write(&Record{URL: "http://a.co.th/", Status: 0, Failure: 1})  // failed attempt
+	w.Write(&Record{URL: "http://a.co.th/", Status: 0, Failure: 2})  // failed again
+	w.Write(&Record{URL: "http://b.com/", Status: 200, TrueCharset: charset.ASCII,
+		Links: []string{"http://a.co.th/"}})
+	w.Write(&Record{URL: "http://a.co.th/", Status: 200, TrueCharset: charset.TIS620,
+		Links: []string{"http://b.com/"}}) // refetch landed
+	w.Flush()
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	s, err := BuildSpace(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 2 {
+		t.Fatalf("N = %d, want 2 (retried URL not deduped)", s.N())
+	}
+	// The kept record is the last one: status 200, Thai, with its link.
+	var aID webgraph.PageID
+	found := false
+	for id := 0; id < s.N(); id++ {
+		if s.URL(webgraph.PageID(id)) == "http://a.co.th/" {
+			aID, found = webgraph.PageID(id), true
+		}
+	}
+	if !found {
+		t.Fatal("retried URL missing from space")
+	}
+	if s.Status[aID] != 200 || s.Charset[aID] != charset.TIS620 {
+		t.Errorf("kept attempt %d/%v, want the final 200/TIS620",
+			s.Status[aID], s.Charset[aID])
+	}
+	if s.OutDegree(aID) != 1 {
+		t.Errorf("final record's links lost: outdegree %d", s.OutDegree(aID))
+	}
+	// First-occurrence host order preserved: a.co.th appeared first.
+	if s.Sites[0].Host != "a.co.th" {
+		t.Errorf("host order changed: %v first", s.Sites[0].Host)
+	}
+	if len(s.Seeds) != 1 {
+		t.Errorf("seed resolution failed: %v", s.Seeds)
+	}
+}
+
 func TestBuildSpaceEmptyLog(t *testing.T) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf, Header{Target: charset.LangThai})

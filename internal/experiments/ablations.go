@@ -7,6 +7,7 @@ import (
 	"langcrawl/internal/analysis"
 	"langcrawl/internal/charset"
 	"langcrawl/internal/core"
+	"langcrawl/internal/faults"
 	"langcrawl/internal/metrics"
 	"langcrawl/internal/sim"
 	"langcrawl/internal/webgraph"
@@ -328,6 +329,69 @@ func (r *Runner) AblationQueueMode() *Outcome {
 		check("prioritized limited distance keeps its coverage under upgrade semantics",
 			ld.up.FinalCoverage() > ld.dup.FinalCoverage()-2,
 			"coverage %.1f%% vs %.1f%%", ld.up.FinalCoverage(), ld.dup.FinalCoverage()),
+	)
+	return o
+}
+
+// AblationFaults regenerates the §5 soft-focused harvest-rate curve under
+// the fault model at increasing fault rates, with retries and per-host
+// breakers enabled — the robustness question the paper's clean simulator
+// never poses: how much crawl efficiency does an unreliable web cost?
+func (r *Runner) AblationFaults() *Outcome {
+	o := &Outcome{ID: "abl-faults", Title: "Fault injection: harvest rate vs fault rate [soft-focused]"}
+	space := r.Thai()
+
+	faultCfg := func(rate float64) *faults.Config {
+		return &faults.Config{
+			Model:   faults.Model{Rate: rate, DeadHostRate: rate / 3},
+			Retry:   faults.DefaultRetryPolicy(),
+			Breaker: faults.BreakerConfig{Threshold: 5, Cooldown: 120},
+		}
+	}
+	run := func(cfg *faults.Config) *sim.Result {
+		res, err := sim.Run(space, sim.Config{
+			Strategy: core.SoftFocused{}, Classifier: metaThai(), Faults: cfg,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
+
+	plain := run(nil)
+	set := metrics.NewSet("Soft-focused harvest under injected faults", "pages crawled", "harvest %")
+	var results []*sim.Result
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %10s %10s %10s  %s\n", "fault rate", "harvest", "coverage", "crawled", "fault counters")
+	for _, rate := range []float64{0, 0.05, 0.15} {
+		res := run(faultCfg(rate))
+		results = append(results, res)
+		addSeries(set, res.Harvest, fmt.Sprintf("%.0f%% faults", 100*rate))
+		fmt.Fprintf(&sb, "%-12s %9.1f%% %9.1f%% %10d  %s\n",
+			fmt.Sprintf("%.0f%%", 100*rate), res.FinalHarvest(), res.FinalCoverage(), res.Crawled, res.Faults.String())
+	}
+	o.Text = sb.String()
+	o.Sets = []*metrics.Set{set}
+
+	zero, faulty := results[0], results[2]
+	rerun := run(faultCfg(0.15))
+	o.Checks = append(o.Checks,
+		check("a zero-rate fault layer reproduces the plain engine exactly",
+			zero.Crawled == plain.Crawled && zero.RelevantCrawled == plain.RelevantCrawled &&
+				zero.FinalHarvest() == plain.FinalHarvest(),
+			"crawled %d/%d, harvest %.2f%%/%.2f%%",
+			zero.Crawled, plain.Crawled, zero.FinalHarvest(), plain.FinalHarvest()),
+		check("faults cost crawl efficiency: harvest falls as the fault rate rises",
+			faulty.FinalHarvest() < zero.FinalHarvest(),
+			"harvest %.1f%% at 15%% faults vs %.1f%% clean", faulty.FinalHarvest(), zero.FinalHarvest()),
+		check("retries and wasted fetches are accounted at 15% faults",
+			faulty.Faults.Retries > 0 && faulty.Faults.WastedFetches > 0 &&
+				faulty.Faults.Attempts == faulty.Crawled,
+			"%s", faulty.Faults.String()),
+		check("fault injection is deterministic: identical rerun",
+			rerun.Crawled == faulty.Crawled && rerun.Faults == faulty.Faults,
+			"crawled %d/%d, counters %s vs %s",
+			rerun.Crawled, faulty.Crawled, rerun.Faults.String(), faulty.Faults.String()),
 	)
 	return o
 }

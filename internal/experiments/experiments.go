@@ -159,7 +159,7 @@ func IDs() []string {
 	return []string{
 		"table1", "table2", "table3", "obs",
 		"fig3", "fig4", "fig5", "fig6", "fig7",
-		"abl-classifier", "abl-locality", "abl-mislabel", "abl-adaptive", "abl-queue", "abl-seeds", "abl-timed",
+		"abl-classifier", "abl-locality", "abl-mislabel", "abl-adaptive", "abl-queue", "abl-seeds", "abl-faults", "abl-timed",
 	}
 }
 
@@ -196,6 +196,8 @@ func (r *Runner) Run(id string) (*Outcome, error) {
 		return r.AblationQueueMode(), nil
 	case "abl-seeds":
 		return r.AblationSeeds(), nil
+	case "abl-faults":
+		return r.AblationFaults(), nil
 	case "abl-timed":
 		return r.AblationTimed(), nil
 	default:

@@ -1,0 +1,155 @@
+package faults
+
+import "testing"
+
+// The breaker takes its clock as a plain float64, so every transition is
+// tested here with a fake clock — no sleeping, no wall time.
+
+func TestBreakerClosedUntilThreshold(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: 10})
+	for i := 0; i < 2; i++ {
+		if !b.Allow(float64(i)) {
+			t.Fatalf("closed breaker blocked request %d", i)
+		}
+		b.RecordFailure(float64(i))
+		if b.State() != Closed {
+			t.Fatalf("tripped after %d failures, threshold 3", i+1)
+		}
+	}
+	b.RecordFailure(2)
+	if b.State() != Open {
+		t.Fatal("did not trip at the threshold")
+	}
+	if b.Trips() != 1 {
+		t.Errorf("trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: 10})
+	b.RecordFailure(0)
+	b.RecordFailure(1)
+	b.RecordSuccess(2) // streak broken
+	b.RecordFailure(3)
+	b.RecordFailure(4)
+	if b.State() != Closed {
+		t.Error("non-consecutive failures tripped the breaker")
+	}
+	b.RecordFailure(5)
+	if b.State() != Open {
+		t.Error("three consecutive failures did not trip")
+	}
+}
+
+func TestBreakerOpenBlocksUntilCooldown(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 10})
+	b.RecordFailure(100)
+	if b.State() != Open {
+		t.Fatal("threshold-1 breaker did not trip on first failure")
+	}
+	for _, now := range []float64{100, 104, 109.9} {
+		if b.Allow(now) {
+			t.Errorf("open breaker allowed a request at t=%v (opened at 100)", now)
+		}
+	}
+	if !b.Allow(110) {
+		t.Fatal("cooldown elapsed but probe denied")
+	}
+	if b.State() != HalfOpen {
+		t.Errorf("state after cooldown = %v, want half-open", b.State())
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 5})
+	b.RecordFailure(0)
+	if !b.Allow(6) {
+		t.Fatal("probe denied after cooldown")
+	}
+	// While the probe is in flight, no second request may pass.
+	if b.Allow(6.1) {
+		t.Error("half-open breaker admitted a second concurrent probe")
+	}
+}
+
+func TestBreakerHalfOpenSuccessCloses(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 5, Probes: 2})
+	b.RecordFailure(0)
+	if !b.Allow(6) {
+		t.Fatal("probe denied")
+	}
+	b.RecordSuccess(6.5)
+	if b.State() != HalfOpen {
+		t.Fatalf("closed after 1 of 2 required probes")
+	}
+	if !b.Allow(7) {
+		t.Fatal("second probe denied")
+	}
+	b.RecordSuccess(7.5)
+	if b.State() != Closed {
+		t.Errorf("state after %d probe successes = %v, want closed", 2, b.State())
+	}
+	if !b.Allow(8) {
+		t.Error("reclosed breaker blocked a request")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 5})
+	b.RecordFailure(0)
+	if !b.Allow(6) {
+		t.Fatal("probe denied")
+	}
+	b.RecordFailure(6.5)
+	if b.State() != Open {
+		t.Fatalf("half-open failure left state %v, want open", b.State())
+	}
+	if b.Trips() != 2 {
+		t.Errorf("trips = %d, want 2", b.Trips())
+	}
+	// The cooldown restarts from the reopening time.
+	if b.Allow(10) {
+		t.Error("reopened breaker allowed a request before the new cooldown")
+	}
+	if !b.Allow(11.5) {
+		t.Error("reopened breaker denied the next probe after cooldown")
+	}
+}
+
+func TestBreakerFullCycle(t *testing.T) {
+	// closed → open → half-open → closed, the canonical happy recovery.
+	b := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: 30})
+	b.RecordFailure(0)
+	b.RecordFailure(1)
+	if b.State() != Open {
+		t.Fatal("not open after threshold failures")
+	}
+	if !b.Allow(31) || b.State() != HalfOpen {
+		t.Fatal("no half-open probe after cooldown")
+	}
+	b.RecordSuccess(32)
+	if b.State() != Closed {
+		t.Fatal("probe success did not close the breaker")
+	}
+	// A fresh failure streak is required to trip again.
+	b.RecordFailure(33)
+	if b.State() != Closed {
+		t.Error("single failure tripped a recovered breaker with threshold 2")
+	}
+}
+
+func TestBreakerSet(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{Threshold: 1, Cooldown: 10})
+	a := s.Get("a.example")
+	if s.Get("a.example") != a {
+		t.Error("Get returned a different breaker for the same host")
+	}
+	a.RecordFailure(0)
+	s.Get("b.example").RecordFailure(0)
+	if s.Trips() != 2 {
+		t.Errorf("set trips = %d, want 2", s.Trips())
+	}
+	if s.Open() != 2 {
+		t.Errorf("open hosts = %d, want 2", s.Open())
+	}
+}

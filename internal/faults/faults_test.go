@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"langcrawl/internal/rng"
+)
+
+func TestFailureClassPredicates(t *testing.T) {
+	for _, c := range []FailureClass{Transient5xx, ConnectTimeout, DeadHost} {
+		if !c.Failed() || !c.Retryable() {
+			t.Errorf("%v should be a retryable failure", c)
+		}
+	}
+	for _, c := range []FailureClass{None, SlowHost, TruncatedBody} {
+		if c.Failed() {
+			t.Errorf("%v should not count as failed", c)
+		}
+	}
+	for c := None; c <= TruncatedBody; c++ {
+		if c.String() == "unknown" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		status int
+		err    error
+		want   FailureClass
+	}{
+		{200, nil, None},
+		{404, nil, None},
+		{500, nil, Transient5xx},
+		{503, nil, Transient5xx},
+		{599, nil, Transient5xx},
+		{0, errors.New("connection refused"), DeadHost},
+		{0, timeoutErr{}, ConnectTimeout},
+		{0, context.DeadlineExceeded, ConnectTimeout},
+	}
+	for _, c := range cases {
+		if got := Classify(c.status, c.err); got != c.want {
+			t.Errorf("Classify(%d, %v) = %v, want %v", c.status, c.err, got, c.want)
+		}
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	m := Model{Seed: 42, Rate: 0.2, TruncateRate: 0.05, DeadHostRate: 0.1, SlowHostRate: 0.1}
+	a, b := NewSampler(m), NewSampler(m)
+	hosts := []string{"a.example", "b.example", "c.example", "d.example"}
+	for i := 0; i < 2000; i++ {
+		h := hosts[i%len(hosts)]
+		if a.Attempt(h) != b.Attempt(h) {
+			t.Fatalf("streams diverged at attempt %d", i)
+		}
+	}
+	for _, h := range hosts {
+		if a.HostDead(h) != b.HostDead(h) || a.HostSlow(h) != b.HostSlow(h) {
+			t.Errorf("host profile for %s not deterministic", h)
+		}
+	}
+}
+
+func TestSamplerRates(t *testing.T) {
+	// With no dead hosts, observed transient faults track Model.Rate.
+	m := Model{Seed: 7, Rate: 0.15}
+	s := NewSampler(m)
+	const n = 20000
+	faults := 0
+	for i := 0; i < n; i++ {
+		c := s.Attempt("alive.example")
+		if c == DeadHost {
+			t.Fatal("dead host sampled with DeadHostRate 0")
+		}
+		if c.Failed() {
+			faults++
+		}
+	}
+	got := float64(faults) / n
+	if got < 0.12 || got > 0.18 {
+		t.Errorf("observed fault rate %.3f, want ≈0.15", got)
+	}
+}
+
+func TestSamplerDeadHost(t *testing.T) {
+	s := NewSampler(Model{Seed: 3, DeadHostRate: 1})
+	for i := 0; i < 10; i++ {
+		if c := s.Attempt("any.example"); c != DeadHost {
+			t.Fatalf("attempt %d against dead host returned %v", i, c)
+		}
+	}
+	if !s.HostDead("any.example") {
+		t.Error("host not reported dead")
+	}
+}
+
+func TestDeadHostFractionRespectsRate(t *testing.T) {
+	s := NewSampler(Model{Seed: 11, DeadHostRate: 0.25})
+	dead := 0
+	const hosts = 4000
+	for i := 0; i < hosts; i++ {
+		if s.HostDead(hostName(i)) {
+			dead++
+		}
+	}
+	got := float64(dead) / hosts
+	if got < 0.2 || got > 0.3 {
+		t.Errorf("dead-host fraction %.3f, want ≈0.25", got)
+	}
+}
+
+func hostName(i int) string {
+	const digits = "0123456789"
+	b := []byte{'h', '0', '0', '0', '0', '.', 't', 'h'}
+	for p := 4; p >= 1; p-- {
+		b[p] = digits[i%10]
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	if (RetryPolicy{}).Enabled() {
+		t.Error("zero policy reports enabled")
+	}
+	p := RetryPolicy{MaxAttempts: 5}.WithDefaults()
+	if p.MaxAttempts != 5 || p.BaseDelay != 0.5 || p.MaxDelay != 30 || p.Multiplier != 2 {
+		t.Errorf("defaults not filled: %+v", p)
+	}
+	if !DefaultRetryPolicy().Enabled() {
+		t.Error("default policy reports disabled")
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: 1, MaxDelay: 8, Multiplier: 2}.WithDefaults()
+	want := []float64{1, 2, 4, 8, 8, 8}
+	for i, w := range want {
+		if got := p.Backoff(i+1, nil); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: 2, MaxDelay: 30, Multiplier: 2, Jitter: 0.5}
+	r := rng.New(99)
+	for i := 0; i < 1000; i++ {
+		d := p.Backoff(1, r)
+		if d < 1 || d > 2 {
+			t.Fatalf("jittered backoff %v outside [1,2]", d)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultCountersAddAndAny(t *testing.T) {
+	var f FaultCounters
+	if f.Any() {
+		t.Error("zero counters report Any")
+	}
+	f.Add(FaultCounters{Attempts: 10, Retries: 3, Failures: 1, Truncated: 2,
+		BreakerTrips: 1, BreakerSkips: 4, WastedFetches: 5})
+	f.Add(FaultCounters{Attempts: 5, Retries: 1, BreakerTrips: 2})
+	want := FaultCounters{Attempts: 15, Retries: 4, Failures: 1, Truncated: 2,
+		BreakerTrips: 3, BreakerSkips: 4, WastedFetches: 5}
+	if f != want {
+		t.Errorf("after Add: %+v, want %+v", f, want)
+	}
+	if !f.Any() {
+		t.Error("nonzero counters report !Any")
+	}
+}
+
+func TestFaultCountersString(t *testing.T) {
+	s := FaultCounters{Attempts: 7, Retries: 2, BreakerTrips: 1}.String()
+	for _, frag := range []string{"attempts=7", "retries=2", "breaker-trips=1", "failures=0"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q, missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"langcrawl/internal/faults"
+	"langcrawl/internal/metrics"
+	"langcrawl/internal/rng"
+)
+
+// faultState is the per-run fault-injection machinery both engines share:
+// the sampler drawing outcomes, the retry policy, the per-host breakers,
+// and the counters they feed. The engines differ only in the clock they
+// pass in — the untimed engine ticks one virtual second per attempt, the
+// timed engine passes its event time.
+type faultState struct {
+	sampler  *faults.Sampler
+	retry    faults.RetryPolicy
+	retryOn  bool
+	breakers *faults.BreakerSet
+	budget   int // remaining crawl-wide retries; -1 = unlimited
+	backoffR *rng.RNG
+	counters *metrics.FaultCounters
+}
+
+// newFaultState assembles the state for cfg, or returns nil when cfg is
+// nil (fault injection off — the engines then take their original paths).
+// A zero Model.Seed falls back to spaceSeed so a bare `Faults:
+// &faults.Config{Model: ..., Retry: ...}` is reproducible per space.
+func newFaultState(cfg *faults.Config, spaceSeed uint64, counters *metrics.FaultCounters) *faultState {
+	if cfg == nil {
+		return nil
+	}
+	m := cfg.Model
+	if m.Seed == 0 {
+		m.Seed = spaceSeed
+	}
+	fs := &faultState{
+		sampler:  faults.NewSampler(m),
+		retryOn:  cfg.Retry.Enabled(),
+		budget:   -1,
+		backoffR: rng.New2(m.Seed, 0xBAC0FF),
+		counters: counters,
+	}
+	if fs.retryOn {
+		fs.retry = cfg.Retry.WithDefaults()
+		if fs.retry.Budget > 0 {
+			fs.budget = fs.retry.Budget
+		}
+	}
+	if cfg.Breaker.Enabled() {
+		fs.breakers = faults.NewBreakerSet(cfg.Breaker)
+	}
+	return fs
+}
+
+// allow gates a fetch on host's breaker at time now; a refusal is counted
+// as a breaker skip (the page is dropped, though a duplicate frontier
+// entry may bring it back after the breaker recloses).
+func (fs *faultState) allow(host string, now float64) bool {
+	if fs.breakers == nil {
+		return true
+	}
+	if fs.breakers.Get(host).Allow(now) {
+		return true
+	}
+	fs.counters.BreakerSkips++
+	return false
+}
+
+// attempt samples one fetch attempt against host.
+func (fs *faultState) attempt(host string) faults.FailureClass {
+	fs.counters.Attempts++
+	return fs.sampler.Attempt(host)
+}
+
+// success/failure report the attempt outcome to host's breaker.
+func (fs *faultState) success(host string, now float64) {
+	if fs.breakers != nil {
+		fs.breakers.Get(host).RecordSuccess(now)
+	}
+}
+
+func (fs *faultState) failure(host string, now float64) {
+	if fs.breakers != nil {
+		fs.breakers.Get(host).RecordFailure(now)
+	}
+}
+
+// canRetry reports whether a attempt-th failure may be refetched: retries
+// configured, the per-URL attempt cap not reached, the crawl-wide budget
+// not spent, and host's breaker still admitting.
+func (fs *faultState) canRetry(host string, attempt int, now float64) bool {
+	if !fs.retryOn || attempt >= fs.retry.MaxAttempts || fs.budget == 0 {
+		return false
+	}
+	return fs.breakers == nil || fs.breakers.Get(host).Allow(now)
+}
+
+// noteRetry books one retry against the counters and budget.
+func (fs *faultState) noteRetry() {
+	fs.counters.Retries++
+	if fs.budget > 0 {
+		fs.budget--
+	}
+}
+
+// backoff returns the jittered delay after the attempt-th failure (used
+// by the timed engine; the untimed engine has no clock to wait on).
+func (fs *faultState) backoff(attempt int) float64 {
+	return fs.retry.Backoff(attempt, fs.backoffR)
+}
+
+// finish flushes end-of-run breaker statistics into the counters.
+func (fs *faultState) finish() {
+	if fs.breakers != nil {
+		fs.counters.BreakerTrips = fs.breakers.Trips()
+	}
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"langcrawl/internal/core"
+	"langcrawl/internal/faults"
+)
+
+func faultCfg(rate, dead float64) *faults.Config {
+	return &faults.Config{
+		Model:   faults.Model{Rate: rate, DeadHostRate: dead},
+		Retry:   faults.DefaultRetryPolicy(),
+		Breaker: faults.BreakerConfig{Threshold: 2, Cooldown: 50},
+	}
+}
+
+func TestFaultsRateZeroMatchesDisabled(t *testing.T) {
+	// A configured fault layer that never fires must not change what the
+	// crawl does — only the Attempts counter may move.
+	base, err := Run(thaiSpace, Config{Strategy: core.SoftFocused{}, Classifier: metaThai()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withF, err := Run(thaiSpace, Config{
+		Strategy: core.SoftFocused{}, Classifier: metaThai(),
+		Faults: faultCfg(0, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withF.Crawled != base.Crawled || withF.RelevantCrawled != base.RelevantCrawled ||
+		withF.MaxQueueLen != base.MaxQueueLen || withF.DroppedPages != base.DroppedPages {
+		t.Errorf("rate-0 faults changed the crawl: %v vs %v", withF, base)
+	}
+	if !reflect.DeepEqual(withF.Harvest, base.Harvest) {
+		t.Error("rate-0 faults changed the harvest series")
+	}
+	if withF.Faults.Attempts != withF.Crawled {
+		t.Errorf("attempts = %d, crawled = %d", withF.Faults.Attempts, withF.Crawled)
+	}
+	if withF.Faults.Retries != 0 || withF.Faults.Failures != 0 || withF.Faults.BreakerTrips != 0 {
+		t.Errorf("rate-0 faults produced activity: %+v", withF.Faults)
+	}
+}
+
+func TestFaultsDeterministic(t *testing.T) {
+	cfg := Config{
+		Strategy: core.SoftFocused{}, Classifier: metaThai(),
+		Faults: faultCfg(0.15, 0.2),
+	}
+	a, err := Run(thaiSpace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(thaiSpace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("faulted run not deterministic:\n%v %+v\n%v %+v", a, a.Faults, b, b.Faults)
+	}
+	// The knobs are high enough that every mechanism must have fired.
+	if a.Faults.Retries == 0 || a.Faults.Failures == 0 || a.Faults.BreakerTrips == 0 {
+		t.Errorf("expected retries, failures and breaker trips, got %+v", a.Faults)
+	}
+	if a.Faults.BreakerSkips == 0 {
+		t.Errorf("dead hosts at threshold 2 should cause breaker skips, got %+v", a.Faults)
+	}
+}
+
+func TestFaultsLowerHarvestAndCoverage(t *testing.T) {
+	// Wasted attempts consume budget, so a faulted crawl harvests less
+	// per crawled page and covers less of the space.
+	clean, err := Run(thaiSpace, Config{Strategy: core.SoftFocused{}, Classifier: metaThai()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := Run(thaiSpace, Config{
+		Strategy: core.SoftFocused{}, Classifier: metaThai(),
+		Faults: faultCfg(0.15, 0.1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.FinalHarvest() >= clean.FinalHarvest() {
+		t.Errorf("faulted harvest %.2f%% not below clean %.2f%%",
+			faulted.FinalHarvest(), clean.FinalHarvest())
+	}
+	if faulted.FinalCoverage() >= clean.FinalCoverage() {
+		t.Errorf("faulted coverage %.2f%% not below clean %.2f%%",
+			faulted.FinalCoverage(), clean.FinalCoverage())
+	}
+}
+
+func TestFaultsRespectPageBudget(t *testing.T) {
+	// Every attempt, failed or not, consumes MaxPages budget — and the
+	// engine never blows past the cap mid-retry.
+	res, err := Run(thaiSpace, Config{
+		Strategy: core.SoftFocused{}, Classifier: metaThai(),
+		MaxPages: 500,
+		Faults:   faultCfg(0.3, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crawled != 500 {
+		t.Errorf("crawled %d, want exactly the 500-page budget", res.Crawled)
+	}
+	if res.Faults.Attempts != res.Crawled {
+		t.Errorf("attempts %d != crawled %d", res.Faults.Attempts, res.Crawled)
+	}
+	if res.Faults.Retries == 0 {
+		t.Error("30% fault rate produced no retries")
+	}
+}
+
+func TestFaultsTruncationFeedsClassifier(t *testing.T) {
+	// With TruncateRate 1 every successful fetch is truncated; the
+	// detector classifier must still accept the partial bodies (the
+	// truncation leniency), keeping harvest well above zero.
+	res, err := Run(jpSpace, Config{
+		Strategy:   core.SoftFocused{},
+		Classifier: core.DetectorClassifier{Target: jpSpace.Target, MinConfidence: 0.99},
+		MaxPages:   2000,
+		Faults: &faults.Config{
+			Model: faults.Model{TruncateRate: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Truncated == 0 {
+		t.Fatal("TruncateRate 1 produced no truncations")
+	}
+	if res.Faults.Truncated != res.Crawled {
+		t.Errorf("truncated %d of %d fetches, want all", res.Faults.Truncated, res.Crawled)
+	}
+	if res.RelevantCrawled == 0 || res.FinalHarvest() < 10 {
+		t.Errorf("truncated crawl found nothing: %v", res)
+	}
+}
+
+func TestFaultsRetryBudgetCapsRetries(t *testing.T) {
+	cfg := Config{
+		Strategy: core.SoftFocused{}, Classifier: metaThai(),
+		Faults: &faults.Config{
+			Model: faults.Model{Rate: 0.3},
+			Retry: faults.RetryPolicy{MaxAttempts: 5, Budget: 7},
+		},
+	}
+	res, err := Run(thaiSpace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Retries != 7 {
+		t.Errorf("retries = %d, want exactly the budget of 7", res.Faults.Retries)
+	}
+}
+
+func TestTimedFaultsDeterministic(t *testing.T) {
+	cfg := TimedConfig{
+		Config: Config{
+			Strategy: core.SoftFocused{}, Classifier: metaThai(),
+			MaxPages: 3000,
+			Faults:   faultCfg(0.15, 0.2),
+		},
+		Concurrency: 8,
+	}
+	a, err := RunTimed(thaiSpace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTimed(thaiSpace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("timed faulted run not deterministic:\n%+v\n%+v", a.Faults, b.Faults)
+	}
+	if a.Faults.Retries == 0 || a.Faults.Failures == 0 || a.Faults.BreakerTrips == 0 {
+		t.Errorf("expected timed retries/failures/trips, got %+v", a.Faults)
+	}
+}
+
+func TestTimedFaultsRateZeroMatchesDisabled(t *testing.T) {
+	base := TimedConfig{
+		Config:      Config{Strategy: core.SoftFocused{}, Classifier: metaThai(), MaxPages: 2000},
+		Concurrency: 8,
+	}
+	clean, err := RunTimed(thaiSpace, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withF := base
+	withF.Faults = faultCfg(0, 0)
+	faulted, err := RunTimed(thaiSpace, withF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Crawled != clean.Crawled || faulted.RelevantCrawled != clean.RelevantCrawled ||
+		faulted.Duration != clean.Duration {
+		t.Errorf("rate-0 faults changed the timed crawl: %v/%.1fs vs %v/%.1fs",
+			faulted, faulted.Duration, clean, clean.Duration)
+	}
+}
+
+func TestTimedSlowHostsStretchDuration(t *testing.T) {
+	// Slow-host profiles multiply transfer delays, so wall (virtual) time
+	// grows even though the same pages are fetched.
+	base := TimedConfig{
+		Config:      Config{Strategy: core.SoftFocused{}, Classifier: metaThai(), MaxPages: 2000},
+		Concurrency: 8,
+	}
+	clean, err := RunTimed(thaiSpace, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := base
+	slow.Faults = &faults.Config{Model: faults.Model{SlowHostRate: 0.5, SlowFactor: 16}}
+	res, err := RunTimed(thaiSpace, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= clean.Duration {
+		t.Errorf("slow hosts did not stretch duration: %.1fs vs clean %.1fs",
+			res.Duration, clean.Duration)
+	}
+}

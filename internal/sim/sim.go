@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 
 	"langcrawl/internal/core"
+	"langcrawl/internal/faults"
 	"langcrawl/internal/frontier"
 	"langcrawl/internal/metrics"
 	"langcrawl/internal/webgraph"
@@ -60,6 +61,13 @@ type Config struct {
 	// Seeds overrides the space's own crawl seeds (seed-selection
 	// experiments); nil uses space.Seeds.
 	Seeds []webgraph.PageID
+	// Faults injects synthetic fetch failures (see internal/faults):
+	// per-attempt transients, dead hosts, truncated bodies, plus the
+	// retry policy and per-host circuit breakers that respond to them.
+	// Every attempt — retries included — consumes page budget, so faults
+	// genuinely cost crawl capacity. nil disables injection entirely and
+	// leaves results identical to the fault-free engine.
+	Faults *faults.Config
 }
 
 // QueueMode selects how the frontier treats re-discovered URLs.
@@ -94,6 +102,10 @@ type Result struct {
 	Harvest   *metrics.Series // % relevant among crawled, vs pages crawled
 	Coverage  *metrics.Series // % of relevant pages found, vs pages crawled
 	QueueSize *metrics.Series // frontier length, vs pages crawled
+
+	// Faults tallies injected-fault activity; all-zero when Config.Faults
+	// was nil.
+	Faults metrics.FaultCounters
 
 	// Visited is the per-page fetched bitmap, retained only when
 	// Config.KeepVisited was set.
@@ -209,6 +221,11 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 	}
 	recordSample()
 
+	// The untimed engine has no clock, so the fault layer measures breaker
+	// cooldowns in attempts: one fetch attempt = one virtual second.
+	fs := newFaultState(cfg.Faults, space.Seed, &res.Faults)
+	clock := func() float64 { return float64(res.Faults.Attempts) }
+
 	var visit core.Visit
 	for {
 		if cfg.MaxPages > 0 && res.Crawled >= cfg.MaxPages {
@@ -222,18 +239,67 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 		if visited[id] {
 			continue
 		}
+		var host string
+		if fs != nil {
+			host = space.Site(id).Host
+			if !fs.allow(host, clock()) {
+				// Open breaker: drop the pop without visiting, so a later
+				// duplicate entry can still reach the page once the host
+				// recovers.
+				continue
+			}
+		}
 		visited[id] = true
 
-		// "Fetch" from the virtual web space.
+		// "Fetch" from the virtual web space, through the fault layer when
+		// one is configured. Failed attempts consume page budget without
+		// yielding a page; a retried URL costs one budget unit per attempt.
+		truncated := false
+		if fs != nil {
+			fetched := false
+			for attempt := 1; ; attempt++ {
+				class := fs.attempt(host)
+				res.Crawled++
+				if !class.Failed() {
+					fs.success(host, clock())
+					truncated = class == faults.TruncatedBody
+					if truncated {
+						res.Faults.Truncated++
+					}
+					fetched = true
+					break
+				}
+				res.Faults.WastedFetches++
+				fs.failure(host, clock())
+				budgetLeft := cfg.MaxPages <= 0 || res.Crawled < cfg.MaxPages
+				if !budgetLeft || !fs.canRetry(host, attempt, clock()) {
+					res.Faults.Failures++
+					break
+				}
+				fs.noteRetry()
+			}
+			if !fetched {
+				if res.Crawled%sample == 0 {
+					recordSample()
+				}
+				continue
+			}
+		} else {
+			res.Crawled++
+		}
+
 		visit = core.Visit{
 			Status:      int(space.Status[id]),
 			Declared:    space.Declared[id],
 			TrueCharset: space.Charset[id],
+			Truncated:   truncated,
 		}
 		if needBody && visit.Status == 200 {
 			visit.Body = space.PageBytes(id)
+			if truncated {
+				visit.Body = visit.Body[:len(visit.Body)/2]
+			}
 		}
-		res.Crawled++
 		if visit.Status == 200 && relevant(space, id) {
 			res.RelevantCrawled++
 		}
@@ -262,6 +328,9 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 	}
 	recordSample()
 	res.MaxQueueLen = qmax()
+	if fs != nil {
+		fs.finish()
+	}
 	if cfg.KeepVisited {
 		res.Visited = visited
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"langcrawl/internal/core"
+	"langcrawl/internal/faults"
 	"langcrawl/internal/metrics"
 	"langcrawl/internal/rng"
 	"langcrawl/internal/simtime"
@@ -86,15 +87,34 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 	needBody := cfg.Classifier.NeedsBody()
 	observer, _ := cfg.Strategy.(core.QueueObserver)
 	jitter := rng.New2(space.Seed, 0x71BED)
+	fs := newFaultState(cfg.Faults, space.Seed, &res.Faults)
 
 	for _, seed := range space.Seeds {
 		fr.push(seed, 0, 1)
 	}
 
-	events := simtime.NewEventQueue[entry]()
+	// timedJob is one in-flight fetch: the frontier entry plus which
+	// attempt this is (retries re-enter the event queue with attempt+1).
+	type timedJob struct {
+		entry
+		attempt int
+	}
+
+	events := simtime.NewEventQueue[timedJob]()
 	limiter := simtime.NewHostLimiter(cfg.HostInterval)
 	now := 0.0
 	inflight := 0
+
+	// transferDelay books host politeness from earliest and returns the
+	// completion time, stretching transfers of fault-model slow hosts.
+	transferDelay := func(id webgraph.PageID, host string, earliest float64) float64 {
+		start := limiter.Reserve(host, earliest)
+		delay := cfg.Delays.Delay(host, space.Size[id], jitter)
+		if fs != nil && fs.sampler.HostSlow(host) {
+			delay *= fs.sampler.SlowFactor()
+		}
+		return start + delay
+	}
 
 	// startFetches moves work from the frontier into the event queue
 	// until the connection pool is full or the frontier is exhausted.
@@ -107,11 +127,12 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 			if visited[item.id] {
 				continue
 			}
-			visited[item.id] = true
 			host := space.Site(item.id).Host
-			start := limiter.Reserve(host, now)
-			delay := cfg.Delays.Delay(host, space.Size[item.id], jitter)
-			events.Schedule(start+delay, item)
+			if fs != nil && !fs.allow(host, now) {
+				continue // open breaker: drop without visiting
+			}
+			visited[item.id] = true
+			events.Schedule(transferDelay(item.id, host, now), timedJob{entry: item, attempt: 1})
 			inflight++
 		}
 	}
@@ -140,16 +161,51 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 		if cfg.MaxVirtualTime > 0 && now > cfg.MaxVirtualTime {
 			break
 		}
-		inflight--
 		id := ev.Payload.id
+
+		truncated := false
+		if fs != nil {
+			host := space.Site(id).Host
+			class := fs.attempt(host)
+			if class.Failed() {
+				res.Crawled++
+				res.Faults.WastedFetches++
+				fs.failure(host, now)
+				budgetLeft := cfg.MaxPages <= 0 || res.Crawled < cfg.MaxPages
+				if budgetLeft && fs.canRetry(host, ev.Payload.attempt, now) {
+					// Retry keeps its connection slot: the refetch enters
+					// the event queue after backoff + politeness + transfer.
+					fs.noteRetry()
+					at := transferDelay(id, host, now+fs.backoff(ev.Payload.attempt))
+					events.Schedule(at, timedJob{entry: ev.Payload.entry, attempt: ev.Payload.attempt + 1})
+				} else {
+					inflight--
+					res.Faults.Failures++
+				}
+				if res.Crawled%sample == 0 {
+					recordSample()
+				}
+				continue
+			}
+			fs.success(host, now)
+			truncated = class == faults.TruncatedBody
+			if truncated {
+				res.Faults.Truncated++
+			}
+		}
+		inflight--
 
 		visit := core.Visit{
 			Status:      int(space.Status[id]),
 			Declared:    space.Declared[id],
 			TrueCharset: space.Charset[id],
+			Truncated:   truncated,
 		}
 		if needBody && visit.Status == 200 {
 			visit.Body = space.PageBytes(id)
+			if truncated {
+				visit.Body = visit.Body[:len(visit.Body)/2]
+			}
 		}
 		res.Crawled++
 		if visit.Status == 200 && space.IsRelevant(id) {
@@ -180,5 +236,8 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 	recordSample()
 	res.Duration = now
 	res.MaxQueueLen = fr.max()
+	if fs != nil {
+		fs.finish()
+	}
 	return res, nil
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"langcrawl/internal/webgraph"
@@ -23,11 +24,21 @@ type Server struct {
 	// RobotsDisallow lists path prefixes served as disallowed in every
 	// host's robots.txt.
 	RobotsDisallow []string
+	// FailFirst, when positive, makes each page URL's first FailFirst
+	// requests answer 503 before the page is served — a flaky server for
+	// exercising retry logic. robots.txt is exempt.
+	FailFirst int
+	// FailHost names one virtual host that answers 503 to every page
+	// request — a persistently broken server for breaker tests.
+	FailHost string
+
+	mu    sync.Mutex
+	fails map[string]int // per-URL 503s served so far under FailFirst
 }
 
 // New returns a Server for space.
 func New(space *webgraph.Space) *Server {
-	return &Server{space: space}
+	return &Server{space: space, fails: make(map[string]int)}
 }
 
 // Requests returns the number of requests served so far.
@@ -48,6 +59,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "Disallow: %s\n", p)
 		}
 		return
+	}
+
+	if s.FailHost != "" && host == s.FailHost {
+		http.Error(w, "service unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	if s.FailFirst > 0 {
+		key := host + r.URL.Path
+		s.mu.Lock()
+		n := s.fails[key]
+		if n < s.FailFirst {
+			s.fails[key] = n + 1
+			s.mu.Unlock()
+			http.Error(w, "try again", http.StatusServiceUnavailable)
+			return
+		}
+		s.mu.Unlock()
 	}
 
 	id, ok := s.space.PageByURL("http://" + host + r.URL.Path)

@@ -31,6 +31,7 @@ import (
 	"langcrawl/internal/charset"
 	"langcrawl/internal/core"
 	"langcrawl/internal/crawlog"
+	"langcrawl/internal/faults"
 	"langcrawl/internal/sim"
 	"langcrawl/internal/simtime"
 	"langcrawl/internal/webgraph"
@@ -193,6 +194,29 @@ type TimedSimResult = sim.TimedResult
 
 // DelayModel shapes synthetic transfer delays for timed simulation.
 type DelayModel = simtime.DelayModel
+
+// FaultConfig switches on fault injection for a simulation
+// (SimConfig.Faults): the fault model plus the retry policy and breaker
+// settings used to cope with it.
+type FaultConfig = faults.Config
+
+// FaultModel parameterizes the simulator's deterministic fault sampler:
+// transient failure rate, dead/slow host fractions, truncation rate.
+type FaultModel = faults.Model
+
+// RetryPolicy is the exponential-backoff retry schedule shared by the
+// simulator and the live crawler (CrawlConfig.Retry). The zero value
+// disables retries.
+type RetryPolicy = faults.RetryPolicy
+
+// BreakerConfig parameterizes per-host circuit breakers
+// (CrawlConfig.Breaker, FaultConfig.Breaker). The zero value disables
+// them.
+type BreakerConfig = faults.BreakerConfig
+
+// DefaultRetryPolicy is a sensible production retry schedule: 3
+// attempts, 0.5 s base backoff doubling per attempt, ±50% jitter.
+func DefaultRetryPolicy() RetryPolicy { return faults.DefaultRetryPolicy() }
 
 // SimulateTimed runs the timed simulator: concurrent fetches, per-host
 // access intervals and transfer delays (the paper's stated future work).
