@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz experiments report clean
+.PHONY: all build vet test race bench bench-check bench-baseline fuzz experiments report clean
 
 all: build vet test
 
@@ -22,11 +22,27 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Short fuzzing passes over the parsers; extend -fuzztime for real runs.
+# Frontier/append-path benchmarks gated against BENCH_frontier.json
+# (what CI runs); bench-baseline re-records the baseline on this machine.
+bench-check:
+	$(GO) test -bench=. -benchtime=1x -count=5 -benchmem -run='^$$' \
+		./internal/frontier ./internal/crawlog ./internal/linkdb | \
+		$(GO) run ./cmd/benchcheck -baseline BENCH_frontier.json -min-ns 10000 -skip SyncEach
+
+bench-baseline:
+	$(GO) test -bench=. -benchtime=1x -count=5 -benchmem -run='^$$' \
+		./internal/frontier ./internal/crawlog ./internal/linkdb | \
+		$(GO) run ./cmd/benchcheck -baseline BENCH_frontier.json -update \
+		-note "min of 5 single-iteration runs; machine-specific, gate tracks relative drift"
+
+# Short fuzzing passes over the parsers and concurrent structures;
+# extend -fuzztime for real runs.
 fuzz:
 	$(GO) test -fuzz=FuzzDetect -fuzztime=30s ./internal/charset/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/htmlx/
 	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/crawlog/
+	$(GO) test -fuzz=FuzzCrawlogRoundTrip -fuzztime=30s ./internal/crawlog/
+	$(GO) test -fuzz=FuzzFrontierOps -fuzztime=30s ./internal/frontier/
 
 # Regenerate every paper table/figure at full scale; writes CSVs and an
 # HTML report under results/.

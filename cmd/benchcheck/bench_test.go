@@ -1,0 +1,114 @@
+package main
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: langcrawl/internal/frontier
+cpu: AMD EPYC 7B13
+BenchmarkFrontierSingleLock-8   	    1000	     52301 ns/op	    1204 B/op	      14 allocs/op
+BenchmarkFrontierSharded8-8     	    1000	     24087.5 ns/op	    1388 B/op	      16 allocs/op
+BenchmarkFrontierSharded8       	    1000	     29000 ns/op
+PASS
+ok  	langcrawl/internal/frontier	1.2s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	single := got["BenchmarkFrontierSingleLock"]
+	if single.NsPerOp != 52301 || single.BytesPerOp != 1204 || single.AllocsPerOp != 14 {
+		t.Errorf("single-lock parsed as %+v", single)
+	}
+	// The duplicate sharded line (no -N suffix, no -benchmem columns)
+	// must fold into the same key, keeping the faster reading.
+	sharded := got["BenchmarkFrontierSharded8"]
+	if sharded.NsPerOp != 24087.5 {
+		t.Errorf("sharded ns/op %v, want min of the two readings", sharded.NsPerOp)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkStable":  {NsPerOp: 10000},
+		"BenchmarkSlower":  {NsPerOp: 10000},
+		"BenchmarkFaster":  {NsPerOp: 10000},
+		"BenchmarkTiny":    {NsPerOp: 50},
+		"BenchmarkRetired": {NsPerOp: 10000},
+	}}
+	current := map[string]Result{
+		"BenchmarkStable": {NsPerOp: 11000}, // +10%: inside tolerance
+		"BenchmarkSlower": {NsPerOp: 13000}, // +30%: regression
+		"BenchmarkFaster": {NsPerOp: 5000},  // -50%
+		"BenchmarkTiny":   {NsPerOp: 400},   // +700% but under the noise floor
+		"BenchmarkAdded":  {NsPerOp: 7000},
+	}
+	rep := Compare(base, current, 0.20, 1000, nil)
+	if got := rep.Regressions(); got != 1 {
+		t.Fatalf("%d regressions, want 1 (rows: %+v)", got, rep.Rows)
+	}
+	status := make(map[string]string)
+	for _, row := range rep.Rows {
+		status[row.Name] = row.Status
+	}
+	want := map[string]string{
+		"BenchmarkStable":  "ok",
+		"BenchmarkSlower":  "REGRESSED",
+		"BenchmarkFaster":  "faster",
+		"BenchmarkTiny":    "noise",
+		"BenchmarkAdded":   "new",
+		"BenchmarkRetired": "missing",
+	}
+	for name, w := range want {
+		if status[name] != w {
+			t.Errorf("%s: status %q, want %q", name, status[name], w)
+		}
+	}
+	md := rep.Markdown(Metadata{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 1, GOMAXPROCS: 1})
+	if !strings.Contains(md, "REGRESSED") || !strings.Contains(md, "| BenchmarkSlower |") {
+		t.Errorf("markdown summary missing regression row:\n%s", md)
+	}
+
+	// A skipped benchmark is reported but never gates, however far it
+	// drifted.
+	rep = Compare(base, current, 0.20, 1000, regexp.MustCompile("Slower"))
+	if got := rep.Regressions(); got != 0 {
+		t.Fatalf("%d regressions with Slower skipped, want 0", got)
+	}
+	for _, row := range rep.Rows {
+		if row.Name == "BenchmarkSlower" && row.Status != "info" {
+			t.Errorf("skipped benchmark has status %q, want info", row.Status)
+		}
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	b := &Baseline{
+		Metadata:   Metadata{GoVersion: "go1.24.0", NumCPU: 1, GOMAXPROCS: 1, Note: "test"},
+		Benchmarks: map[string]Result{"BenchmarkX": {NsPerOp: 123.5, BytesPerOp: 64, AllocsPerOp: 2}},
+	}
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Metadata != b.Metadata {
+		t.Errorf("metadata %+v, want %+v", back.Metadata, b.Metadata)
+	}
+	if back.Benchmarks["BenchmarkX"] != b.Benchmarks["BenchmarkX"] {
+		t.Errorf("benchmarks %+v, want %+v", back.Benchmarks, b.Benchmarks)
+	}
+}

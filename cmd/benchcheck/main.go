@@ -1,0 +1,110 @@
+// Command benchcheck gates CI on benchmark regressions. It parses the
+// output of `go test -bench` (stdin or a file), compares every ns/op
+// against the checked-in baseline, and exits nonzero when a benchmark
+// slowed past the tolerance. With -update it rewrites the baseline from
+// the run instead. The comparison table is printed to stdout and, with
+// -summary, appended to a markdown file ($GITHUB_STEP_SUMMARY in CI).
+//
+//	go test -bench=. -benchtime=1x -benchmem ./internal/... | benchcheck -baseline BENCH_frontier.json
+//	go test -bench=. -benchtime=1x -benchmem ./internal/... | benchcheck -baseline BENCH_frontier.json -update
+//
+// Very fast benchmarks are timer-noise-dominated, especially at
+// -benchtime=1x; results where both sides sit under -min-ns are shown
+// but never gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_frontier.json", "baseline JSON file to compare against")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op slowdown before failing")
+	minNs := flag.Float64("min-ns", 1000, "ignore regressions where both sides are under this many ns/op (timer noise)")
+	summaryPath := flag.String("summary", "", "also append the markdown comparison table to this file")
+	note := flag.String("note", "", "free-form note stored in the baseline metadata on -update")
+	skipPat := flag.String("skip", "", "regexp of benchmarks to report without gating (I/O-bound measurements)")
+	flag.Parse()
+
+	var skip *regexp.Regexp
+	if *skipPat != "" {
+		var err error
+		if skip, err = regexp.Compile(*skipPat); err != nil {
+			fatal(fmt.Errorf("bad -skip pattern: %w", err))
+		}
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one input file (default stdin)"))
+	}
+
+	current, err := ParseBenchOutput(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines in input"))
+	}
+
+	if *update {
+		base := Baseline{
+			Metadata: Metadata{
+				GoVersion:  runtime.Version(),
+				GOOS:       runtime.GOOS,
+				GOARCH:     runtime.GOARCH,
+				NumCPU:     runtime.NumCPU(),
+				GOMAXPROCS: runtime.GOMAXPROCS(0),
+				Note:       *note,
+			},
+			Benchmarks: current,
+		}
+		if err := base.Save(*baselinePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcheck: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return
+	}
+
+	base, err := LoadBaseline(*baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("loading baseline (regenerate with -update): %w", err))
+	}
+	report := Compare(base, current, *tolerance, *minNs, skip)
+	md := report.Markdown(base.Metadata)
+	fmt.Print(md)
+	if *summaryPath != "" {
+		f, err := os.OpenFile(*summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := f.WriteString(md); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if n := report.Regressions(); n > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d benchmark(s) regressed beyond %.0f%%\n", n, *tolerance*100)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+	os.Exit(2)
+}

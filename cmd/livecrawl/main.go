@@ -48,6 +48,10 @@ func main() {
 		retryBase    = flag.Float64("retry-base", 0.5, "base retry backoff seconds (doubles per attempt, jittered)")
 		brkThreshold = flag.Int("breaker-threshold", 0, "consecutive failures to open a host's circuit breaker (0 = no breakers)")
 		brkCooldown  = flag.Float64("breaker-cooldown", 30, "seconds an open breaker waits before probing the host again")
+		shards       = flag.Int("shards", 0, "host-hash frontier shards for the parallel engine (0/1 = one shard, legacy order)")
+		frBatch      = flag.Int("frontier-batch", 0, "frontier insert batch size per shard (0/1 = unbatched)")
+		appendBatch  = flag.Int("append-batch", 0, "group-commit size for crawl-log and link-DB appends (0/1 = synchronous)")
+		appendEvery  = flag.Duration("append-interval", 0, "flush staged appends at least this often (0 = only on full batches)")
 	)
 	flag.Parse()
 
@@ -107,6 +111,10 @@ func main() {
 	cfg.MaxPages = *maxPages
 	cfg.FrontierPath = *frontier
 	cfg.Parallelism = *parallel
+	cfg.FrontierShards = *shards
+	cfg.FrontierBatch = *frBatch
+	cfg.AppendBatch = *appendBatch
+	cfg.AppendInterval = *appendEvery
 	if *retries > 0 {
 		cfg.Retry = faults.DefaultRetryPolicy()
 		cfg.Retry.MaxAttempts = *retries

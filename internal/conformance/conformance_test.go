@@ -1,0 +1,316 @@
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"langcrawl/internal/core"
+	"langcrawl/internal/crawler"
+	"langcrawl/internal/crawlog"
+	"langcrawl/internal/faults"
+	"langcrawl/internal/sim"
+	"langcrawl/internal/webgraph"
+	"langcrawl/internal/webserve"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden trace files")
+
+func goldenPath(key string) string {
+	return filepath.Join("..", "..", "results", "golden", key+".golden")
+}
+
+func space(t *testing.T) *webgraph.Space {
+	t.Helper()
+	s, err := NewSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func golden(t *testing.T, key string) *Trace {
+	t.Helper()
+	tr, err := Load(goldenPath(key))
+	if err != nil {
+		t.Fatalf("loading golden %s (regenerate with -update): %v", key, err)
+	}
+	return tr
+}
+
+// TestGoldenSequential pins the reference engine itself: the sequential
+// simulator must reproduce every checked-in trace bit for bit. With
+// -update it rewrites the goldens instead.
+func TestGoldenSequential(t *testing.T) {
+	sp := space(t)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath("x")), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range Cases() {
+		got, err := Capture(sp, c.Strategy)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Key, err)
+		}
+		if *update {
+			if err := got.Save(goldenPath(c.Key)); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("updated %s (%d visits)", goldenPath(c.Key), len(got.Visits))
+			continue
+		}
+		if d := golden(t, c.Key).Diff(got); d != "" {
+			t.Errorf("%s: sequential engine diverged from golden: %s", c.Key, d)
+		}
+	}
+}
+
+// TestGoldenEncodingRoundTrip keeps the trace codec honest.
+func TestGoldenEncodingRoundTrip(t *testing.T) {
+	sp := space(t)
+	got, err := Capture(sp, core.BreadthFirst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTrace(got.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.Diff(back); d != "" {
+		t.Fatalf("encode/decode round trip: %s", d)
+	}
+}
+
+// TestGoldenFaultsDisabled holds the fault-layer engine (the PR-1
+// ablation configuration with every injection rate at zero) to the
+// fault-free goldens: retries, breakers and bookkeeping must be inert
+// when nothing fails.
+func TestGoldenFaultsDisabled(t *testing.T) {
+	sp := space(t)
+	for _, c := range Cases() {
+		var visits []webgraph.PageID
+		res, err := sim.Run(sp, sim.Config{
+			Strategy:   c.Strategy,
+			Classifier: Classifier(),
+			OnVisit:    func(id webgraph.PageID) { visits = append(visits, id) },
+			Faults: &faults.Config{
+				Model:   faults.Model{Rate: 0, DeadHostRate: 0},
+				Retry:   faults.DefaultRetryPolicy(),
+				Breaker: faults.BreakerConfig{Threshold: 5, Cooldown: 120},
+			},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Key, err)
+		}
+		got := &Trace{
+			Strategy: c.Strategy.Name(), Crawled: res.Crawled,
+			Relevant: res.RelevantCrawled,
+			Harvest:  res.FinalHarvest(), Coverage: res.FinalCoverage(),
+			Visits: visits,
+		}
+		if d := golden(t, c.Key).Diff(got); d != "" {
+			t.Errorf("%s: rate-0 fault engine diverged from golden: %s", c.Key, d)
+		}
+	}
+}
+
+// TestGoldenTimedConcurrencyOne holds the discrete-event engine at one
+// connection to the goldens: with a single in-flight fetch its pop order
+// is the sequential engine's, whatever the virtual clock does.
+func TestGoldenTimedConcurrencyOne(t *testing.T) {
+	sp := space(t)
+	for _, c := range Cases() {
+		var visits []webgraph.PageID
+		res, err := sim.RunTimed(sp, sim.TimedConfig{
+			Config: sim.Config{
+				Strategy:   c.Strategy,
+				Classifier: Classifier(),
+				OnVisit:    func(id webgraph.PageID) { visits = append(visits, id) },
+			},
+			Concurrency: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Key, err)
+		}
+		got := &Trace{
+			Strategy: c.Strategy.Name(), Crawled: res.Crawled,
+			Relevant: res.RelevantCrawled,
+			Harvest:  res.FinalHarvest(), Coverage: res.FinalCoverage(),
+			Visits: visits,
+		}
+		if d := golden(t, c.Key).Diff(got); d != "" {
+			t.Errorf("%s: timed engine at concurrency 1 diverged from golden: %s", c.Key, d)
+		}
+	}
+}
+
+// TestGoldenShardedEquivalence holds the sharded frontier machinery in
+// sequential-equivalence mode (one explicit shard, batch 1) to the
+// goldens: the Sharded wrapper must be order-transparent.
+func TestGoldenShardedEquivalence(t *testing.T) {
+	sp := space(t)
+	for _, c := range Cases() {
+		var visits []webgraph.PageID
+		res, err := sim.Run(sp, sim.Config{
+			Strategy:       c.Strategy,
+			Classifier:     Classifier(),
+			FrontierShards: 1,
+			FrontierBatch:  1,
+			OnVisit:        func(id webgraph.PageID) { visits = append(visits, id) },
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Key, err)
+		}
+		got := &Trace{
+			Strategy: c.Strategy.Name(), Crawled: res.Crawled,
+			Relevant: res.RelevantCrawled,
+			Harvest:  res.FinalHarvest(), Coverage: res.FinalCoverage(),
+			Visits: visits,
+		}
+		if d := golden(t, c.Key).Diff(got); d != "" {
+			t.Errorf("%s: sharded frontier in equivalence mode diverged from golden: %s", c.Key, d)
+		}
+	}
+}
+
+// --- live engines ----------------------------------------------------------
+
+// liveWeb serves the conformance space over a loopback HTTP server with
+// a transport that dials every virtual host to it.
+func liveWeb(t *testing.T, sp *webgraph.Space) *http.Client {
+	t.Helper()
+	ts := httptest.NewServer(webserve.New(sp))
+	t.Cleanup(ts.Close)
+	addr := ts.Listener.Addr().String()
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, network, addr)
+			},
+		},
+		Timeout: 10 * time.Second,
+	}
+}
+
+func liveSeeds(sp *webgraph.Space) []string {
+	out := make([]string, len(sp.Seeds))
+	for i, id := range sp.Seeds {
+		out[i] = sp.URL(id)
+	}
+	return out
+}
+
+// liveTrace runs the live crawler with the given engine configuration
+// and converts its crawl log into a Trace via the URL → page mapping.
+func liveTrace(t *testing.T, sp *webgraph.Space, client *http.Client,
+	strat core.Strategy, mut func(*crawler.Config)) (*Trace, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := crawlog.NewWriter(&buf, crawlog.Header{Seeds: liveSeeds(sp)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := crawler.Config{
+		Seeds:        liveSeeds(sp),
+		Strategy:     strat,
+		Classifier:   Classifier(),
+		Client:       client,
+		Log:          w,
+		IgnoreRobots: true,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := crawler.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := crawlog.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byURL := make(map[string]webgraph.PageID, sp.N())
+	for id := 0; id < sp.N(); id++ {
+		byURL[sp.URL(webgraph.PageID(id))] = webgraph.PageID(id)
+	}
+	tr := &Trace{Strategy: strat.Name(), Crawled: len(recs)}
+	for _, rec := range recs {
+		id, ok := byURL[rec.URL]
+		if !ok {
+			t.Fatalf("log contains unknown URL %q", rec.URL)
+		}
+		tr.Visits = append(tr.Visits, id)
+		if rec.Status == 200 && sp.IsRelevant(id) {
+			tr.Relevant++
+		}
+	}
+	tr.Harvest = 100 * float64(tr.Relevant) / float64(max(tr.Crawled, 1))
+	tr.Coverage = 100 * float64(tr.Relevant) / float64(max(sp.RelevantTotal(), 1))
+	return tr, buf.Bytes()
+}
+
+// TestGoldenLiveEngines runs the real HTTP crawler — sequential engine
+// and parallel engine in sequential-equivalence mode — over a served
+// copy of the conformance space. The two live engines must produce
+// byte-identical crawl logs (the refactor's acceptance bar), and both
+// must crawl exactly the golden trace's page set.
+func TestGoldenLiveEngines(t *testing.T) {
+	sp := space(t)
+	client := liveWeb(t, sp)
+	for _, c := range []Case{
+		{"bfs", core.BreadthFirst{}},
+		{"soft", core.SoftFocused{}},
+	} {
+		seqTr, seqLog := liveTrace(t, sp, client, c.Strategy, nil)
+		parTr, parLog := liveTrace(t, sp, client, c.Strategy, func(cfg *crawler.Config) {
+			cfg.UseParallelEngine = true
+		})
+		if !bytes.Equal(seqLog, parLog) {
+			t.Errorf("%s: live parallel engine in sequential-equivalence mode wrote a different log (%d vs %d bytes)",
+				c.Key, len(seqLog), len(parLog))
+		}
+		if d := seqTr.Diff(parTr); d != "" {
+			t.Errorf("%s: live engines diverged: %s", c.Key, d)
+		}
+		if d := golden(t, c.Key).DiffSet(seqTr); d != "" {
+			t.Errorf("%s: live crawl set diverged from golden: %s", c.Key, d)
+		}
+	}
+}
+
+// TestGoldenLiveShardedWorkers runs the live parallel engine at full
+// width — 8 workers over an 8-shard batched frontier — and checks set
+// equality against the golden: order may differ, coverage may not.
+func TestGoldenLiveShardedWorkers(t *testing.T) {
+	sp := space(t)
+	client := liveWeb(t, sp)
+	tr, _ := liveTrace(t, sp, client, core.SoftFocused{}, func(cfg *crawler.Config) {
+		cfg.Parallelism = 8
+		cfg.FrontierShards = 8
+		cfg.FrontierBatch = 16
+		cfg.AppendBatch = 32
+		cfg.AppendInterval = 5 * time.Millisecond
+	})
+	if d := golden(t, "soft").DiffSet(tr); d != "" {
+		t.Errorf("sharded live crawl diverged from golden set: %s", d)
+	}
+}

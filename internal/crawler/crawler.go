@@ -65,6 +65,29 @@ type Config struct {
 	// fully deterministic). With more workers, frontier order is
 	// approximate and politeness is still enforced per host.
 	Parallelism int
+	// UseParallelEngine forces the concurrent engine even at Parallelism
+	// 1. With FrontierShards and FrontierBatch at their defaults this is
+	// sequential-equivalence mode: the parallel machinery runs but must
+	// reproduce the sequential engine's crawl order exactly (the
+	// conformance suite holds it to that).
+	UseParallelEngine bool
+	// FrontierShards stripes the parallel engine's frontier across N
+	// host-hashed shards, each with its own lock and queue (default 1:
+	// a single shard, preserving global frontier order). Ignored by the
+	// sequential engine.
+	FrontierShards int
+	// FrontierBatch stages frontier inserts per shard and applies them to
+	// the priority structure a batch at a time (default 1: unbatched,
+	// every push immediately visible). Ignored by the sequential engine.
+	FrontierBatch int
+	// AppendBatch group-commits Log and DB appends in batches of this
+	// size (default 1: today's synchronous path). Batched DB commits end
+	// in one fsync each, so batching buys durability the synchronous
+	// path never had — at a fraction of the per-record sync cost.
+	AppendBatch int
+	// AppendInterval bounds how long a partial append batch may sit
+	// staged (0: flush only on size and at crawl end).
+	AppendInterval time.Duration
 	// Retry refetches failed URLs (5xx, timeouts, connection errors) with
 	// exponential backoff; see faults.RetryPolicy. The zero value disables
 	// retries, leaving single-attempt behavior.
@@ -136,9 +159,10 @@ type qitem struct {
 
 // Run crawls until the frontier drains, MaxPages is reached, or ctx is
 // canceled (in-flight requests finish first). With Config.Parallelism
-// greater than one the concurrent engine in parallel.go takes over.
+// greater than one (or UseParallelEngine set) the concurrent engine in
+// parallel.go takes over.
 func (c *Crawler) Run(ctx context.Context) (*Result, error) {
-	if c.cfg.Parallelism > 1 {
+	if c.cfg.Parallelism > 1 || c.cfg.UseParallelEngine {
 		return c.runParallel(ctx)
 	}
 	return c.runSequential(ctx)
@@ -150,9 +174,11 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 	queue := frontier.New[qitem](c.cfg.Strategy.QueueKind())
 	visited := make(map[string]bool)
 	observer, _ := c.cfg.Strategy.(core.QueueObserver)
+	sinks := c.newSinks()
+	defer sinks.close()
 
 	if c.cfg.FrontierPath != "" {
-		items, err := loadFrontier(c.cfg.FrontierPath)
+		items, err := loadFrontierWarn(c.cfg.FrontierPath)
 		if err != nil {
 			return nil, fmt.Errorf("crawler: loading frontier: %w", err)
 		}
@@ -195,7 +221,7 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 			continue
 		}
 		visited[item.url] = true
-		if c.cfg.DB != nil && c.cfg.DB.Has(item.url) {
+		if sinks.db != nil && sinks.db.Has(item.url) {
 			continue // already crawled in a previous run
 		}
 
@@ -211,9 +237,9 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 
 		out := c.fetchWithRetry(ctx, item.url, host)
 		res.Errors += out.transportErrs
-		if c.cfg.Log != nil {
+		if sinks.log != nil {
 			for _, frec := range out.failed {
-				if err := c.cfg.Log.Write(frec); err != nil {
+				if err := sinks.log.Write(frec); err != nil {
 					return res, fmt.Errorf("crawler: writing log: %w", err)
 				}
 			}
@@ -229,13 +255,13 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 		}
 		res.Harvest.Add(float64(res.Crawled), 100*float64(res.Relevant)/float64(res.Crawled))
 
-		if c.cfg.Log != nil {
-			if err := c.cfg.Log.Write(rec); err != nil {
+		if sinks.log != nil {
+			if err := sinks.log.Write(rec); err != nil {
 				return res, fmt.Errorf("crawler: writing log: %w", err)
 			}
 		}
-		if c.cfg.DB != nil {
-			if err := c.cfg.DB.Put(rec); err != nil {
+		if sinks.db != nil {
+			if err := sinks.db.Put(rec); err != nil {
 				return res, fmt.Errorf("crawler: writing linkdb: %w", err)
 			}
 		}
@@ -254,6 +280,9 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 	}
 	res.MaxQueueLen = queue.MaxLen()
 	res.Faults = c.flt.snapshot()
+	if err := sinks.close(); err != nil {
+		return res, fmt.Errorf("crawler: flushing appends: %w", err)
+	}
 	if c.cfg.FrontierPath != "" {
 		if err := saveFrontier(c.cfg.FrontierPath, queue); err != nil {
 			return res, fmt.Errorf("crawler: saving frontier: %w", err)

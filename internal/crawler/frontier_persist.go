@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"os"
@@ -76,32 +77,44 @@ func saveFrontier(path string, queue frontier.Queue[qitem]) error {
 
 // loadFrontier reads a saved frontier; a missing file is an empty
 // frontier. Entries come back in their saved pop order.
-func loadFrontier(path string) ([]qitem, error) {
+//
+// A file that simply stops mid-record — the tail a crash leaves behind
+// when a batched write was cut off — is not an error: the complete
+// prefix is returned with torn=true and the partial record is dropped,
+// so a resumed crawl loses at most one frontier entry instead of
+// refusing to start. A file whose bytes are wrong (bad magic, absurd
+// lengths) still fails hard: that is damage, not truncation.
+func loadFrontier(path string) (items []qitem, torn bool, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, false, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
 	hdr := make([]byte, len(frontierMagic))
 	if _, err := io.ReadFull(r, hdr); err != nil || string(hdr) != string(frontierMagic) {
-		return nil, errors.New("not a frontier file")
+		return nil, false, errors.New("not a frontier file")
 	}
-	var items []qitem
 	for {
 		ulen, err := binary.ReadUvarint(r)
 		if err == io.EOF {
-			return items, nil
+			return items, false, nil
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return items, true, nil // cut mid-length: torn tail
 		}
 		if err != nil || ulen > 1<<20 {
-			return nil, errors.New("corrupt frontier file")
+			return nil, false, errors.New("corrupt frontier file")
 		}
 		buf := make([]byte, ulen+12)
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil, errors.New("truncated frontier file")
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return items, true, nil // cut mid-record: torn tail
+			}
+			return nil, false, err
 		}
 		items = append(items, qitem{
 			url:  string(buf[:ulen]),
@@ -109,4 +122,19 @@ func loadFrontier(path string) ([]qitem, error) {
 			prio: math.Float64frombits(binary.LittleEndian.Uint64(buf[ulen+4:])),
 		})
 	}
+}
+
+// loadFrontierWarn is the engines' entry point: a torn tail is worth a
+// warning on stderr but never aborts the resume.
+func loadFrontierWarn(path string) ([]qitem, error) {
+	items, torn, err := loadFrontier(path)
+	if err != nil {
+		return nil, err
+	}
+	if torn {
+		fmt.Fprintf(os.Stderr,
+			"crawler: warning: frontier file %s has a torn tail (interrupted save); resuming with %d intact entries\n",
+			path, len(items))
+	}
+	return items, nil
 }

@@ -2,6 +2,7 @@ package crawler
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -26,9 +27,12 @@ func TestFrontierSaveLoadRoundTrip(t *testing.T) {
 	if err := saveFrontier(path, q); err != nil {
 		t.Fatal(err)
 	}
-	got, err := loadFrontier(path)
+	got, torn, err := loadFrontier(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if torn {
+		t.Error("clean round trip reported a torn tail")
 	}
 	if len(got) != len(want) {
 		t.Fatalf("loaded %d items, want %d", len(got), len(want))
@@ -52,17 +56,79 @@ func TestFrontierSaveEmptyRemovesFile(t *testing.T) {
 }
 
 func TestFrontierLoadMissingIsEmpty(t *testing.T) {
-	items, err := loadFrontier(filepath.Join(t.TempDir(), "nope"))
-	if err != nil || items != nil {
-		t.Errorf("missing file: %v, %v", items, err)
+	items, torn, err := loadFrontier(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || torn || items != nil {
+		t.Errorf("missing file: %v, %v, %v", items, torn, err)
 	}
 }
 
 func TestFrontierLoadRejectsJunk(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "junk")
 	os.WriteFile(path, []byte("definitely not a frontier"), 0o644)
-	if _, err := loadFrontier(path); err == nil {
+	if _, _, err := loadFrontier(path); err == nil {
 		t.Error("junk accepted")
+	}
+}
+
+func TestFrontierLoadToleratesTornTail(t *testing.T) {
+	// A crash mid-save leaves the file cut somewhere inside the last
+	// record. The loader must hand back the intact prefix and flag the
+	// tear instead of refusing to resume.
+	dir := t.TempDir()
+	q := frontier.NewFIFO[qitem]()
+	want := []qitem{
+		{url: "http://a.co.th/", dist: 0, prio: 1},
+		{url: "http://b.co.th/p1.html", dist: 2, prio: -2},
+		{url: "http://c.co.th/deep/page.html", dist: 5, prio: 0.25},
+	}
+	full := filepath.Join(dir, "full")
+	for _, it := range want {
+		q.Push(it, it.prio)
+	}
+	if err := saveFrontier(full, q); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find where the last record starts so cuts land inside it: the third
+	// record occupies lastLen bytes at the end (uvarint + url + 12).
+	lastLen := 1 + len(want[2].url) + 12
+	recStart := len(data) - lastLen
+	for _, cut := range []int{recStart + 1, recStart + lastLen/2, len(data) - 1} {
+		path := filepath.Join(dir, fmt.Sprintf("torn%d", cut))
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, torn, err := loadFrontier(path)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if !torn {
+			t.Errorf("cut at %d: tear not reported", cut)
+		}
+		if len(got) != 2 {
+			t.Fatalf("cut at %d: loaded %d items, want the 2 intact ones", cut, len(got))
+		}
+		for i := 0; i < 2; i++ {
+			if got[i] != want[i] {
+				t.Errorf("cut at %d: item %d = %+v, want %+v", cut, i, got[i], want[i])
+			}
+		}
+	}
+	// A cut exactly between records is indistinguishable from a clean
+	// (shorter) save: all present records load, no tear.
+	path := filepath.Join(dir, "between")
+	if err := os.WriteFile(path, data[:recStart], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, torn, err := loadFrontier(path)
+	if err != nil || torn {
+		t.Fatalf("clean prefix: torn=%v err=%v", torn, err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("clean prefix: loaded %d items, want 2", len(got))
 	}
 }
 

@@ -6,19 +6,37 @@ import (
 	"sync"
 	"time"
 
+	"langcrawl/internal/core"
 	"langcrawl/internal/frontier"
 	"langcrawl/internal/metrics"
 	"langcrawl/internal/urlutil"
 )
 
-// runParallel is the concurrent crawl engine: Parallelism workers share
-// one frontier under a mutex, claim page-budget slots before fetching
-// (so MaxPages is exact), and respect the per-host access interval by
+// runParallel is the concurrent crawl engine. The frontier is a
+// lock-striped sharded queue keyed by host (Config.FrontierShards wide,
+// with per-shard insert batching of Config.FrontierBatch), so workers
+// pop and push without holding the engine mutex; mu now guards only the
+// crawl bookkeeping — visited set, budget slots, politeness bookings,
+// result counters. Workers claim page-budget slots before fetching (so
+// MaxPages is exact) and respect the per-host access interval by
 // booking start times the way the timed simulator's limiter does.
+//
+// With Parallelism 1, FrontierShards 1 and FrontierBatch 1 this engine
+// is sequentially equivalent: pops come out of the single shard in
+// exactly the order the sequential engine would take, and the crawl log
+// it writes is byte-identical (the conformance suite asserts this).
 func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 	res := &Result{Harvest: &metrics.Series{Name: c.cfg.Strategy.Name()}}
-	queue := frontier.New[qitem](c.cfg.Strategy.QueueKind())
+	fr := frontier.NewSharded(frontier.ShardedOptions[qitem]{
+		Shards:   c.cfg.FrontierShards,
+		Batch:    c.cfg.FrontierBatch,
+		Key:      func(it qitem) string { return urlutil.Host(it.url) },
+		NewQueue: func() frontier.Queue[qitem] { return frontier.New[qitem](c.cfg.Strategy.QueueKind()) },
+	})
 	visited := make(map[string]bool)
+	observer, _ := c.cfg.Strategy.(core.QueueObserver)
+	sinks := c.newSinks()
+	defer sinks.close()
 
 	var (
 		mu       sync.Mutex
@@ -28,7 +46,10 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 	)
 	// idle workers wait on cond instead of polling; every event that can
 	// create work or end the crawl — a link push, an in-flight fetch
-	// finishing, cancellation — broadcasts.
+	// finishing, cancellation — broadcasts. The wakeup protocol relies on
+	// pushes completing before the pusher takes mu to broadcast: a waiter
+	// that saw an empty frontier under mu either saw the push (Len > 0)
+	// or will be woken by the pusher's broadcast.
 	cond := sync.NewCond(&mu)
 	stopWake := context.AfterFunc(ctx, func() {
 		mu.Lock()
@@ -38,12 +59,12 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 	defer stopWake()
 
 	if c.cfg.FrontierPath != "" {
-		items, err := loadFrontier(c.cfg.FrontierPath)
+		items, err := loadFrontierWarn(c.cfg.FrontierPath)
 		if err != nil {
 			return nil, fmt.Errorf("crawler: loading frontier: %w", err)
 		}
 		for _, it := range items {
-			queue.Push(it, it.prio)
+			fr.Push(it, it.prio)
 		}
 	}
 	for _, s := range c.cfg.Seeds {
@@ -51,41 +72,56 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("crawler: seed %q: %w", s, err)
 		}
-		queue.Push(qitem{url: u, prio: 1}, 1)
+		fr.Push(qitem{url: u, prio: 1}, 1)
 	}
+	fr.Flush() // restore/seed entries are all visible before workers start
 
 	// nextAllowed books per-host start times under mu; workers sleep
 	// outside the lock until their slot.
 	nextAllowed := make(map[string]time.Time)
 
-	worker := func() {
+	worker := func(w int) {
 		for {
 			mu.Lock()
-			if runErr != nil || ctx.Err() != nil {
-				cond.Broadcast() // wake peers so they observe the same exit condition
-				mu.Unlock()
-				return
-			}
-			if c.cfg.MaxPages > 0 && started >= c.cfg.MaxPages {
-				cond.Broadcast()
-				mu.Unlock()
-				return
-			}
 			var item qitem
-			var ok bool
 			for {
-				item, ok = queue.Pop()
-				if !ok || !visited[item.url] {
+				if runErr != nil || ctx.Err() != nil {
+					cond.Broadcast() // wake peers so they observe the same exit condition
+					mu.Unlock()
+					return
+				}
+				if c.cfg.MaxPages > 0 && started >= c.cfg.MaxPages {
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				var ok bool
+				mu.Unlock()
+				item, ok = fr.PopWorker(w)
+				mu.Lock()
+				if ok {
+					if runErr != nil || ctx.Err() != nil ||
+						(c.cfg.MaxPages > 0 && started >= c.cfg.MaxPages) {
+						// The crawl ended while we popped; put the item back so
+						// frontier persistence still sees it.
+						fr.Push(item, item.prio)
+						cond.Broadcast()
+						mu.Unlock()
+						return
+					}
 					break
 				}
-			}
-			if !ok {
+				if fr.Len() > 0 {
+					continue // a racing push landed between our pop and lock
+				}
 				if inflight == 0 {
 					cond.Broadcast() // global quiescence: release waiting peers
 					mu.Unlock()
 					return
 				}
 				cond.Wait() // peers may still add links; they broadcast when done
+			}
+			if visited[item.url] {
 				mu.Unlock()
 				continue
 			}
@@ -95,7 +131,8 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 				// it only after maxDemotions round trips.
 				if item.demoted < maxDemotions {
 					item.demoted++
-					queue.Push(item, item.prio-float64(item.demoted))
+					fr.Push(item, item.prio-float64(item.demoted))
+					cond.Broadcast()
 				} else {
 					c.flt.gaveUp()
 				}
@@ -103,7 +140,7 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 				continue
 			}
 			visited[item.url] = true
-			if c.cfg.DB != nil && c.cfg.DB.Has(item.url) {
+			if sinks.db != nil && sinks.db.Has(item.url) {
 				mu.Unlock()
 				continue
 			}
@@ -141,44 +178,61 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 				out := c.fetchWithRetry(ctx, item.url, host)
 				mu.Lock()
 				res.Errors += out.transportErrs
-				if c.cfg.Log != nil {
+				if sinks.log != nil {
 					for _, frec := range out.failed {
-						if werr := c.cfg.Log.Write(frec); werr != nil && runErr == nil {
+						if werr := sinks.log.Write(frec); werr != nil && runErr == nil {
 							runErr = fmt.Errorf("crawler: writing log: %w", werr)
 						}
 					}
 				}
 				if out.err != nil {
 					started-- // free the budget slot for another page
-				} else {
-					visit, links, rec := out.visit, out.links, out.rec
-					res.Crawled++
-					s := c.cfg.Classifier.Score(visit)
-					if s >= 0.5 {
-						res.Relevant++
+					inflight--
+					cond.Broadcast()
+					mu.Unlock()
+					continue
+				}
+				visit, links, rec := out.visit, out.links, out.rec
+				res.Crawled++
+				s := c.cfg.Classifier.Score(visit)
+				if s >= 0.5 {
+					res.Relevant++
+				}
+				res.Harvest.Add(float64(res.Crawled), 100*float64(res.Relevant)/float64(res.Crawled))
+				if sinks.log != nil {
+					if werr := sinks.log.Write(rec); werr != nil && runErr == nil {
+						runErr = fmt.Errorf("crawler: writing log: %w", werr)
 					}
-					res.Harvest.Add(float64(res.Crawled), 100*float64(res.Relevant)/float64(res.Crawled))
-					if c.cfg.Log != nil {
-						if werr := c.cfg.Log.Write(rec); werr != nil && runErr == nil {
-							runErr = fmt.Errorf("crawler: writing log: %w", werr)
+				}
+				if sinks.db != nil {
+					if werr := sinks.db.Put(rec); werr != nil && runErr == nil {
+						runErr = fmt.Errorf("crawler: writing linkdb: %w", werr)
+					}
+				}
+				dec := c.cfg.Strategy.Decide(s, int(item.dist))
+				var fresh []frontier.Pending[qitem]
+				if visit.Status == 200 && dec.Follow {
+					for _, l := range links {
+						if !visited[l] {
+							fresh = append(fresh, frontier.Pending[qitem]{
+								Item: qitem{url: l, dist: int32(dec.Dist), prio: dec.Priority},
+								Prio: dec.Priority,
+							})
 						}
 					}
-					if c.cfg.DB != nil {
-						if werr := c.cfg.DB.Put(rec); werr != nil && runErr == nil {
-							runErr = fmt.Errorf("crawler: writing linkdb: %w", werr)
-						}
-					}
-					dec := c.cfg.Strategy.Decide(s, int(item.dist))
-					if visit.Status == 200 && dec.Follow {
-						for _, l := range links {
-							if !visited[l] {
-								queue.Push(qitem{url: l, dist: int32(dec.Dist), prio: dec.Priority}, dec.Priority)
-							}
-						}
-					}
-					if observer, isObs := c.cfg.Strategy.(interface{ ObserveQueueLen(int) }); isObs {
-						observer.ObserveQueueLen(queue.Len())
-					}
+				}
+				mu.Unlock()
+				// The link fan-out goes in as one grouped insert, touching
+				// each destination shard's lock once — outside mu so other
+				// workers' bookkeeping proceeds meanwhile. inflight stays
+				// claimed until after the push, so no peer can conclude
+				// quiescence while these links are in transit.
+				if len(fresh) > 0 {
+					fr.PushBatch(fresh)
+				}
+				mu.Lock()
+				if observer != nil {
+					observer.ObserveQueueLen(fr.Len())
 				}
 				inflight--
 				cond.Broadcast() // new links and/or a freed in-flight slot
@@ -195,20 +249,26 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 	}
 
 	n := c.cfg.Parallelism
+	if n < 1 {
+		n = 1
+	}
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			worker()
-		}()
+			worker(w)
+		}(i)
 	}
 	wg.Wait()
 
-	res.MaxQueueLen = queue.MaxLen()
+	res.MaxQueueLen = fr.MaxLen()
 	res.Faults = c.flt.snapshot()
+	if err := sinks.close(); err != nil && runErr == nil {
+		runErr = fmt.Errorf("crawler: flushing appends: %w", err)
+	}
 	if c.cfg.FrontierPath != "" {
-		if err := saveFrontier(c.cfg.FrontierPath, queue); err != nil && runErr == nil {
+		if err := saveFrontier(c.cfg.FrontierPath, fr); err != nil && runErr == nil {
 			runErr = fmt.Errorf("crawler: saving frontier: %w", err)
 		}
 	}

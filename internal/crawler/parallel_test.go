@@ -1,12 +1,14 @@
 package crawler
 
 import (
+	"bytes"
 	"context"
 	"testing"
 	"time"
 
 	"langcrawl/internal/charset"
 	"langcrawl/internal/core"
+	"langcrawl/internal/crawlog"
 )
 
 func TestParallelFullCoverage(t *testing.T) {
@@ -89,6 +91,136 @@ func TestParallelMatchesSequentialSet(t *testing.T) {
 	if seq.Crawled != par.Crawled || seq.Relevant != par.Relevant {
 		t.Errorf("sequential %d/%d vs parallel %d/%d",
 			seq.Crawled, seq.Relevant, par.Crawled, par.Relevant)
+	}
+}
+
+func TestParallelSequentialEquivalence(t *testing.T) {
+	// The acceptance bar for the sharded-frontier refactor: with one
+	// worker, one shard and batch size 1, the parallel engine must write
+	// a crawl log byte-identical to the sequential engine's — same pages,
+	// same order, same records.
+	space, _, client := testWeb(t, 400, 67)
+	for _, strat := range []core.Strategy{
+		core.BreadthFirst{}, core.SoftFocused{}, core.HardFocused{},
+	} {
+		run := func(parallel bool) []byte {
+			var buf bytes.Buffer
+			w, err := crawlog.NewWriter(&buf, crawlog.Header{Seeds: seedsOf(space)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := New(Config{
+				Seeds:             seedsOf(space),
+				Strategy:          strat,
+				Classifier:        core.MetaClassifier{Target: charset.LangThai},
+				Client:            client,
+				Log:               w,
+				IgnoreRobots:      true,
+				UseParallelEngine: parallel,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+		seq, par := run(false), run(true)
+		if !bytes.Equal(seq, par) {
+			t.Errorf("%s: parallel engine in sequential-equivalence mode diverged: %d vs %d log bytes",
+				strat.Name(), len(seq), len(par))
+		}
+	}
+}
+
+func TestParallelShardedFullCoverage(t *testing.T) {
+	// The sharded frontier at full width changes pop order but must not
+	// lose or duplicate work: 8 workers over 8 shards still crawl the
+	// whole space exactly once.
+	space, srv, client := testWeb(t, 500, 71)
+	c, err := New(Config{
+		Seeds:          seedsOf(space),
+		Strategy:       core.SoftFocused{},
+		Classifier:     core.MetaClassifier{Target: charset.LangThai},
+		Client:         client,
+		Parallelism:    8,
+		FrontierShards: 8,
+		FrontierBatch:  16,
+		IgnoreRobots:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crawled != space.N() {
+		t.Errorf("sharded crawl fetched %d of %d", res.Crawled, space.N())
+	}
+	if res.Relevant != space.RelevantTotal() {
+		t.Errorf("relevant %d, ground truth %d", res.Relevant, space.RelevantTotal())
+	}
+	// Robots are off: every request is a page, so any duplicate fetch
+	// shows up as extra requests.
+	if got := srv.Requests(); got != int64(space.N()) {
+		t.Errorf("server saw %d requests for %d pages", got, space.N())
+	}
+}
+
+func TestParallelBatchedAppends(t *testing.T) {
+	// Group-committed log/DB appends must record exactly the crawled set.
+	space, _, client := testWeb(t, 300, 73)
+	var buf bytes.Buffer
+	w, err := crawlog.NewWriter(&buf, crawlog.Header{Seeds: seedsOf(space)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		Seeds:          seedsOf(space),
+		Strategy:       core.BreadthFirst{},
+		Classifier:     core.MetaClassifier{Target: charset.LangThai},
+		Client:         client,
+		Log:            w,
+		Parallelism:    4,
+		FrontierShards: 4,
+		FrontierBatch:  8,
+		AppendBatch:    32,
+		AppendInterval: 5 * time.Millisecond,
+		IgnoreRobots:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := crawlog.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != res.Crawled || res.Crawled != space.N() {
+		t.Errorf("log has %d records, result says %d crawled, space has %d",
+			len(recs), res.Crawled, space.N())
+	}
+	seen := make(map[string]bool, len(recs))
+	for _, rec := range recs {
+		if seen[rec.URL] {
+			t.Errorf("URL %q logged twice", rec.URL)
+		}
+		seen[rec.URL] = true
 	}
 }
 

@@ -1,0 +1,174 @@
+package crawlog
+
+import (
+	"sync"
+	"time"
+)
+
+// BatchWriter is a group-commit front end for a Writer: appends are
+// staged in an in-memory buffer and committed to the underlying Writer
+// a batch at a time — when the buffer reaches the flush size, when the
+// flush interval elapses, or on an explicit Flush. Staging is a slice
+// append under a short lock, and the commit itself runs under a second
+// lock so concurrent appenders keep staging while a batch is being
+// encoded and written. Record order is preserved: records reach the
+// underlying log in exactly the order Write accepted them.
+//
+// With size 1 the BatchWriter degrades to today's synchronous path —
+// every Write goes straight to the underlying Writer (plus mutex
+// protection, which the bare Writer does not provide).
+//
+// Crash semantics: up to size-1 accepted records (plus whatever sits in
+// the underlying Writer's own buffer) can be lost if the process dies
+// before a flush. The crawl-log format's per-record CRC framing makes
+// the torn tail detectable on replay, and the frontier resume path
+// tolerates it (see internal/crawler).
+//
+// All methods are safe for concurrent use.
+type BatchWriter struct {
+	mu  sync.Mutex // guards buf, count, err
+	wmu sync.Mutex // serializes commits to w, preserving batch order
+	w   *Writer
+
+	size  int
+	buf   []*Record
+	count int
+	err   error // first write error; sticky
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewBatchWriter wraps w with a group-commit buffer of the given flush
+// size (minimum 1 = synchronous) and optional flush interval (0 = flush
+// only on size and explicit Flush/Close). The caller keeps ownership of
+// w's final Flush-to-disk; BatchWriter.Flush pushes staged records into
+// w and flushes w's own buffer.
+func NewBatchWriter(w *Writer, size int, interval time.Duration) *BatchWriter {
+	if size < 1 {
+		size = 1
+	}
+	b := &BatchWriter{w: w, size: size}
+	if size > 1 && interval > 0 {
+		b.stop = make(chan struct{})
+		b.done = make(chan struct{})
+		go b.flushLoop(interval)
+	}
+	return b
+}
+
+func (b *BatchWriter) flushLoop(interval time.Duration) {
+	defer close(b.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			b.commit(false)
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+// Write stages one record (or writes it through when size is 1).
+func (b *BatchWriter) Write(r *Record) error {
+	b.mu.Lock()
+	if b.err != nil {
+		err := b.err
+		b.mu.Unlock()
+		return err
+	}
+	if b.size <= 1 {
+		// Synchronous path: hold mu across the write so order and the
+		// sticky error stay coherent.
+		err := b.w.Write(r)
+		if err != nil {
+			b.err = err
+		} else {
+			b.count++
+		}
+		b.mu.Unlock()
+		return err
+	}
+	b.buf = append(b.buf, r)
+	b.count++
+	full := len(b.buf) >= b.size
+	b.mu.Unlock()
+	if full {
+		return b.commit(false)
+	}
+	return nil
+}
+
+// commit steals the staged batch and writes it to the underlying
+// Writer. Taking wmu before releasing mu guarantees batches commit in
+// steal order while later appenders stage concurrently. When sync is
+// true the underlying Writer's buffer is flushed too.
+func (b *BatchWriter) commit(sync bool) error {
+	b.mu.Lock()
+	if b.err != nil {
+		err := b.err
+		b.mu.Unlock()
+		return err
+	}
+	batch := b.buf
+	b.buf = nil
+	b.wmu.Lock()
+	b.mu.Unlock()
+
+	var err error
+	for _, r := range batch {
+		if err = b.w.Write(r); err != nil {
+			break
+		}
+	}
+	if err == nil && sync {
+		err = b.w.Flush()
+	}
+	b.wmu.Unlock()
+	if err != nil {
+		b.mu.Lock()
+		if b.err == nil {
+			b.err = err
+		}
+		b.mu.Unlock()
+	}
+	return err
+}
+
+// Flush commits every staged record and flushes the underlying Writer's
+// buffer to its io.Writer.
+func (b *BatchWriter) Flush() error { return b.commit(true) }
+
+// Close stops the interval flusher (if any) and flushes. The underlying
+// Writer remains usable.
+func (b *BatchWriter) Close() error {
+	if b.stop != nil {
+		close(b.stop)
+		<-b.done
+		b.stop = nil
+	}
+	return b.Flush()
+}
+
+// Count returns the number of records accepted (staged or written).
+func (b *BatchWriter) Count() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+// Pending returns the number of staged records not yet committed.
+func (b *BatchWriter) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+// Err returns the sticky first write error, if any.
+func (b *BatchWriter) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}

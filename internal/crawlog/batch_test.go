@@ -1,0 +1,233 @@
+package crawlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func numberedRecord(i int) *Record {
+	return &Record{
+		URL:    fmt.Sprintf("http://site%05d.co.th/p%d.html", i%7, i),
+		Status: 200,
+		Size:   uint32(100 + i),
+	}
+}
+
+func TestBatchWriterOrderPreserved(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := NewBatchWriter(w, 8, 0)
+	const n = 100 // not a multiple of the batch size: leaves a partial tail
+	for i := 0; i < n; i++ {
+		if err := bw.Write(numberedRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := bw.Count(); got != n {
+		t.Fatalf("Count = %d, want %d", got, n)
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		if want := numberedRecord(i).URL; rec.URL != want {
+			t.Fatalf("record %d: URL %q, want %q (order not preserved)", i, rec.URL, want)
+		}
+	}
+}
+
+func TestBatchWriterSizeOneIsSynchronous(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := NewBatchWriter(w, 1, 0)
+	for i := 0; i < 5; i++ {
+		if err := bw.Write(numberedRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+		if got := bw.Pending(); got != 0 {
+			t.Fatalf("Pending = %d after synchronous write, want 0", got)
+		}
+		if got := w.Count(); got != i+1 {
+			t.Fatalf("underlying Count = %d, want %d (write not synchronous)", got, i+1)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchWriterFlushOnSize(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := NewBatchWriter(w, 4, 0)
+	for i := 0; i < 3; i++ {
+		if err := bw.Write(numberedRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := bw.Pending(); got != 3 {
+		t.Fatalf("Pending = %d before batch fills, want 3", got)
+	}
+	if got := w.Count(); got != 0 {
+		t.Fatalf("underlying Count = %d before batch fills, want 0", got)
+	}
+	if err := bw.Write(numberedRecord(3)); err != nil { // fills the batch
+		t.Fatal(err)
+	}
+	if got := bw.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after batch fills, want 0", got)
+	}
+	if got := w.Count(); got != 4 {
+		t.Fatalf("underlying Count = %d after batch fills, want 4", got)
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchWriterIntervalFlush(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := NewBatchWriter(w, 1024, 5*time.Millisecond)
+	defer bw.Close()
+	if err := bw.Write(numberedRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for bw.Pending() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never committed the staged record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// failAfter errors every write once n bytes have passed through.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		return 0, errors.New("disk full")
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+func TestBatchWriterStickyError(t *testing.T) {
+	// Room for the header but not for the flushed records.
+	w, err := NewWriter(&failAfter{n: 64}, Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := NewBatchWriter(w, 2, 0)
+	var firstErr error
+	for i := 0; i < 2000 && firstErr == nil; i++ {
+		firstErr = bw.Write(numberedRecord(i))
+	}
+	if firstErr == nil {
+		t.Fatal("no write error despite failing sink")
+	}
+	if err := bw.Write(numberedRecord(9999)); err == nil {
+		t.Fatal("write after error succeeded; error should be sticky")
+	}
+	if bw.Err() == nil {
+		t.Fatal("Err() = nil after failed write")
+	}
+	if err := bw.Flush(); err == nil {
+		t.Fatal("Flush after error succeeded; error should be sticky")
+	}
+}
+
+func TestBatchWriterConcurrentRoundTrip(t *testing.T) {
+	// bytes.Buffer is not concurrency-safe; the BatchWriter's commit lock
+	// is the only thing serializing access to it, so this test doubles as
+	// a -race check on the group-commit path.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := NewBatchWriter(w, 16, time.Millisecond)
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := &Record{
+					URL:    fmt.Sprintf("http://w%d.example.co.th/p%d.html", g, i),
+					Status: 200,
+				}
+				if err := bw.Write(rec); err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != writers*perWriter {
+		t.Fatalf("replayed %d records, want %d", len(recs), writers*perWriter)
+	}
+	seen := make(map[string]bool, len(recs))
+	lastPerWriter := make(map[string]int)
+	for _, rec := range recs {
+		if seen[rec.URL] {
+			t.Fatalf("URL %q written twice", rec.URL)
+		}
+		seen[rec.URL] = true
+		// Per-writer order must survive batching: each writer's records
+		// appear in increasing i order.
+		var g, i int
+		if _, err := fmt.Sscanf(rec.URL, "http://w%d.example.co.th/p%d.html", &g, &i); err != nil {
+			t.Fatalf("unparseable URL %q", rec.URL)
+		}
+		key := fmt.Sprintf("w%d", g)
+		if last, ok := lastPerWriter[key]; ok && i <= last {
+			t.Fatalf("writer %d: record %d replayed after %d", g, i, last)
+		}
+		lastPerWriter[key] = i
+	}
+}

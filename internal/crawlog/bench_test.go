@@ -1,0 +1,63 @@
+package crawlog
+
+import (
+	"io"
+	"testing"
+)
+
+// Append benchmarks for the crawl log: the bare Writer versus the
+// group-commit BatchWriter at the crawler's default flush size. The
+// batched number includes the staging lock, so the delta is the real
+// cost (or saving) the live crawler sees. cmd/benchcheck gates CI runs
+// against BENCH_frontier.json.
+
+func benchRecord() *Record {
+	return &Record{
+		URL:         "http://site00042.co.th/dir/page017.html",
+		Status:      200,
+		TrueCharset: 1,
+		Declared:    2,
+		Size:        8192,
+		Links: []string{
+			"http://site00042.co.th/",
+			"http://site00042.co.th/dir/page018.html",
+			"http://site00107.example.com/index.html",
+			"http://site00019.co.th/a/b/c.html",
+		},
+	}
+}
+
+func BenchmarkCrawlogAppendUnbatched(b *testing.B) {
+	w, err := NewWriter(io.Discard, Header{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := benchRecord()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrawlogAppendBatched64(b *testing.B) {
+	w, err := NewWriter(io.Discard, Header{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw := NewBatchWriter(w, 64, 0)
+	rec := benchRecord()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bw.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := bw.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -3,7 +3,10 @@ package crawlog
 import (
 	"bytes"
 	"io"
+	"reflect"
 	"testing"
+
+	"langcrawl/internal/charset"
 )
 
 // FuzzDecodeRecord hardens the record decoder: arbitrary bytes either
@@ -20,6 +23,80 @@ func FuzzDecodeRecord(f *testing.F) {
 		}
 		if !bytes.Equal(EncodeRecord(rec), b) {
 			t.Fatalf("decode/encode not canonical for % X", b)
+		}
+	})
+}
+
+// FuzzCrawlogRoundTrip builds a record from fuzz primitives — including
+// the fault extension byte — and checks it survives both the bare codec
+// and a full Writer→BatchWriter→Reader append/replay cycle.
+func FuzzCrawlogRoundTrip(f *testing.F) {
+	f.Add("http://site00001.co.th/p3.html", uint16(200), byte(1), byte(2),
+		uint32(4096), "http://a.co.th/\nhttp://b.co.th/p1.html", byte(0), false)
+	f.Add("", uint16(404), byte(0), byte(0), uint32(0), "", byte(3), true)
+	f.Add("http://x/", uint16(999), byte(255), byte(255), uint32(1<<31),
+		"\n\n", byte(127), false)
+	f.Fuzz(func(t *testing.T, url string, status uint16, trueCS, declCS byte,
+		size uint32, linkBlob string, failure byte, truncated bool) {
+		if len(url) > 1<<10 || len(linkBlob) > 1<<12 {
+			return
+		}
+		rec := &Record{
+			URL:         url,
+			Status:      status % 1000, // decoder rejects >999
+			TrueCharset: charset.Charset(trueCS),
+			Declared:    charset.Charset(declCS),
+			Size:        size,
+			// Failure occupies the top 7 bits of the extension byte; values
+			// above 127 cannot round-trip and the fault layer never emits them.
+			Failure:   failure % 128,
+			Truncated: truncated,
+		}
+		// DecodeRecord always materializes a non-nil Links slice.
+		rec.Links = []string{}
+		for _, l := range bytes.Split([]byte(linkBlob), []byte("\n")) {
+			if len(l) > 0 {
+				rec.Links = append(rec.Links, string(l))
+			}
+		}
+
+		got, err := DecodeRecord(EncodeRecord(rec))
+		if err != nil {
+			t.Fatalf("decode of encoded record failed: %v", err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("codec round trip: got %+v, want %+v", got, rec)
+		}
+
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, Header{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw := NewBatchWriter(w, 3, 0)
+		for i := 0; i < 5; i++ {
+			if err := bw.Write(rec); err != nil {
+				t.Fatalf("batched write %d: %v", i, err)
+			}
+		}
+		if err := bw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := r.ReadAll()
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if len(recs) != 5 {
+			t.Fatalf("replayed %d records, want 5", len(recs))
+		}
+		for _, rr := range recs {
+			if !reflect.DeepEqual(rr, rec) {
+				t.Fatalf("log round trip: got %+v, want %+v", rr, rec)
+			}
 		}
 	})
 }

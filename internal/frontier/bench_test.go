@@ -1,0 +1,122 @@
+package frontier
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The frontier microbenchmarks drive a crawl-shaped workload — each
+// operation pops one entry and pushes one discovered link, 8 workers,
+// heap discipline, 256 hosts — against the single-lock baseline
+// (Locked, the pre-sharding engine shape) and the lock-striped Sharded
+// frontier. cmd/benchcheck gates CI runs against BENCH_frontier.json.
+
+const benchHosts = 256
+
+var benchHostNames = func() [benchHosts]string {
+	var h [benchHosts]string
+	for i := range h {
+		h[i] = fmt.Sprintf("www%d.example.co.th", i)
+	}
+	return h
+}()
+
+func benchKey(it uint64) string { return benchHostNames[it%benchHosts] }
+
+// runFrontierBench splits b.N pop+push operation pairs over `workers`
+// goroutines against a pre-seeded frontier.
+func runFrontierBench(b *testing.B, workers int,
+	pop func(w int) (uint64, bool), push func(it uint64, prio float64)) {
+	b.Helper()
+	const preload = 1 << 12
+	for i := 0; i < preload; i++ {
+		push(uint64(i), float64(i%8))
+	}
+	var next atomic.Uint64
+	next.Store(preload)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/workers + 1
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				it, ok := pop(w)
+				if !ok {
+					it = next.Add(1)
+				}
+				push(it+uint64(w), float64(i%8))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkFrontierSingleLock(b *testing.B) {
+	q := NewLocked[uint64](NewHeap[uint64]())
+	runFrontierBench(b, 8,
+		func(int) (uint64, bool) { return q.Pop() },
+		q.Push)
+}
+
+func BenchmarkFrontierSharded8(b *testing.B) {
+	s := NewSharded(ShardedOptions[uint64]{
+		Shards:   8,
+		Batch:    64,
+		Key:      benchKey,
+		NewQueue: func() Queue[uint64] { return NewHeap[uint64]() },
+	})
+	runFrontierBench(b, 8, s.PopWorker, s.Push)
+}
+
+func BenchmarkFrontierSharded8Unbatched(b *testing.B) {
+	s := NewSharded(ShardedOptions[uint64]{
+		Shards:   8,
+		Batch:    1,
+		Key:      benchKey,
+		NewQueue: func() Queue[uint64] { return NewHeap[uint64]() },
+	})
+	runFrontierBench(b, 8, s.PopWorker, s.Push)
+}
+
+// BenchmarkFrontierShardedPushBatch measures the PushBatch path the
+// parallel crawler uses for link expansion: one pop, then an 8-link
+// fan-out staged with a single call.
+func BenchmarkFrontierShardedPushBatch(b *testing.B) {
+	s := NewSharded(ShardedOptions[uint64]{
+		Shards:   8,
+		Batch:    64,
+		Key:      benchKey,
+		NewQueue: func() Queue[uint64] { return NewHeap[uint64]() },
+	})
+	for i := 0; i < 1<<12; i++ {
+		s.Push(uint64(i), float64(i%8))
+	}
+	var next atomic.Uint64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	const workers = 8
+	per := b.N/workers + 1
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]Pending[uint64], 8)
+			for i := 0; i < per; i++ {
+				// Keep the frontier bounded: eight pops per eight-push batch.
+				for j := range batch {
+					it, ok := s.PopWorker(w)
+					if !ok {
+						it = next.Add(1)
+					}
+					batch[j] = Pending[uint64]{Item: it + uint64(w), Prio: float64(j)}
+				}
+				s.PushBatch(batch)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

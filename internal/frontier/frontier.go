@@ -10,8 +10,6 @@
 // priority class), which is the discipline the paper's strategies assume.
 package frontier
 
-import "container/heap"
-
 // Queue is the frontier abstraction used by the crawl engine.
 type Queue[T any] interface {
 	// Push enqueues item with the given priority. Higher priorities pop
@@ -106,26 +104,48 @@ type heapItem[T any] struct {
 
 type heapInner[T any] []heapItem[T]
 
-func (h heapInner[T]) Len() int { return len(h) }
-func (h heapInner[T]) Less(i, j int) bool {
+func (h heapInner[T]) less(i, j int) bool {
 	if h[i].prio != h[j].prio {
 		return h[i].prio > h[j].prio // max-heap on priority
 	}
 	return h[i].seq < h[j].seq // FIFO within a priority
 }
-func (h heapInner[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *heapInner[T]) Push(x any)   { *h = append(*h, x.(heapItem[T])) }
-func (h *heapInner[T]) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h heapInner[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h heapInner[T]) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		best := left
+		if right := left + 1; right < n && h.less(right, left) {
+			best = right
+		}
+		if !h.less(best, i) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
 }
 
 // Heap is a priority queue over arbitrary float64 priorities with stable
 // FIFO tie-break, for strategies with continuous scores. O(log n) per
-// operation.
+// operation. The sift functions are hand-rolled rather than layered on
+// container/heap, whose interface boxes every element into an `any` —
+// an allocation per push the frontier hot path cannot afford.
 type Heap[T any] struct {
 	inner heapInner[T]
 	seq   uint64
@@ -138,7 +158,8 @@ func NewHeap[T any]() *Heap[T] { return &Heap[T]{} }
 // Push enqueues item at the given priority.
 func (q *Heap[T]) Push(item T, priority float64) {
 	q.seq++
-	heap.Push(&q.inner, heapItem[T]{item: item, prio: priority, seq: q.seq})
+	q.inner = append(q.inner, heapItem[T]{item: item, prio: priority, seq: q.seq})
+	q.inner.siftUp(len(q.inner) - 1)
 	if len(q.inner) > q.maxN {
 		q.maxN = len(q.inner)
 	}
@@ -150,7 +171,14 @@ func (q *Heap[T]) Pop() (T, bool) {
 	if len(q.inner) == 0 {
 		return zero, false
 	}
-	it := heap.Pop(&q.inner).(heapItem[T])
+	it := q.inner[0]
+	n := len(q.inner) - 1
+	q.inner[0] = q.inner[n]
+	q.inner[n] = heapItem[T]{} // release for GC
+	q.inner = q.inner[:n]
+	if n > 0 {
+		q.inner.siftDown(0)
+	}
 	return it.item, true
 }
 

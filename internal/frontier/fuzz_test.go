@@ -1,0 +1,102 @@
+package frontier
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzFrontierOps drives an arbitrary operation sequence against a
+// Sharded frontier and checks it against a trivial model: a multiset of
+// live items (map) plus, for the sequential-equivalence configuration
+// (1 shard, batch 1), exact pop-order agreement with a reference Heap.
+//
+// Input encoding: byte 0 = shard count (1-8), byte 1 = batch size
+// (1-32), then each subsequent byte is one op: high bit clear = push an
+// item whose identity derives from the byte position and whose priority
+// and host derive from the byte value; high bit set = pop (low bits pick
+// the popping worker). A few op values map to Flush and Len checks.
+func FuzzFrontierOps(f *testing.F) {
+	f.Add([]byte{1, 1, 10, 20, 0x85, 30, 0x81})
+	f.Add([]byte{8, 32, 1, 2, 3, 4, 5, 0x90, 0x91, 0x92})
+	f.Add([]byte{4, 2, 0x7F, 0x00, 0xFF, 0x40, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		shards := 1 + int(data[0]%8)
+		batch := 1 + int(data[1]%32)
+		ops := data[2:]
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+
+		s := NewSharded(ShardedOptions[string]{
+			Shards:   shards,
+			Batch:    batch,
+			Key:      func(it string) string { return it[:4] }, // "h<n>/" prefix
+			NewQueue: func() Queue[string] { return NewHeap[string]() },
+		})
+		seqEquiv := shards == 1 && batch == 1
+		var ref *Heap[string]
+		if seqEquiv {
+			ref = NewHeap[string]()
+		}
+		model := make(map[string]bool)
+
+		for i, op := range ops {
+			switch {
+			case op&0x80 == 0: // push
+				item := fmt.Sprintf("h%02d/p%d", op%13, i)
+				prio := float64(op % 5)
+				s.Push(item, prio)
+				if model[item] {
+					t.Fatalf("op %d: model already holds %q", i, item)
+				}
+				model[item] = true
+				if ref != nil {
+					ref.Push(item, prio)
+				}
+			case op == 0xFE:
+				s.Flush()
+			case op == 0xFF:
+				if got, want := s.Len(), len(model); got != want {
+					t.Fatalf("op %d: Len=%d, model=%d", i, got, want)
+				}
+			default: // pop
+				item, ok := s.PopWorker(int(op & 0x7F))
+				if ok {
+					if !model[item] {
+						t.Fatalf("op %d: popped %q not in model (lost or duplicated)", i, item)
+					}
+					delete(model, item)
+				} else if len(model) != 0 {
+					t.Fatalf("op %d: pop failed with %d live items", i, len(model))
+				}
+				if ref != nil {
+					refItem, refOK := ref.Pop()
+					if refItem != item || refOK != ok {
+						t.Fatalf("op %d: sequential-equivalence broken: got (%q,%v), reference (%q,%v)",
+							i, item, ok, refItem, refOK)
+					}
+				}
+			}
+			if s.Len() != len(model) {
+				t.Fatalf("op %d: Len=%d diverged from model %d", i, s.Len(), len(model))
+			}
+		}
+		// Drain: everything the model still holds must come out exactly once.
+		for {
+			item, ok := s.Pop()
+			if !ok {
+				break
+			}
+			if !model[item] {
+				t.Fatalf("drain popped unknown %q", item)
+			}
+			delete(model, item)
+		}
+		if len(model) != 0 {
+			t.Fatalf("%d items lost after drain", len(model))
+		}
+	})
+}

@@ -1,0 +1,369 @@
+package frontier
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"langcrawl/internal/rng"
+)
+
+func TestShardedSequentialEquivalence(t *testing.T) {
+	// With 1 shard and batch 1, a Sharded frontier must reproduce the
+	// wrapped queue's pop order exactly, operation for operation —
+	// the guarantee the conformance suite builds on. Exercised over a
+	// long randomized push/pop script against each queue kind.
+	for _, kind := range []Kind{KindFIFO, KindBucket, KindHeap} {
+		t.Run(fmt.Sprintf("kind=%d", kind), func(t *testing.T) {
+			ref := New[int](kind)
+			sh := NewSharded(ShardedOptions[int]{
+				Shards:   1,
+				Batch:    1,
+				NewQueue: func() Queue[int] { return New[int](kind) },
+			})
+			r := rng.New(0xC0FFEE + uint64(kind))
+			for op := 0; op < 20000; op++ {
+				if r.Intn(3) != 0 { // push-biased so queues grow
+					item := int(r.Uint64() % 1000)
+					prio := float64(r.Intn(7)) - 3
+					ref.Push(item, prio)
+					sh.Push(item, prio)
+				} else {
+					want, wantOK := ref.Pop()
+					got, gotOK := sh.Pop()
+					if want != got || wantOK != gotOK {
+						t.Fatalf("op %d: pop = (%d,%v), reference = (%d,%v)",
+							op, got, gotOK, want, wantOK)
+					}
+				}
+				if ref.Len() != sh.Len() {
+					t.Fatalf("op %d: len %d vs reference %d", op, sh.Len(), ref.Len())
+				}
+			}
+			if ref.MaxLen() != sh.MaxLen() {
+				t.Errorf("maxlen %d vs reference %d", sh.MaxLen(), ref.MaxLen())
+			}
+			for {
+				want, wantOK := ref.Pop()
+				got, gotOK := sh.Pop()
+				if want != got || wantOK != gotOK {
+					t.Fatalf("drain: pop = (%d,%v), reference = (%d,%v)", got, gotOK, want, wantOK)
+				}
+				if !wantOK {
+					break
+				}
+			}
+		})
+	}
+}
+
+// shardedOfHosts builds a Sharded[string] frontier keyed by the item
+// itself (items play the role of host-qualified URLs).
+func shardedOfHosts(shards, batch int) *Sharded[string] {
+	return NewSharded(ShardedOptions[string]{
+		Shards:   shards,
+		Batch:    batch,
+		Key:      func(s string) string { return s },
+		NewQueue: func() Queue[string] { return NewHeap[string]() },
+	})
+}
+
+func TestShardedBatchVisibility(t *testing.T) {
+	s := shardedOfHosts(1, 8)
+	for i := 0; i < 5; i++ {
+		s.Push(fmt.Sprintf("u%d", i), float64(i))
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d with 5 buffered items", s.Len())
+	}
+	// Below the batch threshold nothing reached the heap yet, but a pop
+	// against a drained inner queue must flush rather than miss items.
+	if item, ok := s.Pop(); !ok || item != "u4" {
+		t.Fatalf("pop after flush-on-empty = %q, %v; want u4 (highest prio)", item, ok)
+	}
+	// Reaching the threshold flushes without a pop.
+	s2 := shardedOfHosts(1, 3)
+	s2.Push("a", 0)
+	s2.Push("b", 0)
+	s2.Push("c", 5) // third insert flushes the batch
+	if item, _ := s2.Pop(); item != "c" {
+		t.Errorf("threshold flush did not surface high-priority item (got %q)", item)
+	}
+}
+
+func TestShardedNoLossNoDuplication(t *testing.T) {
+	// Every pushed item pops exactly once, across shard counts and batch
+	// sizes, with interleaved pops.
+	for _, shards := range []int{1, 3, 8} {
+		for _, batch := range []int{1, 7, 64} {
+			s := shardedOfHosts(shards, batch)
+			r := rng.New2(uint64(shards), uint64(batch))
+			const n = 5000
+			got := make(map[string]int, n)
+			pops := 0
+			for i := 0; i < n; i++ {
+				s.Push(fmt.Sprintf("host%d/p%d", r.Intn(20), i), float64(r.Intn(5)))
+				if r.Intn(4) == 0 {
+					if item, ok := s.PopWorker(r.Intn(16)); ok {
+						got[item]++
+						pops++
+					}
+				}
+			}
+			for {
+				item, ok := s.PopWorker(0)
+				if !ok {
+					break
+				}
+				got[item]++
+				pops++
+			}
+			if pops != n {
+				t.Fatalf("shards=%d batch=%d: popped %d of %d", shards, batch, pops, n)
+			}
+			for item, c := range got {
+				if c != 1 {
+					t.Fatalf("shards=%d batch=%d: item %q popped %d times", shards, batch, item, c)
+				}
+			}
+			if s.Len() != 0 {
+				t.Fatalf("shards=%d batch=%d: Len=%d after drain", shards, batch, s.Len())
+			}
+		}
+	}
+}
+
+func TestShardedPriorityMonotonePerShard(t *testing.T) {
+	// After a Flush with no further pushes, each shard's pops come out in
+	// non-increasing priority — the documented shard-local ordering.
+	const shards = 4
+	prioOf := make(map[string]float64)
+	s := NewSharded(ShardedOptions[string]{
+		Shards:   shards,
+		Batch:    16,
+		Key:      func(x string) string { return x },
+		NewQueue: func() Queue[string] { return NewHeap[string]() },
+	})
+	r := rng.New(99)
+	for i := 0; i < 2000; i++ {
+		item := fmt.Sprintf("h%d/p%d", r.Intn(50), i)
+		prio := float64(r.Intn(1000))
+		prioOf[item] = prio
+		s.Push(item, prio)
+	}
+	s.Flush()
+	last := make(map[int]float64)
+	seen := make(map[int]bool)
+	for {
+		// Draining shard by shard: PopWorker(w) serves w's own shard
+		// while it has items.
+		var w int
+		var item string
+		var ok bool
+		for w = 0; w < shards; w++ {
+			if item, ok = s.popShardForTest(w); ok {
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		p := prioOf[item]
+		if seen[w] && p > last[w] {
+			t.Fatalf("shard %d popped priority %v after %v", w, p, last[w])
+		}
+		seen[w], last[w] = true, p
+	}
+}
+
+// popShardForTest pops strictly from shard i (no stealing), so ordering
+// tests can observe a single shard's stream.
+func (s *Sharded[T]) popShardForTest(i int) (T, bool) { return s.tryPop(i) }
+
+func TestShardedPushBatchGroupsByShard(t *testing.T) {
+	s := shardedOfHosts(4, 1)
+	var batch []Pending[string]
+	want := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		u := fmt.Sprintf("h%d/x%d", i%7, i)
+		batch = append(batch, Pending[string]{Item: u, Prio: float64(i % 3)})
+		want[u] = true
+	}
+	s.PushBatch(batch)
+	if s.Len() != len(batch) {
+		t.Fatalf("Len = %d after PushBatch of %d", s.Len(), len(batch))
+	}
+	for {
+		item, ok := s.Pop()
+		if !ok {
+			break
+		}
+		if !want[item] {
+			t.Fatalf("unexpected or duplicate item %q", item)
+		}
+		delete(want, item)
+	}
+	if len(want) != 0 {
+		t.Fatalf("%d items never popped", len(want))
+	}
+}
+
+func TestShardedSpillShards(t *testing.T) {
+	// Spill-backed shards: each shard owns its own SpillFIFO under its
+	// own directory, and nothing is lost through the spill cycle.
+	dir := t.TempDir()
+	seq := 0
+	enc := func(s string) []byte { return []byte(s) }
+	dec := func(b []byte) (string, error) { return string(b), nil }
+	s := NewSharded(ShardedOptions[string]{
+		Shards: 4,
+		Batch:  16,
+		Key:    func(x string) string { return x },
+		NewQueue: func() Queue[string] {
+			seq++
+			q, err := NewSpillFIFO(filepath.Join(dir, fmt.Sprintf("shard-%d", seq)), 64, enc, dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return q
+		},
+	})
+	defer s.Close()
+	const n = 2000 // far past 4 shards * 64 in-memory items
+	want := map[string]bool{}
+	for i := 0; i < n; i++ {
+		u := fmt.Sprintf("h%d/p%d", i%13, i)
+		want[u] = true
+		s.Push(u, 0)
+	}
+	for {
+		item, ok := s.Pop()
+		if !ok {
+			break
+		}
+		if !want[item] {
+			t.Fatalf("lost/duplicated through spill: %q", item)
+		}
+		delete(want, item)
+	}
+	if len(want) != 0 {
+		t.Fatalf("%d items lost through spill", len(want))
+	}
+}
+
+func TestShardedConcurrentStress(t *testing.T) {
+	// The -race stress test: randomized pusher/popper goroutine counts
+	// (seeded by internal/rng), every item accounted for exactly once.
+	seedRng := rng.New(0xDECAF)
+	for round := 0; round < 4; round++ {
+		pushers := 1 + seedRng.Intn(8)
+		poppers := 1 + seedRng.Intn(8)
+		shards := 1 + seedRng.Intn(8)
+		batch := 1 + seedRng.Intn(32)
+		t.Run(fmt.Sprintf("pushers=%d/poppers=%d/shards=%d/batch=%d", pushers, poppers, shards, batch),
+			func(t *testing.T) {
+				s := shardedOfHosts(shards, batch)
+				perPusher := 3000
+				total := pushers * perPusher
+				var popped sync.Map
+				var wg sync.WaitGroup
+				for p := 0; p < pushers; p++ {
+					wg.Add(1)
+					go func(p int) {
+						defer wg.Done()
+						r := rng.New2(uint64(round), uint64(p))
+						for i := 0; i < perPusher; i++ {
+							s.Push(fmt.Sprintf("h%d/w%d-%d", r.Intn(31), p, i), float64(r.Intn(9)))
+						}
+					}(p)
+				}
+				var popWg sync.WaitGroup
+				done := make(chan struct{})
+				for w := 0; w < poppers; w++ {
+					popWg.Add(1)
+					go func(w int) {
+						defer popWg.Done()
+						for {
+							item, ok := s.PopWorker(w)
+							if ok {
+								if _, dup := popped.LoadOrStore(item, w); dup {
+									t.Errorf("item %q popped twice", item)
+								}
+								continue
+							}
+							select {
+							case <-done:
+								// Producers finished; drain whatever is left.
+								for {
+									item, ok := s.PopWorker(w)
+									if !ok {
+										return
+									}
+									if _, dup := popped.LoadOrStore(item, w); dup {
+										t.Errorf("item %q popped twice", item)
+									}
+								}
+							default:
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				close(done)
+				popWg.Wait()
+				n := 0
+				popped.Range(func(_, _ any) bool { n++; return true })
+				if n != total {
+					t.Fatalf("popped %d of %d pushed items", n, total)
+				}
+				if s.Len() != 0 {
+					t.Fatalf("Len=%d after full drain", s.Len())
+				}
+			})
+	}
+}
+
+func TestShardedResetAndClose(t *testing.T) {
+	s := shardedOfHosts(4, 8)
+	for i := 0; i < 100; i++ {
+		s.Push(fmt.Sprintf("x%d", i), 0)
+	}
+	s.Reset()
+	if s.Len() != 0 || s.MaxLen() != 0 {
+		t.Errorf("after Reset: Len=%d MaxLen=%d", s.Len(), s.MaxLen())
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("pop succeeded on reset frontier")
+	}
+	s.Push("y", 1)
+	if s.Len() != 1 || s.MaxLen() != 1 {
+		t.Errorf("after repush: Len=%d MaxLen=%d", s.Len(), s.MaxLen())
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestShardedKeyDistribution(t *testing.T) {
+	// Hostname-shaped keys must spread across shards (no degenerate
+	// stripe). Not a statistical test — just a sanity floor.
+	s := shardedOfHosts(8, 1)
+	hosts := make([]string, 200)
+	for i := range hosts {
+		hosts[i] = fmt.Sprintf("www%d.example%d.co.th", i, i%17)
+	}
+	used := map[int]int{}
+	for _, h := range hosts {
+		used[s.shardIndex(h)]++
+	}
+	if len(used) < 6 {
+		keys := make([]int, 0, len(used))
+		for k := range used {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		t.Errorf("200 hosts landed on only %d of 8 shards (%v)", len(used), keys)
+	}
+}

@@ -1,0 +1,217 @@
+package linkdb
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"langcrawl/internal/crawlog"
+)
+
+func testRecord(i int) *crawlog.Record {
+	return &crawlog.Record{
+		URL:    fmt.Sprintf("http://site%05d.co.th/p%d.html", i%9, i),
+		Status: 200,
+		Size:   uint32(100 + i),
+	}
+}
+
+func openTestDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(filepath.Join(t.TempDir(), "links.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestBatcherStagedReadsAndFlush(t *testing.T) {
+	db := openTestDB(t)
+	b := NewBatcher(db, 8, 0)
+	const n = 5 // below the flush size: everything stays staged
+	for i := 0; i < n; i++ {
+		if err := b.Put(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Pending(); got != n {
+		t.Fatalf("Pending = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		rec := testRecord(i)
+		if !b.Has(rec.URL) {
+			t.Fatalf("Has(%q) = false for staged record", rec.URL)
+		}
+		got, err := b.Get(rec.URL)
+		if err != nil || got.Size != rec.Size {
+			t.Fatalf("Get(%q) = %+v, %v; want staged record", rec.URL, got, err)
+		}
+		if db.Has(rec.URL) {
+			t.Fatalf("db.Has(%q) = true before flush", rec.URL)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after Flush, want 0", got)
+	}
+	if got := db.Len(); got != n {
+		t.Fatalf("db.Len = %d after Flush, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		rec := testRecord(i)
+		got, err := db.Get(rec.URL)
+		if err != nil || got.Size != rec.Size {
+			t.Fatalf("db.Get(%q) = %+v, %v after flush", rec.URL, got, err)
+		}
+	}
+}
+
+func TestBatcherFlushOnSize(t *testing.T) {
+	db := openTestDB(t)
+	b := NewBatcher(db, 3, 0)
+	for i := 0; i < 2; i++ {
+		if err := b.Put(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Len(); got != 0 {
+		t.Fatalf("db.Len = %d before batch fills, want 0", got)
+	}
+	if err := b.Put(testRecord(2)); err != nil { // fills the batch
+		t.Fatal(err)
+	}
+	if got := b.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after batch fills, want 0", got)
+	}
+	if got := db.Len(); got != 3 {
+		t.Fatalf("db.Len = %d after batch fills, want 3", got)
+	}
+}
+
+func TestBatcherSizeOnePassthrough(t *testing.T) {
+	db := openTestDB(t)
+	b := NewBatcher(db, 1, 0)
+	rec := testRecord(0)
+	if err := b.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Pending(); got != 0 {
+		t.Fatalf("Pending = %d on size-1 Batcher, want 0", got)
+	}
+	if !db.Has(rec.URL) {
+		t.Fatal("size-1 Put did not reach the database synchronously")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatcherReplacesStagedDuplicate(t *testing.T) {
+	db := openTestDB(t)
+	b := NewBatcher(db, 8, 0)
+	first := testRecord(0)
+	second := *first
+	second.Size = 9999
+	if err := b.Put(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(&second); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Pending(); got != 1 {
+		t.Fatalf("Pending = %d after duplicate Put, want 1", got)
+	}
+	got, err := b.Get(first.URL)
+	if err != nil || got.Size != 9999 {
+		t.Fatalf("Get = %+v, %v; want the replacement record", got, err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := db.Get(first.URL)
+	if err != nil || stored.Size != 9999 {
+		t.Fatalf("db.Get = %+v, %v after flush; want the replacement record", stored, err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("db.Len = %d, want 1", db.Len())
+	}
+}
+
+func TestBatcherIntervalFlush(t *testing.T) {
+	db := openTestDB(t)
+	b := NewBatcher(db, 1024, 5*time.Millisecond)
+	defer b.Close()
+	if err := b.Put(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Pending() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never committed the staged record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !db.Has(testRecord(0).URL) {
+		t.Fatal("interval flush did not reach the database")
+	}
+}
+
+func TestBatcherStickyError(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "links.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(db, 4, 0)
+	if err := b.Put(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	db.Close() // commits will now fail
+	if err := b.Flush(); err == nil {
+		t.Fatal("Flush on closed DB succeeded")
+	}
+	if b.Err() == nil {
+		t.Fatal("Err() = nil after failed flush")
+	}
+	if err := b.Put(testRecord(1)); err == nil {
+		t.Fatal("Put after failed flush succeeded; error should be sticky")
+	}
+}
+
+func TestBatcherConcurrent(t *testing.T) {
+	db := openTestDB(t)
+	b := NewBatcher(db, 16, time.Millisecond)
+	const writers, perWriter = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := &crawlog.Record{
+					URL:    fmt.Sprintf("http://w%d.example.co.th/p%d.html", g, i),
+					Status: 200,
+				}
+				if err := b.Put(rec); err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+				if !b.Has(rec.URL) {
+					t.Errorf("writer %d: own Put invisible to Has", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Len(); got != writers*perWriter {
+		t.Fatalf("db.Len = %d, want %d", got, writers*perWriter)
+	}
+}

@@ -1,0 +1,80 @@
+package linkdb
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"langcrawl/internal/crawlog"
+)
+
+// Link-database append benchmarks. The comparison that matters for the
+// group-commit design is sync-per-record versus one fsync per batch:
+// batching buys near-Put-cost durability. cmd/benchcheck gates CI runs
+// against BENCH_frontier.json.
+
+func benchDB(b *testing.B) *DB {
+	b.Helper()
+	db, err := Open(filepath.Join(b.TempDir(), "links.db"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+func benchRec(i int) *crawlog.Record {
+	return &crawlog.Record{
+		URL:    fmt.Sprintf("http://site%05d.co.th/p%d.html", i%257, i),
+		Status: 200,
+		Size:   8192,
+		Links:  []string{"http://a.co.th/", "http://b.co.th/p1.html"},
+	}
+}
+
+// BenchmarkLinkDBPutNoSync is today's crawler path: Put with no
+// per-record durability.
+func BenchmarkLinkDBPutNoSync(b *testing.B) {
+	db := benchDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(benchRec(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLinkDBPutSyncEach is the fully durable strawman: fsync after
+// every record.
+func BenchmarkLinkDBPutSyncEach(b *testing.B) {
+	db := benchDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(benchRec(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLinkDBPutBatched64 is the group-commit path: one fsync per
+// 64-record batch.
+func BenchmarkLinkDBPutBatched64(b *testing.B) {
+	db := benchDB(b)
+	bt := NewBatcher(db, 64, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bt.Put(benchRec(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := bt.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/core"
+	"langcrawl/internal/webgraph"
+)
+
+var shardSpace = mustGen(webgraph.ThaiLike(3000, 211))
+
+func TestShardedSimSameTotals(t *testing.T) {
+	// Sharding changes pop order but an exhaustive crawl must end with
+	// identical totals: same pages, same relevant count, nothing lost or
+	// fetched twice.
+	base, err := Run(shardSpace, Config{
+		Strategy:   core.SoftFocused{},
+		Classifier: core.MetaClassifier{Target: charset.LangThai},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ shards, batch int }{
+		{4, 1}, {1, 8}, {8, 16},
+	} {
+		res, err := Run(shardSpace, Config{
+			Strategy:       core.SoftFocused{},
+			Classifier:     core.MetaClassifier{Target: charset.LangThai},
+			FrontierShards: tc.shards,
+			FrontierBatch:  tc.batch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Crawled != base.Crawled || res.RelevantCrawled != base.RelevantCrawled {
+			t.Errorf("shards=%d batch=%d: crawled %d/%d relevant, base %d/%d",
+				tc.shards, tc.batch, res.Crawled, res.RelevantCrawled,
+				base.Crawled, base.RelevantCrawled)
+		}
+	}
+}
+
+func TestShardedSimDeterministic(t *testing.T) {
+	// The sharded engine is still single-threaded and its hash is seeded
+	// deterministically, so two identical runs visit pages in the same
+	// order.
+	trace := func() []webgraph.PageID {
+		var order []webgraph.PageID
+		_, err := Run(shardSpace, Config{
+			Strategy:       core.HardFocused{},
+			Classifier:     core.MetaClassifier{Target: charset.LangThai},
+			FrontierShards: 8,
+			FrontierBatch:  4,
+			OnVisit:        func(id webgraph.PageID) { order = append(order, id) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatalf("runs visited %d vs %d pages", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestShardedSimWithSpill(t *testing.T) {
+	res, err := Run(shardSpace, Config{
+		Strategy:       core.SoftFocused{},
+		Classifier:     core.MetaClassifier{Target: charset.LangThai},
+		FrontierShards: 4,
+		SpillDir:       t.TempDir(),
+		SpillMemLimit:  64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crawled != shardSpace.N() {
+		t.Errorf("spilling sharded crawl fetched %d of %d", res.Crawled, shardSpace.N())
+	}
+}
+
+func TestShardedSimRejectsQueueUpgrade(t *testing.T) {
+	_, err := Run(shardSpace, Config{
+		Strategy:       core.SoftFocused{},
+		Classifier:     core.MetaClassifier{Target: charset.LangThai},
+		QueueMode:      QueueUpgrade,
+		FrontierShards: 4,
+	})
+	if err == nil {
+		t.Fatal("QueueUpgrade with FrontierShards accepted")
+	}
+}
+
+func TestOnVisitMatchesCrawled(t *testing.T) {
+	var order []webgraph.PageID
+	res, err := Run(shardSpace, Config{
+		Strategy:   core.BreadthFirst{},
+		Classifier: core.MetaClassifier{Target: charset.LangThai},
+		OnVisit:    func(id webgraph.PageID) { order = append(order, id) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != res.Crawled {
+		t.Fatalf("OnVisit fired %d times for %d crawled pages", len(order), res.Crawled)
+	}
+	seen := make(map[webgraph.PageID]bool, len(order))
+	for _, id := range order {
+		if seen[id] {
+			t.Fatalf("page %d visited twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTimedOnVisit(t *testing.T) {
+	var order []webgraph.PageID
+	res, err := RunTimed(shardSpace, TimedConfig{
+		Config: Config{
+			Strategy:   core.BreadthFirst{},
+			Classifier: core.MetaClassifier{Target: charset.LangThai},
+			OnVisit:    func(id webgraph.PageID) { order = append(order, id) },
+		},
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != res.Crawled {
+		t.Fatalf("OnVisit fired %d times for %d crawled pages", len(order), res.Crawled)
+	}
+}

@@ -68,6 +68,24 @@ type Config struct {
 	// genuinely cost crawl capacity. nil disables injection entirely and
 	// leaves results identical to the fault-free engine.
 	Faults *faults.Config
+	// FrontierShards stripes the frontier across N host-hashed shards.
+	// 0 (the default) keeps the single queue the engines have always
+	// used; an explicit 1 routes through the sharded wrapper with one
+	// stripe, which reproduces the legacy order exactly — the
+	// sequential-equivalence mode the conformance suite pins down.
+	// More shards change pop order — the crawl stays deterministic, but
+	// it is a different deterministic order — so the golden conformance
+	// traces all run unsharded. Incompatible with QueueUpgrade, whose
+	// indexed heap is inherently global.
+	FrontierShards int
+	// FrontierBatch stages frontier pushes per shard, applying them to
+	// the priority structure a batch at a time (default 1: every push
+	// immediately visible, preserving exact historical order).
+	FrontierBatch int
+	// OnVisit, if non-nil, observes each successfully fetched page in
+	// fetch order — the hook the conformance suite uses to capture and
+	// replay crawl traces.
+	OnVisit func(webgraph.PageID)
 }
 
 // QueueMode selects how the frontier treats re-discovered URLs.
@@ -190,7 +208,7 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 	//
 	// The frontier is abstracted behind closures so both modes share the
 	// crawl loop.
-	fr, err := buildFrontier(cfg, n)
+	fr, err := buildFrontier(space, cfg, n)
 	if err != nil {
 		return nil, err
 	}
@@ -303,6 +321,9 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 		if visit.Status == 200 && relevant(space, id) {
 			res.RelevantCrawled++
 		}
+		if cfg.OnVisit != nil {
+			cfg.OnVisit(id)
+		}
 
 		score := cfg.Classifier.Score(&visit)
 		dec := cfg.Strategy.Decide(score, int(item.dist))
@@ -356,11 +377,15 @@ type simFrontier struct {
 
 // buildFrontier assembles the frontier for the configured queue mode:
 // an indexed heap with in-place upgrades, or the paper-faithful
-// duplicate-retaining queue (optionally disk-spilling).
-func buildFrontier(cfg Config, n int) (*simFrontier, error) {
+// duplicate-retaining queue (optionally disk-spilling), optionally
+// striped across host-hashed shards.
+func buildFrontier(space *webgraph.Space, cfg Config, n int) (*simFrontier, error) {
 	if cfg.QueueMode == QueueUpgrade {
 		if cfg.SpillDir != "" {
 			return nil, fmt.Errorf("sim: QueueUpgrade is incompatible with SpillDir")
+		}
+		if cfg.FrontierShards >= 1 || cfg.FrontierBatch > 1 {
+			return nil, fmt.Errorf("sim: FrontierShards/FrontierBatch are incompatible with QueueUpgrade")
 		}
 		heap := frontier.NewIndexedHeap[webgraph.PageID]()
 		distOf := make([]int32, n)
@@ -384,6 +409,9 @@ func buildFrontier(cfg Config, n int) (*simFrontier, error) {
 			close: func() {},
 		}, nil
 	}
+	if cfg.FrontierShards >= 1 || cfg.FrontierBatch > 1 {
+		return buildShardedFrontier(space, cfg)
+	}
 	queue, closeFn, err := buildDuplicateQueue(cfg)
 	if err != nil {
 		return nil, err
@@ -396,6 +424,57 @@ func buildFrontier(cfg Config, n int) (*simFrontier, error) {
 		len:   queue.Len,
 		max:   queue.MaxLen,
 		close: closeFn,
+	}, nil
+}
+
+// buildShardedFrontier stripes the duplicates-mode frontier across
+// host-hashed shards. Each shard gets its own inner queue of the
+// strategy's kind — with its own spill subdirectory when SpillDir is
+// set, so concurrent-looking shard files never collide. Pops go through
+// the sharded queue's Pop (worker 0: home shard first, then stealing),
+// which keeps single-threaded simulation runs deterministic.
+func buildShardedFrontier(space *webgraph.Space, cfg Config) (*simFrontier, error) {
+	var closers []func()
+	var buildErr error
+	shardSeq := 0
+	s := frontier.NewSharded(frontier.ShardedOptions[entry]{
+		Shards: cfg.FrontierShards,
+		Batch:  cfg.FrontierBatch,
+		Key:    func(e entry) string { return space.Site(e.id).Host },
+		NewQueue: func() frontier.Queue[entry] {
+			shardSeq++
+			sub := cfg
+			if cfg.SpillDir != "" {
+				sub.SpillDir = filepath.Join(cfg.SpillDir, fmt.Sprintf("shard-%d", shardSeq))
+			}
+			q, closeFn, err := buildDuplicateQueue(sub)
+			if err != nil {
+				if buildErr == nil {
+					buildErr = err
+				}
+				return frontier.NewFIFO[entry]()
+			}
+			closers = append(closers, closeFn)
+			return q
+		},
+	})
+	closeAll := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	if buildErr != nil {
+		closeAll()
+		return nil, buildErr
+	}
+	return &simFrontier{
+		push: func(id webgraph.PageID, dist int32, prio float64) {
+			s.Push(entry{id: id, dist: dist}, prio)
+		},
+		pop:   s.Pop,
+		len:   s.Len,
+		max:   s.MaxLen,
+		close: closeAll,
 	}, nil
 }
 

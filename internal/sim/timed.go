@@ -78,7 +78,7 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 		Throughput: &metrics.Series{Name: cfg.Strategy.Name()},
 	}
 
-	fr, err := buildFrontier(cfg.Config, n)
+	fr, err := buildFrontier(space, cfg.Config, n)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +210,9 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 		res.Crawled++
 		if visit.Status == 200 && space.IsRelevant(id) {
 			res.RelevantCrawled++
+		}
+		if cfg.OnVisit != nil {
+			cfg.OnVisit(id)
 		}
 
 		score := cfg.Classifier.Score(&visit)

@@ -92,6 +92,10 @@ type SpaceConfig = webgraph.Config
 // SpaceStats summarizes a space the way the paper's Table 3 does.
 type SpaceStats = webgraph.Stats
 
+// PageID identifies a page within a Space — the type SimConfig.OnVisit
+// observes when capturing crawl traces.
+type PageID = webgraph.PageID
+
 // DefaultSpaceConfig returns a baseline configuration to customize.
 func DefaultSpaceConfig() SpaceConfig { return webgraph.DefaultConfig() }
 
