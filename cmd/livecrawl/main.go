@@ -25,6 +25,7 @@ import (
 	"langcrawl/internal/crawler"
 	"langcrawl/internal/crawlog"
 	"langcrawl/internal/faults"
+	"langcrawl/internal/telemetry"
 	"langcrawl/internal/webgraph"
 	"langcrawl/internal/webserve"
 )
@@ -52,6 +53,8 @@ func main() {
 		frBatch      = flag.Int("frontier-batch", 0, "frontier insert batch size per shard (0/1 = unbatched)")
 		appendBatch  = flag.Int("append-batch", 0, "group-commit size for crawl-log and link-DB appends (0/1 = synchronous)")
 		appendEvery  = flag.Duration("append-interval", 0, "flush staged appends at least this often (0 = only on full batches)")
+		telAddr      = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this addr (e.g. :9090)")
+		progress     = flag.Duration("progress", 0, "print a progress line to stderr this often (0 = off)")
 	)
 	flag.Parse()
 
@@ -122,6 +125,31 @@ func main() {
 	}
 	if *brkThreshold > 0 {
 		cfg.Breaker = faults.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown}
+	}
+
+	// Instruments exist only when an endpoint or reporter will read them;
+	// otherwise cfg.Telemetry stays nil and the crawler takes the no-op
+	// branches.
+	var stats *telemetry.CrawlStats
+	if *telAddr != "" || *progress > 0 {
+		stats = telemetry.NewCrawlStats(telemetry.NewRegistry())
+	}
+	cfg.Telemetry = stats
+	if *telAddr != "" {
+		tsrv, err := telemetry.Serve(*telAddr, stats.Registry())
+		if err != nil {
+			fatal(err)
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry on http://%s/ (metrics, healthz, debug/vars, debug/pprof)\n", tsrv.Addr())
+	}
+	if *progress > 0 {
+		rep := telemetry.NewReporter(os.Stderr, *progress, func(time.Duration) string {
+			return fmt.Sprintf("pages=%d relevant=%d errors=%d inflight=%d",
+				stats.Pages.Value(), stats.Relevant.Value(),
+				stats.FetchErrors.Value(), stats.Inflight.Value())
+		})
+		defer rep.Stop()
 	}
 
 	if *logPath != "" {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"langcrawl/internal/cliutil"
 	"langcrawl/internal/core"
@@ -19,6 +20,7 @@ import (
 	"langcrawl/internal/faults"
 	"langcrawl/internal/metrics"
 	"langcrawl/internal/sim"
+	"langcrawl/internal/telemetry"
 	"langcrawl/internal/webgraph"
 )
 
@@ -46,6 +48,9 @@ func main() {
 		faultDead = flag.Float64("fault-dead", 0, "fraction of hosts that are permanently dead")
 		faultSeed = flag.Uint64("fault-seed", 0, "fault model seed (0 = derive from the space seed)")
 		retries   = flag.Int("retries", 0, "max fetch attempts per URL under faults (0 = no retries)")
+		telAddr   = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this addr (e.g. :9090)")
+		telLinger = flag.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the crawl ends")
+		progress  = flag.Duration("progress", 0, "print a progress line to stderr this often (0 = off)")
 	)
 	flag.Parse()
 
@@ -80,6 +85,37 @@ func main() {
 		SpillDir: *spillDir, SpillMemLimit: *spillMem,
 		FrontierShards: *shards, FrontierBatch: *frBatch,
 	}
+
+	// Telemetry is registry-per-process: instruments only exist when an
+	// endpoint or progress reporter will read them, so the default run
+	// pays nothing but the nil branches.
+	var stats *telemetry.SimStats
+	if *telAddr != "" || *progress > 0 {
+		stats = telemetry.NewSimStats(telemetry.NewRegistry())
+	}
+	cfg.Telemetry = stats
+	if *telAddr != "" {
+		tsrv, err := telemetry.Serve(*telAddr, stats.Registry())
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if *telLinger > 0 {
+				fmt.Printf("telemetry: lingering %v on http://%s/\n", *telLinger, tsrv.Addr())
+				time.Sleep(*telLinger)
+			}
+			tsrv.Close()
+		}()
+		fmt.Printf("telemetry on http://%s/ (metrics, healthz, debug/vars, debug/pprof)\n", tsrv.Addr())
+	}
+	if *progress > 0 {
+		rep := telemetry.NewReporter(os.Stderr, *progress, func(time.Duration) string {
+			return fmt.Sprintf("pages=%d relevant=%d queue=%d",
+				stats.Pages.Value(), stats.Relevant.Value(), stats.QueueDepth.Value())
+		})
+		defer rep.Stop()
+	}
+
 	if *faultRate > 0 || *faultDead > 0 {
 		fc := &faults.Config{
 			Model:   faults.Model{Rate: *faultRate, DeadHostRate: *faultDead, Seed: *faultSeed},

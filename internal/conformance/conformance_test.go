@@ -17,6 +17,7 @@ import (
 	"langcrawl/internal/crawlog"
 	"langcrawl/internal/faults"
 	"langcrawl/internal/sim"
+	"langcrawl/internal/telemetry"
 	"langcrawl/internal/webgraph"
 	"langcrawl/internal/webserve"
 )
@@ -181,6 +182,47 @@ func TestGoldenShardedEquivalence(t *testing.T) {
 	}
 }
 
+// TestGoldenTelemetryEnabled holds an instrumented run to the goldens:
+// telemetry is observation-only, so wiring a full SimStats bundle (with
+// the sharded frontier carrying its stats too) must not move a single
+// visit. The counters themselves must also agree with the result.
+func TestGoldenTelemetryEnabled(t *testing.T) {
+	sp := space(t)
+	for _, c := range Cases() {
+		stats := telemetry.NewSimStats(telemetry.NewRegistry())
+		var visits []webgraph.PageID
+		res, err := sim.Run(sp, sim.Config{
+			Strategy:       c.Strategy,
+			Classifier:     Classifier(),
+			FrontierShards: 1,
+			FrontierBatch:  1,
+			Telemetry:      stats,
+			OnVisit:        func(id webgraph.PageID) { visits = append(visits, id) },
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Key, err)
+		}
+		got := &Trace{
+			Strategy: c.Strategy.Name(), Crawled: res.Crawled,
+			Relevant: res.RelevantCrawled,
+			Harvest:  res.FinalHarvest(), Coverage: res.FinalCoverage(),
+			Visits: visits,
+		}
+		if d := golden(t, c.Key).Diff(got); d != "" {
+			t.Errorf("%s: telemetry-enabled run diverged from golden: %s", c.Key, d)
+		}
+		if got := stats.Pages.Value(); got != int64(res.Crawled) {
+			t.Errorf("%s: pages counter %d != crawled %d", c.Key, got, res.Crawled)
+		}
+		if got := stats.Relevant.Value(); got != int64(res.RelevantCrawled) {
+			t.Errorf("%s: relevant counter %d != %d", c.Key, got, res.RelevantCrawled)
+		}
+		if got := stats.Frontier.Pops.Value(); got < int64(res.Crawled) {
+			t.Errorf("%s: frontier pop counter %d < crawled %d", c.Key, got, res.Crawled)
+		}
+	}
+}
+
 // --- live engines ----------------------------------------------------------
 
 // liveWeb serves the conformance space over a loopback HTTP server with
@@ -294,6 +336,35 @@ func TestGoldenLiveEngines(t *testing.T) {
 		if d := golden(t, c.Key).DiffSet(seqTr); d != "" {
 			t.Errorf("%s: live crawl set diverged from golden: %s", c.Key, d)
 		}
+	}
+}
+
+// TestGoldenLiveTelemetry runs the live sequential engine with a full
+// CrawlStats bundle wired and requires the crawl log to be byte-equal
+// to an uninstrumented run — the strongest no-perturbation check the
+// live stack offers.
+func TestGoldenLiveTelemetry(t *testing.T) {
+	sp := space(t)
+	client := liveWeb(t, sp)
+	bareTr, bareLog := liveTrace(t, sp, client, core.SoftFocused{}, nil)
+	stats := telemetry.NewCrawlStats(telemetry.NewRegistry())
+	telTr, telLog := liveTrace(t, sp, client, core.SoftFocused{}, func(cfg *crawler.Config) {
+		cfg.Telemetry = stats
+		cfg.UseParallelEngine = true // exercise the instrumented parallel path too
+	})
+	if !bytes.Equal(bareLog, telLog) {
+		t.Errorf("telemetry-enabled live crawl wrote a different log (%d vs %d bytes)",
+			len(bareLog), len(telLog))
+	}
+	if d := bareTr.Diff(telTr); d != "" {
+		t.Errorf("telemetry-enabled live crawl diverged: %s", d)
+	}
+	if got := stats.Pages.Value(); got != int64(telTr.Crawled) {
+		t.Errorf("pages counter %d != crawled %d", got, telTr.Crawled)
+	}
+	if stats.FetchLatency.Snapshot().Count != stats.Pages.Value() {
+		t.Errorf("fetch latency observations %d != pages %d",
+			stats.FetchLatency.Snapshot().Count, stats.Pages.Value())
 	}
 }
 

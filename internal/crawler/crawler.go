@@ -24,6 +24,7 @@ import (
 	"langcrawl/internal/htmlx"
 	"langcrawl/internal/linkdb"
 	"langcrawl/internal/metrics"
+	"langcrawl/internal/telemetry"
 	"langcrawl/internal/urlutil"
 )
 
@@ -96,6 +97,12 @@ type Config struct {
 	// (cooldown in wall seconds); while open, the host's queued URLs are
 	// demoted rather than fetched. The zero value disables breakers.
 	Breaker faults.BreakerConfig
+	// Telemetry, when non-nil, receives runtime counters, latency
+	// histograms, and trace events from both engines (see
+	// telemetry.NewCrawlStats). Observation-only: an instrumented crawl
+	// fetches exactly the pages an uninstrumented one does. nil disables
+	// all instrumentation at the cost of one branch per event.
+	Telemetry *telemetry.CrawlStats
 }
 
 // Result summarizes a crawl.
@@ -118,6 +125,7 @@ type Crawler struct {
 	robots  map[string]*Robots
 	lastHit map[string]time.Time
 	flt     *faultCtl
+	tel     *telemetry.CrawlStats // nil when telemetry is off
 }
 
 // New validates cfg and returns a ready crawler.
@@ -134,12 +142,19 @@ func New(cfg Config) (*Crawler, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	// A zero CrawlStats has all-nil instruments, each of which no-ops,
+	// so keeping tel non-nil spares every record site a nil guard.
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = &telemetry.CrawlStats{}
+	}
 	c := &Crawler{
 		cfg:     cfg,
 		client:  cfg.Client,
 		robots:  make(map[string]*Robots),
 		lastHit: make(map[string]time.Time),
-		flt:     newFaultCtl(cfg.Retry, cfg.Breaker),
+		flt:     newFaultCtl(cfg.Retry, cfg.Breaker, tel),
+		tel:     tel,
 	}
 	if c.client == nil {
 		c.client = http.DefaultClient
@@ -227,6 +242,7 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 
 		if !c.cfg.IgnoreRobots && !c.allowed(ctx, item.url, host) {
 			res.RobotsBlocked++
+			c.tel.RobotsBlocked.Inc()
 			continue
 		}
 		interval := c.cfg.HostInterval
@@ -249,9 +265,11 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 		}
 		visit, links, rec := out.visit, out.links, out.rec
 		res.Crawled++
+		c.tel.Pages.Inc()
 		score := c.cfg.Classifier.Score(visit)
 		if score >= 0.5 {
 			res.Relevant++
+			c.tel.Relevant.Inc()
 		}
 		res.Harvest.Add(float64(res.Crawled), 100*float64(res.Relevant)/float64(res.Crawled))
 

@@ -10,6 +10,7 @@ import (
 	"langcrawl/internal/faults"
 	"langcrawl/internal/metrics"
 	"langcrawl/internal/rng"
+	"langcrawl/internal/telemetry"
 )
 
 // maxDemotions bounds how many times a queued URL is re-queued at lower
@@ -30,14 +31,19 @@ type faultCtl struct {
 	jitter   *rng.RNG
 	epoch    time.Time
 	counters metrics.FaultCounters
+	tel      *telemetry.CrawlStats // never nil (zero value when off)
 }
 
-func newFaultCtl(retry faults.RetryPolicy, breaker faults.BreakerConfig) *faultCtl {
+func newFaultCtl(retry faults.RetryPolicy, breaker faults.BreakerConfig, tel *telemetry.CrawlStats) *faultCtl {
+	if tel == nil {
+		tel = &telemetry.CrawlStats{}
+	}
 	f := &faultCtl{
 		retryOn: retry.Enabled(),
 		budget:  -1,
 		jitter:  rng.New(0x10C4),
 		epoch:   time.Now(),
+		tel:     tel,
 	}
 	if f.retryOn {
 		f.retry = retry.WithDefaults()
@@ -61,11 +67,29 @@ func (f *faultCtl) allow(host string) bool {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.breakers.Get(host).Allow(f.now()) {
+	br := f.breakers.Get(host)
+	prev := br.State()
+	ok := br.Allow(f.now())
+	f.noteTransition(host, prev, br.State())
+	if ok {
 		return true
 	}
 	f.counters.BreakerSkips++
+	f.tel.BreakerSkips.Inc()
 	return false
+}
+
+// noteTransition records a breaker state change in telemetry. Called
+// under f.mu; transitions are rare (per trip/recovery, not per fetch),
+// so the tracer's string concat and the Open() scan stay off the hot
+// path.
+func (f *faultCtl) noteTransition(host string, prev, cur faults.BreakerState) {
+	if prev == cur {
+		return
+	}
+	f.tel.BreakerTransitions.Inc()
+	f.tel.BreakerOpen.Set(int64(f.breakers.Open()))
+	f.tel.Trace.Event("breaker", host+": "+prev.String()+" -> "+cur.String())
 }
 
 // countAttempt books one fetch attempt (a retry when refetch is true).
@@ -74,6 +98,7 @@ func (f *faultCtl) countAttempt(refetch bool) {
 	f.counters.Attempts++
 	if refetch {
 		f.counters.Retries++
+		f.tel.Retries.Inc()
 		if f.budget > 0 {
 			f.budget--
 		}
@@ -93,7 +118,10 @@ func (f *faultCtl) success(host string) {
 		return
 	}
 	f.mu.Lock()
-	f.breakers.Get(host).RecordSuccess(f.now())
+	br := f.breakers.Get(host)
+	prev := br.State()
+	br.RecordSuccess(f.now())
+	f.noteTransition(host, prev, br.State())
 	f.mu.Unlock()
 }
 
@@ -101,7 +129,10 @@ func (f *faultCtl) failure(host string) {
 	f.mu.Lock()
 	f.counters.WastedFetches++
 	if f.breakers != nil {
-		f.breakers.Get(host).RecordFailure(f.now())
+		br := f.breakers.Get(host)
+		prev := br.State()
+		br.RecordFailure(f.now())
+		f.noteTransition(host, prev, br.State())
 	}
 	f.mu.Unlock()
 }
@@ -185,7 +216,16 @@ func (c *Crawler) fetchWithRetry(ctx context.Context, pageURL, host string) fetc
 	var out fetchOutcome
 	for attempt := 1; ; attempt++ {
 		c.flt.countAttempt(attempt > 1)
+		c.tel.Inflight.Add(1)
+		var t0 time.Time
+		if telemetry.Timed(c.tel.FetchLatency) {
+			t0 = time.Now()
+		}
 		visit, links, rec, err := c.fetch(ctx, pageURL)
+		if !t0.IsZero() {
+			c.tel.FetchLatency.ObserveSince(t0)
+		}
+		c.tel.Inflight.Add(-1)
 		status := 0
 		if visit != nil {
 			status = visit.Status
@@ -193,12 +233,14 @@ func (c *Crawler) fetchWithRetry(ctx context.Context, pageURL, host string) fetc
 		class := faults.Classify(status, err)
 		if err != nil {
 			out.transportErrs++
+			c.tel.FetchErrors.Inc()
 		}
 		if !class.Failed() {
 			c.flt.success(host)
 			if visit.Truncated {
 				c.flt.countTruncated()
 			}
+			c.tel.FetchBytes.Observe(float64(len(visit.Body)))
 			out.visit, out.links, out.rec = visit, links, rec
 			return out
 		}

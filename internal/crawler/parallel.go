@@ -9,6 +9,7 @@ import (
 	"langcrawl/internal/core"
 	"langcrawl/internal/frontier"
 	"langcrawl/internal/metrics"
+	"langcrawl/internal/telemetry"
 	"langcrawl/internal/urlutil"
 )
 
@@ -32,6 +33,7 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 		Batch:    c.cfg.FrontierBatch,
 		Key:      func(it qitem) string { return urlutil.Host(it.url) },
 		NewQueue: func() frontier.Queue[qitem] { return frontier.New[qitem](c.cfg.Strategy.QueueKind()) },
+		Stats:    c.tel.FrontierStats(),
 	})
 	visited := make(map[string]bool)
 	observer, _ := c.cfg.Strategy.(core.QueueObserver)
@@ -119,7 +121,15 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 					mu.Unlock()
 					return
 				}
+				c.tel.IdleWaits.Inc()
+				var idle0 time.Time
+				if telemetry.Timed(c.tel.IdleTime) {
+					idle0 = time.Now()
+				}
 				cond.Wait() // peers may still add links; they broadcast when done
+				if !idle0.IsZero() {
+					c.tel.IdleTime.ObserveSince(idle0)
+				}
 			}
 			if visited[item.url] {
 				mu.Unlock()
@@ -194,9 +204,11 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 				}
 				visit, links, rec := out.visit, out.links, out.rec
 				res.Crawled++
+				c.tel.Pages.Inc()
 				s := c.cfg.Classifier.Score(visit)
 				if s >= 0.5 {
 					res.Relevant++
+					c.tel.Relevant.Inc()
 				}
 				res.Harvest.Add(float64(res.Crawled), 100*float64(res.Relevant)/float64(res.Crawled))
 				if sinks.log != nil {
@@ -240,6 +252,7 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 			} else {
 				mu.Lock()
 				res.RobotsBlocked++
+				c.tel.RobotsBlocked.Inc()
 				started-- // robots blocks do not consume page budget
 				inflight--
 				cond.Broadcast()

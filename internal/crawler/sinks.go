@@ -20,9 +20,11 @@ func (c *Crawler) newSinks() sinks {
 	var s sinks
 	if c.cfg.Log != nil {
 		s.log = crawlog.NewBatchWriter(c.cfg.Log, c.cfg.AppendBatch, c.cfg.AppendInterval)
+		s.log.SetStats(c.tel.Log)
 	}
 	if c.cfg.DB != nil {
 		s.db = linkdb.NewBatcher(c.cfg.DB, c.cfg.AppendBatch, c.cfg.AppendInterval)
+		s.db.SetStats(c.tel.DB)
 	}
 	return s
 }

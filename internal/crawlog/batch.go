@@ -3,6 +3,8 @@ package crawlog
 import (
 	"sync"
 	"time"
+
+	"langcrawl/internal/telemetry"
 )
 
 // BatchWriter is a group-commit front end for a Writer: appends are
@@ -37,6 +39,11 @@ type BatchWriter struct {
 
 	stop chan struct{}
 	done chan struct{}
+
+	// Telemetry instruments, nil (no-op) until SetStats. Set before the
+	// writer is shared; read on commit paths without extra locking.
+	stSize, stLat     *telemetry.Histogram
+	stCommits, stErrs *telemetry.Counter
 }
 
 // NewBatchWriter wraps w with a group-commit buffer of the given flush
@@ -55,6 +62,18 @@ func NewBatchWriter(w *Writer, size int, interval time.Duration) *BatchWriter {
 		go b.flushLoop(interval)
 	}
 	return b
+}
+
+// SetStats wires telemetry for commit size, commit latency, commit
+// count, and sticky-error events. Call it right after NewBatchWriter,
+// before the writer is shared between goroutines; a nil bundle leaves
+// instrumentation off.
+func (b *BatchWriter) SetStats(st *telemetry.BatchStats) {
+	if st == nil {
+		return
+	}
+	b.stSize, b.stLat = st.CommitSize, st.FlushLatency
+	b.stCommits, b.stErrs = st.Commits, st.StickyErrors
 }
 
 func (b *BatchWriter) flushLoop(interval time.Duration) {
@@ -85,8 +104,11 @@ func (b *BatchWriter) Write(r *Record) error {
 		err := b.w.Write(r)
 		if err != nil {
 			b.err = err
+			b.stErrs.Inc()
 		} else {
 			b.count++
+			b.stCommits.Inc()
+			b.stSize.Observe(1)
 		}
 		b.mu.Unlock()
 		return err
@@ -117,6 +139,10 @@ func (b *BatchWriter) commit(sync bool) error {
 	b.wmu.Lock()
 	b.mu.Unlock()
 
+	var t0 time.Time
+	if b.stLat.Enabled() && len(batch) > 0 {
+		t0 = time.Now()
+	}
 	var err error
 	for _, r := range batch {
 		if err = b.w.Write(r); err != nil {
@@ -127,10 +153,18 @@ func (b *BatchWriter) commit(sync bool) error {
 		err = b.w.Flush()
 	}
 	b.wmu.Unlock()
+	if len(batch) > 0 && err == nil {
+		if !t0.IsZero() {
+			b.stLat.ObserveSince(t0)
+		}
+		b.stSize.Observe(float64(len(batch)))
+		b.stCommits.Inc()
+	}
 	if err != nil {
 		b.mu.Lock()
 		if b.err == nil {
 			b.err = err
+			b.stErrs.Inc()
 		}
 		b.mu.Unlock()
 	}
@@ -141,7 +175,10 @@ func (b *BatchWriter) commit(sync bool) error {
 // buffer to its io.Writer.
 func (b *BatchWriter) Flush() error { return b.commit(true) }
 
-// Close stops the interval flusher (if any) and flushes. The underlying
+// Close stops the interval flusher (if any) and flushes. The sticky
+// first write error — including one recorded by the background interval
+// flusher after the last append — is returned here, so a caller that
+// only checks Close still learns the log is incomplete. The underlying
 // Writer remains usable.
 func (b *BatchWriter) Close() error {
 	if b.stop != nil {
@@ -149,7 +186,12 @@ func (b *BatchWriter) Close() error {
 		<-b.done
 		b.stop = nil
 	}
-	return b.Flush()
+	if err := b.Flush(); err != nil {
+		return err
+	}
+	// Flush can succeed trivially (nothing staged) after an interval
+	// flush already failed and dropped records; surface that too.
+	return b.Err()
 }
 
 // Count returns the number of records accepted (staged or written).

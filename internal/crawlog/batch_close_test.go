@@ -1,0 +1,58 @@
+package crawlog
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression tests for Close surfacing the sticky write error. The crawl
+// loop ignores individual Write errors by design (the log is advisory
+// during the run) and checks only Close; before the fix a caller with
+// that discipline could finish "cleanly" on a truncated log.
+
+func TestBatchWriterCloseSurfacesSyncError(t *testing.T) {
+	// Size 1 is the synchronous path: the failed Write itself records the
+	// sticky error, and Close must hand it back even though nothing is
+	// staged for its final flush.
+	w, err := NewWriter(&failAfter{n: 64}, Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := NewBatchWriter(w, 1, 0)
+	for i := 0; i < 2000 && bw.Err() == nil; i++ {
+		bw.Write(numberedRecord(i)) // errors deliberately ignored
+	}
+	if bw.Err() == nil {
+		t.Fatal("no sticky error despite failing sink")
+	}
+	if err := bw.Close(); err == nil {
+		t.Fatal("Close returned nil after a failed synchronous write")
+	}
+}
+
+func TestBatchWriterCloseSurfacesIntervalFlushError(t *testing.T) {
+	// The background interval flusher hits the error while the caller is
+	// not looking at any Write return value at all; Close is the only
+	// place the failure can reach them.
+	w, err := NewWriter(&failAfter{n: 64}, Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interval commits don't sync the Writer's own buffer, so stage enough
+	// bytes that the buffer spills into the failing sink on its own.
+	bw := NewBatchWriter(w, 1<<20, time.Millisecond) // size never reached
+	for i := 0; i < 2000 && bw.Err() == nil; i++ {
+		bw.Write(numberedRecord(i))
+		time.Sleep(50 * time.Microsecond) // let interval flushes interleave
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for bw.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never recorded the write error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := bw.Close(); err == nil {
+		t.Fatal("Close returned nil after a failed interval flush")
+	}
+}

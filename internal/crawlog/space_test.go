@@ -157,8 +157,8 @@ func TestBuildSpaceDedupsRetriedURLs(t *testing.T) {
 	// success; replay must keep one page per URL — the final observation.
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf, Header{Target: charset.LangThai, Seeds: []string{"http://a.co.th/"}})
-	w.Write(&Record{URL: "http://a.co.th/", Status: 0, Failure: 1})  // failed attempt
-	w.Write(&Record{URL: "http://a.co.th/", Status: 0, Failure: 2})  // failed again
+	w.Write(&Record{URL: "http://a.co.th/", Status: 0, Failure: 1}) // failed attempt
+	w.Write(&Record{URL: "http://a.co.th/", Status: 0, Failure: 2}) // failed again
 	w.Write(&Record{URL: "http://b.com/", Status: 200, TrueCharset: charset.ASCII,
 		Links: []string{"http://a.co.th/"}})
 	w.Write(&Record{URL: "http://a.co.th/", Status: 200, TrueCharset: charset.TIS620,

@@ -1,0 +1,194 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+)
+
+// The breaker is documented as single-goroutine: engines serialize calls
+// under their own lock (the crawler's faultCtl mutex). These tests pin
+// the contract that matters under that discipline — when many workers
+// race to probe a half-open host, exactly one gets through — and sweep
+// the full transition table so no state/input pair regresses silently.
+
+// tripOpen drives a fresh breaker to Open at time 0.
+func tripOpen(t *testing.T, cfg BreakerConfig) *CircuitBreaker {
+	t.Helper()
+	b := NewBreaker(cfg)
+	for i := 0; i < b.cfg.Threshold; i++ {
+		b.RecordFailure(0)
+	}
+	if b.State() != Open {
+		t.Fatalf("breaker %v after %d failures, want open", b.State(), b.cfg.Threshold)
+	}
+	return b
+}
+
+// TestBreakerHalfOpenConcurrentProbes races many goroutines through
+// Allow on a cooled-down breaker, serialized by a caller-held mutex the
+// way the crawler serializes faultCtl. Exactly one Allow — the probe —
+// may return true; everyone else must be refused until that probe
+// resolves.
+func TestBreakerHalfOpenConcurrentProbes(t *testing.T) {
+	b := tripOpen(t, BreakerConfig{Threshold: 2, Cooldown: 5})
+
+	const callers = 32
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		start    = make(chan struct{})
+		admitted int
+	)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			mu.Lock()
+			defer mu.Unlock()
+			if b.Allow(6) { // past the cooldown: open -> half-open
+				admitted++
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if admitted != 1 {
+		t.Fatalf("%d concurrent callers admitted at half-open, want exactly 1", admitted)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state %v after probe admission, want half-open", b.State())
+	}
+
+	// The probe fails: breaker reopens, and a second concurrent wave
+	// after the new cooldown again admits exactly one.
+	b.RecordFailure(6)
+	if b.State() != Open {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	admitted = 0
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			if b.Allow(12) {
+				admitted++
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != 1 {
+		t.Fatalf("%d callers admitted after reopen, want exactly 1", admitted)
+	}
+
+	// The probe succeeds: breaker closes and everyone is admitted.
+	b.RecordSuccess(12)
+	if b.State() != Closed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+	admitted = 0
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			if b.Allow(13) {
+				admitted++
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != callers {
+		t.Fatalf("%d callers admitted when closed, want all %d", admitted, callers)
+	}
+}
+
+// TestBreakerHalfOpenProbeReleasedOnResult verifies the probe slot is a
+// one-at-a-time token, not a one-per-cooldown budget: each resolved
+// probe (success with Probes > 1, keeping the breaker half-open) frees
+// the slot for the next caller.
+func TestBreakerHalfOpenProbeReleasedOnResult(t *testing.T) {
+	b := tripOpen(t, BreakerConfig{Threshold: 1, Cooldown: 5, Probes: 3})
+
+	for probe := 0; probe < 2; probe++ { // two successes: still half-open
+		now := float64(6 + probe)
+		if !b.Allow(now) {
+			t.Fatalf("probe %d refused", probe)
+		}
+		if b.Allow(now) {
+			t.Fatalf("second caller admitted while probe %d in flight", probe)
+		}
+		b.RecordSuccess(now)
+		if b.State() != HalfOpen {
+			t.Fatalf("state %v after %d of 3 probe successes", b.State(), probe+1)
+		}
+	}
+	if !b.Allow(8) {
+		t.Fatal("third probe refused")
+	}
+	b.RecordSuccess(8)
+	if b.State() != Closed {
+		t.Fatalf("state %v after 3 probe successes, want closed", b.State())
+	}
+}
+
+// TestBreakerTransitionTable sweeps every (state, input) pair through a
+// single table so the whole state machine is pinned in one place.
+func TestBreakerTransitionTable(t *testing.T) {
+	cfg := BreakerConfig{Threshold: 1, Cooldown: 10}
+	type step struct {
+		do   func(b *CircuitBreaker) // applies one input
+		want BreakerState
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"closed success stays closed", []step{
+			{func(b *CircuitBreaker) { b.RecordSuccess(0) }, Closed},
+		}},
+		{"closed failure trips", []step{
+			{func(b *CircuitBreaker) { b.RecordFailure(0) }, Open},
+		}},
+		{"open allow inside cooldown stays open", []step{
+			{func(b *CircuitBreaker) { b.RecordFailure(0) }, Open},
+			{func(b *CircuitBreaker) { b.Allow(9) }, Open},
+		}},
+		{"open allow past cooldown goes half-open", []step{
+			{func(b *CircuitBreaker) { b.RecordFailure(0) }, Open},
+			{func(b *CircuitBreaker) { b.Allow(10) }, HalfOpen},
+		}},
+		{"half-open success closes", []step{
+			{func(b *CircuitBreaker) { b.RecordFailure(0) }, Open},
+			{func(b *CircuitBreaker) { b.Allow(10) }, HalfOpen},
+			{func(b *CircuitBreaker) { b.RecordSuccess(10) }, Closed},
+		}},
+		{"half-open failure reopens", []step{
+			{func(b *CircuitBreaker) { b.RecordFailure(0) }, Open},
+			{func(b *CircuitBreaker) { b.Allow(10) }, HalfOpen},
+			{func(b *CircuitBreaker) { b.RecordFailure(10) }, Open},
+		}},
+		{"reopened breaker honors the new cooldown", []step{
+			{func(b *CircuitBreaker) { b.RecordFailure(0) }, Open},
+			{func(b *CircuitBreaker) { b.Allow(10) }, HalfOpen},
+			{func(b *CircuitBreaker) { b.RecordFailure(10) }, Open},
+			{func(b *CircuitBreaker) { b.Allow(19) }, Open},     // 9s into the 10s cooldown
+			{func(b *CircuitBreaker) { b.Allow(20) }, HalfOpen}, // cooldown anchored at the re-trip
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBreaker(cfg)
+			for i, s := range tc.steps {
+				s.do(b)
+				if b.State() != s.want {
+					t.Fatalf("step %d: state %v, want %v", i, b.State(), s.want)
+				}
+			}
+		})
+	}
+}

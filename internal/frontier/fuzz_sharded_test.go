@@ -1,0 +1,126 @@
+package frontier
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"langcrawl/internal/telemetry"
+)
+
+// FuzzShardedFrontier drives push / batch-push / pop / steal / flush
+// sequences against an instrumented Sharded frontier and then drains it
+// from several goroutines at once. Invariants checked:
+//
+//   - no item is lost or duplicated (sequential phase counts + drain)
+//   - the telemetry counters agree with ground truth: push_total equals
+//     items pushed, pop_total equals items popped, steals never exceed
+//     pops, and the depth gauge reads zero once drained
+//
+// Input encoding: byte 0 = shard count (1-8), byte 1 = batch size
+// (1-32), byte 2 = drain workers (1-8); each later byte is one op:
+// high bit clear = push one item (host and priority from the value),
+// 0xFE = Flush, 0xFD = PushBatch of 3, otherwise pop (low bits pick the
+// worker, exercising home pops and steals alike).
+func FuzzShardedFrontier(f *testing.F) {
+	f.Add([]byte{1, 1, 1, 10, 20, 0x85, 30, 0x81})
+	f.Add([]byte{4, 8, 3, 1, 2, 0xFD, 3, 0xFE, 0x90, 4, 0x83})
+	f.Add([]byte{8, 32, 8, 0x7F, 0x00, 0xFD, 0xFD, 0xFF, 0x40, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		shards := 1 + int(data[0]%8)
+		batch := 1 + int(data[1]%32)
+		workers := 1 + int(data[2]%8)
+		ops := data[3:]
+		if len(ops) > 2048 {
+			ops = ops[:2048]
+		}
+
+		stats := telemetry.NewFrontierStats(telemetry.NewRegistry())
+		s := NewSharded(ShardedOptions[string]{
+			Shards:   shards,
+			Batch:    batch,
+			Key:      func(it string) string { return it[:4] }, // "h<n>/" prefix
+			NewQueue: func() Queue[string] { return NewHeap[string]() },
+			Stats:    stats,
+		})
+
+		pushed, popped := 0, 0
+		seq := 0
+		mk := func(op byte) string {
+			seq++
+			return fmt.Sprintf("h%02d/p%d", op%13, seq)
+		}
+		for _, op := range ops {
+			switch {
+			case op&0x80 == 0: // single push
+				s.Push(mk(op), float64(op%5))
+				pushed++
+			case op == 0xFE:
+				s.Flush()
+			case op == 0xFD: // grouped insert
+				var items []Pending[string]
+				for j := 0; j < 3; j++ {
+					items = append(items, Pending[string]{Item: mk(op + byte(j)), Prio: float64(j)})
+				}
+				s.PushBatch(items)
+				pushed += 3
+			default:
+				if _, ok := s.PopWorker(int(op & 0x7F)); ok {
+					popped++
+				}
+			}
+			if got := s.Len(); got != pushed-popped {
+				t.Fatalf("Len=%d, want %d (pushed %d popped %d)", got, pushed-popped, pushed, popped)
+			}
+		}
+
+		// Concurrent drain: every remaining item must come out exactly
+		// once across the workers.
+		var (
+			wg      sync.WaitGroup
+			mu      sync.Mutex
+			drained = make(map[string]int)
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					item, ok := s.PopWorker(w)
+					if !ok {
+						return
+					}
+					mu.Lock()
+					drained[item]++
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		for item, n := range drained {
+			if n != 1 {
+				t.Fatalf("item %q drained %d times", item, n)
+			}
+		}
+		if got := popped + len(drained); got != pushed {
+			t.Fatalf("popped %d of %d pushed items", got, pushed)
+		}
+		if s.Len() != 0 {
+			t.Fatalf("Len=%d after full drain", s.Len())
+		}
+
+		if got := stats.Pushes.Value(); got != int64(pushed) {
+			t.Fatalf("push counter %d, want %d", got, pushed)
+		}
+		if got := stats.Pops.Value(); got != int64(pushed) {
+			t.Fatalf("pop counter %d, want %d (everything drained)", got, pushed)
+		}
+		if st := stats.Steals.Value(); st > stats.Pops.Value() {
+			t.Fatalf("steal counter %d exceeds pops %d", st, stats.Pops.Value())
+		}
+	})
+}

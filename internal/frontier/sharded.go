@@ -3,6 +3,8 @@ package frontier
 import (
 	"sync"
 	"sync/atomic"
+
+	"langcrawl/internal/telemetry"
 )
 
 // Sharded is a lock-striped frontier in the BUbiNG tradition: the queue
@@ -43,6 +45,11 @@ type Sharded[T any] struct {
 
 	total atomic.Int64 // queued items, buffered included
 	high  atomic.Int64 // high-water mark of total
+
+	// Telemetry counters, nil (no-op) unless Options.Stats was set.
+	// Counting is atomic and observation-only, so instrumented runs pop
+	// in exactly the order uninstrumented ones do.
+	cPush, cPop, cSteal, cFlush *telemetry.Counter
 }
 
 type shard[T any] struct {
@@ -76,6 +83,10 @@ type ShardedOptions[T any] struct {
 	// shard at construction. nil defaults to NewFIFO. Spill-backed
 	// shards come from a factory returning SpillFIFO-based queues.
 	NewQueue func() Queue[T]
+	// Stats, when non-nil, receives push/pop/steal/flush counts and
+	// registers per-shard depth gauges read at scrape time. nil leaves
+	// every hot-path instrument a no-op.
+	Stats *telemetry.FrontierStats
 }
 
 // NewSharded builds a sharded frontier from opts.
@@ -96,6 +107,13 @@ func NewSharded[T any](opts ShardedOptions[T]) *Sharded[T] {
 	}
 	for i := range s.shards {
 		s.shards[i].q = opts.NewQueue()
+	}
+	if opts.Stats != nil {
+		s.cPush, s.cPop = opts.Stats.Pushes, opts.Stats.Pops
+		s.cSteal, s.cFlush = opts.Stats.Steals, opts.Stats.Flushes
+		opts.Stats.RegisterDepth(len(s.shards),
+			s.total.Load, s.high.Load,
+			func(i int) int64 { return s.shards[i].n.Load() })
 	}
 	return s
 }
@@ -152,7 +170,7 @@ func (s *Sharded[T]) Push(item T, priority float64) {
 	} else {
 		sh.buf = append(sh.buf, Pending[T]{Item: item, Prio: priority})
 		if len(sh.buf) >= s.batch {
-			flushLocked(sh)
+			s.flushShard(sh)
 		}
 	}
 	// Counters move under the shard lock so an item's increment always
@@ -160,6 +178,7 @@ func (s *Sharded[T]) Push(item T, priority float64) {
 	sh.n.Add(1)
 	s.grow(1)
 	sh.mu.Unlock()
+	s.cPush.Inc()
 }
 
 // PushBatch stages a group of inserts, grouped by shard so each touched
@@ -178,13 +197,14 @@ func (s *Sharded[T]) PushBatch(items []Pending[T]) {
 			} else {
 				sh.buf = append(sh.buf, p)
 				if len(sh.buf) >= s.batch {
-					flushLocked(sh)
+					s.flushShard(sh)
 				}
 			}
 		}
 		sh.n.Add(int64(len(items)))
 		s.grow(int64(len(items)))
 		sh.mu.Unlock()
+		s.cPush.Add(int64(len(items)))
 		return
 	}
 	// Group by shard index; link fan-outs are small, so a simple
@@ -209,7 +229,7 @@ func (s *Sharded[T]) PushBatch(items []Pending[T]) {
 			} else {
 				sh.buf = append(sh.buf, p)
 				if len(sh.buf) >= s.batch {
-					flushLocked(sh)
+					s.flushShard(sh)
 				}
 			}
 			count++
@@ -217,17 +237,22 @@ func (s *Sharded[T]) PushBatch(items []Pending[T]) {
 		sh.n.Add(int64(count))
 		s.grow(int64(count))
 		sh.mu.Unlock()
+		s.cPush.Add(int64(count))
 	}
 }
 
-// flushLocked drains the batch buffer into the inner queue in insertion
+// flushShard drains the batch buffer into the inner queue in insertion
 // order (preserving FIFO tie-break within the shard). Caller holds
-// sh.mu.
-func flushLocked[T any](sh *shard[T]) {
+// sh.mu. Empty buffers are free and uncounted.
+func (s *Sharded[T]) flushShard(sh *shard[T]) {
+	if len(sh.buf) == 0 {
+		return
+	}
 	for _, p := range sh.buf {
 		sh.q.Push(p.Item, p.Prio)
 	}
 	sh.buf = sh.buf[:0]
+	s.cFlush.Inc()
 }
 
 // Flush makes every buffered insert visible to pops. Engines call it
@@ -236,7 +261,7 @@ func (s *Sharded[T]) Flush() {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		flushLocked(sh)
+		s.flushShard(sh)
 		sh.mu.Unlock()
 	}
 }
@@ -255,7 +280,7 @@ func (s *Sharded[T]) tryPop(i int) (T, bool) {
 	}
 	sh.mu.Lock()
 	if sh.q.Len() == 0 && len(sh.buf) > 0 {
-		flushLocked(sh)
+		s.flushShard(sh)
 	}
 	item, ok := sh.q.Pop()
 	if ok {
@@ -263,6 +288,9 @@ func (s *Sharded[T]) tryPop(i int) (T, bool) {
 		s.total.Add(-1)
 	}
 	sh.mu.Unlock()
+	if ok {
+		s.cPop.Inc()
+	}
 	return item, ok
 }
 
@@ -293,11 +321,13 @@ func (s *Sharded[T]) PopWorker(w int) (T, bool) {
 		}
 		if best >= 0 && best != home {
 			if item, ok := s.tryPop(best); ok {
+				s.cSteal.Inc()
 				return item, true
 			}
 		}
 		for i := 1; i < n; i++ {
 			if item, ok := s.tryPop((home + i) % n); ok {
+				s.cSteal.Inc()
 				return item, true
 			}
 		}

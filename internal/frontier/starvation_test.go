@@ -1,0 +1,122 @@
+package frontier
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"langcrawl/internal/telemetry"
+)
+
+// TestShardedStealFromForeignShard pins the work-stealing guarantee at
+// its sharpest: every item hashes to a single host — one shard — yet a
+// pop from any worker, whatever its home shard, must succeed. A frontier
+// without stealing would starve all but one worker here.
+func TestShardedStealFromForeignShard(t *testing.T) {
+	stats := telemetry.NewFrontierStats(telemetry.NewRegistry())
+	s := NewSharded(ShardedOptions[int]{
+		Shards:   8,
+		Key:      func(int) string { return "lone-host.example" },
+		NewQueue: func() Queue[int] { return NewFIFO[int]() },
+		Stats:    stats,
+	})
+	const items = 64
+	for i := 0; i < items; i++ {
+		s.Push(i, 1)
+	}
+	// Round-robin over all workers: each must pop, mostly by stealing.
+	seen := make(map[int]bool)
+	for i := 0; i < items; i++ {
+		v, ok := s.PopWorker(i % 8)
+		if !ok {
+			t.Fatalf("worker %d starved with %d items queued", i%8, s.Len())
+		}
+		if seen[v] {
+			t.Fatalf("item %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	if s.Len() != 0 {
+		t.Fatalf("%d items left after full drain", s.Len())
+	}
+	// All items lived in one shard, so 7 of 8 workers stole every pop.
+	if st := stats.Steals.Value(); st == 0 {
+		t.Fatal("no steals counted on an all-foreign drain")
+	}
+}
+
+// TestShardedNoWorkerStarvation gives each concurrent worker an exact
+// quota over a heavily skewed distribution (90% of items on one host).
+// Quotas sum to the item count, so a worker can fill its quota only if
+// stealing lets it reach the hot shard — a home-shard-only frontier
+// would return empty to the cold-shard workers while thousands of items
+// sit queued, which is precisely the starvation this test rejects. The
+// quota design also keeps the check meaningful on one CPU, where a free
+// drain lets the first-scheduled worker take everything.
+func TestShardedNoWorkerStarvation(t *testing.T) {
+	const (
+		workers = 4
+		items   = 20000
+		quota   = items / workers
+	)
+	s := NewSharded(ShardedOptions[int]{
+		Shards: workers,
+		Batch:  8,
+		Key: func(it int) string {
+			if it%10 != 0 {
+				return "hot-host.example" // 90% of items on one shard
+			}
+			return fmt.Sprintf("host-%d.example", it%7)
+		},
+		NewQueue: func() Queue[int] { return NewFIFO[int]() },
+	})
+	for i := 0; i < items; i++ {
+		s.Push(i, 1)
+	}
+	s.Flush()
+
+	var (
+		wg     sync.WaitGroup
+		counts [workers]int
+		mu     sync.Mutex
+		seen   = make(map[int]bool, items)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for counts[w] < quota {
+				v, ok := s.PopWorker(w)
+				if !ok {
+					return // shortfall is diagnosed below
+				}
+				mu.Lock()
+				if seen[v] {
+					mu.Unlock()
+					t.Errorf("item %d drained twice", v)
+					return
+				}
+				seen[v] = true
+				mu.Unlock()
+				counts[w]++
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("drain did not finish: %d of %d items out", len(seen), items)
+	}
+	for w, n := range counts {
+		if n != quota {
+			t.Errorf("worker %d drained %d of its %d-item quota with %d items still queued (starved)",
+				w, n, quota, s.Len())
+		}
+	}
+	if len(seen) != items || s.Len() != 0 {
+		t.Fatalf("drained %d of %d items, %d left", len(seen), items, s.Len())
+	}
+}

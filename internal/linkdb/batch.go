@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"langcrawl/internal/crawlog"
+	"langcrawl/internal/telemetry"
 )
 
 // Batcher is a group-commit front end for a DB: Put buffers records and
@@ -35,6 +36,10 @@ type Batcher struct {
 	fmu  sync.Mutex // serializes commits, preserving batch order
 	stop chan struct{}
 	done chan struct{}
+
+	// Telemetry instruments, nil (no-op) until SetStats.
+	stSize, stLat     *telemetry.Histogram
+	stCommits, stErrs *telemetry.Counter
 }
 
 // NewBatcher wraps db with a group-commit buffer of the given flush size
@@ -50,6 +55,18 @@ func NewBatcher(db *DB, size int, interval time.Duration) *Batcher {
 		go b.flushLoop(interval)
 	}
 	return b
+}
+
+// SetStats wires telemetry for commit size, commit latency, commit
+// count, and sticky-error events. Call it right after NewBatcher,
+// before the batcher is shared; a nil bundle leaves instrumentation
+// off.
+func (b *Batcher) SetStats(st *telemetry.BatchStats) {
+	if st == nil {
+		return
+	}
+	b.stSize, b.stLat = st.CommitSize, st.FlushLatency
+	b.stCommits, b.stErrs = st.Commits, st.StickyErrors
 }
 
 func (b *Batcher) flushLoop(interval time.Duration) {
@@ -77,7 +94,21 @@ func (b *Batcher) Put(rec *crawlog.Record) error {
 	}
 	if b.size <= 1 {
 		b.mu.Unlock()
-		return b.db.Put(rec)
+		err := b.db.Put(rec)
+		if err != nil {
+			// Record the failure sticky so Err and Close surface it; the
+			// pre-fix behavior lost it once this call's return was ignored.
+			b.mu.Lock()
+			if b.err == nil {
+				b.err = err
+				b.stErrs.Inc()
+			}
+			b.mu.Unlock()
+		} else {
+			b.stCommits.Inc()
+			b.stSize.Observe(1)
+		}
+		return err
 	}
 	if _, staged := b.pending[rec.URL]; !staged {
 		b.order = append(b.order, rec.URL)
@@ -130,6 +161,10 @@ func (b *Batcher) Flush() error {
 	b.fmu.Lock()
 	b.mu.Unlock()
 
+	var t0 time.Time
+	if b.stLat.Enabled() {
+		t0 = time.Now()
+	}
 	var err error
 	for _, url := range order {
 		if err = b.db.Put(pending[url]); err != nil {
@@ -140,10 +175,18 @@ func (b *Batcher) Flush() error {
 		err = b.db.Sync()
 	}
 	b.fmu.Unlock()
+	if err == nil {
+		if !t0.IsZero() {
+			b.stLat.ObserveSince(t0)
+		}
+		b.stSize.Observe(float64(len(order)))
+		b.stCommits.Inc()
+	}
 	if err != nil {
 		b.mu.Lock()
 		if b.err == nil {
 			b.err = err
+			b.stErrs.Inc()
 		}
 		b.mu.Unlock()
 	}
@@ -165,12 +208,18 @@ func (b *Batcher) Err() error {
 }
 
 // Close stops the interval flusher (if any) and commits what is staged.
-// The underlying DB remains open.
+// The sticky first commit error — even one from the synchronous size-1
+// path or a background interval flush — is returned here, so a caller
+// that only checks Close still learns records were dropped. The
+// underlying DB remains open.
 func (b *Batcher) Close() error {
 	if b.stop != nil {
 		close(b.stop)
 		<-b.done
 		b.stop = nil
 	}
-	return b.Flush()
+	if err := b.Flush(); err != nil {
+		return err
+	}
+	return b.Err()
 }

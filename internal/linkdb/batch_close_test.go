@@ -1,0 +1,51 @@
+package linkdb
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Regression tests for Close surfacing the sticky commit error. The
+// crawler's shutdown path checks only Close; before the fix a failure on
+// the synchronous size-1 Put path (whose return value callers routinely
+// ignore mid-crawl) or in the background interval flusher vanished, and
+// Close reported a clean shutdown over a link DB missing records.
+
+func TestBatcherCloseSurfacesSyncPutError(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "links.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(db, 1, 0) // synchronous path, no staging
+	db.Close()                // every Put will now fail
+	b.Put(testRecord(0))      // error deliberately ignored
+	if b.Err() == nil {
+		t.Fatal("synchronous Put failure was not recorded sticky")
+	}
+	if err := b.Close(); err == nil {
+		t.Fatal("Close returned nil after a failed synchronous Put")
+	}
+}
+
+func TestBatcherCloseSurfacesIntervalFlushError(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "links.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(db, 1024, time.Millisecond) // size never reached
+	if err := b.Put(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	db.Close() // the next background flush fails
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never recorded the commit error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := b.Close(); err == nil {
+		t.Fatal("Close returned nil after a failed interval flush")
+	}
+}

@@ -17,11 +17,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"langcrawl/internal/core"
 	"langcrawl/internal/faults"
 	"langcrawl/internal/frontier"
 	"langcrawl/internal/metrics"
+	"langcrawl/internal/telemetry"
 	"langcrawl/internal/webgraph"
 )
 
@@ -86,6 +88,12 @@ type Config struct {
 	// fetch order — the hook the conformance suite uses to capture and
 	// replay crawl traces.
 	OnVisit func(webgraph.PageID)
+	// Telemetry, when non-nil, receives runtime counters, gauges and
+	// histograms from the engine (see telemetry.NewSimStats).
+	// Observation-only: an instrumented run fetches exactly the pages an
+	// uninstrumented one does, so golden conformance traces hold with
+	// telemetry on.
+	Telemetry *telemetry.SimStats
 }
 
 // QueueMode selects how the frontier treats re-discovered URLs.
@@ -217,6 +225,16 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 	visited := make([]bool, n)
 	needBody := cfg.Classifier.NeedsBody()
 	observer, _ := cfg.Strategy.(core.QueueObserver)
+	// A zero SimStats has all-nil instruments (each a no-op), so the loop
+	// records unconditionally without nil guards.
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = &telemetry.SimStats{}
+	}
+	var runStart time.Time
+	if tel.PagesPerSec != nil {
+		runStart = time.Now()
+	}
 
 	seeds := cfg.Seeds
 	if seeds == nil {
@@ -236,6 +254,12 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 		res.Harvest.Add(x, 100*safeDiv(res.RelevantCrawled, res.Crawled))
 		res.Coverage.Add(x, 100*safeDiv(res.RelevantCrawled, res.RelevantTotal))
 		res.QueueSize.Add(x, float64(qlen()))
+		tel.QueueDepth.Set(int64(qlen()))
+		if !runStart.IsZero() {
+			if el := time.Since(runStart).Seconds(); el > 0 {
+				tel.PagesPerSec.Set(float64(res.Crawled) / el)
+			}
+		}
 	}
 	recordSample()
 
@@ -278,6 +302,7 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 			for attempt := 1; ; attempt++ {
 				class := fs.attempt(host)
 				res.Crawled++
+				tel.Pages.Inc()
 				if !class.Failed() {
 					fs.success(host, clock())
 					truncated = class == faults.TruncatedBody
@@ -304,6 +329,7 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 			}
 		} else {
 			res.Crawled++
+			tel.Pages.Inc()
 		}
 
 		visit = core.Visit{
@@ -320,12 +346,20 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 		}
 		if visit.Status == 200 && relevant(space, id) {
 			res.RelevantCrawled++
+			tel.Relevant.Inc()
 		}
 		if cfg.OnVisit != nil {
 			cfg.OnVisit(id)
 		}
 
+		var ct0 time.Time
+		if telemetry.Timed(tel.ClassifierTime) {
+			ct0 = time.Now()
+		}
 		score := cfg.Classifier.Score(&visit)
+		if !ct0.IsZero() {
+			tel.ClassifierTime.ObserveSince(ct0)
+		}
 		dec := cfg.Strategy.Decide(score, int(item.dist))
 		if visit.Status == 200 {
 			if dec.Follow {
@@ -440,6 +474,7 @@ func buildShardedFrontier(space *webgraph.Space, cfg Config) (*simFrontier, erro
 	s := frontier.NewSharded(frontier.ShardedOptions[entry]{
 		Shards: cfg.FrontierShards,
 		Batch:  cfg.FrontierBatch,
+		Stats:  cfg.Telemetry.FrontierStats(),
 		Key:    func(e entry) string { return space.Site(e.id).Host },
 		NewQueue: func() frontier.Queue[entry] {
 			shardSeq++

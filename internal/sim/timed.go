@@ -3,11 +3,14 @@ package sim
 import (
 	"fmt"
 
+	"time"
+
 	"langcrawl/internal/core"
 	"langcrawl/internal/faults"
 	"langcrawl/internal/metrics"
 	"langcrawl/internal/rng"
 	"langcrawl/internal/simtime"
+	"langcrawl/internal/telemetry"
 	"langcrawl/internal/webgraph"
 )
 
@@ -88,6 +91,10 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 	observer, _ := cfg.Strategy.(core.QueueObserver)
 	jitter := rng.New2(space.Seed, 0x71BED)
 	fs := newFaultState(cfg.Faults, space.Seed, &res.Faults)
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = &telemetry.SimStats{}
+	}
 
 	for _, seed := range space.Seeds {
 		fr.push(seed, 0, 1)
@@ -142,8 +149,11 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 		res.Harvest.Add(x, 100*safeDiv(res.RelevantCrawled, res.Crawled))
 		res.Coverage.Add(x, 100*safeDiv(res.RelevantCrawled, res.RelevantTotal))
 		res.QueueSize.Add(x, float64(fr.len()))
+		tel.QueueDepth.Set(int64(fr.len()))
 		if now > 0 {
 			res.Throughput.Add(now, float64(res.Crawled)/now)
+			// Virtual-time throughput: pages per simulated second.
+			tel.PagesPerSec.Set(float64(res.Crawled) / now)
 		}
 	}
 	recordSample()
@@ -169,6 +179,7 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 			class := fs.attempt(host)
 			if class.Failed() {
 				res.Crawled++
+				tel.Pages.Inc()
 				res.Faults.WastedFetches++
 				fs.failure(host, now)
 				budgetLeft := cfg.MaxPages <= 0 || res.Crawled < cfg.MaxPages
@@ -208,14 +219,23 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 			}
 		}
 		res.Crawled++
+		tel.Pages.Inc()
 		if visit.Status == 200 && space.IsRelevant(id) {
 			res.RelevantCrawled++
+			tel.Relevant.Inc()
 		}
 		if cfg.OnVisit != nil {
 			cfg.OnVisit(id)
 		}
 
+		var ct0 time.Time
+		if telemetry.Timed(tel.ClassifierTime) {
+			ct0 = time.Now()
+		}
 		score := cfg.Classifier.Score(&visit)
+		if !ct0.IsZero() {
+			tel.ClassifierTime.ObserveSince(ct0)
+		}
 		dec := cfg.Strategy.Decide(score, int(ev.Payload.dist))
 		if visit.Status == 200 {
 			if dec.Follow {

@@ -1,0 +1,114 @@
+// Package telemetry is the crawler's runtime nervous system: lock-free
+// counters and gauges, fixed-bucket histograms with percentile
+// snapshots, and a ring-buffered event tracer, all collected in a named
+// Registry and exported over HTTP (Prometheus text, JSON snapshot,
+// health, pprof — see http.go) or as periodic plain-text progress lines
+// (progress.go).
+//
+// The package is stdlib-only and built for hot paths:
+//
+//   - Recording is zero-allocation: counters and gauges are single
+//     atomic adds, a histogram observation is two atomic adds plus a
+//     CAS-accumulated sum.
+//   - Disabled telemetry compiles to a no-op. Every instrument method
+//     has a nil receiver fast path, and every constructor on a nil
+//     *Registry returns a nil instrument, so code instruments
+//     unconditionally — `stats.Pushes.Inc()` — and a crawl run without
+//     telemetry pays one predictable branch per event.
+//   - Observation never perturbs behavior: instruments only record,
+//     they are never read back by crawl logic, so a telemetry-enabled
+//     run visits exactly the pages a bare run does (the conformance
+//     suite pins this).
+package telemetry
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; a nil Counter is a no-op (the disabled-telemetry path).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous integer level — queue depth, open breakers,
+// in-flight fetches. The zero value is ready; nil is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// SetMax raises the gauge to n if n is larger (a high-water mark).
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (0 on a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// GaugeFloat is a Gauge holding a float64 (pages/sec, ratios). The zero
+// value is ready; nil is a no-op.
+type GaugeFloat struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *GaugeFloat) Set(v float64) {
+	if g != nil {
+		g.bits.Store(floatBits(v))
+	}
+}
+
+// Value returns the current level (0 on a nil GaugeFloat).
+func (g *GaugeFloat) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return bitsFloat(g.bits.Load())
+}

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution: each observation lands in
+// the first bucket whose upper bound is >= the value (cumulative
+// Prometheus-style buckets, final bucket +Inf). Recording is
+// allocation-free — a linear scan over a handful of bounds, two atomic
+// adds, and a CAS-accumulated sum — and a nil Histogram is a no-op.
+//
+// Bucket bounds are fixed at construction; Snapshot interpolates
+// percentiles from the bucket counts, so percentile accuracy is bounded
+// by bucket resolution (fine for latency/size telemetry, not for
+// billing).
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; implicit +Inf bucket after
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	max    atomic.Uint64 // float64 bits, CAS-raised
+}
+
+// LatencyBuckets is the default bucket layout for durations in seconds:
+// 100µs through 10s, roughly 2.5× apart.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets is the default layout for counts and byte sizes: powers
+// of four from 1 to ~1M.
+var SizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+// newHistogram builds a histogram over the given ascending bounds
+// (LatencyBuckets when nil).
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for { // accumulate the sum without locks
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			break
+		}
+	}
+	for { // raise the max
+		old := h.max.Load()
+		if v <= bitsFloat(old) || h.max.CompareAndSwap(old, floatBits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start — the idiom for
+// timing a region: t := time.Now(); ...; h.ObserveSince(t). On a nil
+// histogram it does no work (and callers should skip the time.Now too;
+// see the Timed helper on instrument bundles).
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Enabled reports whether observations are being recorded — the guard
+// callers use to skip time.Now() on the disabled path.
+func (h *Histogram) Enabled() bool { return h != nil }
+
+// HistogramSnapshot is a consistent-enough point-in-time read: totals
+// and interpolated percentiles. Counts are read bucket by bucket, so a
+// snapshot taken during heavy concurrent recording can be off by the
+// in-flight observations — fine for monitoring.
+type HistogramSnapshot struct {
+	Count         int64
+	Sum           float64
+	Max           float64
+	P50, P90, P99 float64
+}
+
+// Snapshot summarizes the distribution.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   bitsFloat(h.sum.Load()),
+		Max:   bitsFloat(h.max.Load()),
+	}
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s.P50 = h.quantile(counts, total, 0.50)
+	s.P90 = h.quantile(counts, total, 0.90)
+	s.P99 = h.quantile(counts, total, 0.99)
+	return s
+}
+
+// quantile interpolates the q-th quantile from per-bucket counts,
+// assuming uniform spread within a bucket. The +Inf bucket reports its
+// lower bound (there is nothing better to say about the tail).
+func (h *Histogram) quantile(counts []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		if i == len(h.bounds) { // +Inf bucket
+			return lower
+		}
+		upper := h.bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lower + (upper-lower)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// cumulative returns the Prometheus-style cumulative bucket counts and
+// the bounds they belong to (the final pair is +Inf/total).
+func (h *Histogram) cumulative() (bounds []float64, cum []int64) {
+	cum = make([]int64, len(h.counts))
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return h.bounds, cum
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

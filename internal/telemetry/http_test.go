@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func getBody(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("langcrawl_test_total", "test counter").Add(42)
+	h := Handler(reg)
+
+	code, body := getBody(t, h, "/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+	if code, _ := getBody(t, h, "/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path not 404: %d", code)
+	}
+
+	code, body = getBody(t, h, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	var hz struct {
+		Status string  `json:"status"`
+		Uptime float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal([]byte(body), &hz); err != nil || hz.Status != "ok" {
+		t.Fatalf("healthz body %q: %v", body, err)
+	}
+
+	code, body = getBody(t, h, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "langcrawl_test_total 42") {
+		t.Fatalf("metrics: %d %q", code, body)
+	}
+
+	code, body = getBody(t, h, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("vars: %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("vars not JSON: %v", err)
+	}
+	if vars["langcrawl_test_total"] != 42.0 {
+		t.Fatalf("vars counter = %v", vars["langcrawl_test_total"])
+	}
+
+	if code, body = getBody(t, h, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: %d", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("langcrawl_serve_total", "").Inc()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "langcrawl_serve_total 1") {
+		t.Fatalf("served metrics missing counter: %s", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Serve("256.256.256.256:0", reg); err == nil {
+		t.Fatal("Serve on a bogus address succeeded")
+	}
+}
+
+func TestReporter(t *testing.T) {
+	if NewReporter(nil, time.Second, func(time.Duration) string { return "" }) != nil {
+		t.Fatal("nil writer yielded a live reporter")
+	}
+	if NewReporter(&strings.Builder{}, time.Second, nil) != nil {
+		t.Fatal("nil line func yielded a live reporter")
+	}
+	var nilRep *Reporter
+	nilRep.Stop() // must not panic
+
+	var mu syncBuilder
+	r := NewReporter(&mu, time.Second, func(d time.Duration) string { return "pages=7" })
+	r.Stop() // emits the final line even before the first tick
+	r.Stop() // idempotent
+	out := mu.String()
+	if !strings.Contains(out, "telemetry: [") || !strings.Contains(out, "pages=7") {
+		t.Fatalf("reporter output %q", out)
+	}
+}
+
+// syncBuilder is a mutex-guarded strings.Builder: the reporter goroutine
+// and the test both touch the buffer.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file defines the domain instrument bundles: one struct per
+// instrumented subsystem, each a plain bag of nil-safe instruments so
+// consumers record unconditionally. Every constructor returns nil when
+// the registry is nil, and every bundle's fields are themselves nil-safe,
+// so a single `stats == nil` is never needed on record paths — only
+// around time.Now() calls, which Timed()/Enabled() guard.
+
+// maxShardGauges caps the per-shard depth gauge fan-out; wider stripes
+// export only the aggregate depth (per-shard series would drown the
+// scrape).
+const maxShardGauges = 64
+
+// FrontierStats instruments a sharded frontier: operation counters plus
+// scrape-time depth gauges registered by the frontier itself once its
+// stripe width is known.
+type FrontierStats struct {
+	reg *Registry
+
+	Pushes  *Counter // items pushed (batch pushes count each item)
+	Pops    *Counter // items popped
+	Steals  *Counter // pops served by a shard other than the worker's home
+	Flushes *Counter // staging-buffer flushes into inner queues
+}
+
+// NewFrontierStats builds the bundle (nil when reg is nil).
+func NewFrontierStats(reg *Registry) *FrontierStats {
+	if reg == nil {
+		return nil
+	}
+	return &FrontierStats{
+		reg:     reg,
+		Pushes:  reg.Counter("langcrawl_frontier_push_total", "Items pushed into the frontier."),
+		Pops:    reg.Counter("langcrawl_frontier_pop_total", "Items popped from the frontier."),
+		Steals:  reg.Counter("langcrawl_frontier_steal_total", "Pops served by a non-home shard (work stealing)."),
+		Flushes: reg.Counter("langcrawl_frontier_flush_total", "Staging-buffer flushes into shard queues."),
+	}
+}
+
+// RegisterDepth wires the depth gauges once the frontier exists: the
+// aggregate depth and high-water mark, plus one gauge per shard (up to
+// maxShardGauges shards). The closures are read at scrape time and must
+// be safe for concurrent use — atomic loads in the sharded frontier.
+func (f *FrontierStats) RegisterDepth(shards int, total, high func() int64, shardLen func(i int) int64) {
+	if f == nil {
+		return
+	}
+	f.reg.GaugeFunc("langcrawl_frontier_depth", "Queued frontier items, staged inserts included.",
+		func() float64 { return float64(total()) })
+	f.reg.GaugeFunc("langcrawl_frontier_depth_high", "Frontier depth high-water mark.",
+		func() float64 { return float64(high()) })
+	if shards > maxShardGauges {
+		return
+	}
+	for i := 0; i < shards; i++ {
+		i := i
+		f.reg.GaugeFunc(fmt.Sprintf("langcrawl_frontier_shard_depth{shard=%q}", fmt.Sprint(i)),
+			"Per-shard frontier depth.",
+			func() float64 { return float64(shardLen(i)) })
+	}
+}
+
+// BatchStats instruments a group-commit writer (crawl log or link DB).
+type BatchStats struct {
+	Commits      *Counter   // non-empty batch commits
+	CommitSize   *Histogram // records per committed batch
+	FlushLatency *Histogram // seconds per commit, fsync included
+	StickyErrors *Counter   // first-failure events that poisoned the writer
+}
+
+// NewBatchStats builds the bundle for the named sink ("crawlog",
+// "linkdb").
+func NewBatchStats(reg *Registry, sink string) *BatchStats {
+	if reg == nil {
+		return nil
+	}
+	return &BatchStats{
+		Commits: reg.Counter(
+			fmt.Sprintf("langcrawl_%s_commit_total", sink),
+			"Group commits written to the "+sink+"."),
+		CommitSize: reg.Histogram(
+			fmt.Sprintf("langcrawl_%s_commit_records", sink),
+			"Records per group commit.", SizeBuckets),
+		FlushLatency: reg.Histogram(
+			fmt.Sprintf("langcrawl_%s_commit_seconds", sink),
+			"Commit latency in seconds, sync included.", nil),
+		StickyErrors: reg.Counter(
+			fmt.Sprintf("langcrawl_%s_sticky_error_total", sink),
+			"Write failures that poisoned the "+sink+" writer."),
+	}
+}
+
+// CrawlStats instruments the live crawler (both engines): fetch
+// pipeline, worker idling, retry/breaker activity, and the append
+// sinks, plus a tracer for the rare interesting transitions.
+type CrawlStats struct {
+	reg *Registry
+
+	Pages         *Counter   // pages crawled (fetches that produced a page)
+	Relevant      *Counter   // pages the classifier scored relevant
+	FetchLatency  *Histogram // seconds per fetch attempt
+	FetchBytes    *Histogram // body bytes per fetched page
+	FetchErrors   *Counter   // transport-level failures
+	Retries       *Counter   // refetch attempts
+	RobotsBlocked *Counter
+	Inflight      *Gauge // fetches currently in flight
+
+	IdleWaits *Counter   // times a worker parked on the empty-frontier cond
+	IdleTime  *Histogram // seconds parked per wait
+
+	BreakerTransitions *Counter // breaker state changes (any direction)
+	BreakerOpen        *Gauge   // hosts currently open
+	BreakerSkips       *Counter // fetches refused by an open breaker
+
+	Frontier *FrontierStats
+	Log      *BatchStats
+	DB       *BatchStats
+	Trace    *Tracer
+}
+
+// NewCrawlStats builds the full crawler bundle (nil when reg is nil).
+func NewCrawlStats(reg *Registry) *CrawlStats {
+	if reg == nil {
+		return nil
+	}
+	return &CrawlStats{
+		reg:           reg,
+		Pages:         reg.Counter("langcrawl_crawl_pages_total", "Pages crawled."),
+		Relevant:      reg.Counter("langcrawl_crawl_relevant_total", "Pages scored relevant by the classifier."),
+		FetchLatency:  reg.Histogram("langcrawl_fetch_seconds", "Fetch attempt latency in seconds.", nil),
+		FetchBytes:    reg.Histogram("langcrawl_fetch_bytes", "Body bytes per fetched page.", SizeBuckets),
+		FetchErrors:   reg.Counter("langcrawl_fetch_error_total", "Transport-level fetch failures."),
+		Retries:       reg.Counter("langcrawl_fetch_retry_total", "Refetch attempts after failures."),
+		RobotsBlocked: reg.Counter("langcrawl_robots_blocked_total", "URLs refused by robots.txt."),
+		Inflight:      reg.Gauge("langcrawl_fetch_inflight", "Fetches currently in flight."),
+
+		IdleWaits: reg.Counter("langcrawl_worker_idle_total", "Times a worker parked waiting for frontier work."),
+		IdleTime:  reg.Histogram("langcrawl_worker_idle_seconds", "Seconds parked per idle wait.", nil),
+
+		BreakerTransitions: reg.Counter("langcrawl_breaker_transition_total", "Circuit-breaker state changes."),
+		BreakerOpen:        reg.Gauge("langcrawl_breaker_open", "Hosts with an open circuit breaker."),
+		BreakerSkips:       reg.Counter("langcrawl_breaker_skip_total", "Fetches refused by an open breaker."),
+
+		Frontier: NewFrontierStats(reg),
+		Log:      NewBatchStats(reg, "crawlog"),
+		DB:       NewBatchStats(reg, "linkdb"),
+		Trace:    reg.Tracer("langcrawl_crawl_events", 0),
+	}
+}
+
+// FrontierStats returns the embedded frontier bundle, nil-safely.
+func (s *CrawlStats) FrontierStats() *FrontierStats {
+	if s == nil {
+		return nil
+	}
+	return s.Frontier
+}
+
+// Registry returns the registry the bundle was built from (nil for a
+// zero-value or nil bundle).
+func (s *CrawlStats) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// SimStats instruments the simulation engines.
+type SimStats struct {
+	reg *Registry
+
+	Pages          *Counter    // fetch attempts completed (the paper's "crawled")
+	Relevant       *Counter    // ground-truth relevant pages fetched
+	QueueDepth     *Gauge      // frontier length at the last sample
+	PagesPerSec    *GaugeFloat // throughput (virtual for the timed engine)
+	ClassifierTime *Histogram  // seconds per classification
+
+	Frontier *FrontierStats
+	Trace    *Tracer
+}
+
+// NewSimStats builds the simulator bundle (nil when reg is nil).
+func NewSimStats(reg *Registry) *SimStats {
+	if reg == nil {
+		return nil
+	}
+	return &SimStats{
+		reg:            reg,
+		Pages:          reg.Counter("langcrawl_sim_pages_total", "Simulated fetch attempts completed."),
+		Relevant:       reg.Counter("langcrawl_sim_relevant_total", "Ground-truth relevant pages fetched."),
+		QueueDepth:     reg.Gauge("langcrawl_sim_queue_depth", "Frontier length at the last sample."),
+		PagesPerSec:    reg.GaugeFloat("langcrawl_sim_pages_per_sec", "Crawl throughput (virtual time for the timed engine)."),
+		ClassifierTime: reg.Histogram("langcrawl_sim_classifier_seconds", "Classifier scoring time in seconds.", nil),
+		Frontier:       NewFrontierStats(reg),
+		Trace:          reg.Tracer("langcrawl_sim_events", 0),
+	}
+}
+
+// FrontierStats returns the embedded frontier bundle, nil-safely.
+func (s *SimStats) FrontierStats() *FrontierStats {
+	if s == nil {
+		return nil
+	}
+	return s.Frontier
+}
+
+// Registry returns the registry the bundle was built from (nil for a
+// zero-value or nil bundle).
+func (s *SimStats) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Timed reports whether h records — the guard for skipping time.Now()
+// on the disabled path:
+//
+//	var t0 time.Time
+//	if telemetry.Timed(st.FetchLatency) { t0 = time.Now() }
+//	... work ...
+//	st.FetchLatency.ObserveSince(t0)   // no-op when nil
+//
+// ObserveSince on a non-nil histogram with a zero t0 would record
+// garbage, so the two guards must match; Timed keeps that one branch in
+// one place.
+func Timed(h *Histogram) bool { return h != nil }
+
+// SinceSeconds is a tiny helper for call sites that already hold a
+// start time: seconds elapsed, 0 for the zero time.
+func SinceSeconds(t0 time.Time) float64 {
+	if t0.IsZero() {
+		return 0
+	}
+	return time.Since(t0).Seconds()
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Reporter prints a plain-text progress line at a fixed interval — the
+// headless-run counterpart to the HTTP endpoint, for crawls driven from
+// a terminal or a batch job where nothing will scrape /metrics.
+//
+// The line is produced by a caller-supplied function receiving the
+// elapsed time since the reporter started; the reporter adds the
+// "telemetry: " prefix and timestamping. Stop is idempotent and flushes
+// one final line so short runs still report.
+type Reporter struct {
+	w        io.Writer
+	interval time.Duration
+	line     func(elapsed time.Duration) string
+
+	mu      sync.Mutex
+	started time.Time
+	stop    chan struct{}
+	done    chan struct{}
+	stopped bool
+}
+
+// NewReporter starts a reporter emitting every interval (minimum 1s).
+// A nil writer or nil line function yields an inert reporter whose Stop
+// is a no-op — the disabled path mirrors the nil-instrument idiom.
+func NewReporter(w io.Writer, interval time.Duration, line func(elapsed time.Duration) string) *Reporter {
+	if w == nil || line == nil {
+		return nil
+	}
+	if interval < time.Second {
+		interval = time.Second
+	}
+	r := &Reporter{
+		w: w, interval: interval, line: line,
+		started: time.Now(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go r.loop()
+	return r
+}
+
+func (r *Reporter) loop() {
+	defer close(r.done)
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.emit()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+func (r *Reporter) emit() {
+	elapsed := time.Since(r.started).Round(time.Second)
+	fmt.Fprintf(r.w, "telemetry: [%s] %s\n", elapsed, r.line(time.Since(r.started)))
+}
+
+// Stop halts the ticker and emits one final line. Safe on nil and safe
+// to call twice.
+func (r *Reporter) Stop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	close(r.stop)
+	r.mu.Unlock()
+	<-r.done
+	r.emit()
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# telemetry_smoke.sh — end-to-end check of the telemetry endpoint.
+#
+# Runs a small sharded simulation with -telemetry-addr on an ephemeral
+# port, waits for the endpoint to come up, and asserts that /healthz
+# reports ok and /metrics exposes the key crawl series with non-zero
+# values. Exercises the whole chain: engine instrumentation -> registry
+# -> HTTP exposition. Pure POSIX sh + curl; no test framework.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'kill "$simpid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/simcrawl" ./cmd/simcrawl
+
+# The linger keeps the endpoint alive after the (fast) simulated crawl
+# finishes, so the scrape below races nothing.
+"$workdir/simcrawl" -preset thai -pages 3000 -max 2000 -shards 4 \
+    -telemetry-addr 127.0.0.1:0 -telemetry-linger 30s \
+    >"$workdir/out.log" 2>&1 &
+simpid=$!
+
+addr=
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|^telemetry on http://\([^/]*\)/.*|\1|p' "$workdir/out.log")
+    [ -n "$addr" ] && break
+    kill -0 "$simpid" 2>/dev/null || { echo "simcrawl exited early:"; cat "$workdir/out.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "telemetry endpoint never announced"; cat "$workdir/out.log"; exit 1; }
+echo "telemetry endpoint: $addr"
+
+health=$("${CURL:-curl}" -fsS "http://$addr/healthz")
+echo "healthz: $health"
+case $health in
+*'"status":"ok"'*) ;;
+*) echo "healthz did not report ok"; exit 1 ;;
+esac
+
+"${CURL:-curl}" -fsS "http://$addr/metrics" >"$workdir/metrics.txt"
+
+# Key series must be present, and the crawl counters non-zero: the run
+# above crawls 2000 pages, so zeros mean the wiring is broken.
+for series in \
+    langcrawl_sim_pages_total \
+    langcrawl_sim_relevant_total \
+    langcrawl_frontier_push_total \
+    langcrawl_frontier_pop_total \
+    langcrawl_uptime_seconds; do
+    grep -q "^$series" "$workdir/metrics.txt" || {
+        echo "missing series $series in /metrics:"; cat "$workdir/metrics.txt"; exit 1;
+    }
+done
+pages=$(awk '$1 == "langcrawl_sim_pages_total" { print $2 }' "$workdir/metrics.txt")
+[ "${pages%.*}" -ge 2000 ] || { echo "langcrawl_sim_pages_total = $pages, want >= 2000"; exit 1; }
+
+"${CURL:-curl}" -fsS "http://$addr/debug/vars" | grep -q langcrawl_sim_pages_total || {
+    echo "/debug/vars missing the pages counter"; exit 1;
+}
+
+echo "telemetry smoke: OK (pages=$pages)"
