@@ -9,7 +9,7 @@ GO ?= go
 # but fails the build on any real erosion.
 COVER_MIN ?= 91.0
 
-.PHONY: all build vet test race bench bench-check bench-baseline cover fuzz telemetry-smoke experiments report clean
+.PHONY: all build vet test race bench bench-check bench-baseline cover fuzz crash-suite telemetry-smoke experiments report clean
 
 all: build vet test
 
@@ -66,6 +66,16 @@ fuzz:
 	$(GO) test -fuzz=FuzzCrawlogRoundTrip -fuzztime=30s ./internal/crawlog/
 	$(GO) test -fuzz=FuzzFrontierOps -fuzztime=30s ./internal/frontier/
 	$(GO) test -fuzz=FuzzShardedFrontier -fuzztime=30s ./internal/frontier/
+	$(GO) test -fuzz=FuzzCheckpointRecover -fuzztime=30s ./internal/checkpoint/
+
+# Crash-safety suite: kill-resume equivalence against every golden
+# trace, crash-at-every-op/byte checkpoint sweeps on the injectable
+# filesystem, torn-tail recovery for the append-only stores, and the
+# observation-only proof that checkpointing moves no visit.
+crash-suite:
+	$(GO) test -count=1 -run 'KillResume|CheckpointEnabled|Crash|Checkpoint|Recover|Seen|State' \
+		./internal/conformance ./internal/checkpoint ./internal/faults \
+		./internal/crawler ./internal/sim ./internal/kvstore ./internal/linkdb
 
 # End-to-end telemetry check: boots simcrawl with -telemetry-addr and
 # asserts /healthz and the key /metrics series over real HTTP.

@@ -17,14 +17,19 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"langcrawl/internal/charset"
+	"langcrawl/internal/checkpoint"
 	"langcrawl/internal/cliutil"
 	"langcrawl/internal/crawler"
 	"langcrawl/internal/crawlog"
 	"langcrawl/internal/faults"
+	"langcrawl/internal/kvstore"
+	"langcrawl/internal/linkdb"
 	"langcrawl/internal/telemetry"
 	"langcrawl/internal/webgraph"
 	"langcrawl/internal/webserve"
@@ -41,7 +46,11 @@ func main() {
 		cls          = flag.String("classifier", "meta", "classifier: "+cliutil.ClassifierNames())
 		maxPages     = flag.Int("max", 0, "page budget (0 = until the frontier drains)")
 		logPath      = flag.String("log", "", "write a crawl log for later replay")
+		dbPath       = flag.String("db", "", "link database path (also the cross-run resume set)")
 		frontier     = flag.String("frontier", "", "persist/resume the pending frontier at this path")
+		ckDir        = flag.String("checkpoint-dir", "", "write crash-safe checkpoints under this directory and resume from them")
+		ckEvery      = flag.Int("checkpoint-every", 0, "pages between checkpoints (default 1024)")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "max time to drain and checkpoint after SIGINT/SIGTERM (0 = wait forever)")
 		parallel     = flag.Int("parallel", 1, "concurrent fetch workers")
 		interval     = flag.Duration("interval", 0, "per-host politeness interval (e.g. 500ms)")
 		timeout      = flag.Duration("timeout", 0, "overall crawl timeout (0 = none)")
@@ -152,17 +161,77 @@ func main() {
 		defer rep.Stop()
 	}
 
+	cfg.CheckpointDir = *ckDir
+	cfg.CheckpointEvery = *ckEvery
+
+	// Recovery runs before the log and DB are opened: any bytes they
+	// gained after the newest checkpoint (possibly torn mid-record by the
+	// crash) are truncated back to the checkpointed durable positions, so
+	// the writers resume from a consistent cut.
+	var man *checkpoint.Manifest
+	if *ckDir != "" {
+		var st *checkpoint.State
+		var err error
+		if st, man, err = checkpoint.Load(*ckDir, nil); err != nil {
+			fatal(err)
+		}
+		if st != nil {
+			var tails []checkpoint.TailFile
+			if *logPath != "" {
+				tails = append(tails, checkpoint.TailFile{Path: *logPath, Pos: man.LogPos, Scan: crawlog.CountTail})
+			}
+			if *dbPath != "" {
+				tails = append(tails, checkpoint.TailFile{Path: *dbPath, Pos: man.DBPos, Scan: kvstore.ScanTail})
+			}
+			rec, err := checkpoint.RecoverCrawl(*ckDir, nil, stats.Checkpoint(), tails...)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("resuming from checkpoint %d: %d pages crawled, %d frontier entries", man.Seq, st.Crawled, len(st.Frontier))
+			if rec.TruncatedBytes > 0 {
+				fmt.Printf(" (truncated %d post-crash bytes / %d records)", rec.TruncatedBytes, rec.TruncatedRecords)
+			}
+			fmt.Println()
+		} else {
+			man = nil
+		}
+	}
+
 	if *logPath != "" {
-		f, err := os.Create(*logPath)
+		if man != nil && man.LogPos > 0 {
+			// The recovered log already has its header and LogPos bytes of
+			// records; append after them without rewriting the header.
+			f, err := os.OpenFile(*logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			info, err := f.Stat()
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Log = crawlog.NewWriterAt(f, info.Size())
+		} else {
+			f, err := os.Create(*logPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			hdr := crawlog.Header{Target: lang, Seeds: cfg.Seeds, Comment: "livecrawl"}
+			var err2 error
+			if cfg.Log, err2 = crawlog.NewWriter(f, hdr); err2 != nil {
+				fatal(err2)
+			}
+		}
+		defer cfg.Log.Flush()
+	}
+	if *dbPath != "" {
+		db, err := linkdb.Open(*dbPath)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		hdr := crawlog.Header{Target: lang, Seeds: cfg.Seeds, Comment: "livecrawl"}
-		if cfg.Log, err = crawlog.NewWriter(f, hdr); err != nil {
-			fatal(err)
-		}
-		defer cfg.Log.Flush()
+		defer db.Close()
+		cfg.DB = db
 	}
 
 	ctx := context.Background()
@@ -171,6 +240,33 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+
+	// First SIGINT/SIGTERM drains gracefully: the engine finishes the
+	// fetches in hand, writes a final checkpoint, and flushes the batch
+	// writers (previously the process died with staged appends unsynced).
+	// A second signal — or the drain deadline — forces the exit.
+	stop := make(chan struct{})
+	cfg.Stop = stop
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "livecrawl: %v: draining and checkpointing; signal again to force quit\n", s)
+		close(stop)
+		var deadline <-chan time.Time
+		if *drainWait > 0 {
+			t := time.NewTimer(*drainWait)
+			defer t.Stop()
+			deadline = t.C
+		}
+		select {
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "livecrawl: forced exit")
+		case <-deadline:
+			fmt.Fprintln(os.Stderr, "livecrawl: drain deadline exceeded; forced exit")
+		}
+		os.Exit(130)
+	}()
 
 	c, err := crawler.New(cfg)
 	if err != nil {

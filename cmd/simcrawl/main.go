@@ -11,7 +11,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"langcrawl/internal/cliutil"
@@ -48,6 +50,9 @@ func main() {
 		faultDead = flag.Float64("fault-dead", 0, "fraction of hosts that are permanently dead")
 		faultSeed = flag.Uint64("fault-seed", 0, "fault model seed (0 = derive from the space seed)")
 		retries   = flag.Int("retries", 0, "max fetch attempts per URL under faults (0 = no retries)")
+		ckDir     = flag.String("checkpoint-dir", "", "write crash-safe checkpoints under this directory and resume from them")
+		ckEvery   = flag.Int("checkpoint-every", 0, "pages between checkpoints (default 1024)")
+		drainWait = flag.Duration("drain-timeout", 30*time.Second, "max time to finish and checkpoint after SIGINT/SIGTERM (0 = wait forever)")
 		telAddr   = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this addr (e.g. :9090)")
 		telLinger = flag.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the crawl ends")
 		progress  = flag.Duration("progress", 0, "print a progress line to stderr this often (0 = off)")
@@ -84,6 +89,38 @@ func main() {
 		Strategy: strategy, Classifier: classifier, MaxPages: *maxPages,
 		SpillDir: *spillDir, SpillMemLimit: *spillMem,
 		FrontierShards: *shards, FrontierBatch: *frBatch,
+		CheckpointDir: *ckDir, CheckpointEvery: *ckEvery,
+	}
+
+	if *ckDir != "" {
+		if *timed {
+			fatal(fmt.Errorf("-checkpoint-dir is not supported with -timed (the event queue has no serialized form)"))
+		}
+		// First SIGINT/SIGTERM stops the simulation at the next page
+		// boundary and writes a final checkpoint; a second signal — or
+		// the drain deadline — forces the exit.
+		stop := make(chan struct{})
+		cfg.Stop = stop
+		sig := make(chan os.Signal, 2)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sig
+			fmt.Fprintf(os.Stderr, "simcrawl: %v: checkpointing and stopping; signal again to force quit\n", s)
+			close(stop)
+			var deadline <-chan time.Time
+			if *drainWait > 0 {
+				t := time.NewTimer(*drainWait)
+				defer t.Stop()
+				deadline = t.C
+			}
+			select {
+			case <-sig:
+				fmt.Fprintln(os.Stderr, "simcrawl: forced exit")
+			case <-deadline:
+				fmt.Fprintln(os.Stderr, "simcrawl: drain deadline exceeded; forced exit")
+			}
+			os.Exit(130)
+		}()
 	}
 
 	// Telemetry is registry-per-process: instruments only exist when an

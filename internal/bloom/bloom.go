@@ -6,6 +6,7 @@ package bloom
 
 import (
 	"encoding/binary"
+	"errors"
 	"hash/fnv"
 	"math"
 )
@@ -136,6 +137,56 @@ func (f *Filter) Reset() {
 		f.bits[i] = 0
 	}
 	f.n = 0
+}
+
+// marshalMagic opens a serialized filter; versioned so a format change
+// can be detected instead of silently mis-decoded.
+var marshalMagic = []byte("LCBLOOM1")
+
+// MarshalBinary serializes the filter: magic, m, k, n as uvarints, then
+// the bit words little-endian. Implements encoding.BinaryMarshaler.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	out := append([]byte(nil), marshalMagic...)
+	out = binary.AppendUvarint(out, f.m)
+	out = binary.AppendUvarint(out, f.k)
+	out = binary.AppendUvarint(out, f.n)
+	for _, w := range f.bits {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores a filter serialized by MarshalBinary,
+// replacing f's parameters and contents. Implements
+// encoding.BinaryUnmarshaler.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < len(marshalMagic) || string(data[:len(marshalMagic)]) != string(marshalMagic) {
+		return errors.New("bloom: bad magic")
+	}
+	b := data[len(marshalMagic):]
+	var vals [3]uint64
+	for i := range vals {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return errors.New("bloom: truncated header")
+		}
+		vals[i] = v
+		b = b[n:]
+	}
+	m, k, n := vals[0], vals[1], vals[2]
+	if m == 0 || m%64 != 0 || k == 0 || m > 1<<40 {
+		return errors.New("bloom: invalid parameters")
+	}
+	words := int(m / 64)
+	if len(b) != words*8 {
+		return errors.New("bloom: bit array size mismatch")
+	}
+	bits := make([]uint64, words)
+	for i := range bits {
+		bits[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	f.bits, f.m, f.k, f.n = bits, m, k, n
+	return nil
 }
 
 func popcount(x uint64) int {

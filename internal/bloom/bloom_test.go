@@ -119,3 +119,64 @@ func TestAddIfNewMonotoneQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := New(1<<10, 4)
+	for i := 0; i < 50; i++ {
+		f.Add(fmt.Sprintf("url-%d", i))
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Filter
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.Bits() != f.Bits() || g.Count() != f.Count() {
+		t.Fatalf("restored m=%d n=%d, want m=%d n=%d", g.Bits(), g.Count(), f.Bits(), f.Count())
+	}
+	for i := 0; i < 50; i++ {
+		if !g.Contains(fmt.Sprintf("url-%d", i)) {
+			t.Fatalf("url-%d lost across marshal round trip", i)
+		}
+	}
+	if g.FillRatio() != f.FillRatio() {
+		t.Fatal("fill ratio changed across marshal round trip")
+	}
+	if g.EstimatedFalsePositiveRate() != f.EstimatedFalsePositiveRate() {
+		t.Fatal("estimated FP rate changed across marshal round trip")
+	}
+}
+
+func TestUnmarshalRejectsDamage(t *testing.T) {
+	f := New(256, 3)
+	f.Add("x")
+	data, _ := f.MarshalBinary()
+	var g Filter
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOTBLOOM" + string(data[8:]))},
+		{"truncated header", data[:9]},
+		{"short bit array", data[:len(data)-8]},
+		{"trailing garbage", append(append([]byte(nil), data...), 0)},
+	} {
+		if err := g.UnmarshalBinary(tc.data); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	// m not a multiple of 64 (and zero k) are parameter damage.
+	bad := append([]byte("LCBLOOM1"), 65, 0, 0)
+	if err := g.UnmarshalBinary(bad); err == nil {
+		t.Error("m=65 accepted")
+	}
+}
+
+func TestEstimatedFalsePositiveRateEmpty(t *testing.T) {
+	if got := New(64, 2).EstimatedFalsePositiveRate(); got != 0 {
+		t.Fatalf("empty filter FP estimate %v, want 0", got)
+	}
+}

@@ -1,0 +1,365 @@
+package crawler
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/checkpoint"
+	"langcrawl/internal/core"
+	"langcrawl/internal/crawlog"
+	"langcrawl/internal/faults"
+	"langcrawl/internal/kvstore"
+	"langcrawl/internal/linkdb"
+	"langcrawl/internal/webgraph"
+)
+
+// killResume drives the full production resume flow in-package: run
+// with StopAfter (the SIGKILL stand-in), recover the log/DB tails with
+// checkpoint.RecoverCrawl, reopen everything, and go again until a run
+// completes. Returns the final log bytes and how many kills happened.
+func killResume(t *testing.T, space *webgraph.Space, mkCfg func() Config, killStep int) ([]byte, int) {
+	t.Helper()
+	dir := t.TempDir()
+	ckDir := filepath.Join(dir, "ck")
+	logPath := filepath.Join(dir, "crawl.log")
+	dbPath := filepath.Join(dir, "links.db")
+	kills := 0
+	for stopAt := killStep; ; stopAt += killStep {
+		st, man, err := checkpoint.Load(ckDir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != nil {
+			if _, err := checkpoint.RecoverCrawl(ckDir, nil, nil,
+				checkpoint.TailFile{Path: logPath, Pos: man.LogPos, Scan: crawlog.CountTail},
+				checkpoint.TailFile{Path: dbPath, Pos: man.DBPos, Scan: kvstore.ScanTail},
+			); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var f *os.File
+		var w *crawlog.Writer
+		if st != nil && man.LogPos > 0 {
+			if f, err = os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			info, err := f.Stat()
+			if err != nil {
+				t.Fatal(err)
+			}
+			w = crawlog.NewWriterAt(f, info.Size())
+		} else {
+			if f, err = os.Create(logPath); err != nil {
+				t.Fatal(err)
+			}
+			if w, err = crawlog.NewWriter(f, crawlog.Header{Seeds: seedsOf(space)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db, err := linkdb.Open(dbPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := mkCfg()
+		cfg.Log = w
+		cfg.DB = db
+		cfg.CheckpointDir = ckDir
+		cfg.StopAfter = stopAt
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c.Run(context.Background())
+		werr := w.Flush()
+		f.Close()
+		db.Close()
+		if errors.Is(err, checkpoint.ErrKilled) {
+			kills++
+			if kills > 1000 {
+				t.Fatal("kill-resume loop is not making progress")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		data, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data, kills
+	}
+}
+
+// refLog runs the uninterrupted crawl with the same sinks and returns
+// its log bytes.
+func refLog(t *testing.T, space *webgraph.Space, mkCfg func() Config) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "crawl.log")
+	f, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := crawlog.NewWriter(f, crawlog.Header{Seeds: seedsOf(space)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := linkdb.Open(filepath.Join(dir, "links.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mkCfg()
+	cfg.Log = w
+	cfg.DB = db
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	db.Close()
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCheckpointKillResumeSequential pins kill-resume equivalence at
+// the engine level: the stitched log of a crawl killed every 90 pages
+// must be byte-identical to the uninterrupted crawl's. Breakers and
+// retries are enabled so their checkpoint round trip runs too (against
+// a healthy server they stay closed — but the snapshot/restore path is
+// exercised on every checkpoint).
+func TestCheckpointKillResumeSequential(t *testing.T) {
+	space, _, client := testWeb(t, 300, 11)
+	mkCfg := func() Config {
+		return Config{
+			Seeds:           seedsOf(space),
+			Strategy:        core.SoftFocused{},
+			Classifier:      core.MetaClassifier{Target: charset.LangThai},
+			Client:          client,
+			IgnoreRobots:    true,
+			CheckpointEvery: 40,
+			Retry:           faults.RetryPolicy{MaxAttempts: 2},
+			Breaker:         faults.BreakerConfig{Threshold: 3, Cooldown: 1},
+		}
+	}
+	want := refLog(t, space, mkCfg)
+	got, kills := killResume(t, space, mkCfg, 90)
+	if kills == 0 {
+		t.Fatal("crawl finished before the first kill; shrink killStep")
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("stitched log differs from the uninterrupted log (%d vs %d bytes, %d kills)",
+			len(got), len(want), kills)
+	}
+}
+
+// TestCheckpointKillResumeParallel runs the same flow through the
+// parallel engine's checkpoint barrier. Worker interleaving makes the
+// crawl order approximate, so the assertion is set equality of logged
+// URLs, not byte identity.
+func TestCheckpointKillResumeParallel(t *testing.T) {
+	space, _, client := testWeb(t, 300, 13)
+	mkCfg := func() Config {
+		return Config{
+			Seeds:           seedsOf(space),
+			Strategy:        core.SoftFocused{},
+			Classifier:      core.MetaClassifier{Target: charset.LangThai},
+			Client:          client,
+			IgnoreRobots:    true,
+			Parallelism:     4,
+			FrontierShards:  4,
+			FrontierBatch:   8,
+			AppendBatch:     8,
+			CheckpointEvery: 50,
+		}
+	}
+	want := logURLs(t, refLog(t, space, mkCfg))
+	data, kills := killResume(t, space, mkCfg, 97)
+	if kills == 0 {
+		t.Fatal("crawl finished before the first kill; shrink killStep")
+	}
+	got := logURLs(t, data)
+	if len(got) != len(want) {
+		t.Fatalf("stitched parallel crawl logged %d URLs, want %d", len(got), len(want))
+	}
+	for u := range want {
+		if !got[u] {
+			t.Fatalf("URL %s missing from the stitched parallel log", u)
+		}
+	}
+}
+
+// logURLs returns the distinct record URLs of a crawl log.
+func logURLs(t *testing.T, data []byte) map[string]bool {
+	t.Helper()
+	r, err := crawlog.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := map[string]bool{}
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			break
+		}
+		urls[rec.URL] = true
+	}
+	return urls
+}
+
+// TestCheckpointMismatchRejected: a checkpoint from the wrong engine or
+// the wrong strategy must fail loudly at startup, not resume nonsense.
+func TestCheckpointMismatchRejected(t *testing.T) {
+	space, _, client := testWeb(t, 60, 5)
+	base := Config{
+		Seeds:        seedsOf(space),
+		Strategy:     core.SoftFocused{},
+		Classifier:   core.MetaClassifier{Target: charset.LangThai},
+		Client:       client,
+		IgnoreRobots: true,
+	}
+	write := func(t *testing.T, st *checkpoint.State) string {
+		dir := t.TempDir()
+		ckp, err := checkpoint.New(dir, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ckp.Write(st); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	t.Run("simulator checkpoint", func(t *testing.T) {
+		cfg := base
+		cfg.CheckpointDir = write(t, &checkpoint.State{Kind: checkpoint.KindSim, Strategy: "soft-focused"})
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "simulator") {
+			t.Fatalf("simulator checkpoint accepted by the live crawler (err=%v)", err)
+		}
+	})
+	t.Run("strategy mismatch", func(t *testing.T) {
+		cfg := base
+		cfg.CheckpointDir = write(t, &checkpoint.State{Kind: checkpoint.KindLive, Strategy: "bfs"})
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "strategy") {
+			t.Fatalf("mismatched strategy accepted (err=%v)", err)
+		}
+	})
+}
+
+// TestCheckpointGracefulStop closes the Stop channel before the run:
+// the engine must stop at the first boundary, write a final checkpoint,
+// and return normally; a resumed run without Stop then finishes the
+// crawl with the reference log.
+func TestCheckpointGracefulStop(t *testing.T) {
+	space, _, client := testWeb(t, 120, 9)
+	mkCfg := func() Config {
+		return Config{
+			Seeds:           seedsOf(space),
+			Strategy:        core.SoftFocused{},
+			Classifier:      core.MetaClassifier{Target: charset.LangThai},
+			Client:          client,
+			IgnoreRobots:    true,
+			CheckpointEvery: 25,
+		}
+	}
+	want := refLog(t, space, mkCfg)
+
+	dir := t.TempDir()
+	ckDir := filepath.Join(dir, "ck")
+	logPath := filepath.Join(dir, "crawl.log")
+	stopped := make(chan struct{})
+	close(stopped)
+
+	f, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := crawlog.NewWriter(f, crawlog.Header{Seeds: seedsOf(space)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mkCfg()
+	cfg.Log = w
+	cfg.CheckpointDir = ckDir
+	cfg.Stop = stopped
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("graceful stop must return normally: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if res.Crawled >= space.N() {
+		t.Fatalf("stopped crawl still fetched all %d pages", res.Crawled)
+	}
+	st, man, err := checkpoint.Load(ckDir, nil)
+	if err != nil || st == nil {
+		t.Fatalf("no final checkpoint after graceful stop: %v/%v", st, err)
+	}
+	if st.Crawled != res.Crawled {
+		t.Fatalf("checkpoint says %d crawled, run says %d", st.Crawled, res.Crawled)
+	}
+	_ = man
+
+	// Resume (no Stop this time) and finish.
+	f, err = os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = crawlog.NewWriterAt(f, info.Size())
+	cfg = mkCfg()
+	cfg.Log = w
+	cfg.CheckpointDir = ckDir
+	c, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("stop+resume log differs from the uninterrupted log (%d vs %d bytes)", len(got), len(want))
+	}
+}

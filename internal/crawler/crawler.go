@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"langcrawl/internal/charset"
+	"langcrawl/internal/checkpoint"
 	"langcrawl/internal/core"
 	"langcrawl/internal/crawlog"
 	"langcrawl/internal/faults"
@@ -103,6 +104,33 @@ type Config struct {
 	// fetches exactly the pages an uninstrumented one does. nil disables
 	// all instrumentation at the cost of one branch per event.
 	Telemetry *telemetry.CrawlStats
+	// CheckpointDir, when non-empty, enables crash-safe checkpointing:
+	// every CheckpointEvery crawled pages the engine flushes the sinks
+	// and atomically writes a snapshot of the full crawl state (frontier,
+	// seen set, counters, breaker states, durable log/DB positions) under
+	// this directory, and on startup it resumes from the newest snapshot
+	// found there. Run checkpoint.RecoverCrawl on the directory before
+	// opening the log and DB so their post-crash tails are truncated back
+	// to the checkpointed positions (cmd/livecrawl does this).
+	CheckpointDir string
+	// CheckpointEvery is the page-count interval between checkpoints
+	// (default 1024 when CheckpointDir is set).
+	CheckpointEvery int
+	// CheckpointFS overrides the filesystem checkpoints are written to —
+	// crash-injection tests use faults.CrashFS. nil means the real OS
+	// filesystem.
+	CheckpointFS checkpoint.FS
+	// StopAfter, when positive, emulates a SIGKILL once that many pages
+	// have been crawled: the engine returns checkpoint.ErrKilled with no
+	// final checkpoint and no frontier save, exactly as if the process
+	// had died at that point. (The deferred sink close still flushes;
+	// recovery truncates whatever landed past the checkpointed
+	// positions.) Crash-harness only.
+	StopAfter int
+	// Stop, when non-nil, requests a graceful stop once closed: the
+	// engine finishes the fetch in hand, writes a final checkpoint, and
+	// returns normally. The cmds close it on SIGINT/SIGTERM.
+	Stop <-chan struct{}
 }
 
 // Result summarizes a crawl.
@@ -187,29 +215,79 @@ func (c *Crawler) Run(ctx context.Context) (*Result, error) {
 func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 	res := &Result{Harvest: &metrics.Series{Name: c.cfg.Strategy.Name()}}
 	queue := frontier.New[qitem](c.cfg.Strategy.QueueKind())
-	visited := make(map[string]bool)
+	seen := checkpoint.NewSeen(0)
 	observer, _ := c.cfg.Strategy.(core.QueueObserver)
 	sinks := c.newSinks()
 	defer sinks.close()
 
-	if c.cfg.FrontierPath != "" {
-		items, err := loadFrontierWarn(c.cfg.FrontierPath)
-		if err != nil {
-			return nil, fmt.Errorf("crawler: loading frontier: %w", err)
+	ck, err := c.openCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	resumed := ck.resume(res, seen, c.flt, func(e checkpoint.Entry) {
+		queue.Push(qitem{url: e.URL, dist: e.Dist, prio: e.Prio}, e.Prio)
+	})
+	if !resumed {
+		if c.cfg.FrontierPath != "" {
+			items, err := loadFrontierWarn(c.cfg.FrontierPath)
+			if err != nil {
+				return nil, fmt.Errorf("crawler: loading frontier: %w", err)
+			}
+			for _, it := range items {
+				queue.Push(it, it.prio)
+			}
 		}
-		for _, it := range items {
-			queue.Push(it, it.prio)
+		for _, s := range c.cfg.Seeds {
+			u, err := urlutil.Normalize(s)
+			if err != nil {
+				return nil, fmt.Errorf("crawler: seed %q: %w", s, err)
+			}
+			queue.Push(qitem{url: u, prio: 1}, 1)
 		}
 	}
-	for _, s := range c.cfg.Seeds {
-		u, err := urlutil.Normalize(s)
+
+	// writeCk flushes the sinks for durable positions, snapshots the
+	// frontier by draining and re-pushing it (each item at its current
+	// effective priority, so the running crawl's order is unchanged),
+	// and writes the checkpoint.
+	writeCk := func() error {
+		logPos, dbPos, err := sinks.sync(c.cfg.Log, c.cfg.DB)
 		if err != nil {
-			return nil, fmt.Errorf("crawler: seed %q: %w", s, err)
+			return fmt.Errorf("crawler: flushing appends for checkpoint: %w", err)
 		}
-		queue.Push(qitem{url: u, prio: 1}, 1)
+		var items []qitem
+		for {
+			it, ok := queue.Pop()
+			if !ok {
+				break
+			}
+			items = append(items, it)
+		}
+		entries := make([]checkpoint.Entry, len(items))
+		for i, it := range items {
+			prio := it.prio - float64(it.demoted)
+			entries[i] = checkpoint.Entry{URL: it.url, Dist: it.dist, Prio: prio}
+			queue.Push(it, prio)
+		}
+		res.MaxQueueLen = max(res.MaxQueueLen, queue.MaxLen())
+		return ck.write(c, res, seen, entries, logPos, dbPos)
 	}
 
 	for {
+		if ck.due(res.Crawled) {
+			if err := writeCk(); err != nil {
+				return res, err
+			}
+			ck.advance(res.Crawled)
+		}
+		if c.cfg.StopAfter > 0 && res.Crawled >= c.cfg.StopAfter {
+			// Emulated SIGKILL for the crash harness: no final checkpoint,
+			// no frontier save — recovery must reconstruct everything.
+			return res, checkpoint.ErrKilled
+		}
+		if stopRequested(c.cfg.Stop) {
+			break // graceful drain: fall through to the final checkpoint
+		}
 		if ctx.Err() != nil {
 			break
 		}
@@ -220,7 +298,7 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 		if !ok {
 			break
 		}
-		if visited[item.url] {
+		if seen.Has(item.url) {
 			continue
 		}
 		host := urlutil.Host(item.url)
@@ -235,7 +313,7 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 			}
 			continue
 		}
-		visited[item.url] = true
+		seen.Add(item.url)
 		if sinks.db != nil && sinks.db.Has(item.url) {
 			continue // already crawled in a previous run
 		}
@@ -287,7 +365,7 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 		dec := c.cfg.Strategy.Decide(score, int(item.dist))
 		if visit.Status == 200 && dec.Follow {
 			for _, l := range links {
-				if !visited[l] {
+				if !seen.Has(l) {
 					queue.Push(qitem{url: l, dist: int32(dec.Dist), prio: dec.Priority}, dec.Priority)
 				}
 			}
@@ -296,8 +374,15 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 			observer.ObserveQueueLen(queue.Len())
 		}
 	}
-	res.MaxQueueLen = queue.MaxLen()
+	res.MaxQueueLen = max(res.MaxQueueLen, queue.MaxLen())
 	res.Faults = c.flt.snapshot()
+	if ck != nil {
+		// Final checkpoint: a later resume sees the finished state and
+		// has nothing left to redo.
+		if err := writeCk(); err != nil {
+			return res, err
+		}
+	}
 	if err := sinks.close(); err != nil {
 		return res, fmt.Errorf("crawler: flushing appends: %w", err)
 	}

@@ -167,6 +167,39 @@ func (f *faultCtl) backoff(attempt int) time.Duration {
 	return time.Duration(d * float64(time.Second))
 }
 
+// restore rewinds the fault machinery to a checkpointed position: the
+// counters resume where the dead run left them, the spent retries are
+// re-booked against the crawl-wide budget, and the per-host breaker
+// state machines are reinstated. Breaker clocks are relative to the
+// crawl epoch, which restarts at resume — a breaker opened late in the
+// dead run therefore stays open at least its full cooldown again, which
+// errs on the side of politeness.
+func (f *faultCtl) restore(counters metrics.FaultCounters, snaps []faults.BreakerSnapshot) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counters = counters
+	if f.budget > 0 {
+		f.budget -= counters.Retries
+		if f.budget < 0 {
+			f.budget = 0
+		}
+	}
+	if f.breakers != nil {
+		f.breakers.Restore(snaps)
+	}
+}
+
+// breakerSnapshot exports the breaker states for a checkpoint (nil when
+// breakers are off).
+func (f *faultCtl) breakerSnapshot() []faults.BreakerSnapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.breakers == nil {
+		return nil
+	}
+	return f.breakers.Snapshot()
+}
+
 // snapshot returns the counters with end-of-run breaker statistics.
 func (f *faultCtl) snapshot() metrics.FaultCounters {
 	f.mu.Lock()

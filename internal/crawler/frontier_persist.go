@@ -8,7 +8,9 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
+	"langcrawl/internal/checkpoint"
 	"langcrawl/internal/frontier"
 )
 
@@ -19,60 +21,37 @@ import (
 
 var frontierMagic = []byte("LCFRONT1\n")
 
-// saveFrontier drains queue into path. An emptied frontier removes the
-// file instead, so stale state never shadows a completed crawl.
+// saveFrontier drains queue into path via the checkpoint package's
+// atomic-write helper (temp file, fsync, rename, parent-dir fsync), so
+// a crash mid-save leaves either the old frontier or the new one — and
+// a completed save survives power loss, not just process death. An
+// emptied frontier removes the file instead, so stale state never
+// shadows a completed crawl.
 func saveFrontier(path string, queue frontier.Queue[qitem]) error {
+	fsys := checkpoint.OSFS{}
 	if queue.Len() == 0 {
 		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return err
 		}
+		// Make the removal durable too: a resurrected frontier file would
+		// re-crawl a finished frontier's tail.
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			return err
+		}
 		return nil
 	}
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriterSize(f, 1<<16)
-	if _, err := w.Write(frontierMagic); err != nil {
-		f.Close()
-		return err
-	}
-	var scratch [binary.MaxVarintLen64]byte
+	buf := append([]byte(nil), frontierMagic...)
 	for {
 		it, ok := queue.Pop()
 		if !ok {
 			break
 		}
-		n := binary.PutUvarint(scratch[:], uint64(len(it.url)))
-		if _, err := w.Write(scratch[:n]); err != nil {
-			f.Close()
-			return err
-		}
-		if _, err := w.WriteString(it.url); err != nil {
-			f.Close()
-			return err
-		}
-		var meta [12]byte
-		binary.LittleEndian.PutUint32(meta[:4], uint32(it.dist))
-		binary.LittleEndian.PutUint64(meta[4:], math.Float64bits(it.prio))
-		if _, err := w.Write(meta[:]); err != nil {
-			f.Close()
-			return err
-		}
+		buf = binary.AppendUvarint(buf, uint64(len(it.url)))
+		buf = append(buf, it.url...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(it.dist))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.prio))
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return checkpoint.WriteFileAtomic(fsys, path, buf)
 }
 
 // loadFrontier reads a saved frontier; a missing file is an empty

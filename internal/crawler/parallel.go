@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"langcrawl/internal/checkpoint"
 	"langcrawl/internal/core"
 	"langcrawl/internal/frontier"
 	"langcrawl/internal/metrics"
@@ -35,7 +36,7 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 		NewQueue: func() frontier.Queue[qitem] { return frontier.New[qitem](c.cfg.Strategy.QueueKind()) },
 		Stats:    c.tel.FrontierStats(),
 	})
-	visited := make(map[string]bool)
+	seen := checkpoint.NewSeen(0)
 	observer, _ := c.cfg.Strategy.(core.QueueObserver)
 	sinks := c.newSinks()
 	defer sinks.close()
@@ -44,7 +45,10 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 		mu       sync.Mutex
 		started  int // budget slots claimed (successful or in flight)
 		inflight int
+		popping  int // workers mid-PopWorker: items in transit, visible to neither the frontier nor inflight
 		runErr   error
+		killed   bool // StopAfter tripped: emulated SIGKILL
+		stopped  bool // Stop closed: graceful drain
 	)
 	// idle workers wait on cond instead of polling; every event that can
 	// create work or end the crawl — a link push, an in-flight fetch
@@ -60,23 +64,62 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 	})
 	defer stopWake()
 
-	if c.cfg.FrontierPath != "" {
-		items, err := loadFrontierWarn(c.cfg.FrontierPath)
-		if err != nil {
-			return nil, fmt.Errorf("crawler: loading frontier: %w", err)
-		}
-		for _, it := range items {
-			fr.Push(it, it.prio)
-		}
+	ck, err := c.openCheckpoint()
+	if err != nil {
+		return nil, err
 	}
-	for _, s := range c.cfg.Seeds {
-		u, err := urlutil.Normalize(s)
-		if err != nil {
-			return nil, fmt.Errorf("crawler: seed %q: %w", s, err)
+	resumed := ck.resume(res, seen, c.flt, func(e checkpoint.Entry) {
+		fr.Push(qitem{url: e.URL, dist: e.Dist, prio: e.Prio}, e.Prio)
+	})
+	if resumed {
+		started = res.Crawled // budget slots the dead run already spent
+	} else {
+		if c.cfg.FrontierPath != "" {
+			items, err := loadFrontierWarn(c.cfg.FrontierPath)
+			if err != nil {
+				return nil, fmt.Errorf("crawler: loading frontier: %w", err)
+			}
+			for _, it := range items {
+				fr.Push(it, it.prio)
+			}
 		}
-		fr.Push(qitem{url: u, prio: 1}, 1)
+		for _, s := range c.cfg.Seeds {
+			u, err := urlutil.Normalize(s)
+			if err != nil {
+				return nil, fmt.Errorf("crawler: seed %q: %w", s, err)
+			}
+			fr.Push(qitem{url: u, prio: 1}, 1)
+		}
 	}
 	fr.Flush() // restore/seed entries are all visible before workers start
+
+	// writeCk snapshots the crawl. The caller guarantees quiescence —
+	// inflight == 0 and popping == 0 with every other worker parked — so
+	// draining and re-pushing the sharded frontier races with nobody.
+	writeCk := func() error {
+		logPos, dbPos, err := sinks.sync(c.cfg.Log, c.cfg.DB)
+		if err != nil {
+			return fmt.Errorf("crawler: flushing appends for checkpoint: %w", err)
+		}
+		fr.Flush()
+		var items []qitem
+		for {
+			it, ok := fr.PopWorker(0)
+			if !ok {
+				break
+			}
+			items = append(items, it)
+		}
+		entries := make([]checkpoint.Entry, len(items))
+		for i, it := range items {
+			prio := it.prio - float64(it.demoted)
+			entries[i] = checkpoint.Entry{URL: it.url, Dist: it.dist, Prio: prio}
+			fr.Push(it, prio)
+		}
+		fr.Flush()
+		res.MaxQueueLen = max(res.MaxQueueLen, fr.MaxLen())
+		return ck.write(c, res, seen, entries, logPos, dbPos)
+	}
 
 	// nextAllowed books per-host start times under mu; workers sleep
 	// outside the lock until their slot.
@@ -87,10 +130,39 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 			mu.Lock()
 			var item qitem
 			for {
-				if runErr != nil || ctx.Err() != nil {
+				if runErr != nil || ctx.Err() != nil || killed || stopped {
 					cond.Broadcast() // wake peers so they observe the same exit condition
 					mu.Unlock()
 					return
+				}
+				if c.cfg.StopAfter > 0 && res.Crawled >= c.cfg.StopAfter {
+					killed = true // emulated SIGKILL: peers exit without cleanup
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				if stopRequested(c.cfg.Stop) {
+					stopped = true // graceful drain: run writes the final checkpoint
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				if ck.due(res.Crawled) {
+					// Checkpoint barrier: wait until no page is in flight and
+					// no pop is in transit, then snapshot while holding mu.
+					if inflight > 0 || popping > 0 {
+						cond.Wait()
+						continue
+					}
+					if err := writeCk(); err != nil {
+						runErr = err
+						cond.Broadcast()
+						mu.Unlock()
+						return
+					}
+					ck.advance(res.Crawled)
+					cond.Broadcast()
+					continue
 				}
 				if c.cfg.MaxPages > 0 && started >= c.cfg.MaxPages {
 					cond.Broadcast()
@@ -98,11 +170,13 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 					return
 				}
 				var ok bool
+				popping++
 				mu.Unlock()
 				item, ok = fr.PopWorker(w)
 				mu.Lock()
+				popping--
 				if ok {
-					if runErr != nil || ctx.Err() != nil ||
+					if runErr != nil || ctx.Err() != nil || killed || stopped ||
 						(c.cfg.MaxPages > 0 && started >= c.cfg.MaxPages) {
 						// The crawl ended while we popped; put the item back so
 						// frontier persistence still sees it.
@@ -111,12 +185,20 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 						mu.Unlock()
 						return
 					}
+					if ck.due(res.Crawled) {
+						// A checkpoint became due while we popped; the item
+						// must be in the frontier for the snapshot, not in
+						// our hands.
+						fr.Push(item, item.prio-float64(item.demoted))
+						cond.Broadcast()
+						continue
+					}
 					break
 				}
 				if fr.Len() > 0 {
 					continue // a racing push landed between our pop and lock
 				}
-				if inflight == 0 {
+				if inflight == 0 && popping == 0 {
 					cond.Broadcast() // global quiescence: release waiting peers
 					mu.Unlock()
 					return
@@ -131,7 +213,7 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 					c.tel.IdleTime.ObserveSince(idle0)
 				}
 			}
-			if visited[item.url] {
+			if seen.Has(item.url) {
 				mu.Unlock()
 				continue
 			}
@@ -149,7 +231,7 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 				mu.Unlock()
 				continue
 			}
-			visited[item.url] = true
+			seen.Add(item.url)
 			if sinks.db != nil && sinks.db.Has(item.url) {
 				mu.Unlock()
 				continue
@@ -225,7 +307,7 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 				var fresh []frontier.Pending[qitem]
 				if visit.Status == 200 && dec.Follow {
 					for _, l := range links {
-						if !visited[l] {
+						if !seen.Has(l) {
 							fresh = append(fresh, frontier.Pending[qitem]{
 								Item: qitem{url: l, dist: int32(dec.Dist), prio: dec.Priority},
 								Prio: dec.Priority,
@@ -275,8 +357,20 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 	}
 	wg.Wait()
 
-	res.MaxQueueLen = fr.MaxLen()
+	res.MaxQueueLen = max(res.MaxQueueLen, fr.MaxLen())
 	res.Faults = c.flt.snapshot()
+	if killed {
+		// Emulated SIGKILL: no final checkpoint, no frontier save. (The
+		// deferred sink close still flushes; recovery truncates anything
+		// past the checkpointed positions, as it would after a real kill.)
+		return res, checkpoint.ErrKilled
+	}
+	if ck != nil && runErr == nil {
+		// Workers are gone, so the quiescence writeCk needs holds trivially.
+		if err := writeCk(); err != nil {
+			runErr = err
+		}
+	}
 	if err := sinks.close(); err != nil && runErr == nil {
 		runErr = fmt.Errorf("crawler: flushing appends: %w", err)
 	}

@@ -1,5 +1,7 @@
 package faults
 
+import "sort"
+
 // BreakerConfig parameterizes the per-host circuit breakers. The zero
 // value means "breakers disabled"; a non-zero config is normalized by
 // WithDefaults before use. Cooldown is in seconds on whatever clock the
@@ -190,4 +192,53 @@ func (s *BreakerSet) Open() int {
 		}
 	}
 	return n
+}
+
+// BreakerSnapshot is one host's breaker position in exportable form,
+// mirroring CircuitBreaker's private fields so a checkpoint can carry
+// the whole state machine across a crash.
+type BreakerSnapshot struct {
+	Host      string
+	State     BreakerState
+	Failures  int
+	Successes int
+	Probing   bool
+	OpenedAt  float64
+	Trips     int
+}
+
+// Snapshot exports every host's breaker, sorted by host so checkpoints
+// are deterministic.
+func (s *BreakerSet) Snapshot() []BreakerSnapshot {
+	out := make([]BreakerSnapshot, 0, len(s.m))
+	for host, b := range s.m {
+		out = append(out, BreakerSnapshot{
+			Host:      host,
+			State:     b.state,
+			Failures:  b.failures,
+			Successes: b.successes,
+			Probing:   b.probing,
+			OpenedAt:  b.openedAt,
+			Trips:     b.trips,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+// Restore rebuilds breakers from a Snapshot, replacing any existing
+// state for the listed hosts. A restored breaker continues exactly
+// where the snapshot left it — open breakers stay open until their
+// original cooldown expires on the resumed clock.
+func (s *BreakerSet) Restore(snaps []BreakerSnapshot) {
+	for _, sn := range snaps {
+		b := NewBreaker(s.cfg)
+		b.state = sn.State
+		b.failures = sn.Failures
+		b.successes = sn.Successes
+		b.probing = sn.Probing
+		b.openedAt = sn.OpenedAt
+		b.trips = sn.Trips
+		s.m[sn.Host] = b
+	}
 }

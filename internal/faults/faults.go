@@ -222,6 +222,16 @@ func (s *Sampler) Attempt(host string) FailureClass {
 	return None
 }
 
+// Skip advances the attempt stream by n draws without observing them.
+// A resumed simulation calls it with the checkpointed attempt count so
+// the stream continues exactly where the killed run left off — the
+// foundation of kill-resume fault determinism.
+func (s *Sampler) Skip(n int) {
+	for i := 0; i < n; i++ {
+		s.attempts.Float64()
+	}
+}
+
 // hostHash gives a stable per-host stream id (FNV-1a, as simtime uses
 // for its delay model).
 func hostHash(host string) uint64 {

@@ -17,6 +17,7 @@ package kvstore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -470,6 +471,31 @@ func (s *Store) Close() error {
 
 // Path returns the store's file path.
 func (s *Store) Path() string { return s.path }
+
+// Offset returns the end-of-log byte offset including records still in
+// the write buffer; it is a durable position only after Sync.
+// Checkpoints record it as the store's committed length.
+func (s *Store) Offset() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.off
+}
+
+// ScanTail scans raw post-checkpoint store bytes (record stream only,
+// no magic — a mid-file tail) and returns how many complete, CRC-valid
+// records they hold and how many bytes those records span. Recovery
+// uses it to report what a truncation discards.
+func ScanTail(data []byte) (records, validBytes int) {
+	r := bufio.NewReader(bytes.NewReader(data))
+	for {
+		_, _, _, n, err := readRecord(r)
+		if err != nil {
+			return records, validBytes
+		}
+		records++
+		validBytes += n
+	}
+}
 
 // Dir is a convenience for tests: it opens a store in dir with the
 // default file name.

@@ -90,5 +90,12 @@ func (db *DB) Compact() error { return db.store.Compact() }
 // Sync flushes and fsyncs pending writes.
 func (db *DB) Sync() error { return db.store.Sync() }
 
+// Offset returns the store's end-of-log byte offset (durable only after
+// Sync); checkpoints record it as the database's committed length.
+func (db *DB) Offset() int64 { return db.store.Offset() }
+
+// Path returns the database's file path.
+func (db *DB) Path() string { return db.store.Path() }
+
 // Close flushes and closes the database.
 func (db *DB) Close() error { return db.store.Close() }

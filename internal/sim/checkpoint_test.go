@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"langcrawl/internal/checkpoint"
+	"langcrawl/internal/core"
+	"langcrawl/internal/faults"
+	"langcrawl/internal/webgraph"
+)
+
+// ckSpace is a small fixture for the checkpoint loops: each kill-resume
+// round replays a chunk of the crawl, so the conformance-size space
+// would make these tests quadratic.
+var ckSpace = mustGen(webgraph.ThaiLike(1500, 7))
+
+// TestCheckpointKillResumeFaults kills and resumes a fault-injected run
+// until completion: the stitched run's counters — attempts, retries,
+// failures, breaker trips and skips — must equal the uninterrupted
+// run's exactly, proving the sampler fast-forward, the retry budget
+// re-booking, and the breaker restore all land on the same stream.
+func TestCheckpointKillResumeFaults(t *testing.T) {
+	fcfg := func() *faults.Config {
+		return &faults.Config{
+			Model:   faults.Model{Rate: 0.05, DeadHostRate: 0.02},
+			Retry:   faults.DefaultRetryPolicy(),
+			Breaker: faults.BreakerConfig{Threshold: 4, Cooldown: 90},
+		}
+	}
+	ref, err := Run(ckSpace, Config{
+		Strategy: core.SoftFocused{}, Classifier: metaThai(), Faults: fcfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Faults.Failures == 0 || ref.Faults.Retries == 0 {
+		t.Fatalf("reference run saw no fault activity: %+v", ref.Faults)
+	}
+
+	dir := t.TempDir()
+	var visits []webgraph.PageID
+	kills := 0
+	for stopAt := 180; ; stopAt += 180 {
+		res, err := Run(ckSpace, Config{
+			Strategy:        core.SoftFocused{},
+			Classifier:      metaThai(),
+			Faults:          fcfg(),
+			CheckpointDir:   dir,
+			CheckpointEvery: 70,
+			StopAfter:       stopAt,
+			OnVisit:         func(id webgraph.PageID) { visits = append(visits, id) },
+		})
+		if errors.Is(err, checkpoint.ErrKilled) {
+			kills++
+			if kills > 1000 {
+				t.Fatal("kill-resume loop is not making progress")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kills == 0 {
+			t.Fatal("crawl finished before the first kill")
+		}
+		if res.Crawled != ref.Crawled || res.RelevantCrawled != ref.RelevantCrawled {
+			t.Fatalf("stitched run crawled %d/%d, reference %d/%d",
+				res.Crawled, res.RelevantCrawled, ref.Crawled, ref.RelevantCrawled)
+		}
+		if !reflect.DeepEqual(res.Faults, ref.Faults) {
+			t.Fatalf("stitched fault counters diverged:\nresumed %+v\nref     %+v", res.Faults, ref.Faults)
+		}
+		return
+	}
+}
+
+// TestCheckpointGracefulStop: a closed Stop channel ends the run at the
+// next boundary with a final checkpoint; resuming without Stop finishes
+// the crawl identically to an uninterrupted run.
+func TestCheckpointGracefulStop(t *testing.T) {
+	ref, err := Run(ckSpace, Config{Strategy: core.SoftFocused{}, Classifier: metaThai()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	stopped := make(chan struct{})
+	close(stopped)
+	res, err := Run(ckSpace, Config{
+		Strategy: core.SoftFocused{}, Classifier: metaThai(),
+		CheckpointDir: dir, CheckpointEvery: 50, Stop: stopped,
+	})
+	if err != nil {
+		t.Fatalf("graceful stop must return normally: %v", err)
+	}
+	if res.Crawled >= ref.Crawled {
+		t.Fatalf("stopped run crawled all %d pages", res.Crawled)
+	}
+	st, _, err := checkpoint.Load(dir, nil)
+	if err != nil || st == nil {
+		t.Fatalf("no final checkpoint after graceful stop: %v/%v", st, err)
+	}
+	if st.Crawled != res.Crawled {
+		t.Fatalf("checkpoint says %d crawled, run says %d", st.Crawled, res.Crawled)
+	}
+	done, err := Run(ckSpace, Config{
+		Strategy: core.SoftFocused{}, Classifier: metaThai(),
+		CheckpointDir: dir, CheckpointEvery: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Crawled != ref.Crawled || done.RelevantCrawled != ref.RelevantCrawled {
+		t.Fatalf("stop+resume crawled %d/%d, reference %d/%d",
+			done.Crawled, done.RelevantCrawled, ref.Crawled, ref.RelevantCrawled)
+	}
+}
+
+// TestCheckpointKindMismatch: a live-crawler checkpoint must be refused
+// by the simulator, as must a checkpoint from a different strategy.
+func TestCheckpointKindMismatch(t *testing.T) {
+	write := func(t *testing.T, st *checkpoint.State) string {
+		dir := t.TempDir()
+		ckp, err := checkpoint.New(dir, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ckp.Write(st); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	if _, err := Run(ckSpace, Config{
+		Strategy: core.SoftFocused{}, Classifier: metaThai(),
+		CheckpointDir: write(t, &checkpoint.State{Kind: checkpoint.KindLive, Strategy: "soft-focused"}),
+	}); err == nil || !strings.Contains(err.Error(), "live crawler") {
+		t.Fatalf("live checkpoint accepted by the simulator (err=%v)", err)
+	}
+	if _, err := Run(ckSpace, Config{
+		Strategy: core.SoftFocused{}, Classifier: metaThai(),
+		CheckpointDir: write(t, &checkpoint.State{Kind: checkpoint.KindSim, Strategy: "bfs"}),
+	}); err == nil || !strings.Contains(err.Error(), "strategy") {
+		t.Fatalf("mismatched strategy accepted (err=%v)", err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res, err := Run(ckSpace, Config{Strategy: core.BreadthFirst{}, Classifier: metaThai(), MaxPages: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	for _, want := range []string{"breadth-first", "crawled=100", "harvest=", "coverage="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Result.String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -115,3 +115,31 @@ func (fs *faultState) finish() {
 		fs.counters.BreakerTrips = fs.breakers.Trips()
 	}
 }
+
+// restore rewinds the machinery to a checkpointed position. The caller
+// has already loaded the counters; restore fast-forwards the sampler's
+// attempt stream past the draws the dead run consumed (so the resumed
+// run observes exactly the faults the uninterrupted run would), re-books
+// the spent retries against the crawl-wide budget, and reinstates the
+// per-host breaker state machines.
+func (fs *faultState) restore(snaps []faults.BreakerSnapshot) {
+	fs.sampler.Skip(fs.counters.Attempts)
+	if fs.budget > 0 {
+		fs.budget -= fs.counters.Retries
+		if fs.budget < 0 {
+			fs.budget = 0
+		}
+	}
+	if fs.breakers != nil {
+		fs.breakers.Restore(snaps)
+	}
+}
+
+// snapshotBreakers exports the breaker states for a checkpoint (nil
+// when breakers are off).
+func (fs *faultState) snapshotBreakers() []faults.BreakerSnapshot {
+	if fs == nil || fs.breakers == nil {
+		return nil
+	}
+	return fs.breakers.Snapshot()
+}

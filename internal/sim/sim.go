@@ -16,9 +16,11 @@ package sim
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"path/filepath"
 	"time"
 
+	"langcrawl/internal/checkpoint"
 	"langcrawl/internal/core"
 	"langcrawl/internal/faults"
 	"langcrawl/internal/frontier"
@@ -94,6 +96,32 @@ type Config struct {
 	// uninstrumented one does, so golden conformance traces hold with
 	// telemetry on.
 	Telemetry *telemetry.SimStats
+	// CheckpointDir enables crash-safe checkpointing: the full crawl
+	// state — frontier contents (in queue order), visited bitmap, budget
+	// counters, breaker states, sampler position — is committed
+	// atomically under this directory every CheckpointEvery crawled
+	// pages and once more when the run ends. When the directory already
+	// holds a checkpoint for the same strategy and space size, the run
+	// resumes from it instead of starting at the seeds, and continues
+	// exactly as the uninterrupted run would have.
+	CheckpointDir string
+	// CheckpointEvery is the crawled-page stride between checkpoints
+	// (default 1024 when CheckpointDir is set).
+	CheckpointEvery int
+	// CheckpointFS overrides the filesystem checkpoints are written to —
+	// the crash harness injects a faults.CrashFS here. nil means the
+	// real filesystem.
+	CheckpointFS checkpoint.FS
+	// StopAfter, when positive, kills the run once Crawled reaches it:
+	// Run returns the partial Result with checkpoint.ErrKilled, writing
+	// no final checkpoint — the kill-resume suite's stand-in for
+	// SIGKILL.
+	StopAfter int
+	// Stop, when non-nil, requests a graceful stop once closed: the loop
+	// breaks at the next iteration boundary, a final checkpoint is
+	// written (when checkpointing is on), and Run returns normally — the
+	// SIGINT drain path.
+	Stop <-chan struct{}
 }
 
 // QueueMode selects how the frontier treats re-discovered URLs.
@@ -221,7 +249,7 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer fr.close()
-	push, pop, qlen, qmax := fr.push, fr.pop, fr.len, fr.max
+	push, pop, qlen, qmax, qflush := fr.push, fr.pop, fr.len, fr.max, fr.flush
 	visited := make([]bool, n)
 	needBody := cfg.Classifier.NeedsBody()
 	observer, _ := cfg.Strategy.(core.QueueObserver)
@@ -236,17 +264,75 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 		runStart = time.Now()
 	}
 
-	seeds := cfg.Seeds
-	if seeds == nil {
-		seeds = space.Seeds
-	}
-	for _, seed := range seeds {
-		if int(seed) >= n {
-			return nil, fmt.Errorf("sim: seed %d out of range", seed)
+	// The untimed engine has no clock, so the fault layer measures breaker
+	// cooldowns in attempts: one fetch attempt = one virtual second. Built
+	// before the resume path so a restored run can rewind it.
+	fs := newFaultState(cfg.Faults, space.Seed, &res.Faults)
+	clock := func() float64 { return float64(res.Faults.Attempts) }
+
+	// Resume from a checkpoint when one exists; otherwise start at the
+	// seeds. The restored frontier entries re-enter in their snapshot
+	// (queue) order, so the resumed run pops exactly the sequence the
+	// killed run would have.
+	var ckp *checkpoint.Checkpointer
+	var nextCk int
+	ckEvery := cfg.CheckpointEvery
+	resumed := false
+	if cfg.CheckpointDir != "" {
+		if ckEvery <= 0 {
+			ckEvery = 1024
 		}
-		// Seeds are enqueued as if referred by a relevant page, at the
-		// top priority class.
-		push(seed, 0, 1)
+		st, _, err := checkpoint.Load(cfg.CheckpointDir, cfg.CheckpointFS)
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			if st.Kind != checkpoint.KindSim {
+				return nil, fmt.Errorf("sim: checkpoint in %s was written by the live crawler", cfg.CheckpointDir)
+			}
+			if st.Strategy != cfg.Strategy.Name() {
+				return nil, fmt.Errorf("sim: checkpoint strategy %q does not match configured %q", st.Strategy, cfg.Strategy.Name())
+			}
+			if st.VisitedN != n {
+				return nil, fmt.Errorf("sim: checkpoint covers %d pages, space has %d", st.VisitedN, n)
+			}
+			bits, err := checkpoint.UnpackBits(st.VisitedBits, st.VisitedN)
+			if err != nil {
+				return nil, err
+			}
+			visited = bits
+			res.Crawled, res.RelevantCrawled, res.DroppedPages = st.Crawled, st.Relevant, st.Dropped
+			res.MaxQueueLen = st.MaxQueue
+			res.Faults = st.Faults
+			if fs != nil {
+				fs.restore(faults.SnapshotsFromCheckpoint(st.Breakers))
+			}
+			for _, e := range st.Frontier {
+				push(e.ID, e.Dist, e.Prio)
+			}
+			resumed = true
+			tel.Checkpoint().Resumes.Inc()
+		}
+		ckp, err = checkpoint.New(cfg.CheckpointDir, cfg.CheckpointFS, tel.Checkpoint())
+		if err != nil {
+			return nil, err
+		}
+		nextCk = (res.Crawled/ckEvery + 1) * ckEvery
+	}
+
+	if !resumed {
+		seeds := cfg.Seeds
+		if seeds == nil {
+			seeds = space.Seeds
+		}
+		for _, seed := range seeds {
+			if int(seed) >= n {
+				return nil, fmt.Errorf("sim: seed %d out of range", seed)
+			}
+			// Seeds are enqueued as if referred by a relevant page, at the
+			// top priority class.
+			push(seed, 0, 1)
+		}
 	}
 
 	recordSample := func() {
@@ -263,13 +349,66 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 	}
 	recordSample()
 
-	// The untimed engine has no clock, so the fault layer measures breaker
-	// cooldowns in attempts: one fetch attempt = one virtual second.
-	fs := newFaultState(cfg.Faults, space.Seed, &res.Faults)
-	clock := func() float64 { return float64(res.Faults.Attempts) }
+	// writeCk commits one checkpoint: the frontier is drained and
+	// re-pushed to capture its contents in pop order (order-preserving
+	// for every queue kind — FIFO ties re-enter in sequence, bucket
+	// classes keep per-class order, the heap rebuilds identically), and
+	// the full state goes down atomically.
+	writeCk := func() error {
+		qflush()
+		var entries []checkpoint.Entry
+		for {
+			it, ok := pop()
+			if !ok {
+				break
+			}
+			entries = append(entries, checkpoint.Entry{ID: it.id, Dist: it.dist, Prio: it.prio})
+		}
+		for _, e := range entries {
+			push(e.ID, e.Dist, e.Prio)
+		}
+		qflush()
+		return ckp.Write(&checkpoint.State{
+			Kind:        checkpoint.KindSim,
+			Strategy:    cfg.Strategy.Name(),
+			Crawled:     res.Crawled,
+			Relevant:    res.RelevantCrawled,
+			Dropped:     res.DroppedPages,
+			MaxQueue:    max(res.MaxQueueLen, qmax()),
+			Frontier:    entries,
+			VisitedBits: checkpoint.PackBits(visited),
+			VisitedN:    n,
+			Breakers:    faults.SnapshotsToCheckpoint(fs.snapshotBreakers()),
+			Faults:      res.Faults,
+		})
+	}
 
 	var visit core.Visit
 	for {
+		if ckp != nil && res.Crawled >= nextCk {
+			if err := writeCk(); err != nil {
+				return nil, err
+			}
+			nextCk = (res.Crawled/ckEvery + 1) * ckEvery
+		}
+		if cfg.StopAfter > 0 && res.Crawled >= cfg.StopAfter {
+			// Simulated SIGKILL: no final checkpoint, no cleanup beyond
+			// the deferred frontier close.
+			return res, checkpoint.ErrKilled
+		}
+		if cfg.Stop != nil {
+			stopped := false
+			select {
+			case <-cfg.Stop:
+				stopped = true
+			default:
+			}
+			if stopped {
+				// Graceful stop: fall through to the end-of-run path,
+				// which writes the final checkpoint.
+				break
+			}
+		}
 		if cfg.MaxPages > 0 && res.Crawled >= cfg.MaxPages {
 			break
 		}
@@ -382,9 +521,17 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 		}
 	}
 	recordSample()
-	res.MaxQueueLen = qmax()
+	res.MaxQueueLen = max(res.MaxQueueLen, qmax())
 	if fs != nil {
 		fs.finish()
+	}
+	if ckp != nil {
+		// Final checkpoint (after finish, so the trip totals persist):
+		// a killed-and-resumed run and a graceful stop both leave the
+		// directory resumable.
+		if err := writeCk(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.KeepVisited {
 		res.Visited = visited
@@ -397,15 +544,23 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 type entry struct {
 	id   webgraph.PageID
 	dist int32
+	// prio is the effective priority the entry was queued at, carried in
+	// the entry so a checkpoint can snapshot the frontier in re-pushable
+	// form.
+	prio float64
 }
 
 // simFrontier is the frontier abstraction both engines crawl through:
 // push/pop/len/max closures over whichever queue the Config selected.
+// flush forces staged pushes into the priority structures (a no-op
+// except for the batching sharded frontier) so a checkpoint's pop-all
+// snapshot sees every queued item.
 type simFrontier struct {
 	push  func(id webgraph.PageID, dist int32, prio float64)
 	pop   func() (entry, bool)
 	len   func() int
 	max   func() int
+	flush func()
 	close func()
 }
 
@@ -423,6 +578,7 @@ func buildFrontier(space *webgraph.Space, cfg Config, n int) (*simFrontier, erro
 		}
 		heap := frontier.NewIndexedHeap[webgraph.PageID]()
 		distOf := make([]int32, n)
+		prioOf := make([]float64, n)
 		return &simFrontier{
 			push: func(id webgraph.PageID, dist int32, prio float64) {
 				if prev, ok := heap.Priority(id); ok && prio <= prev {
@@ -430,16 +586,18 @@ func buildFrontier(space *webgraph.Space, cfg Config, n int) (*simFrontier, erro
 				}
 				heap.Push(id, prio)
 				distOf[id] = dist
+				prioOf[id] = prio
 			},
 			pop: func() (entry, bool) {
 				id, ok := heap.Pop()
 				if !ok {
 					return entry{}, false
 				}
-				return entry{id: id, dist: distOf[id]}, true
+				return entry{id: id, dist: distOf[id], prio: prioOf[id]}, true
 			},
 			len:   heap.Len,
 			max:   heap.MaxLen,
+			flush: func() {},
 			close: func() {},
 		}, nil
 	}
@@ -452,11 +610,12 @@ func buildFrontier(space *webgraph.Space, cfg Config, n int) (*simFrontier, erro
 	}
 	return &simFrontier{
 		push: func(id webgraph.PageID, dist int32, prio float64) {
-			queue.Push(entry{id: id, dist: dist}, prio)
+			queue.Push(entry{id: id, dist: dist, prio: prio}, prio)
 		},
 		pop:   queue.Pop,
 		len:   queue.Len,
 		max:   queue.MaxLen,
+		flush: func() {},
 		close: closeFn,
 	}, nil
 }
@@ -504,11 +663,12 @@ func buildShardedFrontier(space *webgraph.Space, cfg Config) (*simFrontier, erro
 	}
 	return &simFrontier{
 		push: func(id webgraph.PageID, dist int32, prio float64) {
-			s.Push(entry{id: id, dist: dist}, prio)
+			s.Push(entry{id: id, dist: dist, prio: prio}, prio)
 		},
 		pop:   s.Pop,
 		len:   s.Len,
 		max:   s.MaxLen,
+		flush: s.Flush,
 		close: closeAll,
 	}, nil
 }
@@ -521,18 +681,20 @@ func buildDuplicateQueue(cfg Config) (frontier.Queue[entry], func(), error) {
 		return frontier.New[entry](cfg.Strategy.QueueKind()), func() {}, nil
 	}
 	enc := func(it entry) []byte {
-		var b [8]byte
+		var b [16]byte
 		binary.LittleEndian.PutUint32(b[:4], it.id)
-		binary.LittleEndian.PutUint32(b[4:], uint32(it.dist))
+		binary.LittleEndian.PutUint32(b[4:8], uint32(it.dist))
+		binary.LittleEndian.PutUint64(b[8:], math.Float64bits(it.prio))
 		return b[:]
 	}
 	dec := func(b []byte) (entry, error) {
-		if len(b) != 8 {
+		if len(b) != 16 {
 			return entry{}, fmt.Errorf("sim: corrupt spilled frontier item")
 		}
 		return entry{
 			id:   binary.LittleEndian.Uint32(b[:4]),
-			dist: int32(binary.LittleEndian.Uint32(b[4:])),
+			dist: int32(binary.LittleEndian.Uint32(b[4:8])),
+			prio: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
 		}, nil
 	}
 	return newSpillQueue(cfg, enc, dec)

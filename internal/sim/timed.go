@@ -51,6 +51,11 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 	if cfg.Strategy == nil || cfg.Classifier == nil {
 		return nil, fmt.Errorf("sim: Strategy and Classifier are required")
 	}
+	if cfg.CheckpointDir != "" || cfg.CheckpointEvery > 0 || cfg.StopAfter > 0 {
+		// The event queue's in-flight fetches have no serialized form yet,
+		// so a timed checkpoint could not capture a consistent cut.
+		return nil, fmt.Errorf("sim: checkpointing is not supported by the timed engine")
+	}
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 16
 	}

@@ -121,6 +121,7 @@ type CrawlStats struct {
 	Frontier *FrontierStats
 	Log      *BatchStats
 	DB       *BatchStats
+	Ckpt     *CheckpointStats
 	Trace    *Tracer
 }
 
@@ -150,6 +151,7 @@ func NewCrawlStats(reg *Registry) *CrawlStats {
 		Frontier: NewFrontierStats(reg),
 		Log:      NewBatchStats(reg, "crawlog"),
 		DB:       NewBatchStats(reg, "linkdb"),
+		Ckpt:     NewCheckpointStats(reg),
 		Trace:    reg.Tracer("langcrawl_crawl_events", 0),
 	}
 }
@@ -182,6 +184,7 @@ type SimStats struct {
 	ClassifierTime *Histogram  // seconds per classification
 
 	Frontier *FrontierStats
+	Ckpt     *CheckpointStats
 	Trace    *Tracer
 }
 
@@ -198,6 +201,7 @@ func NewSimStats(reg *Registry) *SimStats {
 		PagesPerSec:    reg.GaugeFloat("langcrawl_sim_pages_per_sec", "Crawl throughput (virtual time for the timed engine)."),
 		ClassifierTime: reg.Histogram("langcrawl_sim_classifier_seconds", "Classifier scoring time in seconds.", nil),
 		Frontier:       NewFrontierStats(reg),
+		Ckpt:           NewCheckpointStats(reg),
 		Trace:          reg.Tracer("langcrawl_sim_events", 0),
 	}
 }
@@ -217,6 +221,53 @@ func (s *SimStats) Registry() *Registry {
 		return nil
 	}
 	return s.reg
+}
+
+// CheckpointStats instruments the crash-safety machinery: checkpoint
+// writes, their cost, and what recovery had to throw away. The zero
+// value is the no-op bundle engines use when telemetry is off (every
+// field nil, every record call a nil-receiver no-op), so checkpoint
+// code records unconditionally.
+type CheckpointStats struct {
+	Writes   *Counter   // checkpoints committed
+	Bytes    *Counter   // state + manifest bytes written
+	Duration *Histogram // seconds per checkpoint commit
+
+	TruncatedRecords *Counter // complete log/DB records discarded by recovery
+	Resumes          *Counter // crawls resumed from a checkpoint
+}
+
+// NewCheckpointStats builds the bundle (nil when reg is nil).
+func NewCheckpointStats(reg *Registry) *CheckpointStats {
+	if reg == nil {
+		return nil
+	}
+	return &CheckpointStats{
+		Writes:           reg.Counter("langcrawl_checkpoint_write_total", "Checkpoints committed."),
+		Bytes:            reg.Counter("langcrawl_checkpoint_bytes_total", "Bytes written by checkpoint commits (state + manifest)."),
+		Duration:         reg.Histogram("langcrawl_checkpoint_seconds", "Seconds per checkpoint commit, fsyncs included.", nil),
+		TruncatedRecords: reg.Counter("langcrawl_recovery_truncated_records_total", "Complete records discarded by crash recovery truncation."),
+		Resumes:          reg.Counter("langcrawl_resume_total", "Crawls resumed from a checkpoint."),
+	}
+}
+
+// Checkpoint returns s's checkpoint bundle, substituting the no-op zero
+// value when s or the field is nil so callers can pass it straight to
+// checkpoint.New.
+func (s *CrawlStats) Checkpoint() *CheckpointStats {
+	if s == nil || s.Ckpt == nil {
+		return &CheckpointStats{}
+	}
+	return s.Ckpt
+}
+
+// Checkpoint returns s's checkpoint bundle, substituting the no-op zero
+// value when s or the field is nil.
+func (s *SimStats) Checkpoint() *CheckpointStats {
+	if s == nil || s.Ckpt == nil {
+		return &CheckpointStats{}
+	}
+	return s.Ckpt
 }
 
 // Timed reports whether h records — the guard for skipping time.Now()
