@@ -46,6 +46,9 @@ bench-check:
 	$(GO) test -bench=. -benchtime=1x -count=5 -benchmem -run='^$$' \
 		./internal/telemetry | \
 		$(GO) run ./cmd/benchcheck -baseline BENCH_telemetry.json -min-ns 10000
+	$(GO) test -bench=BenchmarkClassify -benchtime=1x -count=5 -benchmem -run='^$$' \
+		./internal/charset | \
+		$(GO) run ./cmd/benchcheck -baseline BENCH_classify.json -min-ns 10000
 
 bench-baseline:
 	$(GO) test -bench=. -benchtime=1x -count=5 -benchmem -run='^$$' \
@@ -56,11 +59,16 @@ bench-baseline:
 		./internal/telemetry | \
 		$(GO) run ./cmd/benchcheck -baseline BENCH_telemetry.json -update \
 		-note "telemetry no-op vs enabled delta; each op records a fixed inner batch"
+	$(GO) test -bench=BenchmarkClassify -benchtime=1x -count=5 -benchmem -run='^$$' \
+		./internal/charset | \
+		$(GO) run ./cmd/benchcheck -baseline BENCH_classify.json -update \
+		-note "detect-once classification: pooled detector must stay at 0 allocs/op (the ALLOCS gate)"
 
 # Short fuzzing passes over the parsers and concurrent structures;
 # extend -fuzztime for real runs.
 fuzz:
 	$(GO) test -fuzz=FuzzDetect -fuzztime=30s ./internal/charset/
+	$(GO) test -fuzz=FuzzSplitEquivalence -fuzztime=30s ./internal/charset/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/htmlx/
 	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/crawlog/
 	$(GO) test -fuzz=FuzzCrawlogRoundTrip -fuzztime=30s ./internal/crawlog/

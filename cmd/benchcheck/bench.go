@@ -102,12 +102,13 @@ func ParseBenchOutput(r io.Reader) (map[string]Result, error) {
 
 // Row is one benchmark's comparison outcome.
 type Row struct {
-	Name    string
-	Base    float64 // baseline ns/op (0 when new)
-	Current float64 // current ns/op (0 when missing)
-	Delta   float64 // fractional change, current/base - 1
-	Status  string  // "ok", "REGRESSED", "faster", "noise", "info", "new", "missing"
-	Regress bool
+	Name      string
+	Base      float64 // baseline ns/op (0 when new)
+	Current   float64 // current ns/op (0 when missing)
+	Delta     float64 // fractional change, current/base - 1
+	CurAllocs float64 // current allocs/op (0 when allocation-free or unmeasured)
+	Status    string  // "ok", "REGRESSED", "ALLOCS", "faster", "noise", "info", "new", "missing"
+	Regress   bool
 }
 
 // Report is the full comparison.
@@ -151,6 +152,7 @@ func Compare(base *Baseline, current map[string]Result, tolerance, minNs float64
 			row.Status = "missing"
 		default:
 			row.Delta = c.NsPerOp/b.NsPerOp - 1
+			row.CurAllocs = c.AllocsPerOp
 			switch {
 			case b.NsPerOp < minNs && c.NsPerOp < minNs:
 				row.Status = "noise"
@@ -161,6 +163,15 @@ func Compare(base *Baseline, current map[string]Result, tolerance, minNs float64
 				row.Status = "faster"
 			default:
 				row.Status = "ok"
+			}
+			// Allocation gate, independent of the timing noise floor: a
+			// benchmark recorded allocation-free in the baseline must stay
+			// allocation-free. Alloc counts are deterministic, so there is
+			// no tolerance — one new alloc on a hot path is a regression
+			// the timing gate may not see.
+			if b.AllocsPerOp == 0 && c.AllocsPerOp > 0 {
+				row.Status = "ALLOCS"
+				row.Regress = true
 			}
 		}
 		rep.Rows = append(rep.Rows, row)
@@ -196,8 +207,12 @@ func (r *Report) Markdown(meta Metadata) string {
 		if row.Status != "new" && row.Status != "missing" {
 			delta = fmt.Sprintf("%+.1f%%", row.Delta*100)
 		}
+		status := row.Status
+		if row.Status == "ALLOCS" {
+			status = fmt.Sprintf("ALLOCS (%g allocs/op, baseline 0)", row.CurAllocs)
+		}
 		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
-			row.Name, fmtNs(row.Base), fmtNs(row.Current), delta, row.Status)
+			row.Name, fmtNs(row.Base), fmtNs(row.Current), delta, status)
 	}
 	fmt.Fprintf(&b, "\n")
 	return b.String()

@@ -79,6 +79,38 @@ func TestCompare(t *testing.T) {
 		t.Errorf("markdown summary missing regression row:\n%s", md)
 	}
 
+	// A baseline-allocation-free benchmark that starts allocating fails
+	// the gate even when its timing is inside tolerance or under the
+	// noise floor; alloc counts are deterministic, so there is no slack.
+	allocBase := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkZeroAlloc": {NsPerOp: 10000}, // allocs omitted == 0
+		"BenchmarkTinyZero":  {NsPerOp: 50},    // under the noise floor
+		"BenchmarkHasAllocs": {NsPerOp: 10000, AllocsPerOp: 3},
+	}}
+	allocCur := map[string]Result{
+		"BenchmarkZeroAlloc": {NsPerOp: 10100, AllocsPerOp: 2}, // timing fine, allocs not
+		"BenchmarkTinyZero":  {NsPerOp: 60, AllocsPerOp: 1},    // noise-floor timing, allocs still gate
+		"BenchmarkHasAllocs": {NsPerOp: 10000, AllocsPerOp: 5}, // nonzero baseline: not gated
+	}
+	rep = Compare(allocBase, allocCur, 0.20, 1000, nil)
+	if got := rep.Regressions(); got != 2 {
+		t.Fatalf("%d alloc regressions, want 2 (rows: %+v)", got, rep.Rows)
+	}
+	status = make(map[string]string)
+	for _, row := range rep.Rows {
+		status[row.Name] = row.Status
+	}
+	if status["BenchmarkZeroAlloc"] != "ALLOCS" || status["BenchmarkTinyZero"] != "ALLOCS" {
+		t.Errorf("alloc gate statuses: %v", status)
+	}
+	if status["BenchmarkHasAllocs"] == "ALLOCS" {
+		t.Error("alloc growth on a nonzero baseline must not gate")
+	}
+	md = rep.Markdown(Metadata{})
+	if !strings.Contains(md, "allocs/op, baseline 0") {
+		t.Errorf("markdown missing alloc-gate annotation:\n%s", md)
+	}
+
 	// A skipped benchmark is reported but never gates, however far it
 	// drifted.
 	rep = Compare(base, current, 0.20, 1000, regexp.MustCompile("Slower"))

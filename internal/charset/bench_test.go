@@ -1,0 +1,69 @@
+package charset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Classification benchmarks for the detect-once pipeline: ns/page and
+// allocs/op across the body shapes a crawl actually sees. The pool is
+// warmed before timing so the numbers reflect the steady state the
+// BENCH_classify.json gate enforces (0 allocs/op).
+
+func benchDetect(b *testing.B, body []byte, want Language) {
+	b.Helper()
+	Detect(body) // warm the detector pool
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := Detect(body); r.Language != want {
+			b.Fatalf("detected %v, want %v", r.Language, want)
+		}
+	}
+}
+
+// BenchmarkClassifyShortASCII: the short markup-only page — the prober
+// fan-out must stay cheap when there is nothing to deliberate about.
+func BenchmarkClassifyShortASCII(b *testing.B) {
+	body := []byte("<html><head><title>hi</title></head><body>" + enSample + "</body></html>")
+	benchDetect(b, body, LangEnglish)
+}
+
+// BenchmarkClassifyLongJapanese: a long EUC-JP body; the stable EUC-JP
+// leader early-exits after two check windows.
+func BenchmarkClassifyLongJapanese(b *testing.B) {
+	benchDetect(b, CodecFor(EUCJP).Encode(strings.Repeat(jaSample, 40)), LangJapanese)
+}
+
+// BenchmarkClassifyLongThai: a long TIS-620 body; the Thai probers'
+// shared statistics make this the widest live-prober case.
+func BenchmarkClassifyLongThai(b *testing.B) {
+	benchDetect(b, CodecFor(TIS620).Encode(strings.Repeat(thSample, 40)), LangThai)
+}
+
+// BenchmarkClassifyISO2022JPEscape: the conclusive-escape fast path —
+// detection should stop within the first check window.
+func BenchmarkClassifyISO2022JPEscape(b *testing.B) {
+	benchDetect(b, CodecFor(ISO2022JP).Encode(strings.Repeat(jaSample, 40)), LangJapanese)
+}
+
+// BenchmarkClassifyReaderLongJapanese: the streaming entry point with
+// its pooled read buffer — also allocation-free at steady state, and it
+// stops reading once the verdict is in.
+func BenchmarkClassifyReaderLongJapanese(b *testing.B) {
+	body := CodecFor(EUCJP).Encode(strings.Repeat(jaSample, 40))
+	rd := bytes.NewReader(body)
+	DetectReader(rd, 0) // warm the pool
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(body)
+		r, err := DetectReader(rd, 0)
+		if err != nil || r.Language != LangJapanese {
+			b.Fatalf("detected %v, %v", r.Language, err)
+		}
+	}
+}

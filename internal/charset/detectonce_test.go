@@ -1,0 +1,287 @@
+package charset
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// splitBodies are the representative per-charset bodies for the
+// chunk-boundary equivalence tests: every supported family, each with
+// multibyte pairs or escape sequences that a split can land inside.
+func splitBodies() map[string][]byte {
+	return map[string][]byte{
+		"eucjp":     CodecFor(EUCJP).Encode(jaSample),
+		"shift_jis": CodecFor(ShiftJIS).Encode(jaSample),
+		"iso2022jp": CodecFor(ISO2022JP).Encode(jaSample),
+		"tis620":    CodecFor(TIS620).Encode(thSample),
+		"utf8":      []byte(jaSample),
+		"utf16le":   CodecFor(UTF16LE).Encode("bom then text"),
+		"utf16be":   CodecFor(UTF16BE).Encode("bom then text"),
+	}
+}
+
+// TestSplitEquivalenceEverySplit: detection must not depend on how the
+// input is chunked. For each representative body, feeding b[:i] then
+// b[i:] — for every split point i, including splits inside multibyte
+// pairs, escape sequences, and the BOM — must give exactly the one-shot
+// Detect(b) result, and so must DetectReader over the same two chunks.
+func TestSplitEquivalenceEverySplit(t *testing.T) {
+	d := NewDetector()
+	for name, b := range splitBodies() {
+		want := Detect(b)
+		for i := 0; i <= len(b); i++ {
+			d.Reset()
+			d.Feed(b[:i])
+			d.Feed(b[i:])
+			if got := d.Best(); got != want {
+				t.Fatalf("%s split at %d: Detector = %+v, one-shot = %+v", name, i, got, want)
+			}
+			r, err := DetectReader(io.MultiReader(bytes.NewReader(b[:i]), bytes.NewReader(b[i:])), 0)
+			if err != nil {
+				t.Fatalf("%s split at %d: DetectReader error: %v", name, i, err)
+			}
+			if r != want {
+				t.Fatalf("%s split at %d: DetectReader = %+v, one-shot = %+v", name, i, r, want)
+			}
+		}
+	}
+}
+
+// TestSplitEquivalenceLongBody stresses chunk-invariance of the
+// windowed early-exit machinery: on a body long enough to cross several
+// check windows, splits landing just before, on, and just after every
+// window boundary (plus a coarse sweep) must not change the verdict.
+func TestSplitEquivalenceLongBody(t *testing.T) {
+	long := map[string][]byte{
+		"utf8-long":  []byte(strings.Repeat(jaSample, 40)),
+		"eucjp-long": CodecFor(EUCJP).Encode(strings.Repeat(jaSample, 40)),
+		"tis-long":   CodecFor(TIS620).Encode(strings.Repeat(thSample, 40)),
+	}
+	d := NewDetector()
+	for name, b := range long {
+		want := Detect(b)
+		var splits []int
+		for w := checkWindow; w < len(b); w += checkWindow {
+			for _, i := range []int{w - 2, w - 1, w, w + 1, w + 2} {
+				if i >= 0 && i <= len(b) {
+					splits = append(splits, i)
+				}
+			}
+		}
+		for i := 0; i <= len(b); i += 61 {
+			splits = append(splits, i)
+		}
+		for _, i := range splits {
+			d.Reset()
+			d.Feed(b[:i])
+			d.Feed(b[i:])
+			if got := d.Best(); got != want {
+				t.Fatalf("%s split at %d: Detector = %+v, one-shot = %+v", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestEscapeSequenceAcrossFeeds pins the escProber carry fix: an
+// ISO-2022-JP designation split across feed boundaries — even one byte
+// per feed — must still be conclusive.
+func TestEscapeSequenceAcrossFeeds(t *testing.T) {
+	seq := []byte("plain text \x1b$Bstuff")
+	d := NewDetector()
+	for i := range seq {
+		d.Feed(seq[i : i+1])
+	}
+	if got := d.Best().Charset; got != ISO2022JP {
+		t.Fatalf("byte-at-a-time escape = %v, want ISO-2022-JP", got)
+	}
+	if !d.Done() {
+		t.Error("escape hit should be conclusive (Done)")
+	}
+	// A decoy ESC immediately before the real designation must not
+	// desynchronize the state machine.
+	d.Reset()
+	d.Feed([]byte{0x1B})
+	d.Feed([]byte{0x1B, '$'})
+	d.Feed([]byte{'B'})
+	if got := d.Best().Charset; got != ISO2022JP {
+		t.Fatalf("ESC-prefixed escape across feeds = %v, want ISO-2022-JP", got)
+	}
+	// ESC $ $ B is not a designation and must stay inconclusive.
+	d.Reset()
+	d.Feed([]byte{0x1B, '$'})
+	d.Feed([]byte{'$', 'B'})
+	if got := d.Best().Charset; got == ISO2022JP {
+		t.Fatal("ESC $ $ B wrongly matched as a designation")
+	}
+}
+
+// TestBOMAcrossFeeds pins the bomProber carry fix: a byte-order mark
+// arriving one byte at a time must still be conclusive.
+func TestBOMAcrossFeeds(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		hdr  []byte
+		want Charset
+	}{
+		{"le", []byte{0xFF, 0xFE}, UTF16LE},
+		{"be", []byte{0xFE, 0xFF}, UTF16BE},
+	} {
+		d := NewDetector()
+		d.Feed(tc.hdr[:1])
+		d.Feed(tc.hdr[1:])
+		if got := d.Best().Charset; got != tc.want {
+			t.Errorf("%s: split BOM = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// A non-BOM header split the same way must not be swallowed: its
+	// bytes still count toward the NUL-distribution heuristic.
+	body := CodecFor(UTF16LE).Encode("plain ascii words here")[2:] // strip BOM
+	d := NewDetector()
+	d.Feed(body[:1])
+	d.Feed(body[1:])
+	if got := d.Best().Charset; got != UTF16LE {
+		t.Errorf("BOM-less split UTF-16LE = %v, want UTF-16LE", got)
+	}
+}
+
+// TestBestTieBreakDeterministic pins the documented tie-breaking rule:
+// on equal confidence the earliest prober in the composite order wins.
+func TestBestTieBreakDeterministic(t *testing.T) {
+	// Pure Thai-block bytes are equally valid TIS-620, windows-874, and
+	// ISO-8859-11, and all three probers see identical statistics — the
+	// declaration order must break the tie in favor of TIS-620, every
+	// time, regardless of reuse.
+	b := CodecFor(TIS620).Encode(thSample)
+	d := NewDetector()
+	for i := 0; i < 5; i++ {
+		d.Reset()
+		d.Feed(b)
+		r := d.Best()
+		if r.Charset != TIS620 {
+			t.Fatalf("run %d: pure Thai tie broke to %v, want TIS-620", i, r.Charset)
+		}
+	}
+	// With NBSP (0xA0) sprinkled in, TIS-620 rules itself out (0xA0 is
+	// unassigned there) and the remaining windows-874 / ISO-8859-11 tie
+	// must break to windows-874, the earlier of the two.
+	var nbsp []byte
+	for i, c := range b {
+		nbsp = append(nbsp, c)
+		if i%8 == 0 {
+			nbsp = append(nbsp, 0xA0)
+		}
+	}
+	r := Detect(nbsp)
+	if r.Charset != Windows874 {
+		t.Fatalf("NBSP-heavy Thai = %v (conf %.2f), want windows-874", r.Charset, r.Confidence)
+	}
+}
+
+// TestDetectZeroAlloc proves the pooled hot path: steady-state Detect
+// and DetectReader must not allocate.
+func TestDetectZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops items at random; allocs are not measurable")
+	}
+	body := CodecFor(EUCJP).Encode(strings.Repeat(jaSample, 8))
+	Detect(body) // warm the pool
+	if n := testing.AllocsPerRun(200, func() { Detect(body) }); n != 0 {
+		t.Errorf("Detect allocs/op = %v, want 0", n)
+	}
+	rd := bytes.NewReader(body)
+	if n := testing.AllocsPerRun(200, func() {
+		rd.Reset(body)
+		DetectReader(rd, 0)
+	}); n != 0 {
+		t.Errorf("DetectReader allocs/op = %v, want 0", n)
+	}
+}
+
+// TestDetectEarlyExit pins the two exit rules and the no-exit case.
+func TestDetectEarlyExit(t *testing.T) {
+	// Conclusive escape: the scan stops at the window containing the hit.
+	iso := CodecFor(ISO2022JP).Encode(strings.Repeat(jaSample, 40))
+	r, info := DetectInfo(iso)
+	if r.Charset != ISO2022JP {
+		t.Fatalf("long ISO-2022-JP = %v", r.Charset)
+	}
+	if !info.EarlyExit || info.Scanned >= int64(len(iso)) {
+		t.Errorf("escape hit should exit early: %+v over %d bytes", info, len(iso))
+	}
+
+	// Confidence-stable leader: high-confidence UTF-8 locks after
+	// stableWindows window checks.
+	utf8Body := []byte(strings.Repeat(jaSample, 60))
+	r, info = DetectInfo(utf8Body)
+	if r.Charset != UTF8 {
+		t.Fatalf("long UTF-8 = %v", r.Charset)
+	}
+	if !info.EarlyExit {
+		t.Errorf("stable UTF-8 leader should exit early: %+v", info)
+	}
+	if info.Scanned != stableWindows*checkWindow {
+		t.Errorf("stable exit scanned %d bytes, want %d", info.Scanned, stableWindows*checkWindow)
+	}
+
+	// Low-evidence input plateaus below the exit threshold: the Latin-1
+	// fallback never gets confident, so the full body is scanned —
+	// borderline streams stay on the safe no-exit path.
+	fr := CodecFor(Latin1).Encode(strings.Repeat(frSample, 60))
+	r, info = DetectInfo(fr)
+	if r.Charset != Latin1 {
+		t.Fatalf("long Latin-1 = %v", r.Charset)
+	}
+	if info.EarlyExit || info.Scanned != int64(len(fr)) {
+		t.Errorf("Latin-1 should scan to the end: %+v over %d bytes", info, len(fr))
+	}
+}
+
+// TestDetectorDoneStopsInput: once Done, further input is ignored and
+// the verdict is stable.
+func TestDetectorDoneStopsInput(t *testing.T) {
+	d := NewDetector()
+	d.Feed([]byte("\x1b$B"))
+	if !d.Done() {
+		t.Fatal("escape designation should conclude detection")
+	}
+	scanned := d.Scanned()
+	d.Feed(CodecFor(TIS620).Encode(thSample))
+	if d.Scanned() != scanned {
+		t.Error("Feed after Done still consumed input")
+	}
+	if got := d.Best().Charset; got != ISO2022JP {
+		t.Errorf("verdict drifted after Done: %v", got)
+	}
+}
+
+// TestDetectInfoPoolHit: after a warm-up pass, one-shot detection is
+// served from the pool.
+func TestDetectInfoPoolHit(t *testing.T) {
+	Detect([]byte("warm up the pool"))
+	hit := false
+	for i := 0; i < 10 && !hit; i++ {
+		_, info := DetectInfo([]byte("steady state"))
+		hit = info.PoolHit
+	}
+	if !hit {
+		t.Error("no pool hit in 10 steady-state detections")
+	}
+}
+
+// TestDetectorRunsCounter: the process-wide pass counter advances by
+// exactly one per one-shot detection.
+func TestDetectorRunsCounter(t *testing.T) {
+	before := DetectorRuns()
+	Detect([]byte("count me"))
+	if got := DetectorRuns() - before; got != 1 {
+		t.Errorf("DetectorRuns delta = %d, want 1", got)
+	}
+	before = DetectorRuns()
+	_, _ = DetectInfo([]byte("count me too"))
+	_, _ = DetectReader(strings.NewReader("and me"), 0)
+	if got := DetectorRuns() - before; got != 2 {
+		t.Errorf("DetectorRuns delta = %d, want 2", got)
+	}
+}

@@ -15,6 +15,9 @@ func FuzzDetect(f *testing.F) {
 	f.Add([]byte{0x1B, '$', 'B'})
 	f.Add([]byte{0xFF, 0xFE, 0x00})
 	f.Add([]byte{0x8E, 0xB1, 0x8F, 0xA1, 0xA1})
+	for _, b := range splitCorpus() {
+		f.Add(b)
+	}
 	f.Fuzz(func(t *testing.T, b []byte) {
 		r := Detect(b)
 		if r.Confidence < 0 || r.Confidence > 1 {
@@ -22,6 +25,55 @@ func FuzzDetect(f *testing.F) {
 		}
 		if r.Language != LanguageOf(r.Charset) {
 			t.Fatalf("language %v inconsistent with charset %v", r.Language, r.Charset)
+		}
+	})
+}
+
+// splitCorpus seeds the chunk-boundary targets: bodies in every family
+// whose multibyte pairs, escape designations, and BOMs a split can land
+// inside, plus truncated fragments of each.
+func splitCorpus() [][]byte {
+	corpus := [][]byte{
+		CodecFor(EUCJP).Encode("これはにほんごのぶんしょうです。"),
+		CodecFor(ShiftJIS).Encode("カタカナとひらがなと漢字"),
+		CodecFor(ISO2022JP).Encode("日本語のページ"),
+		CodecFor(TIS620).Encode("ภาษาไทยเป็นภาษา"),
+		CodecFor(UTF16LE).Encode("bom text"),
+		CodecFor(UTF16BE).Encode("bom text"),
+		[]byte("ascii \x1b$"),          // dangling escape prefix
+		[]byte{0x1B, 0x1B, '$', 'B'},   // decoy ESC before a designation
+		[]byte{0xFF},                   // lone BOM half
+		[]byte{0xA4},                   // lone EUC-JP lead byte
+		[]byte{0x81, 0x40, 0x81},       // Shift_JIS pair then dangling lead
+		[]byte{0xA0, 0xA1, 0xD2, 0xC3}, // NBSP ahead of Thai text
+	}
+	return corpus
+}
+
+// FuzzSplitEquivalence is the differential chunk-boundary target: for
+// arbitrary input and an arbitrary split point, feeding the two halves
+// separately must give exactly the one-shot Detect verdict.
+func FuzzSplitEquivalence(f *testing.F) {
+	for _, b := range splitCorpus() {
+		for _, i := range []int{0, 1, 2, len(b) / 2} {
+			f.Add(b, i)
+		}
+	}
+	f.Fuzz(func(t *testing.T, b []byte, split int) {
+		if split < 0 {
+			split = -split
+		}
+		if len(b) > 0 {
+			split %= len(b) + 1
+		} else {
+			split = 0
+		}
+		want := Detect(b)
+		d := NewDetector()
+		d.Feed(b[:split])
+		d.Feed(b[split:])
+		if got := d.Best(); got != want {
+			t.Fatalf("split at %d of %d: %+v != one-shot %+v", split, len(b), got, want)
 		}
 	})
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package charset
+
+const raceEnabled = false

@@ -25,25 +25,57 @@ type prober interface {
 
 // escProber looks for the ISO-2022-JP designation escapes. Any ESC $ B,
 // ESC $ @ or ESC ( J is conclusive: no other encoding in scope uses them.
+// The match runs as a per-byte state machine so a designation split
+// across feed boundaries is still caught.
 type escProber struct {
 	state probeState
+	seq   uint8 // 0 = none, 1 = after ESC, 2 = after ESC $, 3 = after ESC (
 }
 
 func (p *escProber) charset() Charset { return ISO2022JP }
-func (p *escProber) reset()           { p.state = probing }
+func (p *escProber) reset()           { p.state, p.seq = probing, 0 }
 
 func (p *escProber) feed(b []byte) probeState {
 	if p.state != probing {
 		return p.state
 	}
-	for i := 0; i+2 < len(b); i++ {
-		if b[i] != 0x1B {
-			continue
-		}
-		if (b[i+1] == '$' && (b[i+2] == 'B' || b[i+2] == '@')) ||
-			(b[i+1] == '(' && b[i+2] == 'J') {
-			p.state = foundIt
-			return p.state
+	for _, c := range b {
+		switch p.seq {
+		case 1: // after ESC
+			switch c {
+			case '$':
+				p.seq = 2
+			case '(':
+				p.seq = 3
+			case 0x1B:
+				p.seq = 1
+			default:
+				p.seq = 0
+			}
+		case 2: // after ESC $
+			if c == 'B' || c == '@' {
+				p.state = foundIt
+				return p.state
+			}
+			if c == 0x1B {
+				p.seq = 1
+			} else {
+				p.seq = 0
+			}
+		case 3: // after ESC (
+			if c == 'J' {
+				p.state = foundIt
+				return p.state
+			}
+			if c == 0x1B {
+				p.seq = 1
+			} else {
+				p.seq = 0
+			}
+		default:
+			if c == 0x1B {
+				p.seq = 1
+			}
 		}
 	}
 	return p.state

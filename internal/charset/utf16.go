@@ -81,6 +81,7 @@ type bomProber struct {
 	total   int
 	nulEven int
 	nulOdd  int
+	hdr     [2]byte // first two stream bytes, buffered across feeds
 }
 
 func (p *bomProber) charset() Charset {
@@ -96,29 +97,45 @@ func (p *bomProber) feed(b []byte) probeState {
 	if p.state != probing {
 		return p.state
 	}
-	// Only the very start of the stream can carry a BOM.
-	if p.offset == 0 && len(b) >= 2 {
-		switch {
-		case b[0] == 0xFE && b[1] == 0xFF:
-			p.cs, p.state = UTF16BE, foundIt
-			return p.state
-		case b[0] == 0xFF && b[1] == 0xFE:
-			p.cs, p.state = UTF16LE, foundIt
-			return p.state
-		}
-	}
 	for _, c := range b {
-		if c == 0 {
-			if p.offset%2 == 0 {
-				p.nulEven++
-			} else {
-				p.nulOdd++
+		// Only the very start of the stream can carry a BOM; buffer the
+		// first two bytes so a BOM split across feeds is still caught.
+		if p.offset < 2 {
+			p.hdr[p.offset] = c
+			p.offset++
+			p.total++
+			if p.offset < 2 {
+				continue
 			}
+			switch {
+			case p.hdr[0] == 0xFE && p.hdr[1] == 0xFF:
+				p.cs, p.state = UTF16BE, foundIt
+				return p.state
+			case p.hdr[0] == 0xFF && p.hdr[1] == 0xFE:
+				p.cs, p.state = UTF16LE, foundIt
+				return p.state
+			}
+			// Not a BOM: account the buffered header as ordinary data.
+			p.countNul(p.hdr[0], 0)
+			p.countNul(p.hdr[1], 1)
+			continue
 		}
+		p.countNul(c, p.offset)
 		p.offset++
 		p.total++
 	}
 	return p.state
+}
+
+func (p *bomProber) countNul(c byte, off int) {
+	if c != 0 {
+		return
+	}
+	if off%2 == 0 {
+		p.nulEven++
+	} else {
+		p.nulOdd++
+	}
 }
 
 func (p *bomProber) confidence() float64 {

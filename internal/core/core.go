@@ -45,6 +45,39 @@ type Visit struct {
 	// classifiers relax confidence floors on truncated bodies — the
 	// partial evidence is the page's fault, not the language's.
 	Truncated bool
+
+	// Detection memo: the first consumer to need a byte-level charset
+	// verdict runs the detector once and every later consumer (engine
+	// bookkeeping, other classifiers in an AnyOf) reuses it. The zero
+	// value means "not yet detected"; engines that build a fresh Visit
+	// per page get the reset for free.
+	detected charset.Result
+	detInfo  charset.ScanInfo
+	detDone  bool
+}
+
+// Detected returns the charset detector's verdict on Body, running the
+// detector on first use and memoizing the result so every consumer of
+// this visit shares a single detection pass.
+func (v *Visit) Detected() charset.Result {
+	if !v.detDone {
+		v.detected, v.detInfo = charset.DetectInfo(v.Body)
+		v.detDone = true
+	}
+	return v.detected
+}
+
+// DetectionInfo returns the ScanInfo of the memoized detection pass and
+// whether a pass has run for this visit at all.
+func (v *Visit) DetectionInfo() (charset.ScanInfo, bool) {
+	return v.detInfo, v.detDone
+}
+
+// SetDetected primes the memo with an already-computed detection result,
+// for engines that detect while fetching (parse-codec selection, true-
+// charset recording) and want classifiers to reuse that pass.
+func (v *Visit) SetDetected(r charset.Result, info charset.ScanInfo) {
+	v.detected, v.detInfo, v.detDone = r, info, true
 }
 
 // Classifier judges the relevance of a visited page to the target
@@ -106,7 +139,7 @@ func (c DetectorClassifier) Score(v *Visit) float64 {
 	if v.Status != 200 || len(v.Body) == 0 {
 		return 0
 	}
-	r := charset.Detect(v.Body)
+	r := v.Detected()
 	if r.Language == c.Target && (v.Truncated || r.Confidence >= c.MinConfidence) {
 		return 1
 	}
@@ -143,7 +176,7 @@ func (c HybridClassifier) Score(v *Visit) float64 {
 	if len(v.Body) == 0 {
 		return 0
 	}
-	if r := charset.Detect(v.Body); r.Language == c.Target {
+	if r := v.Detected(); r.Language == c.Target {
 		return 1
 	}
 	return 0

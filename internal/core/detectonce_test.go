@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/rng"
+	"langcrawl/internal/textgen"
+)
+
+// TestVisitDetectedMemo: the visit memo runs the detector on first use
+// and never again, and SetDetected primes it without a pass.
+func TestVisitDetectedMemo(t *testing.T) {
+	body := textgen.HTMLPage(textgen.PageSpec{
+		Lang: charset.LangThai, Charset: charset.TIS620,
+	}, rng.New(1))
+	v := &Visit{Status: 200, Body: body}
+	if _, ok := v.DetectionInfo(); ok {
+		t.Fatal("fresh visit claims a detection pass")
+	}
+	before := charset.DetectorRuns()
+	first := v.Detected()
+	second := v.Detected()
+	if got := charset.DetectorRuns() - before; got != 1 {
+		t.Errorf("two Detected calls ran the detector %d times, want 1", got)
+	}
+	if first != second {
+		t.Errorf("memo drifted: %+v then %+v", first, second)
+	}
+	if info, ok := v.DetectionInfo(); !ok || info.Scanned == 0 {
+		t.Errorf("DetectionInfo after detection = %+v, %v", info, ok)
+	}
+
+	primed := &Visit{Status: 200, Body: body}
+	want := charset.Result{Charset: charset.EUCJP, Language: charset.LangJapanese, Confidence: 0.5}
+	primed.SetDetected(want, charset.ScanInfo{Scanned: 42})
+	before = charset.DetectorRuns()
+	if got := primed.Detected(); got != want {
+		t.Errorf("primed memo returned %+v, want %+v", got, want)
+	}
+	if got := charset.DetectorRuns() - before; got != 0 {
+		t.Errorf("primed visit still ran the detector %d times", got)
+	}
+}
+
+// TestDetectOnceAcrossClassifiers is the invocation-count regression
+// test for the detect-once pipeline: scoring one visit through an AnyOf
+// whose children would each have re-detected the body — two
+// DetectorClassifiers and a HybridClassifier falling back to detection
+// — must run the detector exactly once.
+func TestDetectOnceAcrossClassifiers(t *testing.T) {
+	body := textgen.HTMLPage(textgen.PageSpec{
+		Lang: charset.LangThai, Charset: charset.TIS620,
+	}, rng.New(2))
+	// The non-matching children come first so AnyOf's short-circuit
+	// cannot hide re-detection: every child actually scores the visit.
+	cls := AnyOf(
+		DetectorClassifier{Target: charset.LangJapanese},
+		HybridClassifier{Target: charset.LangJapanese},
+		DetectorClassifier{Target: charset.LangThai},
+	)
+	v := &Visit{Status: 200, Body: body}
+	before := charset.DetectorRuns()
+	if got := cls.Score(v); got != 1 {
+		t.Fatalf("composite score = %v, want 1", got)
+	}
+	if got := charset.DetectorRuns() - before; got != 1 {
+		t.Errorf("scoring one visit ran the detector %d times, want exactly 1", got)
+	}
+
+	// A second visit over the same classifier gets its own single pass.
+	v2 := &Visit{Status: 200, Body: body}
+	before = charset.DetectorRuns()
+	cls.Score(v2)
+	if got := charset.DetectorRuns() - before; got != 1 {
+		t.Errorf("second visit ran the detector %d times, want exactly 1", got)
+	}
+}

@@ -344,7 +344,7 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 		visit, links, rec := out.visit, out.links, out.rec
 		res.Crawled++
 		c.tel.Pages.Inc()
-		score := c.cfg.Classifier.Score(visit)
+		score := c.classify(visit)
 		if score >= 0.5 {
 			res.Relevant++
 			c.tel.Relevant.Inc()
@@ -392,6 +392,23 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// classify scores a visit and records classification telemetry: the
+// scoring latency plus the detect-once counters from the visit's
+// memoized detection pass. It takes no engine lock, so in the parallel
+// engine the detection of one page overlaps other workers' fetches.
+func (c *Crawler) classify(visit *core.Visit) float64 {
+	var t0 time.Time
+	if telemetry.Timed(c.tel.ClassifyTime) {
+		t0 = time.Now()
+	}
+	score := c.cfg.Classifier.Score(visit)
+	c.tel.ClassifyTime.ObserveSince(t0)
+	if info, ok := visit.DetectionInfo(); ok {
+		c.tel.Detect.Observe(info.Scanned, info.EarlyExit, info.PoolHit)
+	}
+	return score
 }
 
 // politeWait sleeps until host may be hit again, given the effective
@@ -480,6 +497,11 @@ func (c *Crawler) fetch(ctx context.Context, pageURL string) (*core.Visit, []str
 		body = body[:c.cfg.MaxBodyBytes]
 	}
 
+	// Detect once per page: the same pass picks the parse codec when no
+	// charset is declared, records the true charset, and is memoized on
+	// the visit so classifiers reuse it instead of re-scanning the body.
+	detected, detInfo := charset.DetectInfo(body)
+
 	declared := charset.Unknown
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		if _, params, found := cutParams(ct); found {
@@ -493,7 +515,7 @@ func (c *Crawler) fetch(ctx context.Context, pageURL string) (*core.Visit, []str
 		}
 		parseAs := declared
 		if parseAs == charset.Unknown {
-			parseAs = charset.Detect(body).Charset
+			parseAs = detected.Charset
 		}
 		doc := htmlx.ParseWithCharset(body, parseAs, pageURL)
 		if declared == charset.Unknown {
@@ -508,10 +530,11 @@ func (c *Crawler) fetch(ctx context.Context, pageURL string) (*core.Visit, []str
 		URL:         pageURL,
 		Status:      resp.StatusCode,
 		Declared:    declared,
-		TrueCharset: charset.Detect(body).Charset,
+		TrueCharset: detected.Charset,
 		Body:        body,
 		Truncated:   truncated,
 	}
+	visit.SetDetected(detected, detInfo)
 	rec := &crawlog.Record{
 		URL:         pageURL,
 		Status:      uint16(resp.StatusCode),

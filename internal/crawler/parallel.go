@@ -268,6 +268,15 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 
 			if allowed {
 				out := c.fetchWithRetry(ctx, item.url, host)
+				// Classify before taking the engine lock: scoring — and the
+				// charset detection behind it — of this page overlaps other
+				// workers' fetches and bookkeeping instead of serializing
+				// under mu. Classifiers only read the visit, so the move is
+				// observation-equivalent.
+				var s float64
+				if out.err == nil {
+					s = c.classify(out.visit)
+				}
 				mu.Lock()
 				res.Errors += out.transportErrs
 				if sinks.log != nil {
@@ -287,7 +296,6 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 				visit, links, rec := out.visit, out.links, out.rec
 				res.Crawled++
 				c.tel.Pages.Inc()
-				s := c.cfg.Classifier.Score(visit)
 				if s >= 0.5 {
 					res.Relevant++
 					c.tel.Relevant.Inc()

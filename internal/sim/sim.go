@@ -499,6 +499,9 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 		if !ct0.IsZero() {
 			tel.ClassifierTime.ObserveSince(ct0)
 		}
+		if info, ok := visit.DetectionInfo(); ok {
+			tel.Detect.Observe(info.Scanned, info.EarlyExit, info.PoolHit)
+		}
 		dec := cfg.Strategy.Decide(score, int(item.dist))
 		if visit.Status == 200 {
 			if dec.Follow {

@@ -241,6 +241,9 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 		if !ct0.IsZero() {
 			tel.ClassifierTime.ObserveSince(ct0)
 		}
+		if info, ok := visit.DetectionInfo(); ok {
+			tel.Detect.Observe(info.Scanned, info.EarlyExit, info.PoolHit)
+		}
 		dec := cfg.Strategy.Decide(score, int(ev.Payload.dist))
 		if visit.Status == 200 {
 			if dec.Follow {

@@ -96,6 +96,57 @@ func NewBatchStats(reg *Registry, sink string) *BatchStats {
 	}
 }
 
+// DetectStats instruments the detect-once classification pipeline:
+// how many one-shot charset detection passes ran, how many concluded
+// before exhausting their input, how many reused a pooled detector,
+// and how many bytes the probers actually consumed. The zero value and
+// nil are both no-ops, matching the rest of the package.
+type DetectStats struct {
+	Runs      *Counter // one-shot detection passes
+	EarlyExit *Counter // passes that reached a verdict before the input ran out
+	PoolHits  *Counter // passes served by a recycled pooled detector
+	Bytes     *Counter // bytes actually fed to the probers
+}
+
+// NewDetectStats builds the bundle (nil when reg is nil). subsystem
+// prefixes the metric names ("crawl", "sim") so both engine bundles can
+// share one registry without colliding.
+func NewDetectStats(reg *Registry, subsystem string) *DetectStats {
+	if reg == nil {
+		return nil
+	}
+	return &DetectStats{
+		Runs: reg.Counter(
+			fmt.Sprintf("langcrawl_%s_detect_total", subsystem),
+			"One-shot charset detection passes."),
+		EarlyExit: reg.Counter(
+			fmt.Sprintf("langcrawl_%s_detect_early_exit_total", subsystem),
+			"Detection passes that concluded before the input ran out."),
+		PoolHits: reg.Counter(
+			fmt.Sprintf("langcrawl_%s_detect_pool_hit_total", subsystem),
+			"Detection passes served by a recycled pooled detector."),
+		Bytes: reg.Counter(
+			fmt.Sprintf("langcrawl_%s_detect_bytes_total", subsystem),
+			"Bytes actually fed to the charset probers."),
+	}
+}
+
+// Observe records one detection pass. Nil-safe, like every record path
+// in the package.
+func (d *DetectStats) Observe(scanned int64, earlyExit, poolHit bool) {
+	if d == nil {
+		return
+	}
+	d.Runs.Inc()
+	d.Bytes.Add(scanned)
+	if earlyExit {
+		d.EarlyExit.Inc()
+	}
+	if poolHit {
+		d.PoolHits.Inc()
+	}
+}
+
 // CrawlStats instruments the live crawler (both engines): fetch
 // pipeline, worker idling, retry/breaker activity, and the append
 // sinks, plus a tracer for the rare interesting transitions.
@@ -118,6 +169,9 @@ type CrawlStats struct {
 	BreakerOpen        *Gauge   // hosts currently open
 	BreakerSkips       *Counter // fetches refused by an open breaker
 
+	ClassifyTime *Histogram // seconds per classification (detection included)
+
+	Detect   *DetectStats
 	Frontier *FrontierStats
 	Log      *BatchStats
 	DB       *BatchStats
@@ -148,6 +202,9 @@ func NewCrawlStats(reg *Registry) *CrawlStats {
 		BreakerOpen:        reg.Gauge("langcrawl_breaker_open", "Hosts with an open circuit breaker."),
 		BreakerSkips:       reg.Counter("langcrawl_breaker_skip_total", "Fetches refused by an open breaker."),
 
+		ClassifyTime: reg.Histogram("langcrawl_classify_seconds", "Classification time in seconds, detection included.", nil),
+
+		Detect:   NewDetectStats(reg, "crawl"),
 		Frontier: NewFrontierStats(reg),
 		Log:      NewBatchStats(reg, "crawlog"),
 		DB:       NewBatchStats(reg, "linkdb"),
@@ -183,6 +240,7 @@ type SimStats struct {
 	PagesPerSec    *GaugeFloat // throughput (virtual for the timed engine)
 	ClassifierTime *Histogram  // seconds per classification
 
+	Detect   *DetectStats
 	Frontier *FrontierStats
 	Ckpt     *CheckpointStats
 	Trace    *Tracer
@@ -200,6 +258,7 @@ func NewSimStats(reg *Registry) *SimStats {
 		QueueDepth:     reg.Gauge("langcrawl_sim_queue_depth", "Frontier length at the last sample."),
 		PagesPerSec:    reg.GaugeFloat("langcrawl_sim_pages_per_sec", "Crawl throughput (virtual time for the timed engine)."),
 		ClassifierTime: reg.Histogram("langcrawl_sim_classifier_seconds", "Classifier scoring time in seconds.", nil),
+		Detect:         NewDetectStats(reg, "sim"),
 		Frontier:       NewFrontierStats(reg),
 		Ckpt:           NewCheckpointStats(reg),
 		Trace:          reg.Tracer("langcrawl_sim_events", 0),
