@@ -9,7 +9,7 @@ GO ?= go
 # but fails the build on any real erosion.
 COVER_MIN ?= 91.0
 
-.PHONY: all build vet test race bench bench-check bench-baseline cover fuzz crash-suite telemetry-smoke experiments report clean
+.PHONY: all build vet test race bench bench-check bench-baseline cover fuzz crash-suite dist-suite telemetry-smoke experiments report clean
 
 all: build vet test
 
@@ -49,6 +49,9 @@ bench-check:
 	$(GO) test -bench=BenchmarkClassify -benchtime=1x -count=5 -benchmem -run='^$$' \
 		./internal/charset | \
 		$(GO) run ./cmd/benchcheck -baseline BENCH_classify.json -min-ns 10000
+	$(GO) test -bench=BenchmarkDistCrawl -benchtime=1x -count=5 -benchmem -run='^$$' \
+		./internal/dist | \
+		$(GO) run ./cmd/benchcheck -baseline BENCH_dist.json -tolerance 0.60
 
 bench-baseline:
 	$(GO) test -bench=. -benchtime=1x -count=5 -benchmem -run='^$$' \
@@ -63,6 +66,10 @@ bench-baseline:
 		./internal/charset | \
 		$(GO) run ./cmd/benchcheck -baseline BENCH_classify.json -update \
 		-note "detect-once classification: pooled detector must stay at 0 allocs/op (the ALLOCS gate)"
+	$(GO) test -bench=BenchmarkDistCrawl -benchtime=1x -count=5 -benchmem -run='^$$' \
+		./internal/dist | \
+		$(GO) run ./cmd/benchcheck -baseline BENCH_dist.json -update \
+		-note "end-to-end distributed crawl over a 400-page loopback space; min of 5 runs, pages/s vs worker count"
 
 # Short fuzzing passes over the parsers and concurrent structures;
 # extend -fuzztime for real runs.
@@ -75,6 +82,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzFrontierOps -fuzztime=30s ./internal/frontier/
 	$(GO) test -fuzz=FuzzShardedFrontier -fuzztime=30s ./internal/frontier/
 	$(GO) test -fuzz=FuzzCheckpointRecover -fuzztime=30s ./internal/checkpoint/
+	$(GO) test -fuzz=FuzzLeaseWireCodec -fuzztime=30s ./internal/dist/
 
 # Crash-safety suite: kill-resume equivalence against every golden
 # trace, crash-at-every-op/byte checkpoint sweeps on the injectable
@@ -84,6 +92,13 @@ crash-suite:
 	$(GO) test -count=1 -run 'KillResume|CheckpointEnabled|Crash|Checkpoint|Recover|Seen|State' \
 		./internal/conformance ./internal/checkpoint ./internal/faults \
 		./internal/crawler ./internal/sim ./internal/kvstore ./internal/linkdb
+
+# Distributed-crawl suite: coordinator/worker protocol units, the wire
+# codec, and multi-worker kill-resume / lease-migration / coordinator-
+# restart equivalence against the golden trace — all under -race.
+dist-suite:
+	$(GO) test -race -count=1 ./internal/dist/ ./internal/cliutil/
+	$(GO) test -race -count=1 -run 'TestDist' ./internal/conformance/
 
 # End-to-end telemetry check: boots simcrawl with -telemetry-addr and
 # asserts /healthz and the key /metrics series over real HTTP.

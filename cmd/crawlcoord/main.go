@@ -1,0 +1,170 @@
+// Command crawlcoord runs the distributed-crawl coordinator: it owns
+// the host-hash partition map and the global frontier, hands
+// time-bounded partition leases to livecrawl/simcrawl workers (their
+// -coord mode), dedups forwarded links against the crawl-wide seen set,
+// and checkpoints its state so a killed coordinator resumes with every
+// pre-crash lease fenced off. Examples:
+//
+//	crawlcoord -addr 127.0.0.1:7070 -seeds http://a.example/,http://b.example/
+//	crawlcoord -preset thai -pages 20000 -partitions 16 -checkpoint coord.ck
+//	crawlcoord -preset thai -fault-drop-heartbeat 0.3 -fault-partition 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"langcrawl/internal/cliutil"
+	"langcrawl/internal/dist"
+	"langcrawl/internal/faults"
+	"langcrawl/internal/telemetry"
+	"langcrawl/internal/webgraph"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address for the worker protocol")
+		partitions = flag.Int("partitions", 16, "host-hash partitions (fixed for the crawl's life)")
+		leaseTTL   = flag.Duration("lease-ttl", 10*time.Second, "lease lifetime without a heartbeat renewal")
+		maxBatch   = flag.Int("max-batch", 32, "max URLs per delivered batch")
+		seeds      = flag.String("seeds", "", "comma-separated seed URLs (overrides -preset)")
+		preset     = flag.String("preset", "", "derive seeds from a generated space: thai or japanese (workers in simcrawl -coord mode generate the same space)")
+		pages      = flag.Int("pages", 20000, "pages when deriving seeds from a preset")
+		seed       = flag.Uint64("seed", 2005, "generation seed when deriving seeds from a preset")
+		ckPath     = flag.String("checkpoint", "", "persist coordinator state to this file and resume from it")
+		ckEvery    = flag.Int("checkpoint-every", 0, "mutations between snapshots (default 256)")
+		untilDone  = flag.Bool("until-done", false, "exit once every partition is drained and acked")
+		statusIvl  = flag.Duration("status", 10*time.Second, "print a status line this often (0 = off)")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max time to checkpoint after SIGINT/SIGTERM (0 = wait forever)")
+		telAddr    = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this addr")
+
+		fltSeed  = flag.Uint64("fault-seed", 0, "fault model seed")
+		fltDrop  = flag.Float64("fault-drop-heartbeat", 0, "probability a heartbeat is dropped")
+		fltStale = flag.Float64("fault-stale-lease", 0, "probability a lease is issued already expired")
+		fltDup   = flag.Float64("fault-duplicate-grant", 0, "probability a pull attempts a duplicate grant (must be rejected)")
+		fltPart  = flag.Float64("fault-partition", 0, "probability a worker request hits a simulated network partition")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), cliutil.SignalUsage)
+	}
+	flag.Parse()
+
+	var seedURLs []string
+	switch {
+	case *seeds != "":
+		seedURLs = strings.Split(*seeds, ",")
+	case *preset != "":
+		var gen webgraph.Config
+		switch *preset {
+		case "thai":
+			gen = webgraph.ThaiLike(*pages, *seed)
+		case "japanese", "jp":
+			gen = webgraph.JapaneseLike(*pages, *seed)
+		default:
+			fatal(fmt.Errorf("unknown preset %q", *preset))
+		}
+		space, err := webgraph.Generate(gen)
+		if err != nil {
+			fatal(err)
+		}
+		for _, id := range space.Seeds {
+			seedURLs = append(seedURLs, space.URL(id))
+		}
+		fmt.Printf("seeds derived from %s space: %d pages, %d seed URLs\n",
+			*preset, space.N(), len(seedURLs))
+	case *ckPath == "":
+		fatal(fmt.Errorf("no work: provide -seeds, -preset, or a -checkpoint to resume"))
+	}
+
+	var stats *telemetry.DistStats
+	if *telAddr != "" {
+		stats = telemetry.NewDistStats(telemetry.NewRegistry())
+	}
+	coord, err := dist.New(dist.Options{
+		Partitions:      *partitions,
+		LeaseTTL:        *leaseTTL,
+		MaxBatch:        *maxBatch,
+		Seeds:           seedURLs,
+		CheckpointPath:  *ckPath,
+		CheckpointEvery: *ckEvery,
+		Faults: faults.DistModel{
+			Seed:               *fltSeed,
+			DropHeartbeatRate:  *fltDrop,
+			StaleLeaseRate:     *fltStale,
+			DuplicateGrantRate: *fltDup,
+			PartitionRate:      *fltPart,
+		},
+		Stats: stats,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *telAddr != "" {
+		tsrv, err := telemetry.Serve(*telAddr, stats.Registry())
+		if err != nil {
+			fatal(err)
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry on http://%s/\n", tsrv.Addr())
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: dist.Handler(coord)}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+	st := coord.Status()
+	fmt.Printf("coordinating %d partitions on %s (%d URLs pending, lease TTL %v)\n",
+		st.Partitions, *addr, st.Pending, *leaseTTL)
+
+	stop := cliutil.DrainSignals{Prog: "crawlcoord", DrainWait: *drainWait}.Install()
+
+	tick := time.NewTicker(max(*statusIvl, time.Second))
+	defer tick.Stop()
+	var lastLine string
+	for {
+		select {
+		case <-stop:
+			srv.Close()
+			if err := coord.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Println("coordinator stopped; final checkpoint written")
+			return
+		case <-tick.C:
+		}
+		st := coord.Status()
+		if *statusIvl > 0 {
+			line := fmt.Sprintf("workers=%d pending=%d inflight=%d acked=%d seen=%d leases=%d migrations=%d redelivered=%d",
+				st.Workers, st.Pending, st.Inflight, st.Acked, st.Seen,
+				st.Counters.LeasesGranted, st.Counters.Migrations, st.Counters.BatchesRedelivered)
+			if line != lastLine {
+				fmt.Fprintln(os.Stderr, line)
+				lastLine = line
+			}
+		}
+		if *untilDone && st.Done && st.Seen > 0 {
+			// Give the workers one lease TTL to observe Done on their next
+			// pull before the server goes away.
+			time.Sleep(*leaseTTL)
+			srv.Close()
+			if err := coord.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("crawl done: %d URLs acked across %d partitions\n", st.Acked, st.Partitions)
+			return
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "crawlcoord: %v\n", err)
+	os.Exit(1)
+}

@@ -17,9 +17,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"langcrawl/internal/charset"
@@ -27,6 +25,7 @@ import (
 	"langcrawl/internal/cliutil"
 	"langcrawl/internal/crawler"
 	"langcrawl/internal/crawlog"
+	"langcrawl/internal/dist"
 	"langcrawl/internal/faults"
 	"langcrawl/internal/kvstore"
 	"langcrawl/internal/linkdb"
@@ -64,7 +63,16 @@ func main() {
 		appendEvery  = flag.Duration("append-interval", 0, "flush staged appends at least this often (0 = only on full batches)")
 		telAddr      = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this addr (e.g. :9090)")
 		progress     = flag.Duration("progress", 0, "print a progress line to stderr this often (0 = off)")
+		coord        = flag.String("coord", "", "coordinator URL: run as a distributed worker against cmd/crawlcoord instead of crawling standalone")
+		workerID     = flag.String("worker-id", "", "worker identity in -coord mode (default <hostname>-<pid>)")
+		workerDir    = flag.String("worker-dir", "", "worker state directory in -coord mode (default distworker-<id>)")
+		stopAfter    = flag.Int("stop-after", 0, "crash harness: emulate a SIGKILL after this many cumulative pages (worker mode)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), cliutil.SignalUsage)
+	}
 	flag.Parse()
 
 	cfg := crawler.Config{HostInterval: *interval}
@@ -161,6 +169,49 @@ func main() {
 		defer rep.Stop()
 	}
 
+	// Worker mode: state (checkpoints, crawl log, link DB) lives under the
+	// worker directory, work arrives in coordinator-leased batches, and
+	// discovered links are forwarded back instead of queued locally.
+	if *coord != "" {
+		if *logPath != "" || *dbPath != "" || *ckDir != "" || *frontier != "" {
+			fatal(fmt.Errorf("-worker mode keeps its log, DB and checkpoints under -worker-dir; drop -log/-db/-frontier/-checkpoint-dir"))
+		}
+		id := *workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		dir := *workerDir
+		if dir == "" {
+			dir = "distworker-" + id
+		}
+		cfg.Seeds = nil // the coordinator owns the frontier
+		cfg.CheckpointEvery = *ckEvery
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		stop := cliutil.DrainSignals{Prog: "livecrawl", DrainWait: *drainWait}.Install()
+		// The coordinator client always dials for real: cfg.Client may be
+		// the self-serve dial-override, which must not capture coordinator
+		// traffic.
+		res, err := dist.RunWorker(ctx, dist.WorkerOptions{
+			Coord:     dist.NewClient(*coord, id, nil),
+			Dir:       dir,
+			Crawl:     cfg,
+			StopAfter: *stopAfter,
+			Stop:      stop,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("worker %s: %d pages crawled, %d batches acked (%d stale), %d links forwarded, %d replayed\n",
+			id, res.Crawled, res.Batches, res.StaleAcks, res.Forwarded, res.Replayed)
+		return
+	}
+
 	cfg.CheckpointDir = *ckDir
 	cfg.CheckpointEvery = *ckEvery
 
@@ -243,30 +294,9 @@ func main() {
 
 	// First SIGINT/SIGTERM drains gracefully: the engine finishes the
 	// fetches in hand, writes a final checkpoint, and flushes the batch
-	// writers (previously the process died with staged appends unsynced).
-	// A second signal — or the drain deadline — forces the exit.
-	stop := make(chan struct{})
-	cfg.Stop = stop
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sig
-		fmt.Fprintf(os.Stderr, "livecrawl: %v: draining and checkpointing; signal again to force quit\n", s)
-		close(stop)
-		var deadline <-chan time.Time
-		if *drainWait > 0 {
-			t := time.NewTimer(*drainWait)
-			defer t.Stop()
-			deadline = t.C
-		}
-		select {
-		case <-sig:
-			fmt.Fprintln(os.Stderr, "livecrawl: forced exit")
-		case <-deadline:
-			fmt.Fprintln(os.Stderr, "livecrawl: drain deadline exceeded; forced exit")
-		}
-		os.Exit(130)
-	}()
+	// writers. A second signal force-exits immediately; the drain
+	// deadline does too. (See the Signals section of -h.)
+	cfg.Stop = cliutil.DrainSignals{Prog: "livecrawl", DrainWait: *drainWait}.Install()
 
 	c, err := crawler.New(cfg)
 	if err != nil {

@@ -8,22 +8,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"langcrawl/internal/cliutil"
 	"langcrawl/internal/core"
+	"langcrawl/internal/crawler"
 	"langcrawl/internal/crawlog"
+	"langcrawl/internal/dist"
 	"langcrawl/internal/faults"
 	"langcrawl/internal/metrics"
 	"langcrawl/internal/sim"
 	"langcrawl/internal/telemetry"
 	"langcrawl/internal/webgraph"
+	"langcrawl/internal/webserve"
 )
 
 func main() {
@@ -56,7 +61,16 @@ func main() {
 		telAddr   = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this addr (e.g. :9090)")
 		telLinger = flag.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the crawl ends")
 		progress  = flag.Duration("progress", 0, "print a progress line to stderr this often (0 = off)")
+		coord     = flag.String("coord", "", "coordinator URL: run as a distributed worker (generates the space locally, serves it on loopback, crawls leased batches)")
+		workerID  = flag.String("worker-id", "", "worker identity in -coord mode (default <hostname>-<pid>)")
+		workerDir = flag.String("worker-dir", "", "worker state directory in -coord mode (default distworker-<id>)")
+		stopAfter = flag.Int("stop-after", 0, "crash harness: emulate a SIGKILL after this many cumulative pages (worker mode)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), cliutil.SignalUsage)
+	}
 	flag.Parse()
 
 	space, err := loadSpace(*logPath, *preset, *pages, *seed)
@@ -85,6 +99,16 @@ func main() {
 		fatal(err)
 	}
 
+	// Worker mode: every worker generates the identical deterministic
+	// space from -preset/-pages/-seed, serves its own copy on a loopback
+	// listener, and crawls whatever URL batches the coordinator leases to
+	// it — a distributed simulation with no shared web server at all.
+	if *coord != "" {
+		runDistWorker(space, strategy, classifier,
+			*coord, *workerID, *workerDir, *stopAfter, *drainWait, *ckEvery)
+		return
+	}
+
 	cfg := sim.Config{
 		Strategy: strategy, Classifier: classifier, MaxPages: *maxPages,
 		SpillDir: *spillDir, SpillMemLimit: *spillMem,
@@ -92,35 +116,15 @@ func main() {
 		CheckpointDir: *ckDir, CheckpointEvery: *ckEvery,
 	}
 
-	if *ckDir != "" {
-		if *timed {
-			fatal(fmt.Errorf("-checkpoint-dir is not supported with -timed (the event queue has no serialized form)"))
-		}
+	if *ckDir != "" && *timed {
+		fatal(fmt.Errorf("-checkpoint-dir is not supported with -timed (the event queue has no serialized form)"))
+	}
+	if !*timed {
 		// First SIGINT/SIGTERM stops the simulation at the next page
-		// boundary and writes a final checkpoint; a second signal — or
-		// the drain deadline — forces the exit.
-		stop := make(chan struct{})
-		cfg.Stop = stop
-		sig := make(chan os.Signal, 2)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			s := <-sig
-			fmt.Fprintf(os.Stderr, "simcrawl: %v: checkpointing and stopping; signal again to force quit\n", s)
-			close(stop)
-			var deadline <-chan time.Time
-			if *drainWait > 0 {
-				t := time.NewTimer(*drainWait)
-				defer t.Stop()
-				deadline = t.C
-			}
-			select {
-			case <-sig:
-				fmt.Fprintln(os.Stderr, "simcrawl: forced exit")
-			case <-deadline:
-				fmt.Fprintln(os.Stderr, "simcrawl: drain deadline exceeded; forced exit")
-			}
-			os.Exit(130)
-		}()
+		// boundary and writes a final checkpoint; a second signal force-
+		// exits immediately, as does the drain deadline. (See the Signals
+		// section of -h.)
+		cfg.Stop = cliutil.DrainSignals{Prog: "simcrawl", DrainWait: *drainWait}.Install()
 	}
 
 	// Telemetry is registry-per-process: instruments only exist when an
@@ -257,6 +261,56 @@ func runComparison(space *webgraph.Space, spec string, classifier core.Classifie
 		fmt.Printf("%-34s %10d %9.1f%% %9.1f%% %10d\n",
 			res.Strategy, res.Crawled, res.FinalHarvest(), res.FinalCoverage(), res.MaxQueueLen)
 	}
+}
+
+// runDistWorker is simcrawl's -coord mode: serve the deterministic
+// space over loopback (every virtual host dials back to it) and crawl
+// coordinator-leased batches with the live engine. All workers generate
+// the same space, so the crawl is consistent without a shared server.
+func runDistWorker(space *webgraph.Space, strategy core.Strategy, classifier core.Classifier,
+	coordURL, workerID, workerDir string, stopAfter int, drainWait time.Duration, ckEvery int) {
+	id := workerID
+	if id == "" {
+		host, _ := os.Hostname()
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	dir := workerDir
+	if dir == "" {
+		dir = "distworker-" + id
+	}
+	srv := httptest.NewServer(webserve.New(space))
+	defer srv.Close()
+	addr := srv.Listener.Addr().String()
+	client := &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, network, addr)
+			},
+		},
+		Timeout: 30 * time.Second,
+	}
+	fmt.Printf("worker %s: serving %d pages on %s, coordinator %s\n",
+		id, space.N(), addr, coordURL)
+	stop := cliutil.DrainSignals{Prog: "simcrawl", DrainWait: drainWait}.Install()
+	res, err := dist.RunWorker(context.Background(), dist.WorkerOptions{
+		Coord: dist.NewClient(coordURL, id, nil),
+		Dir:   dir,
+		Crawl: crawler.Config{
+			Strategy:        strategy,
+			Classifier:      classifier,
+			Client:          client,
+			IgnoreRobots:    true,
+			CheckpointEvery: ckEvery,
+		},
+		StopAfter: stopAfter,
+		Stop:      stop,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("worker %s: %d pages crawled, %d batches acked (%d stale), %d links forwarded, %d replayed\n",
+		id, res.Crawled, res.Batches, res.StaleAcks, res.Forwarded, res.Replayed)
 }
 
 func seriesSet(title, ylabel string, s *metrics.Series) *metrics.Set {

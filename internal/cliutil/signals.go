@@ -1,0 +1,81 @@
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// SignalUsage is the two-stage signal contract every interactive cmd
+// documents in its -h output.
+const SignalUsage = `
+Signals:
+  The first SIGINT or SIGTERM requests a graceful stop: the crawl
+  finishes the work in hand, writes a final checkpoint, and flushes its
+  outputs (bounded by -drain-timeout). A second SIGINT or SIGTERM
+  force-exits immediately, without waiting for the drain.
+`
+
+// DrainSignals installs the two-stage stop policy. The zero value plus
+// a Prog is ready: Install registers for SIGINT/SIGTERM and returns the
+// stop channel the engine should honor. The first signal closes it and
+// starts the drain clock; the second signal — or the DrainWait deadline
+// — exits the process immediately with status 130.
+//
+// The fields besides Prog and DrainWait exist so tests can drive the
+// policy without sending real signals or exiting the test binary.
+type DrainSignals struct {
+	Prog      string        // program name prefixed to messages
+	DrainWait time.Duration // 0 = wait forever for the drain
+
+	Out    io.Writer                            // defaults to os.Stderr
+	Exit   func(int)                            // defaults to os.Exit
+	Notify func(chan<- os.Signal)               // defaults to signal.Notify(INT, TERM)
+	After  func(time.Duration) <-chan time.Time // defaults to time.After
+}
+
+// Install starts the signal watcher and returns the graceful-stop
+// channel.
+func (d DrainSignals) Install() <-chan struct{} {
+	if d.Out == nil {
+		d.Out = os.Stderr
+	}
+	if d.Exit == nil {
+		d.Exit = os.Exit
+	}
+	if d.Notify == nil {
+		d.Notify = func(ch chan<- os.Signal) {
+			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		}
+	}
+	if d.After == nil {
+		d.After = time.After
+	}
+	stop := make(chan struct{})
+	// Buffered so a second signal delivered while the watcher is printing
+	// is never dropped — that second signal is the force-exit order.
+	sig := make(chan os.Signal, 2)
+	d.Notify(sig)
+	go d.watch(sig, stop)
+	return stop
+}
+
+func (d DrainSignals) watch(sig chan os.Signal, stop chan struct{}) {
+	s := <-sig
+	fmt.Fprintf(d.Out, "%s: %v: draining and checkpointing; signal again to force quit\n", d.Prog, s)
+	close(stop)
+	var deadline <-chan time.Time
+	if d.DrainWait > 0 {
+		deadline = d.After(d.DrainWait)
+	}
+	select {
+	case <-sig:
+		fmt.Fprintf(d.Out, "%s: forced exit\n", d.Prog)
+	case <-deadline:
+		fmt.Fprintf(d.Out, "%s: drain deadline exceeded; forced exit\n", d.Prog)
+	}
+	d.Exit(130)
+}

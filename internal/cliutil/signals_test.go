@@ -1,0 +1,140 @@
+package cliutil
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// harness drives DrainSignals with injected signal, clock, and exit so
+// the two-stage policy is testable without killing the test binary.
+type sigHarness struct {
+	mu       sync.Mutex
+	out      bytes.Buffer
+	sig      chan<- os.Signal
+	deadline chan time.Time
+	exited   chan int
+}
+
+func newSigHarness(drain time.Duration) (*sigHarness, <-chan struct{}) {
+	h := &sigHarness{
+		deadline: make(chan time.Time, 1),
+		exited:   make(chan int, 1),
+	}
+	d := DrainSignals{
+		Prog:      "testprog",
+		DrainWait: drain,
+		Out:       syncWriter{h},
+		Exit:      func(code int) { h.exited <- code },
+		Notify:    func(ch chan<- os.Signal) { h.sig = ch },
+		After:     func(time.Duration) <-chan time.Time { return h.deadline },
+	}
+	stop := d.Install()
+	return h, stop
+}
+
+type syncWriter struct{ h *sigHarness }
+
+func (w syncWriter) Write(p []byte) (int, error) {
+	w.h.mu.Lock()
+	defer w.h.mu.Unlock()
+	return w.h.out.Write(p)
+}
+
+func (h *sigHarness) output() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.out.String()
+}
+
+func waitClosed(t *testing.T, ch <-chan struct{}) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop channel never closed")
+	}
+}
+
+func TestFirstSignalDrainsGracefully(t *testing.T) {
+	h, stop := newSigHarness(time.Hour)
+	select {
+	case <-stop:
+		t.Fatal("stop closed before any signal")
+	default:
+	}
+	h.sig <- os.Interrupt
+	waitClosed(t, stop)
+	select {
+	case code := <-h.exited:
+		t.Fatalf("one signal exited the process (status %d)", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := h.output(); !strings.Contains(got, "signal again to force quit") {
+		t.Errorf("first-signal message %q does not document the force-quit path", got)
+	}
+}
+
+// TestSecondSignalForceExits is the satellite contract: the second
+// SIGINT/SIGTERM must exit immediately, not wait out the drain.
+func TestSecondSignalForceExits(t *testing.T) {
+	h, stop := newSigHarness(time.Hour) // drain would outlive the test
+	h.sig <- os.Interrupt
+	waitClosed(t, stop)
+	h.sig <- os.Interrupt
+	select {
+	case code := <-h.exited:
+		if code != 130 {
+			t.Errorf("force exit status %d, want 130", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not force an exit")
+	}
+	if got := h.output(); !strings.Contains(got, "forced exit") {
+		t.Errorf("force exit not announced in %q", got)
+	}
+}
+
+func TestDrainDeadlineForceExits(t *testing.T) {
+	h, stop := newSigHarness(time.Minute)
+	h.sig <- os.Interrupt
+	waitClosed(t, stop)
+	h.deadline <- time.Time{} // the drain clock runs out
+	select {
+	case code := <-h.exited:
+		if code != 130 {
+			t.Errorf("deadline exit status %d, want 130", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain deadline did not force an exit")
+	}
+	if got := h.output(); !strings.Contains(got, "drain deadline exceeded") {
+		t.Errorf("deadline exit not announced in %q", got)
+	}
+}
+
+// TestBackToBackSignalsNotDropped: both signals landing before the
+// watcher wakes must still force-exit — the channel buffer is what
+// guarantees the second signal is never lost.
+func TestBackToBackSignalsNotDropped(t *testing.T) {
+	h, stop := newSigHarness(time.Hour)
+	h.sig <- os.Interrupt
+	h.sig <- os.Interrupt
+	waitClosed(t, stop)
+	select {
+	case <-h.exited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("back-to-back signals did not force an exit")
+	}
+}
+
+func TestSignalUsageMentionsBothStages(t *testing.T) {
+	for _, want := range []string{"graceful", "second", "force-exits immediately"} {
+		if !strings.Contains(SignalUsage, want) {
+			t.Errorf("SignalUsage does not mention %q", want)
+		}
+	}
+}

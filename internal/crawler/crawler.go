@@ -33,6 +33,23 @@ import (
 type Config struct {
 	// Seeds are the entry-point URLs (normalized or normalizable).
 	Seeds []string
+	// SeedItems are structured entry points carrying an explicit link
+	// distance and priority — the distributed worker (internal/dist)
+	// seeds each leased batch through here. Unlike Seeds they must
+	// already be normalized, and they are pushed even when the crawl
+	// resumes from a checkpoint: a resumed worker may hold a batch
+	// delivered after its last snapshot, and the pop-side seen-set skip
+	// makes re-pushing already-visited entries harmless.
+	SeedItems []checkpoint.Entry
+	// LinkSink, when non-nil, receives every followed link (normalized,
+	// with the strategy's assigned distance and priority) instead of the
+	// link being pushed onto the local frontier. The distributed worker
+	// forwards sink output to the coordinator, which owns the global
+	// frontier; a non-nil error aborts the crawl so an unreachable
+	// coordinator fails the batch rather than dropping links. Entries are
+	// pre-filtered by the local seen set only — the sink owner is
+	// responsible for global dedup.
+	LinkSink func([]checkpoint.Entry) error
 	// Strategy orders and prunes the frontier.
 	Strategy core.Strategy
 	// Classifier scores fetched pages.
@@ -158,7 +175,7 @@ type Crawler struct {
 
 // New validates cfg and returns a ready crawler.
 func New(cfg Config) (*Crawler, error) {
-	if len(cfg.Seeds) == 0 {
+	if len(cfg.Seeds) == 0 && len(cfg.SeedItems) == 0 {
 		return nil, errors.New("crawler: at least one seed URL is required")
 	}
 	if cfg.Strategy == nil || cfg.Classifier == nil {
@@ -244,6 +261,12 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 			}
 			queue.Push(qitem{url: u, prio: 1}, 1)
 		}
+	}
+	// SeedItems go in even on resume: a leased batch delivered after the
+	// last snapshot is not in the restored frontier, and re-pushing
+	// entries that are is deduplicated by the seen-set skip below.
+	for _, e := range c.cfg.SeedItems {
+		queue.Push(qitem{url: e.URL, dist: e.Dist, prio: e.Prio}, e.Prio)
 	}
 
 	// writeCk flushes the sinks for durable positions, snapshots the
@@ -364,9 +387,23 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 
 		dec := c.cfg.Strategy.Decide(score, int(item.dist))
 		if visit.Status == 200 && dec.Follow {
-			for _, l := range links {
-				if !seen.Has(l) {
-					queue.Push(qitem{url: l, dist: int32(dec.Dist), prio: dec.Priority}, dec.Priority)
+			if c.cfg.LinkSink != nil {
+				var out []checkpoint.Entry
+				for _, l := range links {
+					if !seen.Has(l) {
+						out = append(out, checkpoint.Entry{URL: l, Dist: int32(dec.Dist), Prio: dec.Priority})
+					}
+				}
+				if len(out) > 0 {
+					if err := c.cfg.LinkSink(out); err != nil {
+						return res, fmt.Errorf("crawler: link sink: %w", err)
+					}
+				}
+			} else {
+				for _, l := range links {
+					if !seen.Has(l) {
+						queue.Push(qitem{url: l, dist: int32(dec.Dist), prio: dec.Priority}, dec.Priority)
+					}
 				}
 			}
 		}

@@ -91,6 +91,12 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 			fr.Push(qitem{url: u, prio: 1}, 1)
 		}
 	}
+	// SeedItems go in even on resume (see runSequential): leased batches
+	// delivered after the last snapshot are only here, and duplicates are
+	// absorbed by the pop-side seen-set skip.
+	for _, e := range c.cfg.SeedItems {
+		fr.Push(qitem{url: e.URL, dist: e.Dist, prio: e.Prio}, e.Prio)
+	}
 	fr.Flush() // restore/seed entries are all visible before workers start
 
 	// writeCk snapshots the crawl. The caller guarantees quiescence —
@@ -313,9 +319,15 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 				}
 				dec := c.cfg.Strategy.Decide(s, int(item.dist))
 				var fresh []frontier.Pending[qitem]
+				var sunk []checkpoint.Entry
 				if visit.Status == 200 && dec.Follow {
 					for _, l := range links {
-						if !seen.Has(l) {
+						if seen.Has(l) {
+							continue
+						}
+						if c.cfg.LinkSink != nil {
+							sunk = append(sunk, checkpoint.Entry{URL: l, Dist: int32(dec.Dist), Prio: dec.Priority})
+						} else {
 							fresh = append(fresh, frontier.Pending[qitem]{
 								Item: qitem{url: l, dist: int32(dec.Dist), prio: dec.Priority},
 								Prio: dec.Priority,
@@ -328,9 +340,21 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 				// each destination shard's lock once — outside mu so other
 				// workers' bookkeeping proceeds meanwhile. inflight stays
 				// claimed until after the push, so no peer can conclude
-				// quiescence while these links are in transit.
+				// quiescence while these links are in transit. A LinkSink
+				// call likewise overlaps peers — it may block on the
+				// network — and a sink error ends the crawl like a write
+				// error would.
 				if len(fresh) > 0 {
 					fr.PushBatch(fresh)
+				}
+				if len(sunk) > 0 {
+					if serr := c.cfg.LinkSink(sunk); serr != nil {
+						mu.Lock()
+						if runErr == nil {
+							runErr = fmt.Errorf("crawler: link sink: %w", serr)
+						}
+						mu.Unlock()
+					}
 				}
 				mu.Lock()
 				if observer != nil {

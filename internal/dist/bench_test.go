@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/core"
+	"langcrawl/internal/crawler"
+	"langcrawl/internal/webgraph"
+	"langcrawl/internal/webserve"
+)
+
+// BenchmarkDistCrawl measures end-to-end distributed crawl throughput —
+// coordinator, HTTP protocol, N workers, link forwarding, acks — over a
+// fixed 400-page loopback space. One iteration is one complete crawl;
+// the pages/s metric is the headline (ns/op is what the regression gate
+// tracks), and the workers=N sub-benchmarks show the scaling curve.
+func BenchmarkDistCrawl(b *testing.B) {
+	sp, err := webgraph.Generate(webgraph.ThaiLike(400, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	web := httptest.NewServer(webserve.New(sp))
+	defer web.Close()
+	addr := web.Listener.Addr().String()
+	client := &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, network, addr)
+			},
+		},
+		Timeout: 10 * time.Second,
+	}
+	seeds := make([]string, len(sp.Seeds))
+	for i, id := range sp.Seeds {
+		seeds[i] = sp.URL(id)
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pages := 0
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				coord, err := New(Options{
+					Partitions: 8,
+					LeaseTTL:   5 * time.Second,
+					MaxBatch:   16,
+					Seeds:      seeds,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ts := httptest.NewServer(Handler(coord))
+				var wg sync.WaitGroup
+				errs := make([]error, workers)
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						_, errs[w] = RunWorker(context.Background(), WorkerOptions{
+							Coord:        NewClient(ts.URL, fmt.Sprintf("bench-w%d", w), nil),
+							Dir:          b.TempDir(),
+							PollInterval: 2 * time.Millisecond,
+							Crawl: crawler.Config{
+								Strategy:     core.SoftFocused{},
+								Classifier:   core.MetaClassifier{Target: charset.LangThai},
+								Client:       client,
+								IgnoreRobots: true,
+							},
+						})
+					}()
+				}
+				wg.Wait()
+				ts.Close()
+				for w, err := range errs {
+					if err != nil {
+						b.Fatalf("worker %d: %v", w, err)
+					}
+				}
+				st := coord.Status()
+				if !st.Done {
+					b.Fatal("crawl did not finish")
+				}
+				pages += st.Acked
+			}
+			b.ReportMetric(float64(pages)/time.Since(start).Seconds(), "pages/s")
+		})
+	}
+}

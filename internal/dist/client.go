@@ -1,0 +1,163 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is a worker's handle on the coordinator. It speaks the binary
+// wire protocol over HTTP POST and retries transient failures (5xx,
+// transport errors) with short exponential backoff — enough to ride out
+// an injected partition or a coordinator restart without failing the
+// batch in hand. Safe for concurrent use (the heartbeat goroutine and
+// the crawl loop share it).
+type Client struct {
+	base   string // e.g. "http://127.0.0.1:7070" (no trailing slash)
+	worker string
+	hc     *http.Client
+	// attempts and backoff are fixed; tests shorten wall time by running
+	// against httptest servers where retries resolve immediately.
+	attempts int
+	backoff  time.Duration
+}
+
+// NewClient builds a client for worker against the coordinator at base.
+// hc may be nil for http.DefaultClient; tests inject a dial-overridden
+// client the same way the live crawler does.
+func NewClient(base, worker string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, worker: worker, hc: hc, attempts: 4, backoff: 25 * time.Millisecond}
+}
+
+// Worker returns the worker ID this client speaks for.
+func (c *Client) Worker() string { return c.worker }
+
+// call POSTs one frame and decodes the reply, retrying transient
+// failures. A 4xx is permanent (protocol bug), a 5xx or transport error
+// is retried until the attempt budget runs out.
+func (c *Client) call(ctx context.Context, route string, req Message) (Message, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff << (attempt - 1)
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		msg, retryable, err := c.once(ctx, route, req)
+		if err == nil {
+			return msg, nil
+		}
+		lastErr = err
+		if !retryable {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("dist: %s: %w", route, lastErr)
+}
+
+func (c *Client) once(ctx context.Context, route string, req Message) (msg Message, retryable bool, err error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+PathPrefix+route, bytes.NewReader(Marshal(req)))
+	if err != nil {
+		return nil, false, err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, wireMaxFrame+1))
+	if err != nil {
+		return nil, true, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode >= 500, fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	m, err := Unmarshal(body)
+	if err != nil {
+		return nil, false, err
+	}
+	return m, false, nil
+}
+
+// Register announces the worker and returns the crawl constants.
+func (c *Client) Register(ctx context.Context) (*RegisterResp, error) {
+	m, err := c.call(ctx, "register", &RegisterReq{Worker: c.worker})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := m.(*RegisterResp)
+	if !ok {
+		return nil, fmt.Errorf("dist: register: unexpected reply %T", m)
+	}
+	return resp, nil
+}
+
+// Pull asks for up to maxURLs of work.
+func (c *Client) Pull(ctx context.Context, maxURLs int) (*PullResp, error) {
+	m, err := c.call(ctx, "pull", &PullReq{Worker: c.worker, Max: maxURLs})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := m.(*PullResp)
+	if !ok {
+		return nil, fmt.Errorf("dist: pull: unexpected reply %T", m)
+	}
+	return resp, nil
+}
+
+// Forward ships discovered links to the coordinator.
+func (c *Client) Forward(ctx context.Context, links []Link) (*ForwardResp, error) {
+	m, err := c.call(ctx, "forward", &ForwardReq{Worker: c.worker, Links: links})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := m.(*ForwardResp)
+	if !ok {
+		return nil, fmt.Errorf("dist: forward: unexpected reply %T", m)
+	}
+	return resp, nil
+}
+
+// Ack retires a delivered batch; stale reports an epoch fence.
+func (c *Client) Ack(ctx context.Context, b *Batch) (stale bool, err error) {
+	m, err := c.call(ctx, "ack", &AckReq{Worker: c.worker, Partition: b.Partition, Epoch: b.Epoch, BatchID: b.ID})
+	if err != nil {
+		return false, err
+	}
+	resp, ok := m.(*AckResp)
+	if !ok {
+		return false, fmt.Errorf("dist: ack: unexpected reply %T", m)
+	}
+	return resp.Stale, nil
+}
+
+// Heartbeat renews leases. Transient failures (including injected
+// drops) surface as errors the caller should tolerate — missing one
+// heartbeat is the protocol's bread and butter.
+func (c *Client) Heartbeat(ctx context.Context, leases []Lease) (*HeartbeatResp, error) {
+	m, err := c.call(ctx, "heartbeat", &HeartbeatReq{Worker: c.worker, Leases: leases})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := m.(*HeartbeatResp)
+	if !ok {
+		return nil, fmt.Errorf("dist: heartbeat: unexpected reply %T", m)
+	}
+	return resp, nil
+}

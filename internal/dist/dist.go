@@ -1,0 +1,62 @@
+// Package dist is the fault-tolerant distributed crawl layer: a
+// coordinator that owns the host-hash partition map and the global
+// frontier, and worker processes that crawl time-bounded partition
+// leases with their own crash-safe checkpoints.
+//
+// The shape follows BUbiNG's agent partitioning and reprocrawl's
+// work-dispatcher (see PAPERS.md): hosts are assigned to partitions by
+// the same deterministic hash the sharded frontier stripes by
+// (frontier.HashKey), the coordinator leases partitions to workers for
+// a TTL renewed by heartbeats, and URL batches flow worker-ward while
+// discovered links flow coordinator-ward. Delivery is at-least-once:
+// a batch whose lease expires before its ack — a SIGKILLed or
+// partitioned worker — returns to the partition's pending queue and is
+// redelivered, possibly to a different worker (lease migration).
+// Duplicates are absorbed at three levels: the coordinator's global
+// seen-set refuses re-enqueueing a forwarded URL, each worker's crawl
+// checkpoint seen-set and link DB refuse refetching, and the
+// conformance suite compares merged output as a set.
+//
+// Safety invariants the lease edge-case tests hold the coordinator to:
+//
+//   - Single owner: a partition has at most one unexpired lease; a
+//     grant attempt against a leased partition is rejected (counted,
+//     never honored), even when fault injection asks for it.
+//   - Epoch fencing: every grant increments the partition's epoch, and
+//     acks or heartbeat renewals carrying an older epoch are refused —
+//     a worker that lost its lease cannot retire work it no longer
+//     owns.
+//   - No lost URLs: expiry moves a lease's unacked batches back to
+//     pending before the partition is granted again; coordinator
+//     restart folds inflight batches back the same way.
+package dist
+
+import (
+	"langcrawl/internal/frontier"
+	"langcrawl/internal/urlutil"
+)
+
+// Link is one frontier entry in flight between coordinator and worker:
+// a normalized URL with the link distance and priority the strategy
+// assigned at discovery.
+type Link struct {
+	URL  string
+	Dist int32
+	Prio float64
+}
+
+// PartitionOf maps a host to its owning partition. It reuses the
+// sharded frontier's deterministic hash, so a partition is exactly the
+// distributed analogue of a frontier shard: stable across runs,
+// coordinator restarts, and worker counts.
+func PartitionOf(host string, partitions int) int {
+	if partitions <= 1 {
+		return 0
+	}
+	return int(frontier.HashKey(host) % uint64(partitions))
+}
+
+// PartitionOfURL maps a URL to its owning partition via its host.
+func PartitionOfURL(url string, partitions int) int {
+	return PartitionOf(urlutil.Host(url), partitions)
+}

@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HTTP transport for the coordinator: one POST route per message kind,
+// binary wire frames in both directions. The shape mirrors
+// internal/telemetry's Handler — a self-contained mux the cmd mounts
+// wherever it likes — and stays on the stdlib client/server the rest of
+// the repo uses.
+
+// PathPrefix is the route prefix every protocol endpoint lives under.
+const PathPrefix = "/dist/v1/"
+
+// Handler returns the coordinator's HTTP handler:
+//
+//	POST /dist/v1/register   RegisterReq  → RegisterResp
+//	POST /dist/v1/pull       PullReq      → PullResp
+//	POST /dist/v1/forward    ForwardReq   → ForwardResp
+//	POST /dist/v1/ack        AckReq       → AckResp
+//	POST /dist/v1/heartbeat  HeartbeatReq → HeartbeatResp
+//	GET  /dist/v1/status     JSON Status (human/debug endpoint)
+//
+// Injected network partitions and dropped heartbeats answer 503, which
+// the worker client treats as a transient transport failure — exactly
+// how a real partition presents.
+func Handler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathPrefix+"register", func(w http.ResponseWriter, r *http.Request) {
+		serve(c, w, r, func(m Message) (Message, bool) {
+			req, ok := m.(*RegisterReq)
+			if !ok {
+				return nil, false
+			}
+			resp := c.Register(req.Worker)
+			return &resp, true
+		})
+	})
+	mux.HandleFunc(PathPrefix+"pull", func(w http.ResponseWriter, r *http.Request) {
+		serve(c, w, r, func(m Message) (Message, bool) {
+			req, ok := m.(*PullReq)
+			if !ok {
+				return nil, false
+			}
+			resp := c.Pull(req.Worker, req.Max)
+			return &resp, true
+		})
+	})
+	mux.HandleFunc(PathPrefix+"forward", func(w http.ResponseWriter, r *http.Request) {
+		serve(c, w, r, func(m Message) (Message, bool) {
+			req, ok := m.(*ForwardReq)
+			if !ok {
+				return nil, false
+			}
+			resp := c.Forward(req.Worker, req.Links)
+			return &resp, true
+		})
+	})
+	mux.HandleFunc(PathPrefix+"ack", func(w http.ResponseWriter, r *http.Request) {
+		serve(c, w, r, func(m Message) (Message, bool) {
+			req, ok := m.(*AckReq)
+			if !ok {
+				return nil, false
+			}
+			resp := c.Ack(*req)
+			return &resp, true
+		})
+	})
+	mux.HandleFunc(PathPrefix+"heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		serve(c, w, r, func(m Message) (Message, bool) {
+			req, ok := m.(*HeartbeatReq)
+			if !ok {
+				return nil, false
+			}
+			resp, dropped := c.Heartbeat(req.Worker, req.Leases)
+			if dropped {
+				return nil, true // nil resp + ok → 503, "never arrived"
+			}
+			return &resp, true
+		})
+	})
+	mux.HandleFunc(PathPrefix+"status", func(w http.ResponseWriter, r *http.Request) {
+		st := c.Status()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"partitions":%d,"workers":%d,"pending":%d,"inflight":%d,"acked":%d,"seen":%d,"done":%t}`+"\n",
+			st.Partitions, st.Workers, st.Pending, st.Inflight, st.Acked, st.Seen, st.Done)
+	})
+	return mux
+}
+
+// serve decodes one frame, applies the injected-partition gate, invokes
+// the handler, and encodes the reply. handle returns (nil, true) to
+// signal a deliberately dropped request (503) and (nil, false) for a
+// kind mismatch (400).
+func serve(c *Coordinator, w http.ResponseWriter, r *http.Request, handle func(Message) (Message, bool)) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, wireMaxFrame+1))
+	if err != nil || len(body) > wireMaxFrame {
+		http.Error(w, "bad frame", http.StatusBadRequest)
+		return
+	}
+	msg, err := Unmarshal(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if c.Partitioned() {
+		// Injected network partition: this worker's request never gets
+		// through. 503 with no body, like a dead reverse proxy.
+		http.Error(w, "partitioned", http.StatusServiceUnavailable)
+		return
+	}
+	resp, ok := handle(msg)
+	if !ok {
+		http.Error(w, "wrong message kind for route", http.StatusBadRequest)
+		return
+	}
+	if resp == nil {
+		http.Error(w, "dropped", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(Marshal(resp))
+}

@@ -1,0 +1,512 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Wire codec for the coordinator↔worker protocol. Every message is one
+// self-contained frame — magic, kind byte, varint-encoded fields, and a
+// CRC32 trailer over everything before it — carried as the body of an
+// HTTP POST (see server.go/client.go). The format mirrors the
+// checkpoint state codec's conventions: uvarints for counts and
+// unsigned fields, zigzag varints for signed ones, fixed 8-byte IEEE
+// bits for float64, length-prefixed strings, and a sticky-error reader
+// whose allocation guards are fuzzed by FuzzLeaseWireCodec.
+
+const (
+	wireMagic = "LCW1"
+	// wireMaxFrame bounds a frame (and therefore a decode-side
+	// allocation burst); the coordinator caps batches far below this.
+	wireMaxFrame = 8 << 20
+)
+
+// ErrWire is wrapped by every decode failure.
+var ErrWire = errors.New("dist: bad wire frame")
+
+type msgKind byte
+
+const (
+	kindRegisterReq msgKind = iota + 1
+	kindRegisterResp
+	kindPullReq
+	kindPullResp
+	kindForwardReq
+	kindForwardResp
+	kindAckReq
+	kindAckResp
+	kindHeartbeatReq
+	kindHeartbeatResp
+)
+
+// Message is one coordinator↔worker protocol message.
+type Message interface {
+	kind() msgKind
+	enc(*wbuf)
+	dec(*rbuf)
+}
+
+// Lease identifies one partition lease epoch. The epoch is the fencing
+// token: it increments on every grant, and the coordinator refuses
+// acks and renewals that carry an older one.
+type Lease struct {
+	Partition int
+	Epoch     uint64
+}
+
+// Batch is one unit of delivered work: URLs of a single partition,
+// fenced by the lease epoch they were delivered under.
+type Batch struct {
+	ID        uint64
+	Partition int
+	Epoch     uint64
+	Links     []Link
+}
+
+// RegisterReq announces a worker to the coordinator.
+type RegisterReq struct {
+	Worker string
+}
+
+// RegisterResp carries the crawl-wide constants a worker needs.
+type RegisterResp struct {
+	Partitions int
+	TTLMillis  int64
+	MaxBatch   int
+}
+
+// PullReq asks for work: up to Max URLs from any partition the worker
+// leases (the coordinator grants leases as part of serving the pull).
+type PullReq struct {
+	Worker string
+	Max    int
+}
+
+// PullResp returns the worker's full current lease set, at most one
+// batch, and whether the crawl is complete.
+type PullResp struct {
+	Leases []Lease
+	Batch  *Batch // nil when no work is available right now
+	Done   bool
+}
+
+// ForwardReq carries links a worker discovered to the coordinator,
+// which owns routing and global dedup.
+type ForwardReq struct {
+	Worker string
+	Links  []Link
+}
+
+// ForwardResp reports how the forwarded links were absorbed.
+type ForwardResp struct {
+	Accepted   int
+	Duplicates int
+}
+
+// AckReq retires a delivered batch.
+type AckReq struct {
+	Worker    string
+	Partition int
+	Epoch     uint64
+	BatchID   uint64
+}
+
+// AckResp reports the ack outcome; Stale means the lease epoch was
+// fenced off and the batch will be redelivered to the current owner.
+type AckResp struct {
+	OK    bool
+	Stale bool
+}
+
+// HeartbeatReq renews the worker's leases.
+type HeartbeatReq struct {
+	Worker string
+	Leases []Lease
+}
+
+// HeartbeatResp lists the partitions that were renewed and the ones the
+// worker no longer owns.
+type HeartbeatResp struct {
+	Renewed []int
+	Lost    []int
+	Done    bool
+}
+
+// Marshal frames m for the wire.
+func Marshal(m Message) []byte {
+	w := &wbuf{}
+	w.raw([]byte(wireMagic))
+	w.raw([]byte{byte(m.kind())})
+	m.enc(w)
+	sum := crc32.ChecksumIEEE(w.b)
+	w.b = binary.LittleEndian.AppendUint32(w.b, sum)
+	return w.b
+}
+
+// Unmarshal decodes one frame, verifying magic, kind, CRC, and that the
+// payload is exactly consumed.
+func Unmarshal(data []byte) (Message, error) {
+	if len(data) > wireMaxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrWire, len(data))
+	}
+	if len(data) < len(wireMagic)+1+4 {
+		return nil, fmt.Errorf("%w: short frame", ErrWire)
+	}
+	if string(data[:len(wireMagic)]) != wireMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrWire)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrWire)
+	}
+	var m Message
+	switch msgKind(data[len(wireMagic)]) {
+	case kindRegisterReq:
+		m = &RegisterReq{}
+	case kindRegisterResp:
+		m = &RegisterResp{}
+	case kindPullReq:
+		m = &PullReq{}
+	case kindPullResp:
+		m = &PullResp{}
+	case kindForwardReq:
+		m = &ForwardReq{}
+	case kindForwardResp:
+		m = &ForwardResp{}
+	case kindAckReq:
+		m = &AckReq{}
+	case kindAckResp:
+		m = &AckResp{}
+	case kindHeartbeatReq:
+		m = &HeartbeatReq{}
+	case kindHeartbeatResp:
+		m = &HeartbeatResp{}
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrWire, data[len(wireMagic)])
+	}
+	r := &rbuf{b: body[len(wireMagic)+1:]}
+	m.dec(r)
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWire, r.err)
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrWire, len(r.b)-r.off)
+	}
+	return m, nil
+}
+
+// wbuf is the append-only encoder.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) raw(p []byte)  { w.b = append(w.b, p...) }
+func (w *wbuf) u64(v uint64)  { w.b = binary.AppendUvarint(w.b, v) }
+func (w *wbuf) i64(v int64)   { w.b = binary.AppendVarint(w.b, v) }
+func (w *wbuf) f64(v float64) { w.b = binary.LittleEndian.AppendUint64(w.b, math.Float64bits(v)) }
+func (w *wbuf) boolean(v bool) {
+	if v {
+		w.raw([]byte{1})
+	} else {
+		w.raw([]byte{0})
+	}
+}
+func (w *wbuf) str(s string) {
+	w.u64(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+func (w *wbuf) link(l Link) {
+	w.str(l.URL)
+	w.i64(int64(l.Dist))
+	w.f64(l.Prio)
+}
+func (w *wbuf) links(ls []Link) {
+	w.u64(uint64(len(ls)))
+	for _, l := range ls {
+		w.link(l)
+	}
+}
+func (w *wbuf) lease(l Lease) {
+	w.i64(int64(l.Partition))
+	w.u64(l.Epoch)
+}
+func (w *wbuf) leases(ls []Lease) {
+	w.u64(uint64(len(ls)))
+	for _, l := range ls {
+		w.lease(l)
+	}
+}
+func (w *wbuf) ints(vs []int) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		w.i64(int64(v))
+	}
+}
+
+// rbuf is the sticky-error decoder: the first failure poisons every
+// later read, so message dec methods read unconditionally and check err
+// once at the end (Unmarshal does).
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail(msg string) {
+	if r.err == nil {
+		r.err = errors.New(msg)
+	}
+}
+
+func (r *rbuf) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("truncated uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *rbuf) i64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *rbuf) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *rbuf) boolean() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.b) {
+		r.fail("truncated bool")
+		return false
+	}
+	v := r.b[r.off]
+	r.off++
+	if v > 1 {
+		r.fail("bad bool")
+		return false
+	}
+	return v == 1
+}
+
+func (r *rbuf) str() string {
+	n := r.u64()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail("string length exceeds payload")
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// count validates a decoded element count against the bytes actually
+// remaining — the allocation guard that keeps a hostile length prefix
+// from reserving gigabytes. minBytes is the smallest possible encoded
+// element.
+func (r *rbuf) count(n uint64, minBytes int) int {
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64((len(r.b)-r.off)/minBytes) {
+		r.fail("element count exceeds payload")
+		return 0
+	}
+	return int(n)
+}
+
+// minLinkBytes is the smallest encoded Link: empty URL (1 byte length),
+// 1-byte dist varint, 8-byte priority.
+const minLinkBytes = 10
+
+func (r *rbuf) link() Link {
+	return Link{URL: r.str(), Dist: int32(r.i64()), Prio: r.f64()}
+}
+
+func (r *rbuf) links() []Link {
+	n := r.count(r.u64(), minLinkBytes)
+	if n == 0 {
+		return nil
+	}
+	out := make([]Link, n)
+	for i := range out {
+		out[i] = r.link()
+	}
+	return out
+}
+
+func (r *rbuf) lease() Lease {
+	return Lease{Partition: int(r.i64()), Epoch: r.u64()}
+}
+
+func (r *rbuf) leases() []Lease {
+	n := r.count(r.u64(), 2)
+	if n == 0 {
+		return nil
+	}
+	out := make([]Lease, n)
+	for i := range out {
+		out[i] = r.lease()
+	}
+	return out
+}
+
+func (r *rbuf) ints() []int {
+	n := r.count(r.u64(), 1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.i64())
+	}
+	return out
+}
+
+func (m *RegisterReq) kind() msgKind { return kindRegisterReq }
+func (m *RegisterReq) enc(w *wbuf)   { w.str(m.Worker) }
+func (m *RegisterReq) dec(r *rbuf)   { m.Worker = r.str() }
+
+func (m *RegisterResp) kind() msgKind { return kindRegisterResp }
+func (m *RegisterResp) enc(w *wbuf) {
+	w.i64(int64(m.Partitions))
+	w.i64(m.TTLMillis)
+	w.i64(int64(m.MaxBatch))
+}
+func (m *RegisterResp) dec(r *rbuf) {
+	m.Partitions = int(r.i64())
+	m.TTLMillis = r.i64()
+	m.MaxBatch = int(r.i64())
+}
+
+func (m *PullReq) kind() msgKind { return kindPullReq }
+func (m *PullReq) enc(w *wbuf) {
+	w.str(m.Worker)
+	w.i64(int64(m.Max))
+}
+func (m *PullReq) dec(r *rbuf) {
+	m.Worker = r.str()
+	m.Max = int(r.i64())
+}
+
+func (m *PullResp) kind() msgKind { return kindPullResp }
+func (m *PullResp) enc(w *wbuf) {
+	w.leases(m.Leases)
+	w.boolean(m.Batch != nil)
+	if m.Batch != nil {
+		w.u64(m.Batch.ID)
+		w.i64(int64(m.Batch.Partition))
+		w.u64(m.Batch.Epoch)
+		w.links(m.Batch.Links)
+	}
+	w.boolean(m.Done)
+}
+func (m *PullResp) dec(r *rbuf) {
+	m.Leases = r.leases()
+	if r.boolean() {
+		m.Batch = &Batch{
+			ID:        r.u64(),
+			Partition: int(r.i64()),
+			Epoch:     r.u64(),
+			Links:     r.links(),
+		}
+	} else {
+		m.Batch = nil
+	}
+	m.Done = r.boolean()
+}
+
+func (m *ForwardReq) kind() msgKind { return kindForwardReq }
+func (m *ForwardReq) enc(w *wbuf) {
+	w.str(m.Worker)
+	w.links(m.Links)
+}
+func (m *ForwardReq) dec(r *rbuf) {
+	m.Worker = r.str()
+	m.Links = r.links()
+}
+
+func (m *ForwardResp) kind() msgKind { return kindForwardResp }
+func (m *ForwardResp) enc(w *wbuf) {
+	w.i64(int64(m.Accepted))
+	w.i64(int64(m.Duplicates))
+}
+func (m *ForwardResp) dec(r *rbuf) {
+	m.Accepted = int(r.i64())
+	m.Duplicates = int(r.i64())
+}
+
+func (m *AckReq) kind() msgKind { return kindAckReq }
+func (m *AckReq) enc(w *wbuf) {
+	w.str(m.Worker)
+	w.i64(int64(m.Partition))
+	w.u64(m.Epoch)
+	w.u64(m.BatchID)
+}
+func (m *AckReq) dec(r *rbuf) {
+	m.Worker = r.str()
+	m.Partition = int(r.i64())
+	m.Epoch = r.u64()
+	m.BatchID = r.u64()
+}
+
+func (m *AckResp) kind() msgKind { return kindAckResp }
+func (m *AckResp) enc(w *wbuf) {
+	w.boolean(m.OK)
+	w.boolean(m.Stale)
+}
+func (m *AckResp) dec(r *rbuf) {
+	m.OK = r.boolean()
+	m.Stale = r.boolean()
+}
+
+func (m *HeartbeatReq) kind() msgKind { return kindHeartbeatReq }
+func (m *HeartbeatReq) enc(w *wbuf) {
+	w.str(m.Worker)
+	w.leases(m.Leases)
+}
+func (m *HeartbeatReq) dec(r *rbuf) {
+	m.Worker = r.str()
+	m.Leases = r.leases()
+}
+
+func (m *HeartbeatResp) kind() msgKind { return kindHeartbeatResp }
+func (m *HeartbeatResp) enc(w *wbuf) {
+	w.ints(m.Renewed)
+	w.ints(m.Lost)
+	w.boolean(m.Done)
+}
+func (m *HeartbeatResp) dec(r *rbuf) {
+	m.Renewed = r.ints()
+	m.Lost = r.ints()
+	m.Done = r.boolean()
+}

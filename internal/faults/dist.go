@@ -1,0 +1,86 @@
+package faults
+
+import "langcrawl/internal/rng"
+
+// DistModel parameterizes coordinator-side fault injection for the
+// distributed layer (internal/dist). Where Model perturbs fetches, this
+// perturbs the control plane: the coordinator samples it on lease
+// grants, heartbeats, and worker requests to exercise its own defensive
+// paths. Every injected fault is one the protocol must absorb without
+// violating safety — a dropped heartbeat or early-expired lease only
+// ever causes duplicate work (redelivery), never lost work, and an
+// injected duplicate grant must be *rejected* by the single-owner
+// guard. The zero value injects nothing; all draws derive from Seed, so
+// runs are reproducible given their request order.
+type DistModel struct {
+	// Seed feeds every stream of the model.
+	Seed uint64
+	// DropHeartbeatRate is the probability a heartbeat is discarded
+	// unprocessed, as if it never reached the coordinator — the worker
+	// sees a transient failure and its leases age toward expiry.
+	DropHeartbeatRate float64
+	// StaleLeaseRate is the probability a granted lease is issued
+	// already expired, forcing the revoke-and-redeliver path on the next
+	// expiry sweep even while the owner is healthy.
+	StaleLeaseRate float64
+	// DuplicateGrantRate is the probability the coordinator attempts to
+	// grant a partition that is already leased. The grant guard must
+	// refuse; the coordinator counts the rejection.
+	DuplicateGrantRate float64
+	// PartitionRate is the per-request probability a worker's request is
+	// refused as if the network between it and the coordinator were
+	// partitioned (the HTTP layer answers 503).
+	PartitionRate float64
+}
+
+// Enabled reports whether the model injects anything.
+func (m DistModel) Enabled() bool {
+	return m.DropHeartbeatRate > 0 || m.StaleLeaseRate > 0 ||
+		m.DuplicateGrantRate > 0 || m.PartitionRate > 0
+}
+
+// DistSampler draws control-plane fault outcomes from a DistModel. Each
+// fault type consumes its own rng stream, so enabling one fault does
+// not shift another's draw sequence. Not safe for concurrent use; the
+// coordinator samples under its own mutex.
+type DistSampler struct {
+	m          DistModel
+	heartbeats *rng.RNG
+	leases     *rng.RNG
+	grants     *rng.RNG
+	partitions *rng.RNG
+}
+
+// NewDistSampler builds a sampler for the model.
+func NewDistSampler(m DistModel) *DistSampler {
+	return &DistSampler{
+		m:          m,
+		heartbeats: rng.New2(m.Seed, 0xD157_0001),
+		leases:     rng.New2(m.Seed, 0xD157_0002),
+		grants:     rng.New2(m.Seed, 0xD157_0003),
+		partitions: rng.New2(m.Seed, 0xD157_0004),
+	}
+}
+
+// DropHeartbeat samples whether to discard the next heartbeat.
+func (s *DistSampler) DropHeartbeat() bool {
+	return s.m.DropHeartbeatRate > 0 && s.heartbeats.Float64() < s.m.DropHeartbeatRate
+}
+
+// StaleLease samples whether the next lease grant is issued already
+// expired.
+func (s *DistSampler) StaleLease() bool {
+	return s.m.StaleLeaseRate > 0 && s.leases.Float64() < s.m.StaleLeaseRate
+}
+
+// DuplicateGrant samples whether to attempt a grant of an
+// already-leased partition.
+func (s *DistSampler) DuplicateGrant() bool {
+	return s.m.DuplicateGrantRate > 0 && s.grants.Float64() < s.m.DuplicateGrantRate
+}
+
+// Partitioned samples whether the next worker request is refused at the
+// transport as if the network were partitioned.
+func (s *DistSampler) Partitioned() bool {
+	return s.m.PartitionRate > 0 && s.partitions.Float64() < s.m.PartitionRate
+}

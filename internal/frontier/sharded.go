@@ -134,6 +134,13 @@ func (s *Sharded[T]) shardIndex(item T) int {
 	return int(hashString(s.key(item)) % uint64(n))
 }
 
+// HashKey exposes the frontier's deterministic shard hash. The
+// distributed layer (internal/dist) derives its host→partition map from
+// the same function — HashKey(host) % partitions — so a partition is the
+// distributed analogue of a shard and host→owner assignment is stable
+// across coordinator restarts and worker counts.
+func HashKey(k string) uint64 { return hashString(k) }
+
 // hashString is a deterministic string hash processing 8 bytes per
 // multiply (a wyhash-flavored mix). Determinism matters — shard
 // assignment must be stable across runs so sharded simulations stay

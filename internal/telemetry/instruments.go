@@ -329,6 +329,76 @@ func (s *SimStats) Checkpoint() *CheckpointStats {
 	return s.Ckpt
 }
 
+// DistStats instruments the distributed coordinator (internal/dist):
+// lease lifecycle, heartbeat traffic, batch delivery, and the forwarded
+// cross-partition link flow. Nil and the zero value are no-ops, like
+// every bundle in the package.
+type DistStats struct {
+	reg *Registry
+
+	LeasesGranted *Counter // partition leases handed to workers
+	LeasesRenewed *Counter // lease TTLs extended by heartbeats
+	LeasesExpired *Counter // leases revoked after a missed TTL
+	Migrations    *Counter // partitions re-leased to a different worker
+
+	Heartbeats        *Counter // heartbeats accepted
+	HeartbeatsDropped *Counter // heartbeats dropped (injected fault or stale epoch)
+
+	DuplicateGrants *Counter // grant attempts refused by the single-owner guard
+
+	BatchesDelivered  *Counter // URL batches handed out by Pull
+	BatchesRedeliver  *Counter // batches re-delivered after lease loss or restart
+	BatchesAcked      *Counter // batches acknowledged done
+	StaleAcks         *Counter // acks rejected for a stale lease epoch
+	PagesAcked        *Counter // URLs in acknowledged batches
+	LinksForwarded    *Counter // links accepted from workers
+	DuplicateForwards *Counter // forwarded links dropped by the global seen set
+
+	Workers  *Gauge // workers currently registered and live
+	Pending  *Gauge // URLs queued across all partitions
+	Inflight *Gauge // URLs in delivered-but-unacked batches
+}
+
+// NewDistStats builds the coordinator bundle (nil when reg is nil).
+func NewDistStats(reg *Registry) *DistStats {
+	if reg == nil {
+		return nil
+	}
+	return &DistStats{
+		reg:           reg,
+		LeasesGranted: reg.Counter("langcrawl_dist_lease_granted_total", "Partition leases granted to workers."),
+		LeasesRenewed: reg.Counter("langcrawl_dist_lease_renewed_total", "Lease TTLs extended by heartbeats."),
+		LeasesExpired: reg.Counter("langcrawl_dist_lease_expired_total", "Leases revoked after a missed TTL."),
+		Migrations:    reg.Counter("langcrawl_dist_migration_total", "Partitions re-leased to a different worker."),
+
+		Heartbeats:        reg.Counter("langcrawl_dist_heartbeat_total", "Heartbeats accepted by the coordinator."),
+		HeartbeatsDropped: reg.Counter("langcrawl_dist_heartbeat_dropped_total", "Heartbeats dropped (fault injection or stale epoch)."),
+
+		DuplicateGrants: reg.Counter("langcrawl_dist_duplicate_grant_total", "Grant attempts refused by the single-owner guard."),
+
+		BatchesDelivered:  reg.Counter("langcrawl_dist_batch_delivered_total", "URL batches handed out by Pull."),
+		BatchesRedeliver:  reg.Counter("langcrawl_dist_batch_redelivered_total", "Batches re-delivered after lease loss or coordinator restart."),
+		BatchesAcked:      reg.Counter("langcrawl_dist_batch_acked_total", "Batches acknowledged done."),
+		StaleAcks:         reg.Counter("langcrawl_dist_stale_ack_total", "Acks rejected for a stale lease epoch."),
+		PagesAcked:        reg.Counter("langcrawl_dist_pages_acked_total", "URLs in acknowledged batches."),
+		LinksForwarded:    reg.Counter("langcrawl_dist_link_forwarded_total", "Links accepted from workers."),
+		DuplicateForwards: reg.Counter("langcrawl_dist_link_duplicate_total", "Forwarded links dropped by the global seen set."),
+
+		Workers:  reg.Gauge("langcrawl_dist_workers", "Workers currently registered and live."),
+		Pending:  reg.Gauge("langcrawl_dist_pending", "URLs queued across all partitions."),
+		Inflight: reg.Gauge("langcrawl_dist_inflight", "URLs in delivered-but-unacked batches."),
+	}
+}
+
+// Registry returns the registry the bundle was built from (nil for a
+// zero-value or nil bundle).
+func (s *DistStats) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
 // Timed reports whether h records — the guard for skipping time.Now()
 // on the disabled path:
 //
