@@ -9,7 +9,7 @@ GO ?= go
 # but fails the build on any real erosion.
 COVER_MIN ?= 91.0
 
-.PHONY: all build vet test race bench bench-check bench-baseline cover fuzz crash-suite dist-suite telemetry-smoke experiments report clean
+.PHONY: all build vet test race bench bench-check bench-baseline cover fuzz crash-suite dist-suite api-suite telemetry-smoke experiments report clean
 
 all: build vet test
 
@@ -27,8 +27,11 @@ race:
 
 # Coverage with a hard floor: writes coverage.out, prints the per-function
 # table tail, and fails if total statement coverage drops below COVER_MIN.
+# -coverpkg counts cross-package coverage: the conformance suite is the
+# primary exerciser of dist/crawler/checkpoint, and without it those
+# packages read artificially low.
 cover:
-	$(GO) test -coverprofile=coverage.out ./internal/...
+	$(GO) test -coverprofile=coverage.out -coverpkg=./internal/... ./internal/...
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { \
 		if (t + 0 < min + 0) { printf "coverage %.1f%% is below the %.1f%% floor\n", t, min; exit 1 } \
@@ -52,6 +55,9 @@ bench-check:
 	$(GO) test -bench=BenchmarkDistCrawl -benchtime=1x -count=5 -benchmem -run='^$$' \
 		./internal/dist | \
 		$(GO) run ./cmd/benchcheck -baseline BENCH_dist.json -tolerance 0.60
+	$(GO) test -bench=BenchmarkJobsAPI -benchtime=1x -count=5 -benchmem -run='^$$' \
+		./internal/jobs | \
+		$(GO) run ./cmd/benchcheck -baseline BENCH_api.json -tolerance 0.60
 
 bench-baseline:
 	$(GO) test -bench=. -benchtime=1x -count=5 -benchmem -run='^$$' \
@@ -70,6 +76,10 @@ bench-baseline:
 		./internal/dist | \
 		$(GO) run ./cmd/benchcheck -baseline BENCH_dist.json -update \
 		-note "end-to-end distributed crawl over a 400-page loopback space; min of 5 runs, pages/s vs worker count"
+	$(GO) test -bench=BenchmarkJobsAPI -benchtime=1x -count=5 -benchmem -run='^$$' \
+		./internal/jobs | \
+		$(GO) run ./cmd/benchcheck -baseline BENCH_api.json -update \
+		-note "submit-to-done latency of one small job through the HTTP handler; min of 5 runs"
 
 # Short fuzzing passes over the parsers and concurrent structures;
 # extend -fuzztime for real runs.
@@ -83,6 +93,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzShardedFrontier -fuzztime=30s ./internal/frontier/
 	$(GO) test -fuzz=FuzzCheckpointRecover -fuzztime=30s ./internal/checkpoint/
 	$(GO) test -fuzz=FuzzLeaseWireCodec -fuzztime=30s ./internal/dist/
+	$(GO) test -fuzz=FuzzJobSpecDecode -fuzztime=30s ./internal/jobs/
 
 # Crash-safety suite: kill-resume equivalence against every golden
 # trace, crash-at-every-op/byte checkpoint sweeps on the injectable
@@ -100,8 +111,17 @@ dist-suite:
 	$(GO) test -race -count=1 ./internal/dist/ ./internal/cliutil/
 	$(GO) test -race -count=1 -run 'TestDist' ./internal/conformance/
 
+# Crawl-as-a-service suite: the jobs package (spec validation, store,
+# admission, daemon lifecycle, the 1000-submitter load driver) and the
+# API conformance pair (golden-set job, daemon kill-resume) — all under
+# -race, since the daemon is executors + HTTP handlers + pollers.
+api-suite:
+	$(GO) test -race -count=1 ./internal/jobs/ ./internal/telemetry/
+	$(GO) test -race -count=1 -run 'TestGoldenJobAPI|TestKillResumeJobDaemon' ./internal/conformance/
+
 # End-to-end telemetry check: boots simcrawl with -telemetry-addr and
-# asserts /healthz and the key /metrics series over real HTTP.
+# asserts /healthz and the key /metrics series over real HTTP; then
+# boots crawld in -sim mode and drives a job through the HTTP API.
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
 

@@ -1,0 +1,150 @@
+// Command crawld is the multi-tenant crawl-as-a-service daemon: it
+// serves the job API (POST /jobs, GET /jobs/{id}, GET
+// /jobs/{id}/results, DELETE /jobs/{id}) beside the telemetry surface
+// (/metrics, /healthz, /debug/vars, /debug/pprof) on one listener,
+// admits submissions through per-tenant token-bucket quotas and a
+// bounded run queue, and persists every job under -dir so a killed
+// daemon restarts and resumes every in-flight job. Examples:
+//
+//	crawld -addr :8080 -dir crawld-state
+//	crawld -sim -sim-pages 5000            # self-serve a synthetic web to crawl
+//	curl -s localhost:8080/jobs -d '{"tenant":"t1","seeds":["http://h0.example/0"]}'
+//	curl -s localhost:8080/jobs/00000001
+//	curl -s localhost:8080/jobs/00000001/results
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"langcrawl/internal/cliutil"
+	"langcrawl/internal/jobs"
+	"langcrawl/internal/telemetry"
+	"langcrawl/internal/webgraph"
+	"langcrawl/internal/webserve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address for the job API and telemetry")
+		dir       = flag.String("dir", "crawld-state", "job state root (jobs resume from here after a restart)")
+		queueCap  = flag.Int("queue-cap", 64, "run-queue capacity; past it submissions answer 503")
+		executors = flag.Int("executors", 2, "concurrent job executors")
+		rate      = flag.Float64("rate", 0, "per-tenant sustained submissions/sec (0 = no rate limit)")
+		burst     = flag.Float64("burst", 0, "per-tenant burst size (default max(rate, 1))")
+		maxActive = flag.Int("max-active", 0, "per-tenant concurrent job cap (0 = unlimited)")
+		maxPages  = flag.Int("max-pages", 0, "per-job page-budget ceiling (0 = unlimited)")
+		target    = flag.String("target", "thai", "default language target for jobs that omit one")
+		interval  = flag.Duration("interval", 0, "per-host politeness interval for every job")
+		ckEvery   = flag.Int("checkpoint-every", 0, "pages between per-job checkpoints (default 64)")
+		noRobots  = flag.Bool("ignore-robots", false, "skip robots.txt (simulated webs only)")
+		drainWait = flag.Duration("drain-timeout", 30*time.Second, "max time to drain and checkpoint after SIGINT/SIGTERM (0 = wait forever)")
+		sim       = flag.Bool("sim", false, "self-serve a synthetic web space and aim every job's fetches at it")
+		simPreset = flag.String("sim-preset", "thai", "dataset preset in -sim mode: thai or japanese")
+		simPages  = flag.Int("sim-pages", 5000, "pages to generate in -sim mode")
+		simSeed   = flag.Uint64("sim-seed", 2005, "generation seed in -sim mode")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), cliutil.SignalUsage)
+	}
+	flag.Parse()
+
+	lang, err := cliutil.ParseLanguage(*target)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := jobs.Options{
+		Dir:       *dir,
+		QueueCap:  *queueCap,
+		Executors: *executors,
+		Quota: jobs.Quota{
+			Rate:      *rate,
+			Burst:     *burst,
+			MaxActive: *maxActive,
+		},
+		Limits:          jobs.Limits{MaxPages: *maxPages},
+		HostInterval:    *interval,
+		DefaultTarget:   lang,
+		IgnoreRobots:    *noRobots,
+		CheckpointEvery: *ckEvery,
+	}
+
+	if *sim {
+		// Self-serving mode, livecrawl's trick applied daemon-wide: every
+		// job's fetches dial back to one loopback server holding a
+		// generated space, so crawld is demoable with no real web.
+		var gen webgraph.Config
+		switch *simPreset {
+		case "thai":
+			gen = webgraph.ThaiLike(*simPages, *simSeed)
+		case "japanese", "jp":
+			gen = webgraph.JapaneseLike(*simPages, *simSeed)
+		default:
+			fatal(fmt.Errorf("unknown preset %q", *simPreset))
+		}
+		space, err := webgraph.Generate(gen)
+		if err != nil {
+			fatal(err)
+		}
+		srv := httptest.NewServer(webserve.New(space))
+		defer srv.Close()
+		saddr := srv.Listener.Addr().String()
+		opts.Client = &http.Client{
+			Transport: &http.Transport{
+				DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+					var d net.Dialer
+					return d.DialContext(ctx, network, saddr)
+				},
+			},
+			Timeout: 30 * time.Second,
+		}
+		opts.IgnoreRobots = true
+		fmt.Printf("serving %d pages (%d relevant) on %s\n", space.N(), space.RelevantTotal(), saddr)
+		fmt.Printf("submit seeds like: %q\n", space.URL(space.Seeds[0]))
+	}
+
+	reg := telemetry.NewRegistry()
+	opts.Telemetry = telemetry.NewJobStats(reg)
+	opts.Crawl = telemetry.NewCrawlStats(reg)
+
+	d, err := jobs.NewDaemon(opts)
+	if err != nil {
+		fatal(err)
+	}
+	mux := telemetry.NewMux(reg)
+	if err := d.Register(mux); err != nil {
+		fatal(err)
+	}
+	tsrv, err := telemetry.ServeHandler(*addr, mux)
+	if err != nil {
+		fatal(err)
+	}
+	defer tsrv.Close()
+	fmt.Printf("crawld on http://%s/ (jobs API + metrics, healthz, debug/pprof); state in %s\n",
+		tsrv.Addr(), *dir)
+
+	stop := cliutil.DrainSignals{Prog: "crawld", DrainWait: *drainWait}.Install()
+	select {
+	case <-stop:
+		fmt.Println("crawld: draining (jobs in hand checkpoint; queued jobs resume next start)")
+	case <-d.Dead():
+		fmt.Println("crawld: emulated kill fired")
+	}
+	if err := d.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crawld:", err)
+	os.Exit(1)
+}

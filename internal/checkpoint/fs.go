@@ -145,6 +145,44 @@ func (OSFS) ReadDir(dir string) ([]string, error) {
 	return names, nil
 }
 
+// AppendOpener is the optional FS extension for reopening an existing
+// file positioned at its end without truncating it — the resume path
+// for append-only logs. OSFS implements it; in-memory test filesystems
+// need not (OpenAppend emulates it for them).
+type AppendOpener interface {
+	OpenAppend(name string) (File, error)
+}
+
+// OpenAppend implements AppendOpener with a real O_APPEND open.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// OpenAppend reopens name for appending through fsys. Filesystems that
+// implement AppendOpener get a true append open; for the rest the file
+// is read back and rewritten through Create, which is equivalent for
+// the in-memory doubles the tests inject (a crash window between the
+// read and the rewrite only exists on a real filesystem, and the real
+// filesystem takes the O_APPEND path).
+func OpenAppend(fsys FS, name string) (File, error) {
+	if ao, ok := fsys.(AppendOpener); ok {
+		return ao.OpenAppend(name)
+	}
+	data, err := fsys.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := fsys.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
 // WriteFileAtomic writes data to path with full crash atomicity: the
 // bytes go to path+".tmp", the tmp file is fsynced and closed, renamed
 // over path, and the parent directory is fsynced so the rename itself

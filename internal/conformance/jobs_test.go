@@ -1,0 +1,423 @@
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/core"
+	"langcrawl/internal/crawler"
+	"langcrawl/internal/crawlog"
+	"langcrawl/internal/jobs"
+	"langcrawl/internal/telemetry"
+	"langcrawl/internal/webgraph"
+)
+
+// The crawld API is just transport: a job submitted over HTTP must crawl
+// exactly what the same configuration crawls when wired up by hand. The
+// two tests here hold the daemon to that bar — byte-identical crawl logs
+// against a directly-constructed crawler, golden-set equality against
+// the simulator traces, and both preserved across emulated SIGKILLs of
+// the whole daemon.
+
+// jobsServer stands up a daemon over its own mux and loopback listener,
+// the way cmd/crawld does.
+func jobsServer(t *testing.T, opts jobs.Options) (*jobs.Daemon, *httptest.Server) {
+	t.Helper()
+	d, err := jobs.NewDaemon(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := telemetry.NewMux(telemetry.NewRegistry())
+	if err := d.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	return d, httptest.NewServer(m)
+}
+
+// submitJob posts spec JSON and decodes the 202 body.
+func submitJob(t *testing.T, base, spec string) *jobs.Job {
+	t.Helper()
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %s: %s", resp.Status, data)
+	}
+	j := &jobs.Job{}
+	if err := json.Unmarshal(data, j); err != nil {
+		t.Fatalf("bad 202 body: %v", err)
+	}
+	return j
+}
+
+// getJob fetches GET /jobs/{id}.
+func getJob(t *testing.T, base, id string) *jobs.Job {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s = %s: %s", id, resp.Status, data)
+	}
+	j := &jobs.Job{}
+	if err := json.Unmarshal(data, j); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// jobCrawlog downloads the finished job's crawl log bytes.
+func jobCrawlog(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/results?format=crawlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("crawlog download = %s: %s", resp.Status, data)
+	}
+	return data
+}
+
+// logTrace converts crawl-log bytes into a Trace, the same mapping
+// liveTrace applies to its in-memory log.
+func logTrace(t *testing.T, sp *webgraph.Space, name string, data []byte) *Trace {
+	t.Helper()
+	r, err := crawlog.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byURL := make(map[string]webgraph.PageID, sp.N())
+	for id := 0; id < sp.N(); id++ {
+		byURL[sp.URL(webgraph.PageID(id))] = webgraph.PageID(id)
+	}
+	tr := &Trace{Strategy: name, Crawled: len(recs)}
+	for _, rec := range recs {
+		id, ok := byURL[rec.URL]
+		if !ok {
+			t.Fatalf("log contains unknown URL %q", rec.URL)
+		}
+		tr.Visits = append(tr.Visits, id)
+		if rec.Status == 200 && sp.IsRelevant(id) {
+			tr.Relevant++
+		}
+	}
+	tr.Harvest = 100 * float64(tr.Relevant) / float64(max(tr.Crawled, 1))
+	tr.Coverage = 100 * float64(tr.Relevant) / float64(max(sp.RelevantTotal(), 1))
+	return tr
+}
+
+// awaitJob polls GET /jobs/{id} until the job is terminal.
+func awaitJob(t *testing.T, base, id string) *jobs.Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		j := getJob(t, base, id)
+		if j.Status.Terminal() {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck at %s", id, j.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGoldenJobAPI submits the conformance crawl through the HTTP API
+// and requires the daemon-run job to be indistinguishable from a
+// hand-wired crawler pass: the downloaded crawl log must be
+// byte-identical to a direct run with the same header, and its visit
+// set must match the golden simulator trace.
+func TestGoldenJobAPI(t *testing.T) {
+	sp := space(t)
+	client := liveWeb(t, sp)
+	d, srv := jobsServer(t, jobs.Options{
+		Dir:          t.TempDir(),
+		Client:       client,
+		IgnoreRobots: true,
+		Executors:    1,
+	})
+	defer srv.Close()
+	defer d.Close()
+
+	spec, err := json.Marshal(map[string]any{
+		"tenant":   "conformance",
+		"seeds":    liveSeeds(sp),
+		"strategy": "soft",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := submitJob(t, srv.URL, string(spec))
+	j = awaitJob(t, srv.URL, j.ID)
+	if j.Status != jobs.StatusDone {
+		t.Fatalf("job ended %s: %s", j.Status, j.Error)
+	}
+	if j.Result == nil || j.Result.Crawled == 0 {
+		t.Fatalf("done job carries no results: %+v", j)
+	}
+	apiLog := jobCrawlog(t, srv.URL, j.ID)
+
+	// The reference: the same crawl wired by hand, writing the header the
+	// daemon writes. Any divergence means the service layer perturbed the
+	// crawl.
+	var buf bytes.Buffer
+	w, err := crawlog.NewWriter(&buf, crawlog.Header{
+		Target:  charset.LangThai,
+		Seeds:   j.Spec.Seeds,
+		Comment: "crawld",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := crawler.New(crawler.Config{
+		Seeds:        j.Spec.Seeds,
+		Strategy:     core.SoftFocused{},
+		Classifier:   Classifier(),
+		Client:       client,
+		Log:          w,
+		IgnoreRobots: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(apiLog, buf.Bytes()) {
+		t.Errorf("API job log differs from direct crawler run (%d vs %d bytes)",
+			len(apiLog), len(buf.Bytes()))
+	}
+	if j.Result.Crawled != res.Crawled || j.Result.Relevant != res.Relevant {
+		t.Errorf("API summary (%d crawled, %d relevant) != direct run (%d, %d)",
+			j.Result.Crawled, j.Result.Relevant, res.Crawled, res.Relevant)
+	}
+
+	tr := logTrace(t, sp, "soft", apiLog)
+	if d := golden(t, "soft").DiffSet(tr); d != "" {
+		t.Errorf("API job crawl set diverged from golden: %s", d)
+	}
+}
+
+// statusRank orders job states for the monotonicity check: queued before
+// running before any terminal state.
+func statusRank(s jobs.Status) int {
+	switch {
+	case s == jobs.StatusQueued:
+		return 1
+	case s == jobs.StatusRunning:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// TestKillResumeJobDaemon SIGKILLs the whole daemon (emulated with
+// Options.StopAfter — no final checkpoint, nothing persisted past the
+// kill) repeatedly while an API-submitted job is mid-crawl, restarts it
+// over the same state directory each time, and requires:
+//
+//   - every life resumes the job unprompted and makes forward progress,
+//   - the statuses observable over HTTP never regress (no done → running),
+//   - the finished job's crawl log is byte-identical to an uninterrupted
+//     run and covers exactly the golden page set.
+func TestKillResumeJobDaemon(t *testing.T) {
+	sp := space(t)
+	client := liveWeb(t, sp)
+	dir := t.TempDir()
+	base := jobs.Options{
+		Dir:             dir,
+		Client:          client,
+		IgnoreRobots:    true,
+		Executors:       1,
+		CheckpointEvery: 16,
+	}
+
+	var (
+		mu       sync.Mutex
+		observed []jobs.Status
+	)
+	// pollStatuses hammers GET /jobs/{id} until stopped, recording every
+	// answer; between lives the server is down, so the record is the
+	// client's-eye view of the whole crashy history.
+	pollStatuses := func(url, id string, stop <-chan struct{}) {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(url + "/jobs/" + id)
+			if err != nil {
+				return // server died mid-poll; the next life restarts us
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				continue
+			}
+			var j jobs.Job
+			if json.Unmarshal(data, &j) == nil {
+				mu.Lock()
+				observed = append(observed, j.Status)
+				mu.Unlock()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	const killStep = 120
+	var jobID string
+	kills := 0
+	for stopAt := killStep; ; stopAt += killStep {
+		opts := base
+		opts.StopAfter = stopAt
+		d, srv := jobsServer(t, opts)
+
+		if jobID == "" {
+			spec, err := json.Marshal(map[string]any{
+				"tenant":   "crashy",
+				"seeds":    liveSeeds(sp),
+				"strategy": "soft",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobID = submitJob(t, srv.URL, string(spec)).ID
+		}
+		stopPoll := make(chan struct{})
+		go pollStatuses(srv.URL, jobID, stopPoll)
+
+		// Wait for this life to end: either the kill fires or the job
+		// completes.
+		done := false
+		deadline := time.Now().Add(60 * time.Second)
+		for !done {
+			select {
+			case <-d.Dead():
+				kills++
+				done = true
+				continue
+			default:
+			}
+			if j, ok := d.Store().Get(jobID); ok && j.Status.Terminal() {
+				if j.Status != jobs.StatusDone {
+					t.Fatalf("job ended %s: %s", j.Status, j.Error)
+				}
+				done = true
+				continue
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("life neither died nor finished the job")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		close(stopPoll)
+		srv.Close()
+		d.Close()
+
+		if j, ok := d.Store().Get(jobID); ok && j.Status == jobs.StatusDone {
+			break
+		}
+		// Killed mid-job: the persisted status must still read "running" —
+		// the kill wrote nothing, and that is what restart recovery keys on.
+		if j, ok := d.Store().Get(jobID); !ok || j.Status != jobs.StatusRunning {
+			t.Fatalf("after kill %d persisted status = %v, want running", kills, j)
+		}
+		if stopAt > 100*killStep {
+			t.Fatal("crawl never completed; kills are not making progress")
+		}
+	}
+	if kills == 0 {
+		t.Fatal("StopAfter never fired; the test exercised nothing")
+	}
+
+	mu.Lock()
+	statuses := append([]jobs.Status(nil), observed...)
+	mu.Unlock()
+	if len(statuses) == 0 {
+		t.Fatal("status poller observed nothing")
+	}
+	for i := 1; i < len(statuses); i++ {
+		if statusRank(statuses[i]) < statusRank(statuses[i-1]) {
+			t.Fatalf("observed status regression %s → %s at poll %d",
+				statuses[i-1], statuses[i], i)
+		}
+	}
+
+	// The survivor's log: byte-identical to an uninterrupted reference
+	// run (recovery truncated every torn tail), golden-set coverage.
+	final, srv2 := jobsServer(t, base)
+	defer srv2.Close()
+	defer final.Close()
+	j := getJob(t, srv2.URL, jobID)
+	if j.Status != jobs.StatusDone {
+		// The last life may have drained before persisting "done"; a clean
+		// life finishes the residue from the final checkpoint.
+		j = awaitJob(t, srv2.URL, jobID)
+		if j.Status != jobs.StatusDone {
+			t.Fatalf("job ended %s: %s", j.Status, j.Error)
+		}
+	}
+	apiLog := jobCrawlog(t, srv2.URL, jobID)
+
+	var buf bytes.Buffer
+	w, err := crawlog.NewWriter(&buf, crawlog.Header{
+		Target:  charset.LangThai,
+		Seeds:   j.Spec.Seeds,
+		Comment: "crawld",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := crawler.New(crawler.Config{
+		Seeds:        j.Spec.Seeds,
+		Strategy:     core.SoftFocused{},
+		Classifier:   Classifier(),
+		Client:       client,
+		Log:          w,
+		IgnoreRobots: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(apiLog, buf.Bytes()) {
+		t.Errorf("kill-resume job log differs from uninterrupted run (%d vs %d bytes, %d kills)",
+			len(apiLog), len(buf.Bytes()), kills)
+	}
+	if d := golden(t, "soft").DiffSet(logTrace(t, sp, "soft", apiLog)); d != "" {
+		t.Errorf("kill-resume job crawl set diverged from golden: %s", d)
+	}
+	t.Logf("job survived %d daemon kills; %d statuses observed", kills, len(statuses))
+}

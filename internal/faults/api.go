@@ -1,0 +1,59 @@
+package faults
+
+import "langcrawl/internal/rng"
+
+// APIModel parameterizes fault injection for the crawl-as-a-service
+// control plane (internal/jobs). Where DistModel perturbs the
+// coordinator/worker protocol, this perturbs the tenant-facing HTTP
+// API: the daemon samples it on submissions and status reads to
+// exercise its own degraded paths and its clients' retry handling.
+// Every injected fault is one the API contract must absorb without
+// violating safety — an injected submit rejection answers 503 *before*
+// the job is admitted (so nothing is persisted and the client simply
+// retries), never after, and an injected status failure only ever hides
+// state it never invents. The zero value injects nothing; all draws
+// derive from Seed, so runs are reproducible given their request order.
+type APIModel struct {
+	// Seed feeds every stream of the model.
+	Seed uint64
+	// RejectRate is the probability a submission is refused with 503
+	// before admission, as if the daemon were momentarily overloaded.
+	RejectRate float64
+	// StatusErrRate is the probability a status or results read answers
+	// 500, as if the store read had failed.
+	StatusErrRate float64
+}
+
+// Enabled reports whether the model injects anything.
+func (m APIModel) Enabled() bool {
+	return m.RejectRate > 0 || m.StatusErrRate > 0
+}
+
+// APISampler draws API fault outcomes from an APIModel. Each fault type
+// consumes its own rng stream, so enabling one fault does not shift
+// another's draw sequence. Not safe for concurrent use; the daemon
+// samples under its own mutex.
+type APISampler struct {
+	m        APIModel
+	rejects  *rng.RNG
+	statuses *rng.RNG
+}
+
+// NewAPISampler builds a sampler for the model.
+func NewAPISampler(m APIModel) *APISampler {
+	return &APISampler{
+		m:        m,
+		rejects:  rng.New2(m.Seed, 0xA1_0001),
+		statuses: rng.New2(m.Seed, 0xA1_0002),
+	}
+}
+
+// RejectSubmit samples whether to refuse the next submission.
+func (s *APISampler) RejectSubmit() bool {
+	return s.m.RejectRate > 0 && s.rejects.Float64() < s.m.RejectRate
+}
+
+// FailStatus samples whether the next status/results read answers 500.
+func (s *APISampler) FailStatus() bool {
+	return s.m.StatusErrRate > 0 && s.statuses.Float64() < s.m.StatusErrRate
+}

@@ -1,0 +1,175 @@
+package jobs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Quota is the per-tenant admission policy. The zero value disables
+// quota enforcement entirely (every tenant admits freely) — the
+// single-user dev default; cmd/crawld always sets one.
+type Quota struct {
+	// Rate is the sustained submissions-per-second each tenant may make;
+	// 0 disables the token bucket.
+	Rate float64
+	// Burst is the bucket depth: how many submissions a tenant may make
+	// at once after idling (default max(Rate, 1) when Rate > 0).
+	Burst float64
+	// MaxActive caps one tenant's non-terminal (queued + running) jobs;
+	// 0 disables the cap.
+	MaxActive int
+}
+
+func (q Quota) withDefaults() Quota {
+	if q.Rate > 0 && q.Burst <= 0 {
+		q.Burst = math.Max(q.Rate, 1)
+	}
+	return q
+}
+
+// buckets is the per-tenant token-bucket table. Lazily refilled on
+// access from an injectable clock, so tests drive it without sleeping.
+type buckets struct {
+	mu    sync.Mutex
+	quota Quota
+	now   func() time.Time
+	m     map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newBuckets(q Quota, now func() time.Time) *buckets {
+	if now == nil {
+		now = time.Now
+	}
+	return &buckets{quota: q.withDefaults(), now: now, m: make(map[string]*bucket)}
+}
+
+// take spends one token from tenant's bucket. When the bucket is dry it
+// reports how long until the next token accrues — the Retry-After the
+// 429 response carries.
+func (b *buckets) take(tenant string) (ok bool, retryAfter time.Duration) {
+	if b.quota.Rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	bk := b.m[tenant]
+	if bk == nil {
+		bk = &bucket{tokens: b.quota.Burst, last: now}
+		b.m[tenant] = bk
+	} else {
+		bk.tokens = math.Min(b.quota.Burst, bk.tokens+now.Sub(bk.last).Seconds()*b.quota.Rate)
+		bk.last = now
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	need := (1 - bk.tokens) / b.quota.Rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1 (a zero Retry-After invites an immediate,
+// pointless retry).
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// runQueue is the bounded admission queue between the HTTP layer and
+// the executors. Capacity gates *new* admissions only: resumed jobs
+// re-enter with force (they were admitted by a previous daemon life and
+// must never be dropped), so after a restart the queue may transiently
+// exceed cap.
+type runQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ids    []string
+	cap    int
+	closed bool
+	// reserved counts slots claimed by in-flight admissions that have
+	// not enqueued yet; guarded by mu.
+	reserved int
+}
+
+func newRunQueue(capacity int) *runQueue {
+	q := &runQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// tryReserve claims a queue slot for a new admission. The caller must
+// follow with enqueue (after persisting the job) or release (if
+// persistence failed) — the reservation is what makes "202 returned ⇒
+// job queued" atomic under concurrent submitters.
+func (q *runQueue) tryReserve() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.ids)+q.reserved >= q.cap {
+		return false
+	}
+	q.reserved++
+	return true
+}
+
+// enqueue appends id, consuming a reservation when reserved is true.
+func (q *runQueue) enqueue(id string, reservedSlot bool) {
+	q.mu.Lock()
+	if reservedSlot && q.reserved > 0 {
+		q.reserved--
+	}
+	q.ids = append(q.ids, id)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// release abandons a reservation (persist failed; the submitter got an
+// error, nothing was admitted).
+func (q *runQueue) release() {
+	q.mu.Lock()
+	if q.reserved > 0 {
+		q.reserved--
+	}
+	q.mu.Unlock()
+}
+
+// pop blocks until an id is available or the queue is closed.
+func (q *runQueue) pop() (string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.ids) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.ids) == 0 {
+		return "", false
+	}
+	id := q.ids[0]
+	q.ids = q.ids[1:]
+	return id, true
+}
+
+// close wakes every waiting executor; pending ids stay persisted (the
+// next daemon life resumes them).
+func (q *runQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// depth returns the current queue length, for the gauge.
+func (q *runQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.ids)
+}

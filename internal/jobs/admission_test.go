@@ -1,0 +1,148 @@
+package jobs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-cranked time source for quota tests; the daemon
+// reads it from executor goroutines, so it locks.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBucketsBurstAndRefill(t *testing.T) {
+	clk := newFakeClock()
+	b := newBuckets(Quota{Rate: 1, Burst: 2}, clk.now)
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take("t1"); !ok {
+			t.Fatalf("burst submission %d refused", i)
+		}
+	}
+	ok, wait := b.take("t1")
+	if ok {
+		t.Fatal("third immediate submission admitted past burst 2")
+	}
+	if got := retryAfterSeconds(wait); got != 1 {
+		t.Fatalf("Retry-After = %d, want 1 (next token in 1s at rate 1)", got)
+	}
+	// Tenants are independent.
+	if ok, _ := b.take("t2"); !ok {
+		t.Fatal("fresh tenant refused")
+	}
+	// One second refills one token — and only one.
+	clk.advance(time.Second)
+	if ok, _ := b.take("t1"); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if ok, _ := b.take("t1"); ok {
+		t.Fatal("second token admitted after a one-token refill")
+	}
+	// A long idle refills to burst, not beyond.
+	clk.advance(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := b.take("t1"); ok {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("after a long idle %d admissions, want burst = 2", admitted)
+	}
+}
+
+func TestBucketsRetryAfterFraction(t *testing.T) {
+	clk := newFakeClock()
+	b := newBuckets(Quota{Rate: 0.25, Burst: 1}, clk.now) // one token per 4s
+	b.take("t")
+	_, wait := b.take("t")
+	if got := retryAfterSeconds(wait); got != 4 {
+		t.Fatalf("Retry-After = %d, want 4", got)
+	}
+	clk.advance(3 * time.Second) // 0.75 tokens accrued
+	_, wait = b.take("t")
+	if got := retryAfterSeconds(wait); got != 1 {
+		t.Fatalf("Retry-After after partial refill = %d, want 1", got)
+	}
+}
+
+func TestBucketsDisabled(t *testing.T) {
+	b := newBuckets(Quota{}, nil)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := b.take("t"); !ok {
+			t.Fatal("zero quota must admit everything")
+		}
+	}
+}
+
+func TestRunQueueCapacityAndReservations(t *testing.T) {
+	q := newRunQueue(2)
+	if !q.tryReserve() || !q.tryReserve() {
+		t.Fatal("reservations under cap refused")
+	}
+	if q.tryReserve() {
+		t.Fatal("third reservation admitted past cap 2")
+	}
+	q.enqueue("a", true)
+	q.enqueue("b", true)
+	if q.tryReserve() {
+		t.Fatal("reservation admitted with the queue full")
+	}
+	// Resumed jobs bypass capacity.
+	q.enqueue("resumed", false)
+	if q.depth() != 3 {
+		t.Fatalf("depth = %d", q.depth())
+	}
+	for _, want := range []string{"a", "b", "resumed"} {
+		id, ok := q.pop()
+		if !ok || id != want {
+			t.Fatalf("pop = %q, %v; want %q", id, ok, want)
+		}
+	}
+	// A released reservation frees its slot.
+	if !q.tryReserve() {
+		t.Fatal("reserve on the drained queue refused")
+	}
+	q.release()
+	if !q.tryReserve() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+func TestRunQueueCloseWakesPop(t *testing.T) {
+	q := newRunQueue(1)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.pop()
+		done <- ok
+	}()
+	q.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pop on a closed empty queue returned an id")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pop did not wake on close")
+	}
+	if q.tryReserve() {
+		t.Fatal("reservation admitted after close")
+	}
+}

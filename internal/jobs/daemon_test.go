@@ -1,0 +1,657 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"langcrawl/internal/crawlog"
+	"langcrawl/internal/faults"
+	"langcrawl/internal/telemetry"
+	"langcrawl/internal/webgraph"
+	"langcrawl/internal/webserve"
+)
+
+// testWeb serves a small Thai-like space on a loopback listener and
+// returns a client whose every dial lands on it.
+func testWeb(t testing.TB) (*webgraph.Space, *http.Client) {
+	t.Helper()
+	sp, err := webgraph.Generate(webgraph.ThaiLike(80, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(webserve.New(sp))
+	t.Cleanup(ts.Close)
+	addr := ts.Listener.Addr().String()
+	return sp, &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, network, addr)
+			},
+		},
+		Timeout: 10 * time.Second,
+	}
+}
+
+// gate wraps a transport so every fetch blocks until open is closed;
+// started reports the first blocked fetch. It turns "a job is running"
+// into a deterministic state tests can wait on.
+type gate struct {
+	inner   http.RoundTripper
+	open    chan struct{}
+	started chan struct{}
+}
+
+func newGate(inner http.RoundTripper) *gate {
+	return &gate{inner: inner, open: make(chan struct{}), started: make(chan struct{}, 64)}
+}
+
+func (g *gate) RoundTrip(r *http.Request) (*http.Response, error) {
+	select {
+	case g.started <- struct{}{}:
+	default:
+	}
+	<-g.open
+	return g.inner.RoundTrip(r)
+}
+
+type env struct {
+	t    *testing.T
+	d    *Daemon
+	base string
+	hc   *http.Client
+	seed string // a real page URL in the served space
+}
+
+// newEnv stands up a full daemon with its HTTP surface on a loopback
+// listener. mut adjusts Options before the daemon starts.
+func newEnv(t *testing.T, mut func(*Options)) *env {
+	t.Helper()
+	sp, client := testWeb(t)
+	opts := Options{
+		Dir:          t.TempDir(),
+		FS:           faults.NewCrashFS(),
+		Client:       client,
+		IgnoreRobots: true,
+		Executors:    2,
+		QueueCap:     8,
+	}
+	if mut != nil {
+		mut(&opts)
+	}
+	if opts.Dir == "" {
+		opts.Dir = "jobs"
+	}
+	d, err := NewDaemon(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	m := telemetry.NewMux(telemetry.NewRegistry())
+	if err := d.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m)
+	t.Cleanup(srv.Close)
+	return &env{t: t, d: d, base: srv.URL, hc: srv.Client(), seed: sp.URL(sp.Seeds[0])}
+}
+
+func (e *env) submit(body string) (*http.Response, []byte) {
+	e.t.Helper()
+	resp, err := e.hc.Post(e.base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, data
+}
+
+func (e *env) submitOK(body string) *Job {
+	e.t.Helper()
+	resp, data := e.submit(body)
+	if resp.StatusCode != http.StatusAccepted {
+		e.t.Fatalf("submit = %d: %s", resp.StatusCode, data)
+	}
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		e.t.Fatalf("202 body: %v", err)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/jobs/"+j.ID {
+		e.t.Fatalf("Location = %q", loc)
+	}
+	return &j
+}
+
+func (e *env) get(path string) (*http.Response, []byte) {
+	e.t.Helper()
+	resp, err := e.hc.Get(e.base + path)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, data
+}
+
+func (e *env) job(id string) *Job {
+	e.t.Helper()
+	resp, data := e.get("/jobs/" + id)
+	if resp.StatusCode != http.StatusOK {
+		e.t.Fatalf("GET /jobs/%s = %d: %s", id, resp.StatusCode, data)
+	}
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		e.t.Fatal(err)
+	}
+	return &j
+}
+
+func (e *env) waitStatus(id string, want Status) *Job {
+	e.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		j := e.job(id)
+		if j.Status == want {
+			return j
+		}
+		if j.Status.Terminal() {
+			e.t.Fatalf("job %s reached %s (error %q), want %s", id, j.Status, j.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	e.t.Fatalf("job %s never reached %s", id, want)
+	return nil
+}
+
+func (e *env) cancel(id string) (*http.Response, []byte) {
+	e.t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, e.base+"/jobs/"+id, nil)
+	resp, err := e.hc.Do(req)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, data
+}
+
+// simpleJob is a small budgeted spec rooted at a real seed page.
+func (e *env) simpleJob() string {
+	return `{"tenant":"t1","seeds":["` + e.seed + `"],"max_pages":3}`
+}
+
+func TestDaemonLifecycle(t *testing.T) {
+	e := newEnv(t, nil)
+	j := e.submitOK(e.simpleJob())
+	if j.Status != StatusQueued {
+		t.Fatalf("submitted status = %s", j.Status)
+	}
+	done := e.waitStatus(j.ID, StatusDone)
+	if done.Result == nil || done.Result.Crawled == 0 {
+		t.Fatalf("done without results: %+v", done)
+	}
+
+	resp, data := e.get("/jobs/" + j.ID + "/results")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results = %d: %s", resp.StatusCode, data)
+	}
+	resp, data = e.get("/jobs/" + j.ID + "/results?format=crawlog")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("crawlog results = %d: %s", resp.StatusCode, data)
+	}
+	r, err := crawlog.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("crawlog download unreadable: %v", err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < done.Result.Crawled {
+		t.Fatalf("crawlog has %d records, summary says %d crawled", len(recs), done.Result.Crawled)
+	}
+
+	resp, data = e.get("/jobs")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte(j.ID)) {
+		t.Fatalf("list = %d: %s", resp.StatusCode, data)
+	}
+}
+
+func TestHTTPNotFound(t *testing.T) {
+	e := newEnv(t, nil)
+	for _, path := range []string{
+		"/jobs/00000042",         // unknown id
+		"/jobs/oops",             // malformed id
+		"/jobs/..%2f..%2fetc",    // hostile id
+		"/jobs/00000042/results", // results of unknown id
+	} {
+		resp, _ := e.get(path)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestSubmitBadSpecHTTP(t *testing.T) {
+	e := newEnv(t, nil)
+	for _, body := range []string{
+		``,
+		`{"tenant":`,
+		`{"seeds":["http://h0.example/0"]}`,
+		`{"tenant":"t","seeds":["http://h0.example/0"],"strategy":"yolo"}`,
+		`{"tenant":"t","seeds":["http://h0.example/0"],"nope":1}`,
+	} {
+		resp, data := e.submit(body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %q = %d (%s), want 400", body, resp.StatusCode, data)
+		}
+		var ae apiError
+		if err := json.Unmarshal(data, &ae); err != nil || ae.Error == "" {
+			t.Errorf("400 body %q is not an error JSON", data)
+		}
+	}
+	if n := len(e.d.Store().List()); n != 0 {
+		t.Fatalf("bad specs persisted %d jobs", n)
+	}
+}
+
+func TestQuotaRejects(t *testing.T) {
+	clk := newFakeClock()
+	e := newEnv(t, func(o *Options) {
+		o.Quota = Quota{Rate: 1, Burst: 1}
+		o.Now = clk.now
+	})
+	e.submitOK(e.simpleJob())
+	resp, _ := e.submit(e.simpleJob())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want 1", ra)
+	}
+	// Another tenant has its own bucket.
+	resp, _ = e.submit(`{"tenant":"t2","seeds":["` + e.seed + `"],"max_pages":1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other tenant = %d", resp.StatusCode)
+	}
+	// After the advertised wait, the tenant is welcome again.
+	clk.advance(time.Second)
+	resp, _ = e.submit(e.simpleJob())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-refill submit = %d", resp.StatusCode)
+	}
+}
+
+func TestMaxActiveCap(t *testing.T) {
+	_, client := testWeb(t)
+	g := newGate(client.Transport)
+	client.Transport = g
+	e := newEnv(t, func(o *Options) {
+		o.Client = client
+		o.Quota = Quota{MaxActive: 1}
+		o.Executors = 1
+	})
+	a := e.submitOK(e.simpleJob())
+	resp, _ := e.submit(e.simpleJob())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit past max-active = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("max-active 429 without Retry-After")
+	}
+	close(g.open)
+	e.waitStatus(a.ID, StatusDone)
+	resp, _ = e.submit(e.simpleJob())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after the active job finished = %d", resp.StatusCode)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	_, client := testWeb(t)
+	g := newGate(client.Transport)
+	client.Transport = g
+	reg := telemetry.NewRegistry()
+	tel := telemetry.NewJobStats(reg)
+	e := newEnv(t, func(o *Options) {
+		o.Client = client
+		o.Executors = 1
+		o.QueueCap = 1
+		o.Telemetry = tel
+	})
+	a := e.submitOK(e.simpleJob())
+	<-g.started // the executor holds job A; the queue is empty again
+	b := e.submitOK(e.simpleJob())
+	resp, _ := e.submit(e.simpleJob())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit into a full queue = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("queue-full 503 without Retry-After")
+	}
+	if tel.Sheds.Value() != 1 {
+		t.Fatalf("sheds counter = %d", tel.Sheds.Value())
+	}
+	// Backpressure clears once the backlog drains; both admitted jobs
+	// finish — admitted is never dropped.
+	close(g.open)
+	e.waitStatus(a.ID, StatusDone)
+	e.waitStatus(b.ID, StatusDone)
+	resp, _ = e.submit(e.simpleJob())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after drain = %d", resp.StatusCode)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	_, client := testWeb(t)
+	g := newGate(client.Transport)
+	client.Transport = g
+	e := newEnv(t, func(o *Options) {
+		o.Client = client
+		o.Executors = 1
+	})
+	a := e.submitOK(e.simpleJob())
+	<-g.started
+	b := e.submitOK(e.simpleJob())
+	resp, _ := e.cancel(b.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel queued = %d", resp.StatusCode)
+	}
+	if j := e.job(b.ID); j.Status != StatusCanceled {
+		t.Fatalf("canceled queued job is %s", j.Status)
+	}
+	// Idempotent; and the skipped job never runs.
+	if resp, _ := e.cancel(b.ID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-cancel = %d", resp.StatusCode)
+	}
+	close(g.open)
+	e.waitStatus(a.ID, StatusDone)
+	if j := e.job(b.ID); j.Status != StatusCanceled {
+		t.Fatalf("canceled job was revived to %s", j.Status)
+	}
+	// Canceling a done job is a conflict.
+	if resp, _ := e.cancel(a.ID); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel done job = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	_, client := testWeb(t)
+	g := newGate(client.Transport)
+	client.Transport = g
+	e := newEnv(t, func(o *Options) {
+		o.Client = client
+		o.Executors = 1
+	})
+	a := e.submitOK(`{"tenant":"t1","seeds":["` + e.seed + `"]}`)
+	<-g.started
+	if resp, _ := e.cancel(a.ID); resp.StatusCode != http.StatusOK {
+		t.Fatal("cancel running refused")
+	}
+	close(g.open) // the fetch in hand completes, then the stop lands
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if j := e.job(a.ID); j.Status == StatusCanceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("running job never became canceled: %s", e.job(a.ID).Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestDrainAndResume(t *testing.T) {
+	fs := faults.NewCrashFS()
+	sp, client := testWeb(t)
+	seed := sp.URL(sp.Seeds[0])
+	g := newGate(client.Transport)
+	gated := &http.Client{Transport: g, Timeout: 10 * time.Second}
+
+	opts := Options{
+		Dir:          "jobs",
+		FS:           fs,
+		Client:       gated,
+		IgnoreRobots: true,
+		Executors:    1,
+		QueueCap:     8,
+	}
+	d, err := NewDaemon(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, aerr := d.Submit(&Spec{Tenant: "t", Seeds: []string{seed}})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	b, aerr := d.Submit(&Spec{Tenant: "t", Seeds: []string{seed}})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	<-g.started
+	// Drain: the executor finishes the fetch in hand, checkpoints, and
+	// leaves both jobs persisted non-terminal.
+	closed := make(chan error)
+	go func() { closed <- d.Close() }()
+	close(g.open)
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		if j, _ := d.Store().Get(id); j.Status.Terminal() {
+			t.Fatalf("job %s became %s across a drain", id, j.Status)
+		}
+	}
+
+	// Restart over the same filesystem: both jobs are re-queued, resume,
+	// and complete.
+	reg := telemetry.NewRegistry()
+	tel := telemetry.NewJobStats(reg)
+	opts.Client = client // no gate this time
+	opts.Telemetry = tel
+	d2, err := NewDaemon(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if tel.Resumed.Value() != 2 {
+		t.Fatalf("resumed counter = %d, want 2", tel.Resumed.Value())
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ja, _ := d2.Store().Get(a.ID)
+		jb, _ := d2.Store().Get(b.ID)
+		if ja.Status == StatusDone && jb.Status == StatusDone {
+			if ja.Result == nil || ja.Result.Crawled == 0 {
+				t.Fatalf("resumed job finished empty: %+v", ja)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed jobs stuck at %s / %s", ja.Status, jb.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestAPIFaultInjection(t *testing.T) {
+	e := newEnv(t, func(o *Options) {
+		o.Faults = faults.APIModel{Seed: 1, RejectRate: 1}
+	})
+	resp, data := e.submit(e.simpleJob())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit under RejectRate 1 = %d: %s", resp.StatusCode, data)
+	}
+	if n := len(e.d.Store().List()); n != 0 {
+		t.Fatalf("injected rejection persisted %d jobs", n)
+	}
+
+	e2 := newEnv(t, func(o *Options) {
+		o.Faults = faults.APIModel{Seed: 1, StatusErrRate: 1}
+	})
+	j := e2.submitOK(e2.simpleJob())
+	resp, _ = e2.get("/jobs/" + j.ID)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status under StatusErrRate 1 = %d", resp.StatusCode)
+	}
+}
+
+func TestFannedJobOverAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fanned jobs spin up a coordinator and workers")
+	}
+	_, client := testWeb(t)
+	e := newEnv(t, func(o *Options) {
+		o.Client = client
+		o.FS = nil // dist workers keep state on the real filesystem
+		o.Dir = t.TempDir()
+	})
+	j := e.submitOK(`{"tenant":"t1","seeds":["` + e.seed + `"],"workers":2}`)
+	done := e.waitStatus(j.ID, StatusDone)
+	if done.Result == nil || done.Result.Crawled == 0 {
+		t.Fatalf("fanned job finished empty: %+v", done)
+	}
+	// Fanned jobs keep per-worker logs; the crawlog download is refused.
+	resp, _ := e.get("/jobs/" + j.ID + "/results?format=crawlog")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("crawlog download of a fanned job = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRegisterTwiceErrors(t *testing.T) {
+	e := newEnv(t, nil)
+	m := telemetry.NewMux(telemetry.NewRegistry())
+	if err := e.d.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.d.Register(m); err == nil {
+		t.Fatal("double Register did not error")
+	}
+}
+
+// TestStopAfterKillsDaemon exercises the emulated-SIGKILL path at the
+// daemon level: the job dies mid-crawl with nothing persisted past its
+// last checkpoint, Dead() fires, and a fresh daemon over the same state
+// resumes and finishes the job. (The conformance suite holds the
+// resumed results to the golden set; this is the plumbing smoke.)
+func TestStopAfterKillsDaemon(t *testing.T) {
+	fs := faults.NewCrashFS()
+	sp, client := testWeb(t)
+	seed := sp.URL(sp.Seeds[0])
+	opts := Options{
+		Dir:             "jobs",
+		FS:              fs,
+		Client:          client,
+		IgnoreRobots:    true,
+		Executors:       1,
+		CheckpointEvery: 4,
+		StopAfter:       10,
+	}
+	d, err := NewDaemon(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, aerr := d.Submit(&Spec{Tenant: "t", Seeds: []string{seed}})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	select {
+	case <-d.Dead():
+	case <-time.After(30 * time.Second):
+		t.Fatal("StopAfter never fired")
+	}
+	d.Close()
+	if got, _ := d.Store().Get(j.ID); got.Status != StatusRunning {
+		t.Fatalf("killed job persisted as %s, want running", got.Status)
+	}
+
+	opts.StopAfter = 0
+	d2, err := NewDaemon(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got, _ := d2.Store().Get(j.ID)
+		if got.Status == StatusDone {
+			if got.Result.Crawled <= 10 {
+				t.Fatalf("resumed job crawled %d pages, want more than the kill point", got.Result.Crawled)
+			}
+			break
+		}
+		if got.Status.Terminal() {
+			t.Fatalf("resumed job reached %s: %s", got.Status, got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job stuck at %s", got.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestResultsEdgeCases(t *testing.T) {
+	e := newEnv(t, nil)
+	j := e.submitOK(e.simpleJob())
+	e.waitStatus(j.ID, StatusDone)
+
+	// Unknown download format is a client error, not a fallback.
+	resp, data := e.get("/jobs/" + j.ID + "/results?format=carrier-pigeon")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format = %d: %s", resp.StatusCode, data)
+	}
+	// Explicit json format matches the default.
+	resp, data = e.get("/jobs/" + j.ID + "/results?format=json")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte(j.ID)) {
+		t.Fatalf("json format = %d: %s", resp.StatusCode, data)
+	}
+
+	// A job canceled before it ever ran is terminal but wrote no log.
+	_, client := testWeb(t)
+	gt := newGate(client.Transport)
+	client.Transport = gt
+	e2 := newEnv(t, func(o *Options) {
+		o.Executors = 1
+		o.Client = client
+	})
+	blocker := e2.submitOK(e2.simpleJob())
+	<-gt.started
+	victim := e2.submitOK(e2.simpleJob())
+	if resp, data := e2.cancel(victim.ID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d: %s", resp.StatusCode, data)
+	}
+	resp, data = e2.get("/jobs/" + victim.ID + "/results?format=crawlog")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("crawlog of never-run job = %d: %s", resp.StatusCode, data)
+	}
+	close(gt.open)
+	e2.waitStatus(blocker.ID, StatusDone)
+}
+
+func TestAdmissionErrorMessage(t *testing.T) {
+	err := &AdmissionError{Code: http.StatusTooManyRequests, RetryAfter: 2, Msg: "tenant over rate"}
+	if err.Error() != "tenant over rate" {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+}
+
+func TestRetryAfterSecondsFloor(t *testing.T) {
+	for _, wait := range []time.Duration{0, -time.Second, time.Nanosecond, 999 * time.Millisecond} {
+		if got := retryAfterSeconds(wait); got != 1 {
+			t.Fatalf("retryAfterSeconds(%v) = %d, want 1", wait, got)
+		}
+	}
+	if got := retryAfterSeconds(2500 * time.Millisecond); got != 3 {
+		t.Fatalf("retryAfterSeconds(2.5s) = %d, want ceil 3", got)
+	}
+}

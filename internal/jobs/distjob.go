@@ -1,0 +1,121 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sync"
+
+	"langcrawl/internal/checkpoint"
+	"langcrawl/internal/crawler"
+	"langcrawl/internal/dist"
+	"langcrawl/internal/telemetry"
+)
+
+// runFanned executes j through the internal/dist coordinator: an
+// in-process coordinator owns the global frontier (checkpointed under
+// the job's state dir), served over a loopback listener, and
+// j.Spec.Workers worker loops crawl leased batches, each with its own
+// state directory — so the dist layer's kill-resume machinery covers
+// fanned-out jobs the same way it covers real distributed workers.
+//
+// The dist worker keeps its local state on the real filesystem, so
+// fanned-out jobs are refused when the daemon runs on an injected FS
+// (the in-memory load harness sticks to sequential jobs).
+func (d *Daemon) runFanned(j *Job, stop <-chan struct{}) (*crawler.Result, error) {
+	if _, ok := d.opts.FS.(checkpoint.OSFS); !ok {
+		return nil, errors.New("fanned-out jobs need the real filesystem")
+	}
+	spec := &j.Spec
+	lang := spec.TargetLanguage(d.opts.DefaultTarget)
+	strategy, err := spec.ParseStrategy()
+	if err != nil {
+		return nil, err
+	}
+	classifier, err := spec.ParseClassifier(lang)
+	if err != nil {
+		return nil, err
+	}
+	jobDir := d.store.Dir(j.ID)
+
+	// Private instruments: fanned passes would double-count into the
+	// daemon-wide CrawlStats across a resume, so each pass gets a fresh
+	// registry and reports relevance from it.
+	cs := telemetry.NewCrawlStats(telemetry.NewRegistry())
+
+	coord, err := dist.New(dist.Options{
+		Seeds:          spec.Seeds,
+		CheckpointPath: filepath.Join(jobDir, "coord.ck"),
+		FS:             d.opts.FS,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("starting coordinator: %w", err)
+	}
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("coordinator listener: %w", err)
+	}
+	srv := &http.Server{Handler: dist.Handler(coord)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	tmpl := crawler.Config{
+		Strategy:     strategy,
+		Classifier:   classifier,
+		Client:       d.opts.Client,
+		UserAgent:    d.opts.UserAgent,
+		HostInterval: d.opts.HostInterval,
+		IgnoreRobots: d.opts.IgnoreRobots,
+		Telemetry:    cs,
+	}
+
+	type outcome struct {
+		res *dist.WorkerResult
+		err error
+	}
+	outs := make([]outcome, spec.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < spec.Workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("w%d", i)
+			res, err := dist.RunWorker(context.Background(), dist.WorkerOptions{
+				Coord:     dist.NewClient(base, j.ID+"-"+id, nil),
+				Dir:       filepath.Join(jobDir, "worker-"+id),
+				Crawl:     tmpl,
+				StopAfter: d.opts.StopAfter,
+				Stop:      stop,
+			})
+			outs[i] = outcome{res, err}
+		}(i)
+	}
+	wg.Wait()
+
+	agg := &crawler.Result{}
+	for _, o := range outs {
+		if o.err != nil {
+			if errors.Is(o.err, checkpoint.ErrKilled) {
+				return nil, o.err
+			}
+			if err == nil {
+				err = o.err
+			}
+			continue
+		}
+		agg.Crawled += o.res.Crawled
+	}
+	if err != nil {
+		return nil, err
+	}
+	agg.Relevant = int(cs.Relevant.Value())
+	agg.Errors = int(cs.FetchErrors.Value())
+	agg.RobotsBlocked = int(cs.RobotsBlocked.Value())
+	return agg, nil
+}

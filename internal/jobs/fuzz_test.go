@@ -1,0 +1,56 @@
+package jobs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzJobSpecDecode throws arbitrary bytes at the spec decoder — the
+// only code that touches a request body before admission. The
+// invariants: no panic, no accept-without-validate (anything accepted
+// satisfies Validate's postconditions), and every rejection wraps
+// ErrBadSpec so the HTTP layer answers 400, never a 500 or a crash.
+func FuzzJobSpecDecode(f *testing.F) {
+	f.Add(`{"tenant":"t1","seeds":["http://h0.example/0"]}`)
+	f.Add(`{"tenant":"t1","seeds":["http://h0.example/0"],"strategy":"prior-limited:2","max_pages":10}`)
+	f.Add(`{"tenant":"t1","seeds":["http://h0.example/0"],"workers":4}`)
+	f.Add(`{"tenant":`)
+	f.Add(`[]`)
+	f.Add(`null`)
+	f.Add(`{"tenant":"t","seeds":["javascript:alert(1)"]}`)
+	f.Add(`{"tenant":"../../etc","seeds":["http://h.example/"]}`)
+	f.Add(`{"tenant":"t","seeds":["http://h.example/\u0000"]}`)
+	f.Add(`{"tenant":"t","seeds":[` + strings.Repeat(`"http://h.example/",`, 64) + `"http://h.example/"]}`)
+	f.Add(`{"tenant":"t","seeds":["http://h.example/"],"bogus":true}`)
+	f.Add(`{"tenant":"t","seeds":["http://h.example/"]}{"tenant":"u"}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		s, err := DecodeSpec(strings.NewReader(body), Limits{})
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("rejection does not wrap ErrBadSpec (HTTP layer would not 400): %v", err)
+			}
+			return
+		}
+		// Accepted: the spec must honor everything Validate promises the
+		// daemon downstream.
+		if s.Tenant == "" || len(s.Tenant) > maxTenantLen {
+			t.Fatalf("accepted tenant %q", s.Tenant)
+		}
+		if len(s.Seeds) == 0 {
+			t.Fatal("accepted a spec with no seeds")
+		}
+		for _, u := range s.Seeds {
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				t.Fatalf("accepted non-HTTP seed %q", u)
+			}
+		}
+		if _, err := s.ParseStrategy(); err != nil {
+			t.Fatalf("accepted spec with unparseable strategy: %v", err)
+		}
+		if s.MaxPages < 0 || s.Workers < 0 {
+			t.Fatalf("accepted negative budget: %+v", s)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"langcrawl/internal/telemetry"
+)
+
+// Register mounts the job API on m, beside whatever the mux already
+// serves (/metrics, /healthz, /debug/pprof): crawld runs its whole
+// surface on one listener. The mux's dedupe makes a double Register an
+// error instead of a panic.
+func (d *Daemon) Register(m *telemetry.Mux) error {
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"POST /jobs", d.handleSubmit},
+		{"GET /jobs", d.handleList},
+		{"GET /jobs/{id}", d.handleGet},
+		{"GET /jobs/{id}/results", d.handleResults},
+		{"DELETE /jobs/{id}", d.handleCancel},
+	}
+	for _, r := range routes {
+		if err := m.HandleFunc(r.pattern, r.h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// apiError is the JSON error body every non-2xx answer carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := DecodeSpec(r.Body, d.opts.Limits)
+	if err != nil {
+		d.tel.Submitted.Inc()
+		d.tel.BadSpecs.Inc()
+		if errors.Is(err, ErrBadSpec) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		}
+		return
+	}
+	j, aerr := d.Submit(spec)
+	if aerr != nil {
+		if aerr.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(aerr.RetryAfter))
+		}
+		writeError(w, aerr.Code, "%s", aerr.Msg)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.store.List())
+}
+
+// jobFromPath resolves the {id} path segment, answering 404 for
+// malformed or unknown ids (the id syntax is checked before the store
+// or filesystem see it).
+func (d *Daemon) jobFromPath(w http.ResponseWriter, r *http.Request) *Job {
+	id := r.PathValue("id")
+	if !parseID(id) {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return nil
+	}
+	j, ok := d.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return nil
+	}
+	return j
+}
+
+func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
+	if d.flt != nil {
+		d.mu.Lock()
+		fail := d.flt.FailStatus()
+		d.mu.Unlock()
+		if fail {
+			d.tel.Faulted.Inc()
+			writeError(w, http.StatusServiceUnavailable, "injected status fault")
+			return
+		}
+	}
+	if j := d.jobFromPath(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j)
+	}
+}
+
+func (d *Daemon) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := d.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	if !j.Status.Terminal() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job %s is still %s", j.ID, j.Status)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		writeJSON(w, http.StatusOK, j)
+	case "crawlog":
+		if j.Spec.Workers >= 2 {
+			writeError(w, http.StatusBadRequest,
+				"fanned-out jobs keep per-worker logs; crawlog download covers sequential jobs")
+			return
+		}
+		data, err := d.opts.FS.ReadFile(d.LogPath(j.ID))
+		if err != nil {
+			writeError(w, http.StatusNotFound, "job %s has no crawl log", j.ID)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q", r.URL.Query().Get("format"))
+	}
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := d.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	if err := d.Cancel(j.ID); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	cur, _ := d.store.Get(j.ID)
+	writeJSON(w, http.StatusOK, cur)
+}

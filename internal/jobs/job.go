@@ -1,0 +1,143 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Status is a job's position in its lifecycle. Transitions are
+// monotonic in rank: queued → running → one terminal state. The store
+// enforces the ordering, so a resumed daemon can never regress a
+// completed job back to running — re-executing a job whose persisted
+// status is already "running" is an idempotent same-rank write, not a
+// regression.
+type Status int
+
+const (
+	// StatusQueued: admitted, persisted, waiting for an executor.
+	StatusQueued Status = iota + 1
+	// StatusRunning: an executor is crawling it (or was, when the
+	// daemon died; a restart re-queues it without changing the status).
+	StatusRunning
+	// StatusDone: the crawl finished; results are readable.
+	StatusDone
+	// StatusFailed: the crawl returned an error; Job.Error has it.
+	StatusFailed
+	// StatusCanceled: canceled by DELETE before or during the crawl.
+	StatusCanceled
+)
+
+// rank orders statuses for the monotonicity check: all terminal states
+// share one rank (a job reaches exactly one of them).
+func (s Status) rank() int {
+	switch s {
+	case StatusQueued:
+		return 1
+	case StatusRunning:
+		return 2
+	case StatusDone, StatusFailed, StatusCanceled:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// Terminal reports whether s is a final state.
+func (s Status) Terminal() bool { return s.rank() == 3 }
+
+// String returns the wire spelling ("queued", "running", ...).
+func (s Status) String() string {
+	switch s {
+	case StatusQueued:
+		return "queued"
+	case StatusRunning:
+		return "running"
+	case StatusDone:
+		return "done"
+	case StatusFailed:
+		return "failed"
+	case StatusCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// ParseStatus inverts String.
+func ParseStatus(s string) (Status, error) {
+	for _, st := range []Status{StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCanceled} {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("jobs: unknown status %q", s)
+}
+
+// MarshalJSON writes the wire spelling.
+func (s Status) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON reads the wire spelling.
+func (s *Status) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	st, err := ParseStatus(name)
+	if err != nil {
+		return err
+	}
+	*s = st
+	return nil
+}
+
+// Summary is a finished job's crawl outcome, persisted with the job.
+type Summary struct {
+	Crawled       int `json:"crawled"`
+	Relevant      int `json:"relevant"`
+	Errors        int `json:"errors"`
+	RobotsBlocked int `json:"robots_blocked,omitempty"`
+}
+
+// Job is one persisted unit of work. The Submitted sequence number —
+// not a wall-clock time — orders jobs deterministically; conformance
+// replays must not depend on the clock.
+type Job struct {
+	ID        string   `json:"id"`
+	Spec      Spec     `json:"spec"`
+	Status    Status   `json:"status"`
+	Submitted uint64   `json:"submitted"` // admission sequence number
+	Error     string   `json:"error,omitempty"`
+	Result    *Summary `json:"result,omitempty"`
+}
+
+// ErrStatusRegression marks a refused backwards transition — the bug
+// class the monotonic state machine exists to catch (a restart must
+// never flip a completed job back to running).
+var ErrStatusRegression = fmt.Errorf("jobs: status transition would regress")
+
+// transition validates moving j from its current status to next. Equal
+// status is an idempotent re-persist; a rank decrease — or a move
+// between two different terminal states — is refused.
+func (j *Job) transition(next Status) error {
+	if next.rank() == 0 {
+		return fmt.Errorf("jobs: invalid status %d", int(next))
+	}
+	if next == j.Status {
+		return nil
+	}
+	if next.rank() <= j.Status.rank() {
+		return fmt.Errorf("%w: %s → %s", ErrStatusRegression, j.Status, next)
+	}
+	return nil
+}
+
+// clone returns a deep-enough copy for handing outside the store lock.
+func (j *Job) clone() *Job {
+	c := *j
+	c.Spec.Seeds = append([]string(nil), j.Spec.Seeds...)
+	if j.Result != nil {
+		r := *j.Result
+		c.Result = &r
+	}
+	return &c
+}

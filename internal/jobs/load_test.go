@@ -1,0 +1,189 @@
+package jobs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"langcrawl/internal/faults"
+	"langcrawl/internal/telemetry"
+)
+
+// TestLoadManyClients is the synthetic many-client load driver: a
+// thousand concurrent submitters hammer POST /jobs against a
+// webserve-backed space while executors drain the queue. The contract
+// under load: every submission gets a decisive answer (202, 429, or
+// 503 — never a hang, never a 500), every 429/503 carries Retry-After,
+// and every 202 — the admission promise — ends in a terminal job with
+// results. Zero admitted-job losses.
+//
+// The job store runs on an in-memory filesystem so the test measures
+// the admission machinery, not the host's fsync latency.
+func TestLoadManyClients(t *testing.T) {
+	submitters := 1000
+	if testing.Short() {
+		submitters = 100
+	}
+	sp, client := testWeb(t)
+	seed := sp.URL(sp.Seeds[0])
+	reg := telemetry.NewRegistry()
+	tel := telemetry.NewJobStats(reg)
+	d, err := NewDaemon(Options{
+		Dir:          "jobs",
+		FS:           faults.NewCrashFS(),
+		Client:       client,
+		IgnoreRobots: true,
+		Executors:    8,
+		QueueCap:     256,
+		Telemetry:    tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	m := telemetry.NewMux(reg)
+	if err := d.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m)
+	defer srv.Close()
+	hc := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: 256},
+		Timeout:   30 * time.Second,
+	}
+
+	var (
+		mu       sync.Mutex
+		admitted []string
+		rejected int
+		other    []string
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := `{"tenant":"load-` + string(rune('a'+i%8)) + `","seeds":["` + seed + `"],"max_pages":2}`
+			resp, err := hc.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				mu.Lock()
+				other = append(other, err.Error())
+				mu.Unlock()
+				return
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				var j Job
+				if err := json.Unmarshal(data, &j); err != nil {
+					other = append(other, "bad 202 body: "+string(data))
+					return
+				}
+				admitted = append(admitted, j.ID)
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				if resp.Header.Get("Retry-After") == "" {
+					other = append(other, "shed without Retry-After")
+					return
+				}
+				rejected++
+			default:
+				other = append(other, resp.Status+": "+string(data))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(other) > 0 {
+		t.Fatalf("%d submissions got non-contract answers; first: %s", len(other), other[0])
+	}
+	if len(admitted)+rejected != submitters {
+		t.Fatalf("accounting hole: %d admitted + %d rejected != %d", len(admitted), rejected, submitters)
+	}
+	if len(admitted) == 0 {
+		t.Fatal("zero admissions under load; queue capacity never engaged")
+	}
+	t.Logf("%d submitters: %d admitted, %d shed with Retry-After", submitters, len(admitted), rejected)
+
+	// The admission promise: every 202 ends done, none lost, none stuck.
+	deadline := time.Now().Add(120 * time.Second)
+	for _, id := range admitted {
+		for {
+			j, ok := d.Store().Get(id)
+			if !ok {
+				t.Fatalf("admitted job %s vanished", id)
+			}
+			if j.Status == StatusDone {
+				if j.Result == nil || j.Result.Crawled == 0 {
+					t.Fatalf("admitted job %s finished without results", id)
+				}
+				break
+			}
+			if j.Status.Terminal() {
+				t.Fatalf("admitted job %s ended %s: %s", id, j.Status, j.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("admitted job %s stuck at %s", id, j.Status)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if got := int(tel.Completed.Value()); got < len(admitted) {
+		t.Fatalf("completed counter %d < %d admitted", got, len(admitted))
+	}
+}
+
+// BenchmarkJobsAPI measures the service end to end: submit one small
+// job through the HTTP handler and poll it to completion. This is the
+// number BENCH_api.json pins and cmd/benchcheck gates in CI.
+func BenchmarkJobsAPI(b *testing.B) {
+	sp, client := testWeb(b)
+	seed := sp.URL(sp.Seeds[0])
+	d, err := NewDaemon(Options{
+		Dir:          "jobs",
+		FS:           faults.NewCrashFS(),
+		Client:       client,
+		IgnoreRobots: true,
+		Executors:    2,
+		QueueCap:     64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	m := telemetry.NewMux(telemetry.NewRegistry())
+	if err := d.Register(m); err != nil {
+		b.Fatal(err)
+	}
+	body := `{"tenant":"bench","seeds":["` + seed + `"],"max_pages":1}`
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/jobs", strings.NewReader(body))
+		rw := httptest.NewRecorder()
+		m.ServeHTTP(rw, req)
+		if rw.Code != http.StatusAccepted {
+			b.Fatalf("submit = %d: %s", rw.Code, rw.Body.String())
+		}
+		var j Job
+		if err := json.Unmarshal(rw.Body.Bytes(), &j); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			got, _ := d.Store().Get(j.ID)
+			if got.Status == StatusDone {
+				break
+			}
+			if got.Status.Terminal() {
+				b.Fatalf("job ended %s: %s", got.Status, got.Error)
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}

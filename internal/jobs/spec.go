@@ -1,0 +1,217 @@
+// Package jobs turns the one-shot crawl CLIs into a multi-tenant
+// crawl-as-a-service daemon: tenants POST crawl specifications (seed
+// URLs, language target, strategy, page budget), the daemon admits them
+// through per-tenant token-bucket quotas and a bounded run queue,
+// executes each admitted job as an ordinary crawler pass (sequential,
+// or fanned out through the internal/dist coordinator), and persists
+// every job's state through internal/checkpoint so a SIGKILLed daemon
+// restarts and resumes every in-flight job via the §11 kill-resume
+// machinery — each job in its own state directory.
+//
+// The admission contract is the backbone: a submission is either
+// refused before anything is persisted (400 bad spec, 429 quota with
+// Retry-After, 503 queue full or injected fault) or admitted — and an
+// admitted job is never dropped, not by load and not by a daemon kill.
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/cliutil"
+	"langcrawl/internal/core"
+	"langcrawl/internal/urlutil"
+)
+
+// Spec is the user-facing unit of work: one crawl specification, the
+// job object the API accepts, persists, and executes.
+type Spec struct {
+	// Tenant identifies the submitting tenant; quotas are per tenant.
+	Tenant string `json:"tenant"`
+	// Seeds are the crawl entry URLs (http/https, normalizable).
+	Seeds []string `json:"seeds"`
+	// Target is the language target ("thai", "japanese", "english");
+	// empty uses the daemon's default.
+	Target string `json:"target,omitempty"`
+	// Strategy is a cliutil strategy spec ("soft", "prior-limited:2",
+	// ...); empty means "soft".
+	Strategy string `json:"strategy,omitempty"`
+	// Classifier is a cliutil classifier name; empty means "meta".
+	Classifier string `json:"classifier,omitempty"`
+	// MaxPages is the page budget (0 = until the frontier drains,
+	// bounded by the daemon's per-job ceiling).
+	MaxPages int `json:"max_pages,omitempty"`
+	// Workers, when ≥ 2, fans the job out through the internal/dist
+	// coordinator with that many in-process workers. Fanned-out jobs run
+	// to frontier drain, so MaxPages must be 0.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Limits bounds what a spec may ask for; the decoder enforces them so a
+// hostile submission is refused before it allocates anything
+// proportional to its claims.
+type Limits struct {
+	MaxBodyBytes int64 // request body cap (default 1 MiB)
+	MaxSeeds     int   // seed list cap (default 1024)
+	MaxSeedLen   int   // per-URL byte cap (default 2048)
+	MaxPages     int   // page-budget ceiling, 0 = unlimited
+	MaxWorkers   int   // fan-out cap (default 8)
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxBodyBytes <= 0 {
+		l.MaxBodyBytes = 1 << 20
+	}
+	if l.MaxSeeds <= 0 {
+		l.MaxSeeds = 1024
+	}
+	if l.MaxSeedLen <= 0 {
+		l.MaxSeedLen = 2048
+	}
+	if l.MaxWorkers <= 0 {
+		l.MaxWorkers = 8
+	}
+	return l
+}
+
+// ErrBadSpec wraps every validation failure DecodeSpec returns, so the
+// HTTP layer maps the whole class to 400 with one errors.Is.
+var ErrBadSpec = errors.New("jobs: invalid job spec")
+
+func badSpec(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
+}
+
+// maxTenantLen bounds tenant identifiers; they become metric label
+// material and directory-name-adjacent strings, so they stay short and
+// tame.
+const maxTenantLen = 64
+
+// DecodeSpec reads and validates one job spec from r. Any malformation
+// — syntactically broken JSON, unknown fields, oversized seed lists,
+// un-normalizable or non-HTTP URLs, unknown strategy or classifier
+// names, out-of-range budgets — returns an error wrapping ErrBadSpec
+// and a nil spec; the caller answers 400. The decode allocates nothing
+// proportional to hostile input beyond the body cap.
+func DecodeSpec(r io.Reader, lim Limits) (*Spec, error) {
+	lim = lim.withDefaults()
+	dec := json.NewDecoder(io.LimitReader(r, lim.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, badSpec("decoding JSON: %v", err)
+	}
+	// Trailing garbage after the JSON value is a malformed request, not
+	// a second spec.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, badSpec("trailing data after the spec object")
+	}
+	if err := s.Validate(lim); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks s against lim, normalizing the seed URLs in place.
+func (s *Spec) Validate(lim Limits) error {
+	lim = lim.withDefaults()
+	if s.Tenant == "" {
+		return badSpec("tenant is required")
+	}
+	if len(s.Tenant) > maxTenantLen {
+		return badSpec("tenant is longer than %d bytes", maxTenantLen)
+	}
+	for _, c := range s.Tenant {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.') {
+			return badSpec("tenant contains %q; use letters, digits, '-', '_', '.'", c)
+		}
+	}
+	if len(s.Seeds) == 0 {
+		return badSpec("at least one seed URL is required")
+	}
+	if len(s.Seeds) > lim.MaxSeeds {
+		return badSpec("%d seeds exceed the limit of %d", len(s.Seeds), lim.MaxSeeds)
+	}
+	for i, raw := range s.Seeds {
+		if len(raw) > lim.MaxSeedLen {
+			return badSpec("seed %d is longer than %d bytes", i, lim.MaxSeedLen)
+		}
+		for j := 0; j < len(raw); j++ {
+			if raw[j] < 0x20 || raw[j] == 0x7f {
+				return badSpec("seed %d contains a control byte", i)
+			}
+		}
+		if !strings.HasPrefix(raw, "http://") && !strings.HasPrefix(raw, "https://") {
+			return badSpec("seed %d is not an http(s) URL", i)
+		}
+		u, err := urlutil.Normalize(raw)
+		if err != nil {
+			return badSpec("seed %d: %v", i, err)
+		}
+		s.Seeds[i] = u
+	}
+	if _, err := s.ParseStrategy(); err != nil {
+		return badSpec("%v", err)
+	}
+	if _, err := s.ParseClassifier(charset.LangThai); err != nil {
+		return badSpec("%v", err)
+	}
+	if s.Target != "" {
+		if _, err := cliutil.ParseLanguage(s.Target); err != nil {
+			return badSpec("%v", err)
+		}
+	}
+	if s.MaxPages < 0 {
+		return badSpec("max_pages must be non-negative")
+	}
+	if lim.MaxPages > 0 && s.MaxPages > lim.MaxPages {
+		return badSpec("max_pages %d exceeds the per-job ceiling of %d", s.MaxPages, lim.MaxPages)
+	}
+	if s.Workers < 0 {
+		return badSpec("workers must be non-negative")
+	}
+	if s.Workers > lim.MaxWorkers {
+		return badSpec("workers %d exceeds the fan-out cap of %d", s.Workers, lim.MaxWorkers)
+	}
+	if s.Workers >= 2 && s.MaxPages != 0 {
+		return badSpec("fanned-out jobs run to frontier drain; max_pages must be 0")
+	}
+	return nil
+}
+
+// ParseStrategy resolves the spec's strategy ("soft" when empty).
+func (s *Spec) ParseStrategy() (core.Strategy, error) {
+	name := s.Strategy
+	if name == "" {
+		name = "soft"
+	}
+	return cliutil.ParseStrategy(name)
+}
+
+// ParseClassifier resolves the spec's classifier ("meta" when empty)
+// for the given target language.
+func (s *Spec) ParseClassifier(target charset.Language) (core.Classifier, error) {
+	name := s.Classifier
+	if name == "" {
+		name = "meta"
+	}
+	return cliutil.ParseClassifier(name, target)
+}
+
+// TargetLanguage resolves the spec's language target, falling back to
+// def when unset.
+func (s *Spec) TargetLanguage(def charset.Language) charset.Language {
+	if s.Target == "" {
+		return def
+	}
+	lang, err := cliutil.ParseLanguage(s.Target)
+	if err != nil {
+		return def // Validate already refused unknown names
+	}
+	return lang
+}

@@ -1,0 +1,130 @@
+package jobs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"langcrawl/internal/charset"
+)
+
+func decode(t *testing.T, body string) (*Spec, error) {
+	t.Helper()
+	return DecodeSpec(strings.NewReader(body), Limits{})
+}
+
+func TestDecodeSpecMinimal(t *testing.T) {
+	s, err := decode(t, `{"tenant":"t1","seeds":["http://h0.example/0"]}`)
+	if err != nil {
+		t.Fatalf("minimal spec refused: %v", err)
+	}
+	if s.Tenant != "t1" || len(s.Seeds) != 1 {
+		t.Fatalf("decoded spec = %+v", s)
+	}
+	if _, err := s.ParseStrategy(); err != nil {
+		t.Fatalf("default strategy: %v", err)
+	}
+}
+
+func TestDecodeSpecNormalizesSeeds(t *testing.T) {
+	s, err := decode(t, `{"tenant":"t1","seeds":["http://H0.Example/a/../b"]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seeds[0] != "http://h0.example/b" {
+		t.Fatalf("seed not normalized: %q", s.Seeds[0])
+	}
+}
+
+func TestDecodeSpecRejections(t *testing.T) {
+	longSeed := `"http://h.example/` + strings.Repeat("x", 4096) + `"`
+	cases := []struct {
+		name, body string
+	}{
+		{"empty body", ``},
+		{"malformed json", `{"tenant":`},
+		{"wrong type", `[1,2,3]`},
+		{"unknown field", `{"tenant":"t","seeds":["http://h.example/"],"bogus":1}`},
+		{"trailing data", `{"tenant":"t","seeds":["http://h.example/"]} extra`},
+		{"second object", `{"tenant":"t","seeds":["http://h.example/"]}{}`},
+		{"no tenant", `{"seeds":["http://h.example/"]}`},
+		{"tenant with slash", `{"tenant":"a/b","seeds":["http://h.example/"]}`},
+		{"tenant with dotdot ok chars but space", `{"tenant":"a b","seeds":["http://h.example/"]}`},
+		{"tenant too long", `{"tenant":"` + strings.Repeat("a", 65) + `","seeds":["http://h.example/"]}`},
+		{"no seeds", `{"tenant":"t","seeds":[]}`},
+		{"seed not http", `{"tenant":"t","seeds":["ftp://h.example/"]}`},
+		{"seed javascript", `{"tenant":"t","seeds":["javascript:alert(1)"]}`},
+		{"seed control byte", `{"tenant":"t","seeds":["http://h.example/"]}`},
+		{"seed too long", `{"tenant":"t","seeds":[` + longSeed + `]}`},
+		{"bad strategy", `{"tenant":"t","seeds":["http://h.example/"],"strategy":"yolo"}`},
+		{"bad classifier", `{"tenant":"t","seeds":["http://h.example/"],"classifier":"yolo"}`},
+		{"bad target", `{"tenant":"t","seeds":["http://h.example/"],"target":"klingon"}`},
+		{"negative pages", `{"tenant":"t","seeds":["http://h.example/"],"max_pages":-1}`},
+		{"negative workers", `{"tenant":"t","seeds":["http://h.example/"],"workers":-1}`},
+		{"too many workers", `{"tenant":"t","seeds":["http://h.example/"],"workers":99}`},
+		{"fanned with budget", `{"tenant":"t","seeds":["http://h.example/"],"workers":2,"max_pages":5}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := decode(t, c.body)
+			if err == nil {
+				t.Fatalf("accepted %q as %+v", c.body, s)
+			}
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("error %v does not wrap ErrBadSpec (would not map to 400)", err)
+			}
+		})
+	}
+}
+
+func TestDecodeSpecSeedCap(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`{"tenant":"t","seeds":[`)
+	for i := 0; i < 10; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`"http://h.example/p"`)
+	}
+	b.WriteString(`]}`)
+	if _, err := DecodeSpec(strings.NewReader(b.String()), Limits{MaxSeeds: 5}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("10 seeds past a cap of 5: err = %v", err)
+	}
+}
+
+func TestDecodeSpecBodyCap(t *testing.T) {
+	// A body larger than MaxBodyBytes is cut mid-JSON by the LimitReader
+	// and must come back as a bad spec, not an allocation.
+	body := `{"tenant":"t","seeds":["http://h.example/` + strings.Repeat("a", 2000) + `"]}`
+	if _, err := DecodeSpec(strings.NewReader(body), Limits{MaxBodyBytes: 64}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("oversized body: err = %v", err)
+	}
+}
+
+func TestDecodeSpecPageCeiling(t *testing.T) {
+	body := `{"tenant":"t","seeds":["http://h.example/"],"max_pages":1000}`
+	if _, err := DecodeSpec(strings.NewReader(body), Limits{MaxPages: 100}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("budget past the ceiling: err = %v", err)
+	}
+	if _, err := DecodeSpec(strings.NewReader(body), Limits{}); err != nil {
+		t.Fatalf("no ceiling configured: %v", err)
+	}
+}
+
+func TestTargetLanguage(t *testing.T) {
+	cases := []struct {
+		target string
+		want   charset.Language
+	}{
+		{"", charset.LangJapanese}, // empty falls back to the default
+		{"thai", charset.LangThai},
+		{"japanese", charset.LangJapanese},
+		{"bogus", charset.LangJapanese}, // Validate refused it already; fall back
+	}
+	for _, c := range cases {
+		s := &Spec{Target: c.target}
+		if got := s.TargetLanguage(charset.LangJapanese); got != c.want {
+			t.Errorf("TargetLanguage(%q) = %v, want %v", c.target, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+
+	"langcrawl/internal/faults"
+)
+
+func testSpec(tenant string) *Spec {
+	return &Spec{Tenant: tenant, Seeds: []string{"http://h0.example/0"}}
+}
+
+func TestStoreCreateAndReopen(t *testing.T) {
+	fs := faults.NewCrashFS()
+	s, err := OpenStore("jobs", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Create(testSpec("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Create(testSpec("t2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "00000001" || b.ID != "00000002" {
+		t.Fatalf("ids = %s, %s", a.ID, b.ID)
+	}
+	if _, err := s.SetStatus(a.ID, StatusRunning, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetStatus(a.ID, StatusDone, "", &Summary{Crawled: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same filesystem is the daemon restart.
+	s2, err := OpenStore("jobs", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(a.ID)
+	if !ok || got.Status != StatusDone || got.Result == nil || got.Result.Crawled != 7 {
+		t.Fatalf("reloaded job a = %+v", got)
+	}
+	pending := s2.Pending()
+	if len(pending) != 1 || pending[0].ID != b.ID {
+		t.Fatalf("pending after reopen = %+v", pending)
+	}
+	c, err := s2.Create(testSpec("t3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != "00000003" {
+		t.Fatalf("sequence did not resume: %s", c.ID)
+	}
+}
+
+func TestStoreStatusMonotonic(t *testing.T) {
+	s, err := OpenStore("jobs", faults.NewCrashFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create(testSpec("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent same-status writes are fine (a resumed executor re-marks
+	// running).
+	if _, err := s.SetStatus(j.ID, StatusQueued, "", nil); err != nil {
+		t.Fatalf("queued → queued: %v", err)
+	}
+	if _, err := s.SetStatus(j.ID, StatusRunning, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetStatus(j.ID, StatusRunning, "", nil); err != nil {
+		t.Fatalf("running → running: %v", err)
+	}
+	if _, err := s.SetStatus(j.ID, StatusDone, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	// The regression class the state machine exists to refuse.
+	for _, next := range []Status{StatusRunning, StatusQueued, StatusFailed, StatusCanceled} {
+		if _, err := s.SetStatus(j.ID, next, "", nil); !errors.Is(err, ErrStatusRegression) {
+			t.Fatalf("done → %s: err = %v, want ErrStatusRegression", next, err)
+		}
+	}
+	if got, _ := s.Get(j.ID); got.Status != StatusDone {
+		t.Fatalf("status after refused transitions = %s", got.Status)
+	}
+}
+
+func TestStoreTenantActive(t *testing.T) {
+	s, err := OpenStore("jobs", faults.NewCrashFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Create(testSpec("t1"))
+	s.Create(testSpec("t1"))
+	s.Create(testSpec("t2"))
+	if n := s.TenantActive("t1"); n != 2 {
+		t.Fatalf("t1 active = %d", n)
+	}
+	s.SetStatus(a.ID, StatusCanceled, "", nil)
+	if n := s.TenantActive("t1"); n != 1 {
+		t.Fatalf("t1 active after cancel = %d", n)
+	}
+	if n := s.TenantActive("nobody"); n != 0 {
+		t.Fatalf("unknown tenant active = %d", n)
+	}
+}
+
+func TestStoreCorruptRecordRefused(t *testing.T) {
+	fs := faults.NewCrashFS()
+	s, err := OpenStore("jobs", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create(testSpec("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncating the record mid-JSON models a torn write — which
+	// WriteFileAtomic makes impossible, so finding one is a hard error,
+	// not a silent skip.
+	if err := fs.Truncate(s.Dir(j.ID)+"/"+jobFile, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore("jobs", fs); err == nil {
+		t.Fatal("corrupt job record accepted on reopen")
+	}
+}
+
+func TestParseID(t *testing.T) {
+	for _, ok := range []string{"00000001", "12345678", "99999999"} {
+		if !parseID(ok) {
+			t.Errorf("parseID(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "1", "000000001", "0000000a", "../../up", "0000-001", "0000001\x00"} {
+		if parseID(bad) {
+			t.Errorf("parseID(%q) = true", bad)
+		}
+	}
+}
+
+func TestStatusWireRoundTrip(t *testing.T) {
+	for _, st := range []Status{StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCanceled} {
+		data, err := st.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Status
+		if err := got.UnmarshalJSON(data); err != nil || got != st {
+			t.Fatalf("round trip %s → %s (%v)", st, got, err)
+		}
+		back, err := ParseStatus(st.String())
+		if err != nil || back != st {
+			t.Fatalf("ParseStatus(%q) = %v, %v", st.String(), back, err)
+		}
+	}
+	if _, err := ParseStatus("exploded"); err == nil {
+		t.Fatal("unknown status parsed")
+	}
+	var st Status
+	if err := st.UnmarshalJSON([]byte(`"exploded"`)); err == nil {
+		t.Fatal("unknown wire status unmarshaled")
+	}
+	if err := st.UnmarshalJSON([]byte(`7`)); err == nil {
+		t.Fatal("numeric wire status unmarshaled")
+	}
+	if got := Status(99).String(); got != "status(99)" {
+		t.Fatalf("out-of-range String = %q", got)
+	}
+}
+
+func TestStoreRoot(t *testing.T) {
+	s, err := OpenStore("jobs", faults.NewCrashFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root() != "jobs" {
+		t.Fatalf("Root = %q", s.Root())
+	}
+}

@@ -6,10 +6,26 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"sync"
 	"time"
 )
 
-// Handler builds the telemetry HTTP mux over reg:
+// Mux is the shared HTTP surface for a crawl process: the telemetry
+// endpoints plus whatever a daemon mounts beside them (cmd/crawld's
+// jobs API). Unlike a bare http.ServeMux — whose Handle panics on a
+// duplicate pattern — registration is deduplicated and returns an
+// error, so two subsystems that both try to claim a route (or one that
+// is wired twice, as a second telemetry.Handler call on the same
+// process would be) fail loudly and recoverably instead of crashing
+// the daemon. Safe for concurrent registration and serving.
+type Mux struct {
+	mu       sync.Mutex
+	mux      *http.ServeMux
+	patterns map[string]bool
+}
+
+// NewMux builds the telemetry mux over reg:
 //
 //	/            tiny index linking the endpoints
 //	/healthz     {"status":"ok","uptime_seconds":...}
@@ -18,10 +34,18 @@ import (
 //	/debug/pprof net/http/pprof profiles
 //
 // The mux is self-contained (nothing registers on http.DefaultServeMux)
-// so embedding crawlers keep their namespace clean.
-func Handler(reg *Registry) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+// so embedding crawlers keep their namespace clean. Additional
+// subsystems mount their routes with Handle/HandleFunc.
+func NewMux(reg *Registry) *Mux {
+	m := &Mux{mux: http.NewServeMux(), patterns: make(map[string]bool)}
+	must := func(pattern string, h http.HandlerFunc) {
+		if err := m.HandleFunc(pattern, h); err != nil {
+			// The fixed telemetry set registers onto a fresh mux; a
+			// collision here is a bug in this constructor, not in a caller.
+			panic(err)
+		}
+	}
+	must("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
@@ -29,30 +53,80 @@ func Handler(reg *Registry) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "langcrawl telemetry\n\n/healthz\n/metrics\n/debug/vars\n/debug/pprof/\n")
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	must("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
 			"status":         "ok",
 			"uptime_seconds": reg.Uptime().Seconds(),
 		})
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	must("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
 	})
-	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+	must("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(reg.Snapshot())
 	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	must("/debug/pprof/", pprof.Index)
+	must("/debug/pprof/cmdline", pprof.Cmdline)
+	must("/debug/pprof/profile", pprof.Profile)
+	must("/debug/pprof/symbol", pprof.Symbol)
+	must("/debug/pprof/trace", pprof.Trace)
+	return m
 }
+
+// Handle registers h under pattern (http.ServeMux syntax, method
+// prefixes and wildcards included). A pattern that was already
+// registered — by the telemetry set or by a previous Handle — returns
+// an error instead of panicking; so does a pattern the underlying mux
+// rejects as conflicting with an existing route.
+func (m *Mux) Handle(pattern string, h http.Handler) (err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.patterns[pattern] {
+		return fmt.Errorf("telemetry: pattern %q is already registered", pattern)
+	}
+	// ServeMux.Handle panics on conflicts the exact-string dedup above
+	// cannot see (overlapping wildcards); convert those to errors too.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("telemetry: registering %q: %v", pattern, r)
+		}
+	}()
+	m.mux.Handle(pattern, h)
+	m.patterns[pattern] = true
+	return nil
+}
+
+// HandleFunc is Handle for plain functions.
+func (m *Mux) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) error {
+	return m.Handle(pattern, http.HandlerFunc(h))
+}
+
+// Patterns returns the registered patterns, sorted — for tests and the
+// daemon's startup log.
+func (m *Mux) Patterns() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.patterns))
+	for p := range m.patterns {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP implements http.Handler.
+func (m *Mux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	m.mux.ServeHTTP(w, r)
+}
+
+// Handler builds the telemetry HTTP mux over reg; see NewMux. Kept for
+// callers that only need the fixed telemetry surface.
+func Handler(reg *Registry) http.Handler { return NewMux(reg) }
 
 // Server is a running telemetry endpoint (see Serve).
 type Server struct {
@@ -64,12 +138,19 @@ type Server struct {
 // a free one) and serves Handler(reg) until Close. It returns once the
 // listener is bound, so Addr is immediately valid.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeHandler(addr, Handler(reg))
+}
+
+// ServeHandler is Serve for a caller-built handler — typically a NewMux
+// that had extra routes (the jobs API) mounted beside the telemetry
+// set.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		srv: &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second},
+		srv: &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second},
 		ln:  ln,
 	}
 	go s.srv.Serve(ln) //nolint:errcheck // Close's ErrServerClosed is expected

@@ -129,3 +129,53 @@ func (s *syncBuilder) String() string {
 	defer s.mu.Unlock()
 	return s.b.String()
 }
+
+// TestMuxDedupe pins the one-Serve-caller fix: a pattern registered
+// twice — or colliding with the pre-registered telemetry set — returns
+// an error instead of the http.ServeMux panic that used to take the
+// whole daemon down when two subsystems claimed a route.
+func TestMuxDedupe(t *testing.T) {
+	m := NewMux(NewRegistry())
+	ok := func(w http.ResponseWriter, r *http.Request) {}
+
+	if err := m.HandleFunc("GET /jobs", ok); err != nil {
+		t.Fatalf("fresh pattern refused: %v", err)
+	}
+	if err := m.HandleFunc("GET /jobs", ok); err == nil {
+		t.Fatal("duplicate pattern accepted")
+	}
+	// Collisions with the telemetry set itself.
+	for _, p := range []string{"/metrics", "/healthz", "/", "/debug/vars"} {
+		if err := m.HandleFunc(p, ok); err == nil {
+			t.Fatalf("pre-registered telemetry pattern %q re-accepted", p)
+		}
+	}
+	// A conflict only ServeMux can see (overlapping wildcards the exact-
+	// string dedup misses) must come back as an error too, never a panic.
+	if err := m.HandleFunc("GET /jobs/{id}", ok); err != nil {
+		t.Fatalf("wildcard pattern refused: %v", err)
+	}
+	if err := m.HandleFunc("GET /jobs/{name}", ok); err == nil {
+		t.Fatal("wildcard-conflicting pattern accepted")
+	}
+	// Failed registrations must not poison the mux: the original routes
+	// still serve, and Patterns reflects only successful registrations.
+	if code, _ := getBody(t, m, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz broken after refused registrations: %d", code)
+	}
+	found := false
+	for _, p := range m.Patterns() {
+		if p == "GET /jobs" {
+			found = true
+		}
+		if p == "GET /jobs/{name}" {
+			t.Fatal("refused pattern listed in Patterns")
+		}
+	}
+	if !found {
+		t.Fatal("registered pattern missing from Patterns")
+	}
+	if got := len(m.Patterns()); got != 11 {
+		t.Fatalf("patterns = %d, want 11 (9 telemetry + 2 mounted)", got)
+	}
+}

@@ -399,6 +399,67 @@ func (s *DistStats) Registry() *Registry {
 	return s.reg
 }
 
+// JobStats instruments the crawl-as-a-service daemon (internal/jobs):
+// the admission funnel (received → admitted, with each rejection class
+// counted separately), the run queue, and job outcomes. Nil and the
+// zero value are no-ops, like every bundle in the package, so the
+// daemon records unconditionally.
+type JobStats struct {
+	reg *Registry
+
+	Submitted    *Counter // POST /jobs requests received
+	Admitted     *Counter // jobs accepted and persisted (202)
+	BadSpecs     *Counter // specs refused by validation (400)
+	QuotaRejects *Counter // submits refused by a tenant quota (429)
+	Sheds        *Counter // submits shed by the full run queue (503)
+	Faulted      *Counter // submits refused by injected API faults (503)
+
+	Completed *Counter // jobs that finished their crawl
+	Failed    *Counter // jobs whose crawl returned an error
+	Canceled  *Counter // jobs canceled before or during their crawl
+	Resumed   *Counter // persisted jobs re-queued after a daemon restart
+
+	JobTime *Histogram // seconds from execution start to terminal state
+
+	QueueDepth *Gauge // jobs waiting in the run queue
+	Running    *Gauge // jobs currently executing
+}
+
+// NewJobStats builds the bundle (nil when reg is nil).
+func NewJobStats(reg *Registry) *JobStats {
+	if reg == nil {
+		return nil
+	}
+	return &JobStats{
+		reg:          reg,
+		Submitted:    reg.Counter("langcrawl_jobs_submitted_total", "Job submissions received."),
+		Admitted:     reg.Counter("langcrawl_jobs_admitted_total", "Job submissions accepted and persisted."),
+		BadSpecs:     reg.Counter("langcrawl_jobs_bad_spec_total", "Job submissions refused by spec validation."),
+		QuotaRejects: reg.Counter("langcrawl_jobs_quota_reject_total", "Job submissions refused by a tenant quota."),
+		Sheds:        reg.Counter("langcrawl_jobs_shed_total", "Job submissions shed by the full run queue."),
+		Faulted:      reg.Counter("langcrawl_jobs_fault_reject_total", "Job submissions refused by injected API faults."),
+
+		Completed: reg.Counter("langcrawl_jobs_completed_total", "Jobs that finished their crawl."),
+		Failed:    reg.Counter("langcrawl_jobs_failed_total", "Jobs whose crawl returned an error."),
+		Canceled:  reg.Counter("langcrawl_jobs_canceled_total", "Jobs canceled before or during their crawl."),
+		Resumed:   reg.Counter("langcrawl_jobs_resumed_total", "Persisted jobs re-queued after a daemon restart."),
+
+		JobTime: reg.Histogram("langcrawl_job_seconds", "Seconds from job execution start to terminal state.", nil),
+
+		QueueDepth: reg.Gauge("langcrawl_jobs_queued", "Jobs waiting in the run queue."),
+		Running:    reg.Gauge("langcrawl_jobs_running", "Jobs currently executing."),
+	}
+}
+
+// Registry returns the registry the bundle was built from (nil for a
+// zero-value or nil bundle).
+func (s *JobStats) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
 // Timed reports whether h records — the guard for skipping time.Now()
 // on the disabled path:
 //
