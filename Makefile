@@ -9,7 +9,7 @@ GO ?= go
 # but fails the build on any real erosion.
 COVER_MIN ?= 91.0
 
-.PHONY: all build vet test race bench bench-check bench-baseline cover fuzz crash-suite dist-suite api-suite telemetry-smoke experiments report clean
+.PHONY: all build vet test race bench bench-check bench-baseline cover fuzz crash-suite dist-suite api-suite parse-suite telemetry-smoke experiments report clean
 
 all: build vet test
 
@@ -58,6 +58,9 @@ bench-check:
 	$(GO) test -bench=BenchmarkJobsAPI -benchtime=1x -count=5 -benchmem -run='^$$' \
 		./internal/jobs | \
 		$(GO) run ./cmd/benchcheck -baseline BENCH_api.json -tolerance 0.60
+	$(GO) test -bench=BenchmarkParse -benchtime=1x -count=5 -benchmem -run='^$$' \
+		./internal/parse | \
+		$(GO) run ./cmd/benchcheck -baseline BENCH_pipeline.json -tolerance 0.60
 
 bench-baseline:
 	$(GO) test -bench=. -benchtime=1x -count=5 -benchmem -run='^$$' \
@@ -80,6 +83,10 @@ bench-baseline:
 		./internal/jobs | \
 		$(GO) run ./cmd/benchcheck -baseline BENCH_api.json -update \
 		-note "submit-to-done latency of one small job through the HTTP handler; min of 5 runs"
+	$(GO) test -bench=BenchmarkParse -benchtime=1x -count=5 -benchmem -run='^$$' \
+		./internal/parse | \
+		$(GO) run ./cmd/benchcheck -baseline BENCH_pipeline.json -update \
+		-note "streaming parse pipeline over the 200-page corpus; pipeline must stay at 0 allocs/op (the ALLOCS gate) and >=2x legacy"
 
 # Short fuzzing passes over the parsers and concurrent structures;
 # extend -fuzztime for real runs.
@@ -87,6 +94,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDetect -fuzztime=30s ./internal/charset/
 	$(GO) test -fuzz=FuzzSplitEquivalence -fuzztime=30s ./internal/charset/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/htmlx/
+	$(GO) test -fuzz=FuzzParsePipeline -fuzztime=30s ./internal/parse/
 	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/crawlog/
 	$(GO) test -fuzz=FuzzCrawlogRoundTrip -fuzztime=30s ./internal/crawlog/
 	$(GO) test -fuzz=FuzzFrontierOps -fuzztime=30s ./internal/frontier/
@@ -118,6 +126,14 @@ dist-suite:
 api-suite:
 	$(GO) test -race -count=1 ./internal/jobs/ ./internal/telemetry/
 	$(GO) test -race -count=1 -run 'TestGoldenJobAPI|TestKillResumeJobDaemon' ./internal/conformance/
+
+# Parse-pipeline suite: the differential harness (pipeline vs legacy
+# composition, scanner vs tokenizer, fast path vs Normalize — 10k cases
+# per property), chunk-boundary invariance, the zero-alloc regressions,
+# and the urlutil/charset byte-path pins — all under -race.
+parse-suite:
+	$(GO) test -race -count=1 ./internal/parse/ ./internal/htmlx/ ./internal/urlutil/ ./internal/charset/
+	$(GO) test -race -count=1 -run 'TestParsePipelineEquivalence' ./internal/conformance/
 
 # End-to-end telemetry check: boots simcrawl with -telemetry-addr and
 # asserts /healthz and the key /metrics series over real HTTP; then

@@ -66,8 +66,14 @@ func (b *Baseline) Save(path string) error {
 //
 // The -N GOMAXPROCS suffix is stripped so baselines survive core-count
 // changes in the runner name (the metadata still records the real one).
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+// B/op and allocs/op are extracted separately because benchmarks using
+// SetBytes or ReportMetric interleave MB/s and custom units (pages/sec)
+// between ns/op and the allocation columns.
+var (
+	benchLine   = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+	bytesPerOp  = regexp.MustCompile(`\s([0-9.]+) B/op`)
+	allocsPerOp = regexp.MustCompile(`\s([0-9.]+) allocs/op`)
+)
 
 // ParseBenchOutput extracts benchmark results from `go test -bench`
 // output. A benchmark appearing twice (e.g. two packages or -count>1)
@@ -87,11 +93,11 @@ func ParseBenchOutput(r io.Reader) (map[string]Result, error) {
 		if res.NsPerOp, err = strconv.ParseFloat(m[2], 64); err != nil {
 			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
 		}
-		if m[3] != "" {
-			res.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if bm := bytesPerOp.FindStringSubmatch(m[3]); bm != nil {
+			res.BytesPerOp, _ = strconv.ParseFloat(bm[1], 64)
 		}
-		if m[4] != "" {
-			res.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		if am := allocsPerOp.FindStringSubmatch(m[3]); am != nil {
+			res.AllocsPerOp, _ = strconv.ParseFloat(am[1], 64)
 		}
 		if prev, ok := out[m[1]]; !ok || res.NsPerOp < prev.NsPerOp {
 			out[m[1]] = res

@@ -38,6 +38,27 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 }
 
+func TestParseBenchOutputCustomMetrics(t *testing.T) {
+	// SetBytes and ReportMetric interleave MB/s and custom units between
+	// ns/op and the -benchmem columns; the allocation gate depends on
+	// allocs/op still being read through them.
+	const out = `BenchmarkParsePipeline-8   	  142608	      8509 ns/op	 156.32 MB/s	    117526 pages/sec	       0 B/op	       0 allocs/op
+BenchmarkParseLegacy-8     	   57733	     20785 ns/op	  63.99 MB/s	     48113 pages/sec	    7099 B/op	     129 allocs/op
+`
+	got, err := ParseBenchOutput(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := got["BenchmarkParsePipeline"]
+	if pipe.NsPerOp != 8509 || pipe.BytesPerOp != 0 || pipe.AllocsPerOp != 0 {
+		t.Errorf("pipeline parsed as %+v", pipe)
+	}
+	legacy := got["BenchmarkParseLegacy"]
+	if legacy.NsPerOp != 20785 || legacy.BytesPerOp != 7099 || legacy.AllocsPerOp != 129 {
+		t.Errorf("legacy parsed as %+v", legacy)
+	}
+}
+
 func TestCompare(t *testing.T) {
 	base := &Baseline{Benchmarks: map[string]Result{
 		"BenchmarkStable":  {NsPerOp: 10000},

@@ -1,6 +1,6 @@
 package charset
 
-import "strings"
+import "unicode/utf8"
 
 // The three Japanese codecs share the JIS X 0208 kuten tables in
 // tables.go and differ only in byte-level packing.
@@ -14,47 +14,52 @@ type eucJPCodec struct{}
 
 func (eucJPCodec) Charset() Charset { return EUCJP }
 
-func (eucJPCodec) Encode(s string) []byte {
-	out := make([]byte, 0, len(s))
+func (c eucJPCodec) Encode(s string) []byte {
+	return c.AppendEncode(make([]byte, 0, len(s)), s)
+}
+
+func (eucJPCodec) AppendEncode(dst []byte, s string) []byte {
 	for _, r := range s {
 		if r < 0x80 {
-			out = append(out, byte(r))
+			dst = append(dst, byte(r))
 			continue
 		}
 		if k, ok := runeToKuten[r]; ok {
-			out = append(out, 0xA0+k.row, 0xA0+k.cell)
+			dst = append(dst, 0xA0+k.row, 0xA0+k.cell)
 			continue
 		}
 		if b, ok := halfKanaRuneToByte(r); ok {
-			out = append(out, 0x8E, b)
+			dst = append(dst, 0x8E, b)
 			continue
 		}
-		out = append(out, '?')
+		dst = append(dst, '?')
 	}
-	return out
+	return dst
 }
 
-func (eucJPCodec) Decode(b []byte) string {
-	var sb strings.Builder
-	sb.Grow(len(b))
+func (c eucJPCodec) Decode(b []byte) string {
+	return string(c.AppendDecode(make([]byte, 0, len(b)), b))
+}
+
+func (eucJPCodec) AppendDecode(dst, b []byte) []byte {
 	for i := 0; i < len(b); i++ {
 		c := b[i]
 		switch {
 		case c < 0x80:
-			sb.WriteByte(c)
+			dst = append(dst, c)
 		case c == 0x8E:
 			// Code set 2: one half-width katakana byte follows.
 			if i+1 < len(b) {
 				if r := halfKanaByteToRune(b[i+1]); r != 0 {
-					sb.WriteRune(r)
+					dst = utf8.AppendRune(dst, r)
 					i++
 					continue
 				}
 			}
-			sb.WriteRune(replacement)
+			dst = utf8.AppendRune(dst, replacement)
 		case c == 0x8F:
 			// Code set 3: skip the two trail bytes.
-			sb.WriteRune(replacement)
+			dst = utf8.AppendRune(dst, replacement)
 			for j := 0; j < 2 && i+1 < len(b) && b[i+1] >= 0xA1; j++ {
 				i++
 			}
@@ -63,13 +68,13 @@ func (eucJPCodec) Decode(b []byte) string {
 			if r == 0 {
 				r = replacement
 			}
-			sb.WriteRune(r)
+			dst = utf8.AppendRune(dst, r)
 			i++
 		default:
-			sb.WriteRune(replacement)
+			dst = utf8.AppendRune(dst, replacement)
 		}
 	}
-	return sb.String()
+	return dst
 }
 
 // jisToSjis folds JIS X 0208 bytes (both 0x21..0x7E) into Shift_JIS lead
@@ -136,54 +141,59 @@ type shiftJISCodec struct{}
 
 func (shiftJISCodec) Charset() Charset { return ShiftJIS }
 
-func (shiftJISCodec) Encode(s string) []byte {
-	out := make([]byte, 0, len(s))
+func (c shiftJISCodec) Encode(s string) []byte {
+	return c.AppendEncode(make([]byte, 0, len(s)), s)
+}
+
+func (shiftJISCodec) AppendEncode(dst []byte, s string) []byte {
 	for _, r := range s {
 		if r < 0x80 {
-			out = append(out, byte(r))
+			dst = append(dst, byte(r))
 			continue
 		}
 		if k, ok := runeToKuten[r]; ok {
 			s1, s2 := jisToSjis(0x20+k.row, 0x20+k.cell)
-			out = append(out, s1, s2)
+			dst = append(dst, s1, s2)
 			continue
 		}
 		if b, ok := halfKanaRuneToByte(r); ok {
-			out = append(out, b)
+			dst = append(dst, b)
 			continue
 		}
-		out = append(out, '?')
+		dst = append(dst, '?')
 	}
-	return out
+	return dst
 }
 
-func (shiftJISCodec) Decode(b []byte) string {
-	var sb strings.Builder
-	sb.Grow(len(b))
+func (c shiftJISCodec) Decode(b []byte) string {
+	return string(c.AppendDecode(make([]byte, 0, len(b)), b))
+}
+
+func (shiftJISCodec) AppendDecode(dst, b []byte) []byte {
 	for i := 0; i < len(b); i++ {
 		c := b[i]
 		switch {
 		case c < 0x80:
-			sb.WriteByte(c)
+			dst = append(dst, c)
 		case c >= 0xA1 && c <= 0xDF:
-			sb.WriteRune(halfKanaByteToRune(c))
+			dst = utf8.AppendRune(dst, halfKanaByteToRune(c))
 		case sjisLead(c) && i+1 < len(b):
 			h, l, ok := sjisToJis(c, b[i+1])
 			if !ok {
-				sb.WriteRune(replacement)
+				dst = utf8.AppendRune(dst, replacement)
 				continue
 			}
 			r := kutenToRune(h-0x20, l-0x20)
 			if r == 0 {
 				r = replacement
 			}
-			sb.WriteRune(r)
+			dst = utf8.AppendRune(dst, r)
 			i++
 		default:
-			sb.WriteRune(replacement)
+			dst = utf8.AppendRune(dst, replacement)
 		}
 	}
-	return sb.String()
+	return dst
 }
 
 // ISO-2022-JP escape sequences.
@@ -201,42 +211,47 @@ type iso2022JPCodec struct{}
 
 func (iso2022JPCodec) Charset() Charset { return ISO2022JP }
 
-func (iso2022JPCodec) Encode(s string) []byte {
-	out := make([]byte, 0, len(s)+8)
+func (c iso2022JPCodec) Encode(s string) []byte {
+	return c.AppendEncode(make([]byte, 0, len(s)+8), s)
+}
+
+func (iso2022JPCodec) AppendEncode(dst []byte, s string) []byte {
 	inJIS := false
 	for _, r := range s {
 		if r < 0x80 {
 			if inJIS {
-				out = append(out, escASCII...)
+				dst = append(dst, escASCII...)
 				inJIS = false
 			}
-			out = append(out, byte(r))
+			dst = append(dst, byte(r))
 			continue
 		}
 		k, ok := runeToKuten[r]
 		if !ok {
 			if inJIS {
-				out = append(out, escASCII...)
+				dst = append(dst, escASCII...)
 				inJIS = false
 			}
-			out = append(out, '?')
+			dst = append(dst, '?')
 			continue
 		}
 		if !inJIS {
-			out = append(out, escJISX0208...)
+			dst = append(dst, escJISX0208...)
 			inJIS = true
 		}
-		out = append(out, 0x20+k.row, 0x20+k.cell)
+		dst = append(dst, 0x20+k.row, 0x20+k.cell)
 	}
 	if inJIS {
-		out = append(out, escASCII...)
+		dst = append(dst, escASCII...)
 	}
-	return out
+	return dst
 }
 
-func (iso2022JPCodec) Decode(b []byte) string {
-	var sb strings.Builder
-	sb.Grow(len(b))
+func (c iso2022JPCodec) Decode(b []byte) string {
+	return string(c.AppendDecode(make([]byte, 0, len(b)), b))
+}
+
+func (iso2022JPCodec) AppendDecode(dst, b []byte) []byte {
 	inJIS := false
 	for i := 0; i < len(b); i++ {
 		c := b[i]
@@ -254,9 +269,9 @@ func (iso2022JPCodec) Decode(b []byte) string {
 		}
 		if !inJIS {
 			if c < 0x80 {
-				sb.WriteByte(c)
+				dst = append(dst, c)
 			} else {
-				sb.WriteRune(replacement)
+				dst = utf8.AppendRune(dst, replacement)
 			}
 			continue
 		}
@@ -265,7 +280,7 @@ func (iso2022JPCodec) Decode(b []byte) string {
 			if r == 0 {
 				r = replacement
 			}
-			sb.WriteRune(r)
+			dst = utf8.AppendRune(dst, r)
 			i++
 			continue
 		}
@@ -273,10 +288,10 @@ func (iso2022JPCodec) Decode(b []byte) string {
 			// Line breaks implicitly reset to ASCII in RFC 1468 text;
 			// tolerate them inside a JIS section.
 			inJIS = false
-			sb.WriteByte(c)
+			dst = append(dst, c)
 			continue
 		}
-		sb.WriteRune(replacement)
+		dst = utf8.AppendRune(dst, replacement)
 	}
-	return sb.String()
+	return dst
 }

@@ -1,38 +1,40 @@
 package charset
 
-import (
-	"strings"
-	"unicode/utf8"
-)
+import "unicode/utf8"
 
 // asciiCodec implements US-ASCII: bytes 0x00..0x7F map to themselves.
 type asciiCodec struct{}
 
 func (asciiCodec) Charset() Charset { return ASCII }
 
-func (asciiCodec) Encode(s string) []byte {
-	out := make([]byte, 0, len(s))
-	for _, r := range s {
-		if r < 0x80 {
-			out = append(out, byte(r))
-		} else {
-			out = append(out, '?')
-		}
-	}
-	return out
+func (c asciiCodec) Encode(s string) []byte {
+	return c.AppendEncode(make([]byte, 0, len(s)), s)
 }
 
-func (asciiCodec) Decode(b []byte) string {
-	var sb strings.Builder
-	sb.Grow(len(b))
-	for _, c := range b {
-		if c < 0x80 {
-			sb.WriteByte(c)
+func (asciiCodec) AppendEncode(dst []byte, s string) []byte {
+	for _, r := range s {
+		if r < 0x80 {
+			dst = append(dst, byte(r))
 		} else {
-			sb.WriteRune(replacement)
+			dst = append(dst, '?')
 		}
 	}
-	return sb.String()
+	return dst
+}
+
+func (c asciiCodec) Decode(b []byte) string {
+	return string(c.AppendDecode(make([]byte, 0, len(b)), b))
+}
+
+func (asciiCodec) AppendDecode(dst, b []byte) []byte {
+	for _, c := range b {
+		if c < 0x80 {
+			dst = append(dst, c)
+		} else {
+			dst = utf8.AppendRune(dst, replacement)
+		}
+	}
+	return dst
 }
 
 // utf8Codec implements UTF-8 via the stdlib, with replacement-character
@@ -43,23 +45,30 @@ func (utf8Codec) Charset() Charset { return UTF8 }
 
 func (utf8Codec) Encode(s string) []byte { return []byte(s) }
 
-func (utf8Codec) Decode(b []byte) string {
+func (utf8Codec) AppendEncode(dst []byte, s string) []byte { return append(dst, s...) }
+
+func (c utf8Codec) Decode(b []byte) string {
 	if utf8.Valid(b) {
 		return string(b)
 	}
-	var sb strings.Builder
-	sb.Grow(len(b))
+	return string(c.AppendDecode(make([]byte, 0, len(b)), b))
+}
+
+func (utf8Codec) AppendDecode(dst, b []byte) []byte {
+	if utf8.Valid(b) {
+		return append(dst, b...)
+	}
 	for len(b) > 0 {
 		r, size := utf8.DecodeRune(b)
 		if r == utf8.RuneError && size <= 1 {
-			sb.WriteRune(replacement)
+			dst = utf8.AppendRune(dst, replacement)
 			b = b[1:]
 			continue
 		}
-		sb.WriteRune(r)
+		dst = utf8.AppendRune(dst, r)
 		b = b[size:]
 	}
-	return sb.String()
+	return dst
 }
 
 // latin1Codec implements ISO-8859-1: bytes 0x00..0xFF map to U+0000..U+00FF.
@@ -67,25 +76,30 @@ type latin1Codec struct{}
 
 func (latin1Codec) Charset() Charset { return Latin1 }
 
-func (latin1Codec) Encode(s string) []byte {
-	out := make([]byte, 0, len(s))
-	for _, r := range s {
-		if r < 0x100 {
-			out = append(out, byte(r))
-		} else {
-			out = append(out, '?')
-		}
-	}
-	return out
+func (c latin1Codec) Encode(s string) []byte {
+	return c.AppendEncode(make([]byte, 0, len(s)), s)
 }
 
-func (latin1Codec) Decode(b []byte) string {
-	var sb strings.Builder
-	sb.Grow(len(b))
-	for _, c := range b {
-		sb.WriteRune(rune(c))
+func (latin1Codec) AppendEncode(dst []byte, s string) []byte {
+	for _, r := range s {
+		if r < 0x100 {
+			dst = append(dst, byte(r))
+		} else {
+			dst = append(dst, '?')
+		}
 	}
-	return sb.String()
+	return dst
+}
+
+func (c latin1Codec) Decode(b []byte) string {
+	return string(c.AppendDecode(make([]byte, 0, len(b)), b))
+}
+
+func (latin1Codec) AppendDecode(dst, b []byte) []byte {
+	for _, c := range b {
+		dst = utf8.AppendRune(dst, rune(c))
+	}
+	return dst
 }
 
 // thaiCodec implements the three Thai single-byte encodings, which share
@@ -99,52 +113,57 @@ type thaiCodec struct{ cs Charset }
 func (t thaiCodec) Charset() Charset { return t.cs }
 
 func (t thaiCodec) Encode(s string) []byte {
-	out := make([]byte, 0, len(s))
+	return t.AppendEncode(make([]byte, 0, len(s)), s)
+}
+
+func (t thaiCodec) AppendEncode(dst []byte, s string) []byte {
 	for _, r := range s {
 		switch {
 		case r < 0x80:
-			out = append(out, byte(r))
+			dst = append(dst, byte(r))
 		case r == 0x00A0 && t.cs != TIS620:
-			out = append(out, 0xA0)
+			dst = append(dst, 0xA0)
 		default:
 			if b, ok := thaiRuneToByte(r); ok {
-				out = append(out, b)
+				dst = append(dst, b)
 				continue
 			}
 			if t.cs == Windows874 {
 				if b, ok := win874ExtraInv[r]; ok {
-					out = append(out, b)
+					dst = append(dst, b)
 					continue
 				}
 			}
-			out = append(out, '?')
+			dst = append(dst, '?')
 		}
 	}
-	return out
+	return dst
 }
 
 func (t thaiCodec) Decode(b []byte) string {
-	var sb strings.Builder
-	sb.Grow(len(b))
+	return string(t.AppendDecode(make([]byte, 0, len(b)), b))
+}
+
+func (t thaiCodec) AppendDecode(dst, b []byte) []byte {
 	for _, c := range b {
 		switch {
 		case c < 0x80:
-			sb.WriteByte(c)
+			dst = append(dst, c)
 		case c == 0xA0 && t.cs != TIS620:
-			sb.WriteRune(0x00A0)
+			dst = utf8.AppendRune(dst, 0x00A0)
 		default:
 			if r := thaiByteToRune(c); r != 0 {
-				sb.WriteRune(r)
+				dst = utf8.AppendRune(dst, r)
 				continue
 			}
 			if t.cs == Windows874 {
 				if r, ok := win874Extra[c]; ok {
-					sb.WriteRune(r)
+					dst = utf8.AppendRune(dst, r)
 					continue
 				}
 			}
-			sb.WriteRune(replacement)
+			dst = utf8.AppendRune(dst, replacement)
 		}
 	}
-	return sb.String()
+	return dst
 }

@@ -1,0 +1,82 @@
+package conformance
+
+import (
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/htmlx"
+	"langcrawl/internal/parse"
+	"langcrawl/internal/webgraph"
+)
+
+// legacyFetchParse reproduces the crawler's pre-pipeline parse
+// composition — header charset, raw-byte prescan fallback, detector
+// fallback, ParseWithCharset, meta upgrade — exactly as fetch used to
+// chain it.
+func legacyFetchParse(body []byte, header, detected charset.Charset, baseURL string) (htmlx.Document, charset.Charset) {
+	declared := header
+	if declared == charset.Unknown {
+		declared = htmlx.DeclaredCharset(body)
+	}
+	parseAs := declared
+	if parseAs == charset.Unknown {
+		parseAs = detected
+	}
+	doc := htmlx.ParseWithCharset(body, parseAs, baseURL)
+	if declared == charset.Unknown {
+		declared = doc.MetaCharset
+	}
+	return doc, declared
+}
+
+// TestParsePipelineEquivalence holds the streaming pipeline to the
+// legacy composition over every fetchable page of the conformance
+// space: same declared charset, same robots directives, same link set —
+// which is what keeps the golden traces byte-identical.
+func TestParsePipelineEquivalence(t *testing.T) {
+	s := space(t)
+	pipe := parse.Get()
+	defer pipe.Release()
+	checked := 0
+	for id := webgraph.PageID(0); int(id) < s.N(); id++ {
+		if s.Status[id] != 200 {
+			continue
+		}
+		body := s.PageBytes(id)
+		pageURL := s.URL(id)
+		header := s.Charset[id] // webserve declares the page charset in Content-Type
+		det, _ := charset.DetectInfo(body)
+
+		wantDoc, wantDeclared := legacyFetchParse(body, header, det.Charset, pageURL)
+		gotDoc, gotDeclared := pipe.Run(body, header, det.Charset, pageURL)
+
+		if gotDeclared != wantDeclared {
+			t.Errorf("page %d: declared %v, legacy %v", id, gotDeclared, wantDeclared)
+		}
+		if gotDoc.NoFollow != wantDoc.NoFollow || gotDoc.NoIndex != wantDoc.NoIndex {
+			t.Errorf("page %d: robots (%v,%v), legacy (%v,%v)",
+				id, gotDoc.NoFollow, gotDoc.NoIndex, wantDoc.NoFollow, wantDoc.NoIndex)
+		}
+		if got, want := gotDoc.TitleString(), wantDoc.Title; got != want {
+			t.Errorf("page %d: title %q, legacy %q", id, got, want)
+		}
+		// Ordered comparison: frontier insertion order feeds the golden
+		// traces, so dedup-first-wins order must match too.
+		got := gotDoc.LinkStrings()
+		want := wantDoc.Links
+		if len(got) != len(want) {
+			t.Errorf("page %d: %d links, legacy %d\n got %q\nwant %q", id, len(got), len(want), got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("page %d link %d: %q, legacy %q", id, i, got[i], want[i])
+			}
+		}
+		checked++
+	}
+	if checked < SpacePages/2 {
+		t.Fatalf("only %d OK pages checked; the space should be mostly fetchable", checked)
+	}
+	t.Logf("pipeline matched legacy parse on %d pages", checked)
+}

@@ -39,6 +39,11 @@ type Visit struct {
 	// Body is the raw page bytes. The engine populates it only when the
 	// classifier's NeedsBody reports true, because regenerating or
 	// fetching bodies dominates simulation cost.
+	//
+	// Ownership: Body may alias an engine-owned buffer that is reused for
+	// the next page. Classifiers must consume it synchronously inside
+	// Score and must not retain the slice past the call; anything that
+	// needs the bytes later copies them.
 	Body []byte
 	// Truncated marks a body cut short (the fetch hit the engine's size
 	// cap, or a fault model truncated the transfer). Detector-style

@@ -2,7 +2,8 @@
 // the same core classifiers and strategies the simulator evaluates: the
 // deployment target the paper's simulation study de-risks. It fetches
 // over net/http, honors robots.txt and per-host access intervals,
-// extracts links with the htmlx tokenizer, classifies pages by charset,
+// extracts links with the streaming parse pipeline, classifies pages by
+// charset,
 // and can journal everything it learns to a crawl log and a link
 // database — which the simulator can then replay.
 package crawler
@@ -22,9 +23,9 @@ import (
 	"langcrawl/internal/crawlog"
 	"langcrawl/internal/faults"
 	"langcrawl/internal/frontier"
-	"langcrawl/internal/htmlx"
 	"langcrawl/internal/linkdb"
 	"langcrawl/internal/metrics"
+	"langcrawl/internal/parse"
 	"langcrawl/internal/telemetry"
 	"langcrawl/internal/urlutil"
 )
@@ -547,20 +548,18 @@ func (c *Crawler) fetch(ctx context.Context, pageURL string) (*core.Visit, []str
 	}
 	var links []string
 	if resp.StatusCode == http.StatusOK {
-		if declared == charset.Unknown {
-			declared = htmlx.DeclaredCharset(body)
-		}
-		parseAs := declared
-		if parseAs == charset.Unknown {
-			parseAs = detected.Charset
-		}
-		doc := htmlx.ParseWithCharset(body, parseAs, pageURL)
-		if declared == charset.Unknown {
-			declared = doc.MetaCharset
-		}
+		// One streaming pass replaces DeclaredCharset + ParseWithCharset:
+		// prescan, transcode and link normalization all run inside the
+		// pooled pipeline with zero per-page allocations on the fast path.
+		pipe := parse.Get()
+		doc, pipeDeclared := pipe.Run(body, declared, detected.Charset, pageURL)
+		declared = pipeDeclared
 		if !doc.NoFollow {
-			links = doc.Links
+			links = doc.LinkStrings()
 		}
+		info := pipe.Info()
+		c.tel.Parse.Observe(info.Bytes, info.PoolHit, int64(info.SlowFalls), info.Transcoded)
+		pipe.Release()
 	}
 
 	visit := &core.Visit{

@@ -1,0 +1,121 @@
+package htmlx
+
+import (
+	"bytes"
+	"unicode/utf8"
+)
+
+// AppendDecodeEntities appends the entity-decoded form of src to dst and
+// returns the extended slice. It is the []byte-native core of
+// DecodeEntities: same entity table, same pass-through rules for unknown
+// or unterminated references. When dst has capacity it does not allocate.
+func AppendDecodeEntities(dst, src []byte) []byte {
+	for i := 0; i < len(src); {
+		c := src[i]
+		if c != '&' {
+			dst = append(dst, c)
+			i++
+			continue
+		}
+		semi := bytes.IndexByte(src[i:], ';')
+		if semi < 0 || semi > 10 {
+			dst = append(dst, c)
+			i++
+			continue
+		}
+		ent := src[i+1 : i+semi]
+		switch string(ent) {
+		case "amp":
+			dst = append(dst, '&')
+		case "lt":
+			dst = append(dst, '<')
+		case "gt":
+			dst = append(dst, '>')
+		case "quot":
+			dst = append(dst, '"')
+		case "apos":
+			dst = append(dst, '\'')
+		case "nbsp":
+			dst = append(dst, ' ')
+		default:
+			if n, ok := parseNumericEntityBytes(ent); ok {
+				dst = utf8.AppendRune(dst, n)
+			} else {
+				dst = append(dst, '&')
+				i++
+				continue
+			}
+		}
+		i += semi + 1
+	}
+	return dst
+}
+
+// parseNumericEntityBytes parses "#123" / "#x1F" bodies. Byte-wise
+// iteration is equivalent to the old rune-wise loop: any non-ASCII rune
+// failed every digit test and aborted, exactly as its first byte does
+// here.
+func parseNumericEntityBytes(ent []byte) (rune, bool) {
+	if len(ent) < 2 || ent[0] != '#' {
+		return 0, false
+	}
+	body := ent[1:]
+	base := int64(10)
+	if body[0] == 'x' || body[0] == 'X' {
+		base = 16
+		body = body[1:]
+		if len(body) == 0 {
+			return 0, false
+		}
+	}
+	var n int64
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		n = n*base + d
+		if n > 0x10FFFF {
+			return 0, false
+		}
+	}
+	return rune(n), true
+}
+
+// CharsetFromContentTypeBytes extracts the charset parameter from a
+// Content-Type value, returning a view into v (nil when absent). For
+// pure-ASCII input it is allocation-free and matches
+// charsetFromContentType exactly; input containing bytes ≥ 0x80 falls
+// back to the string version to reproduce its (ToLower-index-based)
+// behavior bug-for-bug.
+func CharsetFromContentTypeBytes(v []byte) []byte {
+	for i := 0; i < len(v); i++ {
+		if v[i] >= 0x80 {
+			if s := charsetFromContentType(string(v)); s != "" {
+				return []byte(s)
+			}
+			return nil
+		}
+	}
+	idx := indexASCIIFold(v, "charset=")
+	if idx < 0 {
+		return nil
+	}
+	rest := bytes.TrimSpace(v[idx+len("charset="):])
+	rest = bytes.Trim(rest, `"'`)
+	if end := bytes.IndexAny(rest, "; \t"); end >= 0 {
+		rest = rest[:end]
+	}
+	if len(rest) == 0 {
+		return nil
+	}
+	return rest
+}

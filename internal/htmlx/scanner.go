@@ -1,0 +1,341 @@
+package htmlx
+
+import (
+	"bytes"
+	"strings"
+)
+
+// This file is the zero-allocation counterpart of tokenizer.go: a Scanner
+// that yields RawTokens whose Name/Data/Attrs are views into the input
+// buffer instead of freshly allocated strings. The scan logic is a
+// byte-for-byte port of Tokenizer — the differential suite in
+// internal/parse pins the two against each other on generated inputs —
+// and the shared helpers (indexASCIIFold, AppendDecodeEntities) are used
+// by both so the implementations cannot drift apart.
+
+// RawAttr is a single attribute as raw byte views. Unlike Attr, the name
+// is not lowercased; use AttrIs/NameEquals for case-insensitive matching.
+type RawAttr struct {
+	Name, Value []byte
+}
+
+// RawToken is one lexical unit of the input as views into the scanned
+// buffer. The views — Name, Data, and every attr — are valid only until
+// the next call to Next or Reset; callers that need to retain them must
+// copy.
+type RawToken struct {
+	Type  TokenType
+	Name  []byte // tag name, raw case (tags only)
+	Data  []byte // text, comment body, or doctype body
+	Attrs []RawAttr
+}
+
+// Attr returns the value of the first attribute whose name matches
+// (case-insensitively, with Tokenizer's lowercasing semantics) and
+// whether it exists. name must be lowercase.
+func (t *RawToken) Attr(name string) ([]byte, bool) {
+	for i := range t.Attrs {
+		if NameEquals(t.Attrs[i].Name, name) {
+			return t.Attrs[i].Value, true
+		}
+	}
+	return nil, false
+}
+
+// Scanner is the allocation-free equivalent of Tokenizer. The zero value
+// is ready after Reset; the attrs backing array is reused across tokens,
+// which is what makes the steady state allocation-free.
+type Scanner struct {
+	in    []byte
+	pos   int
+	attrs []RawAttr
+}
+
+// Reset points the scanner at b and rewinds it. It does not copy b.
+func (s *Scanner) Reset(b []byte) {
+	s.in = b
+	s.pos = 0
+}
+
+// Next returns the next token, or ok=false at end of input. The returned
+// token's byte views alias the input and the scanner's internal attr
+// buffer; they are invalidated by the next Next or Reset.
+func (s *Scanner) Next() (RawToken, bool) {
+	if s.pos >= len(s.in) {
+		return RawToken{}, false
+	}
+	if s.in[s.pos] == '<' {
+		if tok, ok := s.scanTag(); ok {
+			return tok, true
+		}
+		// A lone '<' that opens nothing: emit it as text.
+		s.pos++
+		return RawToken{Type: TextToken, Data: s.in[s.pos-1 : s.pos]}, true
+	}
+	return s.scanText(), true
+}
+
+func (s *Scanner) scanText() RawToken {
+	start := s.pos
+	for s.pos < len(s.in) && s.in[s.pos] != '<' {
+		s.pos++
+	}
+	return RawToken{Type: TextToken, Data: s.in[start:s.pos]}
+}
+
+func (s *Scanner) scanTag() (RawToken, bool) {
+	in, p := s.in, s.pos
+	if p+1 >= len(in) {
+		return RawToken{}, false
+	}
+	switch {
+	case in[p+1] == '!':
+		if p+3 < len(in) && in[p+2] == '-' && in[p+3] == '-' {
+			return s.scanComment(), true
+		}
+		return s.scanDoctype(), true
+	case in[p+1] == '/':
+		return s.scanEndTag(), true
+	case isTagNameStart(in[p+1]):
+		return s.scanStartTag(), true
+	case in[p+1] == '?':
+		// Processing instruction (<?xml ...?>): skip to '>'.
+		end := indexByteFrom(in, p, '>')
+		if end < 0 {
+			s.pos = len(in)
+		} else {
+			s.pos = end + 1
+		}
+		return RawToken{Type: CommentToken}, true
+	default:
+		return RawToken{}, false
+	}
+}
+
+func (s *Scanner) scanComment() RawToken {
+	// Entered at "<!--".
+	start := s.pos + 4
+	end := bytes.Index(s.in[start:], commentClose)
+	if end < 0 {
+		data := s.in[start:]
+		s.pos = len(s.in)
+		return RawToken{Type: CommentToken, Data: data}
+	}
+	data := s.in[start : start+end]
+	s.pos = start + end + 3
+	return RawToken{Type: CommentToken, Data: data}
+}
+
+var commentClose = []byte("-->")
+
+func (s *Scanner) scanDoctype() RawToken {
+	end := indexByteFrom(s.in, s.pos, '>')
+	var data []byte
+	if end < 0 {
+		data = s.in[s.pos+2:]
+		s.pos = len(s.in)
+	} else {
+		data = s.in[s.pos+2 : end]
+		s.pos = end + 1
+	}
+	return RawToken{Type: DoctypeToken, Data: data}
+}
+
+func (s *Scanner) scanEndTag() RawToken {
+	end := indexByteFrom(s.in, s.pos, '>')
+	var body []byte
+	if end < 0 {
+		body = s.in[s.pos+2:]
+		s.pos = len(s.in)
+	} else {
+		body = s.in[s.pos+2 : end]
+		s.pos = end + 1
+	}
+	name := body
+	// Tokenizer cuts at strings.IndexAny(name, " \t\r\n") — note: no \f,
+	// unlike isSpace. Mirrored exactly.
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			name = name[:i]
+			break
+		}
+	}
+	return RawToken{Type: EndTagToken, Name: name}
+}
+
+func (s *Scanner) scanStartTag() RawToken {
+	in := s.in
+	p := s.pos + 1
+	start := p
+	for p < len(in) && isTagNameChar(in[p]) {
+		p++
+	}
+	tok := RawToken{Type: StartTagToken, Name: in[start:p]}
+	s.attrs = s.attrs[:0]
+
+	// Attributes.
+	for {
+		for p < len(in) && isSpace(in[p]) {
+			p++
+		}
+		if p >= len(in) {
+			break
+		}
+		if in[p] == '>' {
+			p++
+			break
+		}
+		if in[p] == '/' {
+			p++
+			if p < len(in) && in[p] == '>' {
+				p++
+				tok.Type = SelfClosingTagToken
+				break
+			}
+			continue
+		}
+		// Attribute name.
+		nameStart := p
+		for p < len(in) && !isSpace(in[p]) && in[p] != '=' && in[p] != '>' && in[p] != '/' {
+			p++
+		}
+		name := in[nameStart:p]
+		for p < len(in) && isSpace(in[p]) {
+			p++
+		}
+		var value []byte
+		if p < len(in) && in[p] == '=' {
+			p++
+			for p < len(in) && isSpace(in[p]) {
+				p++
+			}
+			if p < len(in) && (in[p] == '"' || in[p] == '\'') {
+				quote := in[p]
+				p++
+				vStart := p
+				for p < len(in) && in[p] != quote {
+					p++
+				}
+				value = in[vStart:p]
+				if p < len(in) {
+					p++ // closing quote
+				}
+			} else {
+				vStart := p
+				for p < len(in) && !isSpace(in[p]) && in[p] != '>' {
+					p++
+				}
+				value = in[vStart:p]
+			}
+		}
+		if len(name) != 0 {
+			s.attrs = append(s.attrs, RawAttr{Name: name, Value: value})
+		}
+	}
+	s.pos = p
+	tok.Attrs = s.attrs
+
+	// Raw-text elements: swallow everything up to the matching close tag
+	// so scripts and styles never leak '<a href' false positives. Start
+	// tag names are restricted to ASCII by isTagNameChar, so the ASCII
+	// fold comparison is exact.
+	if tok.Type == StartTagToken {
+		var closer string
+		if foldEqualASCII(tok.Name, "script") {
+			closer = "</script"
+		} else if foldEqualASCII(tok.Name, "style") {
+			closer = "</style"
+		}
+		if closer != "" {
+			idx := indexASCIIFold(in[s.pos:], closer)
+			if idx < 0 {
+				s.pos = len(in)
+			} else {
+				end := indexByteFrom(in, s.pos+idx, '>')
+				if end < 0 {
+					s.pos = len(in)
+				} else {
+					s.pos = end + 1
+				}
+			}
+		}
+	}
+	return tok
+}
+
+// lowerByte folds an ASCII uppercase letter to lowercase and leaves
+// every other byte unchanged.
+func lowerByte(c byte) byte {
+	if 'A' <= c && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}
+
+// foldEqualASCII reports whether b equals target under ASCII case
+// folding. target must be lowercase ASCII.
+func foldEqualASCII(b []byte, target string) bool {
+	if len(b) != len(target) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		if lowerByte(b[i]) != target[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// indexASCIIFold returns the index of the first ASCII-case-insensitive
+// occurrence of needle in b, or -1. needle must be lowercase ASCII.
+// Unlike searching strings.ToLower(string(b)), the returned offset is
+// byte-accurate on arbitrary (including non-UTF-8) input.
+func indexASCIIFold(b []byte, needle string) int {
+	if len(needle) == 0 {
+		return 0
+	}
+	first := needle[0]
+	for i := 0; i+len(needle) <= len(b); i++ {
+		if lowerByte(b[i]) != first {
+			continue
+		}
+		j := 1
+		for ; j < len(needle); j++ {
+			if lowerByte(b[i+j]) != needle[j] {
+				break
+			}
+		}
+		if j == len(needle) {
+			return i
+		}
+	}
+	return -1
+}
+
+// NameEquals reports whether a raw tag or attribute name matches target
+// under the Tokenizer's lowercasing semantics: it is equivalent to
+// strings.ToLower(string(name)) == target without allocating for ASCII
+// names. target must be lowercase ASCII. The slow path matters because
+// strings.ToLower maps a handful of non-ASCII runes into ASCII (e.g.
+// U+0130 → 'i'), which a pure byte fold would miss.
+func NameEquals(name []byte, target string) bool {
+	for i := 0; i < len(name); i++ {
+		if name[i] >= 0x80 {
+			return strings.ToLower(string(name)) == target
+		}
+	}
+	return foldEqualASCII(name, target)
+}
+
+// HasNonLowerASCII reports whether name contains an ASCII uppercase
+// letter or any byte ≥ 0x80 — i.e. whether lowercasing could change it.
+// Callers use it to skip fold comparisons for names that are already
+// canonical.
+func HasNonLowerASCII(name []byte) bool {
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; ('A' <= c && c <= 'Z') || c >= 0x80 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,170 @@
+package htmlx
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// collectRaw drains a Scanner, stringifying views so they survive the
+// next token.
+type rawTok struct {
+	typ   TokenType
+	name  string
+	data  string
+	attrs []Attr
+}
+
+func collectRaw(body []byte) []rawTok {
+	var s Scanner
+	s.Reset(body)
+	var out []rawTok
+	for {
+		tok, ok := s.Next()
+		if !ok {
+			return out
+		}
+		rt := rawTok{typ: tok.Type, name: string(tok.Name), data: string(tok.Data)}
+		for _, a := range tok.Attrs {
+			rt.attrs = append(rt.attrs, Attr{Name: string(a.Name), Value: string(a.Value)})
+		}
+		out = append(out, rt)
+	}
+}
+
+func TestScannerQuirks(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []rawTok
+	}{
+		{"lone angle", "a < b", []rawTok{
+			{typ: TextToken, data: "a "},
+			{typ: TextToken, data: "<"},
+			{typ: TextToken, data: " b"},
+		}},
+		{"processing instruction", "<?xml version=\"1.0\"?>x", []rawTok{
+			{typ: CommentToken},
+			{typ: TextToken, data: "x"},
+		}},
+		{"unterminated comment", "<!-- never closed", []rawTok{
+			{typ: CommentToken, data: " never closed"},
+		}},
+		{"end tag name cut", "</DiV extra>", []rawTok{
+			{typ: EndTagToken, name: "DiV"},
+		}},
+		{"raw case preserved", "<A HREF=x>", []rawTok{
+			{typ: StartTagToken, name: "A", attrs: []Attr{{Name: "HREF", Value: "x"}}},
+		}},
+		{"empty attr name skipped", "<a =v href=u>", []rawTok{
+			{typ: StartTagToken, name: "a", attrs: []Attr{{Name: "href", Value: "u"}}},
+		}},
+		{"unquoted stops at space", "<a href=u/v w>", []rawTok{
+			{typ: StartTagToken, name: "a", attrs: []Attr{{Name: "href", Value: "u/v"}, {Name: "w"}}},
+		}},
+		{"script swallows markup", "<script>if (a<b) '<a href=x>'</script><p>", []rawTok{
+			{typ: StartTagToken, name: "script"},
+			{typ: StartTagToken, name: "p"},
+		}},
+		{"script closer case folded", "<STYLE>.x{}</StYlE ><i>", []rawTok{
+			{typ: StartTagToken, name: "STYLE"},
+			{typ: StartTagToken, name: "i"},
+		}},
+		{"raw text with non-utf8", "<script>\x80\xFEa</script\xFF><b>", []rawTok{
+			{typ: StartTagToken, name: "script"},
+			{typ: StartTagToken, name: "b"},
+		}},
+	}
+	for _, tc := range cases {
+		got := collectRaw([]byte(tc.in))
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %d tokens %+v, want %d", tc.name, len(got), got, len(tc.want))
+			continue
+		}
+		for i := range tc.want {
+			w, g := tc.want[i], got[i]
+			if g.typ != w.typ || g.name != w.name || g.data != w.data || len(g.attrs) != len(w.attrs) {
+				t.Errorf("%s token %d: got %+v, want %+v", tc.name, i, g, w)
+				continue
+			}
+			for j := range w.attrs {
+				if g.attrs[j] != w.attrs[j] {
+					t.Errorf("%s token %d attr %d: got %+v, want %+v", tc.name, i, j, g.attrs[j], w.attrs[j])
+				}
+			}
+		}
+	}
+}
+
+func TestNameEqualsUnicode(t *testing.T) {
+	// U+0130 lowercases to plain 'i' in Go's ToLower, so the raw name
+	// "tİtle" matches "title" under Tokenizer semantics; a pure byte
+	// fold would miss it.
+	if !NameEquals([]byte("tİtle"), "title") {
+		t.Error("NameEquals must reproduce strings.ToLower on non-ASCII names")
+	}
+	if NameEquals([]byte("txtle"), "title") {
+		t.Error("NameEquals matched a non-equal name")
+	}
+	if !NameEquals([]byte("TITLE"), "title") || !NameEquals([]byte("title"), "title") {
+		t.Error("NameEquals must fold ASCII case")
+	}
+}
+
+func TestCharsetFromContentTypeBytesMatchesString(t *testing.T) {
+	fixed := []string{
+		"text/html; charset=utf-8",
+		"text/html; CHARSET=TIS-620",
+		`text/html; charset="euc-jp"`,
+		"text/html; charset='sjis' ; x=y",
+		"text/html; charset= windows-874\tq",
+		"text/html",
+		"charset=",
+		"text/html; charsetti=utf-8; charset=latin1",
+		"ขcharset=utf-8", // non-ASCII prefix: ToLower misalignment territory
+		"İ; charset=utf-8",
+		"text/html; charset=ütf-8",
+	}
+	for _, v := range fixed {
+		want := charsetFromContentType(v)
+		got := string(CharsetFromContentTypeBytes([]byte(v)))
+		if got != want {
+			t.Errorf("CharsetFromContentTypeBytes(%q) = %q, string form = %q", v, got, want)
+		}
+	}
+	r := rand.New(rand.NewSource(8))
+	pieces := []string{"charset=", "text/html", ";", " ", "\t", `"`, "'", "utf-8", "CHARSET", "ข", "İ", "=", "x"}
+	for i := 0; i < 10000; i++ {
+		var sb strings.Builder
+		for j := r.Intn(6); j >= 0; j-- {
+			sb.WriteString(pieces[r.Intn(len(pieces))])
+		}
+		v := sb.String()
+		want := charsetFromContentType(v)
+		got := string(CharsetFromContentTypeBytes([]byte(v)))
+		if got != want {
+			t.Fatalf("CharsetFromContentTypeBytes(%q) = %q, string form = %q", v, got, want)
+		}
+	}
+}
+
+func TestAppendDecodeEntitiesMatchesDecodeEntities(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	pieces := []string{
+		"&amp;", "&lt;", "&gt;", "&quot;", "&apos;", "&nbsp;", "&#39;", "&#x41;",
+		"&#3588;", "&#x110000;", "&#xD800;", "&bogus;", "&", "&;", "&#;", "&#x;",
+		"plain", " ", "ข", "\x80", "&amp", "&toolongtobeanentity;",
+	}
+	for i := 0; i < 10000; i++ {
+		var sb strings.Builder
+		for j := r.Intn(8); j >= 0; j-- {
+			sb.WriteString(pieces[r.Intn(len(pieces))])
+		}
+		s := sb.String()
+		want := DecodeEntities(s)
+		got := string(AppendDecodeEntities(nil, []byte(s)))
+		if got != want {
+			t.Fatalf("AppendDecodeEntities(%q) = %q, DecodeEntities = %q", s, got, want)
+		}
+	}
+}

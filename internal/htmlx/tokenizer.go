@@ -238,8 +238,10 @@ func (z *Tokenizer) scanStartTag() Token {
 	// so scripts and styles never leak '<a href' false positives.
 	if tok.Type == StartTagToken && (tok.Name == "script" || tok.Name == "style") {
 		closer := "</" + tok.Name
-		rest := string(in[z.pos:])
-		idx := strings.Index(strings.ToLower(rest), closer)
+		// ASCII-fold search keeps the offset byte-accurate; searching
+		// strings.ToLower of the tail shifted offsets whenever the tail
+		// held invalid UTF-8 or length-changing case mappings.
+		idx := indexASCIIFold(in[z.pos:], closer)
 		if idx < 0 {
 			z.pos = len(in)
 		} else {
@@ -282,79 +284,5 @@ func DecodeEntities(s string) string {
 	if !strings.ContainsRune(s, '&') {
 		return s
 	}
-	var sb strings.Builder
-	sb.Grow(len(s))
-	for i := 0; i < len(s); {
-		c := s[i]
-		if c != '&' {
-			sb.WriteByte(c)
-			i++
-			continue
-		}
-		semi := strings.IndexByte(s[i:], ';')
-		if semi < 0 || semi > 10 {
-			sb.WriteByte(c)
-			i++
-			continue
-		}
-		ent := s[i+1 : i+semi]
-		switch ent {
-		case "amp":
-			sb.WriteByte('&')
-		case "lt":
-			sb.WriteByte('<')
-		case "gt":
-			sb.WriteByte('>')
-		case "quot":
-			sb.WriteByte('"')
-		case "apos":
-			sb.WriteByte('\'')
-		case "nbsp":
-			sb.WriteRune(' ')
-		default:
-			if n, ok := parseNumericEntity(ent); ok {
-				sb.WriteRune(n)
-			} else {
-				sb.WriteByte('&')
-				i++
-				continue
-			}
-		}
-		i += semi + 1
-	}
-	return sb.String()
-}
-
-func parseNumericEntity(ent string) (rune, bool) {
-	if len(ent) < 2 || ent[0] != '#' {
-		return 0, false
-	}
-	body := ent[1:]
-	base := 10
-	if body[0] == 'x' || body[0] == 'X' {
-		base = 16
-		body = body[1:]
-		if body == "" {
-			return 0, false
-		}
-	}
-	var n int64
-	for _, r := range body {
-		var d int64
-		switch {
-		case r >= '0' && r <= '9':
-			d = int64(r - '0')
-		case base == 16 && r >= 'a' && r <= 'f':
-			d = int64(r-'a') + 10
-		case base == 16 && r >= 'A' && r <= 'F':
-			d = int64(r-'A') + 10
-		default:
-			return 0, false
-		}
-		n = n*int64(base) + d
-		if n > 0x10FFFF {
-			return 0, false
-		}
-	}
-	return rune(n), true
+	return string(AppendDecodeEntities(make([]byte, 0, len(s)), []byte(s)))
 }

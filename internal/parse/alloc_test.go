@@ -1,0 +1,165 @@
+package parse
+
+import (
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/htmlx"
+	"langcrawl/internal/urlutil"
+)
+
+// allocPage is a representative page that stays entirely on the fast
+// path: ASCII markup, absolute http(s) hrefs, a META content-type
+// declaration, entities in the title and one href — the shape the golden
+// corpus produces.
+var allocPage = []byte(`<!DOCTYPE html>
+<html><head>
+<meta http-equiv="Content-Type" content="text/html; charset=tis-620">
+<title>Title &amp; More</title>
+</head><body>
+<h1>Heading</h1>
+<p>text <a href="http://site1.example.th/page1">one</a>
+<a href="http://site1.example.th/page2?q=1&amp;r=2">two</a>
+<a href="HTTP://Site2.Example.TH:80/page3#frag">three</a>
+<a href="http://site1.example.th/page1">dup</a></p>
+<iframe src="https://frames.example.th/f"></iframe>
+</body></html>
+`)
+
+const allocBase = "http://site1.example.th/page0"
+
+// TestRunZeroAlloc is the core zero-allocation regression: a warmed
+// pipeline must parse a fast-path page — prescan, tokenize, entity
+// decode, normalize, dedup — without a single heap allocation.
+func TestRunZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	pipe := Get()
+	defer pipe.Release()
+	var links int
+	run := func() {
+		doc, _ := pipe.Run(allocPage, charset.Unknown, charset.TIS620, allocBase)
+		links += len(doc.Links)
+	}
+	for i := 0; i < 3; i++ {
+		run() // grow scratch to steady state
+	}
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Fatalf("Pipeline.Run allocated %.1f times per page on the fast path", n)
+	}
+	if links == 0 {
+		t.Fatal("page produced no links; the test is not exercising the link path")
+	}
+}
+
+// TestRunZeroAllocTranscode pins the ISO-2022-JP transcode path: the
+// decode lands in a reused scratch buffer, so even transcoding pages
+// parse allocation-free once warm.
+func TestRunZeroAllocTranscode(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	codec := charset.CodecFor(charset.ISO2022JP)
+	body := codec.Encode(`<html><head><title>日本語</title></head><body>` +
+		`<a href="http://jp.example.jp/page1">リンク</a></body></html>`)
+	pipe := Get()
+	defer pipe.Release()
+	run := func() {
+		doc, _ := pipe.Run(body, charset.ISO2022JP, charset.ISO2022JP, "http://jp.example.jp/")
+		if len(doc.Links) != 1 {
+			t.Fatalf("expected 1 link, got %q", doc.LinkStrings())
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	if !pipe.Info().Transcoded {
+		t.Fatal("page did not take the transcode path")
+	}
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Fatalf("transcoding Run allocated %.1f times per page", n)
+	}
+}
+
+// TestScannerZeroAlloc pins the raw tokenizer's steady state.
+func TestScannerZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	var s htmlx.Scanner
+	var toks int
+	run := func() {
+		s.Reset(allocPage)
+		for {
+			tok, ok := s.Next()
+			if !ok {
+				break
+			}
+			toks += len(tok.Attrs)
+		}
+	}
+	run()
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Fatalf("Scanner allocated %.1f times per page", n)
+	}
+	if toks == 0 {
+		t.Fatal("scanner yielded no attributes")
+	}
+}
+
+// TestAppendNormalizedZeroAlloc pins the URL fast path.
+func TestAppendNormalizedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	refs := [][]byte{
+		[]byte("http://site1.example.th/page1"),
+		[]byte("HTTPS://Host.TH:443/a/b?q=1"),
+		[]byte("http://h:8080/x"),
+	}
+	buf := make([]byte, 0, 256)
+	if n := testing.AllocsPerRun(100, func() {
+		for _, ref := range refs {
+			out, handled, err := urlutil.AppendNormalized(buf[:0], ref)
+			if !handled || err != nil {
+				t.Fatalf("ref %q unexpectedly off the fast path (handled=%v err=%v)", ref, handled, err)
+			}
+			buf = out[:0]
+		}
+	}); n != 0 {
+		t.Fatalf("AppendNormalized allocated %.1f times per batch", n)
+	}
+}
+
+// TestParseBytesZeroAlloc pins the charset-name lookup.
+func TestParseBytesZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	names := [][]byte{
+		[]byte("utf-8"), []byte(" TIS-620 "), []byte(`"Shift_JIS"`), []byte("bogus"),
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for _, name := range names {
+			charset.ParseBytes(name)
+		}
+	}); n != 0 {
+		t.Fatalf("ParseBytes allocated %.1f times per batch", n)
+	}
+}
+
+// TestAppendDecodeEntitiesZeroAlloc pins the entity decoder given a
+// warm destination buffer.
+func TestAppendDecodeEntitiesZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	src := []byte("a &amp; b &#x41; &lt;tag&gt; &unknown; &#3588;")
+	buf := make([]byte, 0, 128)
+	if n := testing.AllocsPerRun(100, func() {
+		buf = htmlx.AppendDecodeEntities(buf[:0], src)
+	}); n != 0 {
+		t.Fatalf("AppendDecodeEntities allocated %.1f times per call", n)
+	}
+}

@@ -1,0 +1,169 @@
+package parse
+
+import (
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/htmlx"
+	"langcrawl/internal/urlutil"
+	"langcrawl/internal/webgraph"
+)
+
+// benchPage is one corpus page with everything the parse step receives
+// from the fetch layer precomputed (detection is a separate, already
+// benchmarked stage).
+type benchPage struct {
+	body     []byte
+	url      string
+	detected charset.Charset
+}
+
+var benchSink int
+
+func benchCorpus(tb testing.TB) []benchPage {
+	space, err := webgraph.Generate(webgraph.ThaiLike(200, 7))
+	if err != nil {
+		tb.Fatalf("generate space: %v", err)
+	}
+	var pages []benchPage
+	for id := webgraph.PageID(0); int(id) < space.N() && len(pages) < 128; id++ {
+		if space.Status[id] != 200 {
+			continue
+		}
+		body := space.PageBytes(id)
+		det, _ := charset.DetectInfo(body)
+		pages = append(pages, benchPage{body: body, url: space.URL(id), detected: det.Charset})
+	}
+	if len(pages) == 0 {
+		tb.Fatal("empty corpus")
+	}
+	return pages
+}
+
+func corpusBytes(pages []benchPage) int64 {
+	var n int64
+	for _, p := range pages {
+		n += int64(len(p.body))
+	}
+	return n
+}
+
+// BenchmarkParsePipeline is the end-to-end parse-path benchmark: one op
+// is one page through Pipeline.Run (prescan + tokenize + extract +
+// normalize), reported in pages/sec. Its ALLOCS baseline is the zero
+// that benchcheck's allocation gate pins.
+func BenchmarkParsePipeline(b *testing.B) {
+	pages := benchCorpus(b)
+	pipe := Get()
+	defer pipe.Release()
+	// Warm the scratch buffers to steady state: at -benchtime=1x the
+	// first-page arena growth would otherwise read as per-op allocations
+	// and trip the zero-alloc gate on its own setup cost.
+	for _, pg := range pages {
+		pipe.Run(pg.body, charset.Unknown, pg.detected, pg.url)
+	}
+	b.SetBytes(corpusBytes(pages) / int64(len(pages)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	links := 0
+	for i := 0; i < b.N; i++ {
+		pg := pages[i%len(pages)]
+		doc, _ := pipe.Run(pg.body, charset.Unknown, pg.detected, pg.url)
+		links += len(doc.Links)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pages/sec")
+	benchSink = links
+}
+
+// BenchmarkParseLegacy is the same workload through the legacy
+// string-based composition, kept as the speedup reference.
+func BenchmarkParseLegacy(b *testing.B) {
+	pages := benchCorpus(b)
+	b.SetBytes(corpusBytes(pages) / int64(len(pages)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	links := 0
+	for i := 0; i < b.N; i++ {
+		pg := pages[i%len(pages)]
+		doc, _ := legacyParse(pg.body, charset.Unknown, pg.detected, pg.url)
+		links += len(doc.Links)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pages/sec")
+	benchSink = links
+}
+
+// BenchmarkParseScanner isolates the raw tokenizer.
+func BenchmarkParseScanner(b *testing.B) {
+	pages := benchCorpus(b)
+	var s htmlx.Scanner
+	s.Reset(pages[0].body)
+	for { // warm the attr scratch
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	b.SetBytes(corpusBytes(pages) / int64(len(pages)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset(pages[i%len(pages)].body)
+		for {
+			tok, ok := s.Next()
+			if !ok {
+				break
+			}
+			benchSink += len(tok.Attrs)
+		}
+	}
+}
+
+// BenchmarkParseNormalize isolates the URL fast path.
+func BenchmarkParseNormalize(b *testing.B) {
+	refs := [][]byte{
+		[]byte("http://site1.example.th/page1"),
+		[]byte("HTTPS://Host.TH:443/a/b?q=1"),
+		[]byte("http://h:8080/x/y/z"),
+	}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, _ := urlutil.AppendNormalized(buf[:0], refs[i%len(refs)])
+		buf = out[:0]
+	}
+}
+
+// TestParsePipelineSpeedup asserts the headline claim: the streaming
+// pipeline parses the corpus at least 2x faster than the legacy
+// composition. Skipped in -short mode and under -race, where timing is
+// not meaningful.
+func TestParsePipelineSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing assertion skipped in short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing assertion skipped under -race")
+	}
+	pages := benchCorpus(t)
+	pipe := Get()
+	defer pipe.Release()
+	fast := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pg := pages[i%len(pages)]
+			doc, _ := pipe.Run(pg.body, charset.Unknown, pg.detected, pg.url)
+			benchSink += len(doc.Links)
+		}
+	})
+	slow := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pg := pages[i%len(pages)]
+			doc, _ := legacyParse(pg.body, charset.Unknown, pg.detected, pg.url)
+			benchSink += len(doc.Links)
+		}
+	})
+	speedup := float64(slow.NsPerOp()) / float64(fast.NsPerOp())
+	t.Logf("pipeline %v/page, legacy %v/page: %.2fx", fast.NsPerOp(), slow.NsPerOp(), speedup)
+	if speedup < 2.0 {
+		t.Fatalf("pipeline is only %.2fx faster than legacy parse; the streaming path requires ≥2x", speedup)
+	}
+}

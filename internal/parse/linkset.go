@@ -1,0 +1,84 @@
+package parse
+
+// span addresses one normalized link inside the pipeline's arena. Links
+// are stored as offsets, not slices, because the arena reallocates as it
+// grows; offsets stay valid, views would not.
+type span struct{ off, ln int32 }
+
+// lsEntry is one open-addressing slot. ln == 0 marks an empty slot; a
+// normalized URL is never empty ("http://x/" is the minimum), so no
+// separate occupied bit is needed.
+type lsEntry struct {
+	hash uint32
+	off  int32
+	ln   int32
+}
+
+// linkset deduplicates normalized links without a map[string]struct{}:
+// an open-addressing table of arena offsets, reused across pages. The
+// table only ever grows; reset clears slots but keeps capacity, which is
+// what makes the steady state allocation-free.
+type linkset struct {
+	entries []lsEntry
+	n       int
+}
+
+func (s *linkset) reset() {
+	for i := range s.entries {
+		s.entries[i] = lsEntry{}
+	}
+	s.n = 0
+}
+
+func fnv1a(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// insert adds arena[off:off+ln] to the set and reports whether it was
+// absent (i.e. the caller should keep the link).
+func (s *linkset) insert(arena []byte, off, ln int32) bool {
+	if s.n*4 >= len(s.entries)*3 {
+		s.grow(arena)
+	}
+	h := fnv1a(arena[off : off+ln])
+	mask := uint32(len(s.entries) - 1)
+	i := h & mask
+	for {
+		e := &s.entries[i]
+		if e.ln == 0 {
+			*e = lsEntry{hash: h, off: off, ln: ln}
+			s.n++
+			return true
+		}
+		if e.hash == h && e.ln == ln &&
+			string(arena[e.off:e.off+e.ln]) == string(arena[off:off+ln]) {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *linkset) grow(arena []byte) {
+	old := s.entries
+	n := len(old) * 2
+	if n == 0 {
+		n = 64
+	}
+	s.entries = make([]lsEntry, n)
+	mask := uint32(n - 1)
+	for _, e := range old {
+		if e.ln == 0 {
+			continue
+		}
+		i := e.hash & mask
+		for s.entries[i].ln != 0 {
+			i = (i + 1) & mask
+		}
+		s.entries[i] = e
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package parse
+
+const raceEnabled = false

@@ -1,0 +1,557 @@
+// Package parse is the streaming, allocation-free page-parse pipeline:
+// charset prescan, optional transcode, tokenization and link
+// normalization in one pass over the body bytes, with every piece of
+// scratch memory owned by a pooled Pipeline and reused across pages.
+//
+// The pipeline is pinned byte-for-byte to the legacy composition
+// (htmlx.DeclaredCharset + htmlx.ParseWithCharset + urlutil.Resolve) by
+// the differential suite in this package; the only deliberate divergence
+// is the raw-text close-tag scan, where the legacy tokenizer's
+// ToLower-based offset arithmetic was wrong on non-UTF-8 input and both
+// implementations now share the corrected indexASCIIFold.
+package parse
+
+import (
+	"bytes"
+	"net/url"
+	"strings"
+	"sync"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/htmlx"
+	"langcrawl/internal/urlutil"
+)
+
+// maxMetaScan mirrors htmlx.DeclaredCharset's prescan window.
+const maxMetaScan = 4096
+
+// Doc is the zero-copy analogue of htmlx.Document: all byte-slice fields
+// are views into the pipeline's internal buffers and are valid only
+// until the next Run, Reset or Release on the owning Pipeline. Callers
+// that need to retain them must copy (LinkStrings / TitleString do).
+type Doc struct {
+	// Title is the text inside the first <title> element, entity-decoded
+	// and trimmed.
+	Title []byte
+	// Base is the trimmed href of the first <base> tag with a non-empty
+	// href, nil/empty when absent.
+	Base []byte
+	// MetaCharsetRaw is the raw declared charset name from META, nil when
+	// absent.
+	MetaCharsetRaw []byte
+	// Links are the normalized absolute URLs of anchors and frames, in
+	// document order, de-duplicated, non-HTTP and unparsable hrefs
+	// dropped — byte-identical to htmlx.Document.Links.
+	Links [][]byte
+	// MetaCharset is the charset declared in a META tag.
+	MetaCharset charset.Charset
+	// NoFollow/NoIndex mirror <meta name=robots>.
+	NoFollow bool
+	NoIndex  bool
+}
+
+// LinkStrings materializes Links as independent strings (one allocation
+// per link plus the slice), for callers that outlive the pipeline's
+// buffers — e.g. the crawl log record.
+func (d *Doc) LinkStrings() []string {
+	if len(d.Links) == 0 {
+		return nil
+	}
+	out := make([]string, len(d.Links))
+	for i, l := range d.Links {
+		out[i] = string(l)
+	}
+	return out
+}
+
+// TitleString returns the title as an independent string.
+func (d *Doc) TitleString() string { return string(d.Title) }
+
+// Info reports what one Run did, for telemetry.
+type Info struct {
+	// Bytes is the body length of the last Run.
+	Bytes int64
+	// PoolHit is true when this Pipeline was recycled from the pool
+	// rather than freshly allocated.
+	PoolHit bool
+	// SlowFalls counts links that left the allocation-free normalization
+	// fast path and went through url.Parse-based Resolve.
+	SlowFalls int
+	// Transcoded is true when the body was transcoded (ISO-2022-JP)
+	// before tokenizing.
+	Transcoded bool
+}
+
+// Pipeline holds every buffer one page parse needs. Get one from the
+// pool, Run it any number of times, then Release it. Not safe for
+// concurrent use; each goroutine takes its own from the pool.
+type Pipeline struct {
+	scan htmlx.Scanner
+	set  linkset
+
+	buf      []byte // Feed accumulator for chunked bodies
+	decoded  []byte // transcode output (ISO-2022-JP → UTF-8)
+	title    []byte // raw title text accumulator
+	titleOut []byte // entity-decoded title scratch
+	ent      []byte // entity-decoded href scratch
+	norm     []byte // throwaway normalization scratch (base validation)
+	baseSeed []byte // baseURL copied to bytes for fast validation
+	baseBuf  []byte // resolved <base> target
+	arena    []byte // normalized link storage
+	links    []span // arena offsets of kept links, in document order
+	out      [][]byte
+
+	// Per-run parse state.
+	docBase    []byte
+	metaRaw    []byte
+	metaCS     charset.Charset
+	noFollow   bool
+	noIndex    bool
+	baseSet    bool // a non-empty <base href> was recorded
+	baseIsRoot bool // resolution base is still the page URL
+	baseParses bool // url.Parse succeeds on the current resolution base
+	ranBuf     bool // RunBuffered consumed buf; next Feed restarts
+
+	info     Info
+	recycled bool
+}
+
+var pool = sync.Pool{New: func() any { return &Pipeline{} }}
+
+// Get returns a Pipeline from the pool.
+func Get() *Pipeline {
+	p := pool.Get().(*Pipeline)
+	p.info = Info{PoolHit: p.recycled}
+	p.recycled = true
+	return p
+}
+
+// Release returns p to the pool. All Doc views handed out by this
+// pipeline are invalidated.
+func (p *Pipeline) Release() {
+	pool.Put(p)
+}
+
+// Info reports what the last Run did.
+func (p *Pipeline) Info() Info { return p.info }
+
+// Feed appends one body chunk to the pipeline's accumulator, for callers
+// that receive the page in pieces. A Feed after RunBuffered starts a new
+// accumulation.
+func (p *Pipeline) Feed(chunk []byte) {
+	if p.ranBuf {
+		p.buf = p.buf[:0]
+		p.ranBuf = false
+	}
+	p.buf = append(p.buf, chunk...)
+}
+
+// RunBuffered runs the pipeline over everything Fed so far. The result
+// is byte-identical to a single Run over the concatenated chunks.
+func (p *Pipeline) RunBuffered(headerDeclared, detected charset.Charset, baseURL string) (Doc, charset.Charset) {
+	p.ranBuf = true
+	return p.Run(p.buf, headerDeclared, detected, baseURL)
+}
+
+// Run parses one page body and returns the extracted document plus the
+// effective declared charset, reproducing exactly the legacy fetch
+// sequence: header declaration first, then a bounded META prescan of the
+// raw bytes, then (for ISO-2022-JP) a transcode, then the full parse,
+// and finally the full parse's META charset as a last-resort
+// declaration. body is only read; the returned Doc views the pipeline's
+// internal buffers.
+func (p *Pipeline) Run(body []byte, headerDeclared, detected charset.Charset, baseURL string) (Doc, charset.Charset) {
+	p.resetRun()
+	p.info.Bytes = int64(len(body))
+
+	declared := headerDeclared
+	if declared == charset.Unknown {
+		declared = p.prescan(body)
+	}
+	parseAs := declared
+	if parseAs == charset.Unknown {
+		parseAs = detected
+	}
+	work := body
+	if parseAs == charset.ISO2022JP {
+		if codec := charset.CodecFor(charset.ISO2022JP); codec != nil {
+			p.decoded = charset.AppendDecode(codec, p.decoded[:0], body)
+			work = p.decoded
+			p.info.Transcoded = true
+		}
+	}
+	p.initBase(baseURL)
+	p.parseBody(work, baseURL)
+	doc := p.buildDoc()
+	if declared == charset.Unknown {
+		declared = doc.MetaCharset
+	}
+	return doc, declared
+}
+
+func (p *Pipeline) resetRun() {
+	p.title = p.title[:0]
+	p.arena = p.arena[:0]
+	p.links = p.links[:0]
+	p.set.reset()
+	p.docBase = nil
+	p.metaRaw = nil
+	p.metaCS = charset.Unknown
+	p.noFollow = false
+	p.noIndex = false
+	p.baseSet = false
+	p.info.SlowFalls = 0
+	p.info.Transcoded = false
+}
+
+// prescan mirrors htmlx.DeclaredCharset: scan the first maxMetaScan
+// bytes of the raw body, evaluating each META in isolation, stopping at
+// <body>. It reuses the per-run meta fields as scratch; resetRun state
+// is restored before parseBody runs.
+func (p *Pipeline) prescan(body []byte) charset.Charset {
+	scan := body
+	if len(scan) > maxMetaScan {
+		scan = scan[:maxMetaScan]
+	}
+	found := charset.Unknown
+	p.scan.Reset(scan)
+	for found == charset.Unknown {
+		tok, ok := p.scan.Next()
+		if !ok {
+			break
+		}
+		if tok.Type != htmlx.StartTagToken && tok.Type != htmlx.SelfClosingTagToken {
+			continue
+		}
+		switch tagOf(tok.Name) {
+		case tagMeta:
+			// Fresh per-META state, as DeclaredCharset's fresh Document.
+			p.metaCS = charset.Unknown
+			p.metaRaw = nil
+			p.handleMeta(&tok)
+			found = p.metaCS
+		case tagBody:
+			p.restoreMetaState()
+			return charset.Unknown
+		}
+	}
+	p.restoreMetaState()
+	return found
+}
+
+func (p *Pipeline) restoreMetaState() {
+	p.metaCS = charset.Unknown
+	p.metaRaw = nil
+	p.noFollow = false
+	p.noIndex = false
+}
+
+// initBase decides whether url.Parse succeeds on baseURL — the one
+// base-side fact the addLink fast path depends on — without parsing it
+// when the fast validator can already tell.
+func (p *Pipeline) initBase(baseURL string) {
+	p.baseIsRoot = true
+	p.baseSeed = append(p.baseSeed[:0], baseURL...)
+	trimmed := bytes.TrimSpace(p.baseSeed)
+	if len(trimmed) == len(p.baseSeed) {
+		out, handled, err := urlutil.AppendNormalized(p.norm[:0], p.baseSeed)
+		p.norm = out[:0]
+		if handled && (err == nil || err == urlutil.ErrEmptyURL) {
+			// A fast-valid URL parses; so does the empty string.
+			p.baseParses = true
+			return
+		}
+	}
+	// Leading/trailing whitespace or an odd shape: let url.Parse decide,
+	// exactly as Resolve will.
+	_, perr := url.Parse(baseURL)
+	p.baseParses = perr == nil
+}
+
+func (p *Pipeline) parseBody(body []byte, baseURL string) {
+	p.scan.Reset(body)
+	inTitle := false
+	for {
+		tok, ok := p.scan.Next()
+		if !ok {
+			break
+		}
+		switch tok.Type {
+		case htmlx.TextToken:
+			if inTitle {
+				p.title = append(p.title, tok.Data...)
+			}
+		case htmlx.StartTagToken, htmlx.SelfClosingTagToken:
+			switch tagOf(tok.Name) {
+			case tagTitle:
+				if tok.Type == htmlx.StartTagToken {
+					inTitle = true
+				}
+			case tagBase:
+				if href, ok := tok.Attr("href"); ok && !p.baseSet {
+					trimmed := bytes.TrimSpace(href)
+					p.docBase = trimmed
+					p.baseSet = len(trimmed) > 0
+					p.resolveBase(baseURL, trimmed)
+				}
+			case tagMeta:
+				p.handleMeta(&tok)
+			case tagA, tagArea:
+				p.addLink(&tok, "href", baseURL)
+			case tagFrame, tagIframe:
+				p.addLink(&tok, "src", baseURL)
+			}
+		case htmlx.EndTagToken:
+			if htmlx.NameEquals(tok.Name, "title") {
+				inTitle = false
+			}
+		}
+	}
+}
+
+// resolveBase updates the link-resolution base from a <base href>,
+// matching urlutil.Resolve(baseURL, trimmed) exactly: on any resolution
+// error the base is left unchanged.
+func (p *Pipeline) resolveBase(baseURL string, trimmed []byte) {
+	out, handled, err := urlutil.AppendNormalized(p.baseBuf[:0], trimmed)
+	if handled {
+		// An absolute fast-path href resolves to its own normalization —
+		// but only when the base itself parses; otherwise Resolve fails
+		// first and the base stays put.
+		if err == nil && p.baseParses {
+			p.baseBuf = out
+			p.baseIsRoot = false
+		}
+		return
+	}
+	p.baseBuf = out[:0]
+	if resolved, rerr := urlutil.Resolve(baseURL, string(trimmed)); rerr == nil {
+		p.baseBuf = append(p.baseBuf[:0], resolved...)
+		p.baseIsRoot = false
+		p.baseParses = true // the resolved base is canonical
+	}
+}
+
+// handleMeta is a field-for-field port of htmlx.handleMeta over raw
+// tokens.
+func (p *Pipeline) handleMeta(tok *htmlx.RawToken) {
+	if cs, ok := tok.Attr("charset"); ok && p.metaCS == charset.Unknown {
+		p.metaRaw = bytes.TrimSpace(cs)
+		p.metaCS = charset.ParseBytes(p.metaRaw)
+		return
+	}
+	httpEquiv, _ := tok.Attr("http-equiv")
+	name, _ := tok.Attr("name")
+	content, _ := tok.Attr("content")
+	switch {
+	case foldEq(httpEquiv, "content-type"):
+		if raw := htmlx.CharsetFromContentTypeBytes(content); len(raw) > 0 && p.metaCS == charset.Unknown {
+			p.metaRaw = raw
+			p.metaCS = charset.ParseBytes(raw)
+		}
+	case foldEq(name, "robots"):
+		if containsLower(content, "nofollow") {
+			p.noFollow = true
+		}
+		if containsLower(content, "noindex") {
+			p.noIndex = true
+		}
+	}
+}
+
+// addLink ports htmlx.addLink: trim, entity-decode, resolve against the
+// current base, normalize, dedup. The fast path appends the normalized
+// URL directly into the arena; only refs the byte-level normalizer
+// cannot prove equivalent fall back to url.Parse-based Resolve.
+func (p *Pipeline) addLink(tok *htmlx.RawToken, attrName, baseURL string) {
+	raw, _ := tok.Attr(attrName)
+	trimmed := bytes.TrimSpace(raw)
+	decoded := trimmed
+	if bytes.IndexByte(trimmed, '&') >= 0 {
+		p.ent = htmlx.AppendDecodeEntities(p.ent[:0], trimmed)
+		decoded = p.ent
+	}
+	if len(decoded) == 0 {
+		return
+	}
+	n0 := len(p.arena)
+	out, handled, err := urlutil.AppendNormalized(p.arena, decoded)
+	if handled {
+		if err != nil {
+			return // Resolve would fail on the ref side (or drop the scheme)
+		}
+		if !p.baseParses {
+			return // Resolve fails parsing the base before looking at the ref
+		}
+		p.arena = out
+		p.commitLink(n0)
+		return
+	}
+	p.info.SlowFalls++
+	base := baseURL
+	if !p.baseIsRoot {
+		base = string(p.baseBuf)
+	}
+	abs, rerr := urlutil.Resolve(base, string(decoded))
+	if rerr != nil {
+		return
+	}
+	p.arena = append(p.arena, abs...)
+	p.commitLink(n0)
+}
+
+// commitLink dedups the arena bytes appended since off and records the
+// span when new.
+func (p *Pipeline) commitLink(off int) {
+	ln := len(p.arena) - off
+	if !p.set.insert(p.arena, int32(off), int32(ln)) {
+		p.arena = p.arena[:off]
+		return
+	}
+	p.links = append(p.links, span{off: int32(off), ln: int32(ln)})
+}
+
+func (p *Pipeline) buildDoc() Doc {
+	p.out = p.out[:0]
+	for _, s := range p.links {
+		p.out = append(p.out, p.arena[s.off:s.off+s.ln])
+	}
+	title := p.title
+	if bytes.IndexByte(title, '&') >= 0 {
+		p.titleOut = htmlx.AppendDecodeEntities(p.titleOut[:0], title)
+		title = p.titleOut
+	}
+	return Doc{
+		Title:          bytes.TrimSpace(title),
+		Base:           p.docBase,
+		MetaCharsetRaw: p.metaRaw,
+		Links:          p.out,
+		MetaCharset:    p.metaCS,
+		NoFollow:       p.noFollow,
+		NoIndex:        p.noIndex,
+	}
+}
+
+// Tag dispatch: raw names are matched against the handful the extractor
+// cares about. Already-lowercase names (the overwhelming case) hit the
+// allocation-free switch; anything else goes through NameEquals, which
+// reproduces strings.ToLower semantics.
+
+type tag uint8
+
+const (
+	tagOther tag = iota
+	tagTitle
+	tagBase
+	tagMeta
+	tagA
+	tagArea
+	tagFrame
+	tagIframe
+	tagBody
+)
+
+func tagOf(name []byte) tag {
+	if !htmlx.HasNonLowerASCII(name) {
+		switch string(name) {
+		case "title":
+			return tagTitle
+		case "base":
+			return tagBase
+		case "meta":
+			return tagMeta
+		case "a":
+			return tagA
+		case "area":
+			return tagArea
+		case "frame":
+			return tagFrame
+		case "iframe":
+			return tagIframe
+		case "body":
+			return tagBody
+		}
+		return tagOther
+	}
+	switch {
+	case htmlx.NameEquals(name, "title"):
+		return tagTitle
+	case htmlx.NameEquals(name, "base"):
+		return tagBase
+	case htmlx.NameEquals(name, "meta"):
+		return tagMeta
+	case htmlx.NameEquals(name, "a"):
+		return tagA
+	case htmlx.NameEquals(name, "area"):
+		return tagArea
+	case htmlx.NameEquals(name, "frame"):
+		return tagFrame
+	case htmlx.NameEquals(name, "iframe"):
+		return tagIframe
+	case htmlx.NameEquals(name, "body"):
+		return tagBody
+	}
+	return tagOther
+}
+
+// foldEq reproduces strings.EqualFold(string(b), target) for lowercase
+// ASCII targets without allocating on ASCII input. Unicode folding
+// differs from ToLower (e.g. U+0130 lowers to 'i' but does not fold to
+// it), so this must NOT share NameEquals' fallback.
+func foldEq(b []byte, target string) bool {
+	for _, c := range b {
+		if c >= 0x80 {
+			return strings.EqualFold(string(b), target)
+		}
+	}
+	if len(b) != len(target) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != target[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsLower reproduces strings.Contains(strings.ToLower(string(b)),
+// sub) for lowercase ASCII sub without allocating on ASCII input.
+func containsLower(b []byte, sub string) bool {
+	for _, c := range b {
+		if c >= 0x80 {
+			return strings.Contains(strings.ToLower(string(b)), sub)
+		}
+	}
+	if len(sub) == 0 {
+		return true
+	}
+	first := sub[0]
+	for i := 0; i+len(sub) <= len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != first {
+			continue
+		}
+		j := 1
+		for ; j < len(sub); j++ {
+			cj := b[i+j]
+			if 'A' <= cj && cj <= 'Z' {
+				cj += 'a' - 'A'
+			}
+			if cj != sub[j] {
+				break
+			}
+		}
+		if j == len(sub) {
+			return true
+		}
+	}
+	return false
+}

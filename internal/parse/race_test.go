@@ -1,0 +1,7 @@
+//go:build race
+
+package parse
+
+// raceEnabled gates allocation-count and throughput assertions, which
+// are not meaningful under the race detector.
+const raceEnabled = true

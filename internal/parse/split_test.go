@@ -1,0 +1,190 @@
+package parse
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/webgraph"
+)
+
+// equalDocs reports whether two pipeline results (from different
+// pipelines or runs) are byte-identical, with a description of the first
+// difference.
+func equalDocs(a Doc, aCS charset.Charset, b Doc, bCS charset.Charset) (string, bool) {
+	if aCS != bCS {
+		return fmt.Sprintf("declared %v vs %v", aCS, bCS), false
+	}
+	if !bytes.Equal(a.Title, b.Title) {
+		return fmt.Sprintf("title %q vs %q", a.Title, b.Title), false
+	}
+	if !bytes.Equal(a.Base, b.Base) {
+		return fmt.Sprintf("base %q vs %q", a.Base, b.Base), false
+	}
+	if !bytes.Equal(a.MetaCharsetRaw, b.MetaCharsetRaw) {
+		return fmt.Sprintf("metaRaw %q vs %q", a.MetaCharsetRaw, b.MetaCharsetRaw), false
+	}
+	if a.MetaCharset != b.MetaCharset {
+		return fmt.Sprintf("metaCharset %v vs %v", a.MetaCharset, b.MetaCharset), false
+	}
+	if a.NoFollow != b.NoFollow || a.NoIndex != b.NoIndex {
+		return "robots flags differ", false
+	}
+	if len(a.Links) != len(b.Links) {
+		return fmt.Sprintf("link count %d vs %d", len(a.Links), len(b.Links)), false
+	}
+	for i := range a.Links {
+		if !bytes.Equal(a.Links[i], b.Links[i]) {
+			return fmt.Sprintf("link[%d] %q vs %q", i, a.Links[i], b.Links[i]), false
+		}
+	}
+	return "", true
+}
+
+// splitSpace builds a small deterministic page space in the golden
+// corpus's shape (ThaiLike link structure, mixed charsets, META
+// declarations) for boundary testing.
+func splitSpace(t testing.TB) *webgraph.Space {
+	t.Helper()
+	space, err := webgraph.Generate(webgraph.ThaiLike(60, 7))
+	if err != nil {
+		t.Fatalf("generate space: %v", err)
+	}
+	return space
+}
+
+// TestSplitInvariance feeds every page of the test corpus in two chunks,
+// split at every byte offset (strided in -short mode), and requires the
+// result to be byte-identical to a single whole-body Run. This is what
+// licenses callers to stream bodies into the pipeline chunk by chunk.
+func TestSplitInvariance(t *testing.T) {
+	space := splitSpace(t)
+	whole := Get()
+	defer whole.Release()
+	chunked := Get()
+	defer chunked.Release()
+
+	stride := 1
+	if testing.Short() {
+		stride = 17
+	}
+	pages := 0
+	for id := webgraph.PageID(0); int(id) < space.N() && pages < 25; id++ {
+		if space.Status[id] != 200 {
+			continue
+		}
+		pages++
+		body := space.PageBytes(id)
+		baseURL := space.URL(id)
+		detected, _ := charset.DetectInfo(body)
+		wdoc, wcs := whole.Run(body, charset.Unknown, detected.Charset, baseURL)
+		for off := 0; off <= len(body); off += stride {
+			chunked.Feed(body[:off])
+			chunked.Feed(body[off:])
+			cdoc, ccs := chunked.RunBuffered(charset.Unknown, detected.Charset, baseURL)
+			if diff, ok := equalDocs(wdoc, wcs, cdoc, ccs); !ok {
+				t.Fatalf("page %d split at %d: %s", id, off, diff)
+			}
+		}
+	}
+	if pages == 0 {
+		t.Fatal("corpus produced no 200 pages")
+	}
+}
+
+// TestSplitInvarianceManyChunks re-feeds a page in many random-sized
+// chunks; any chunking must agree with the whole-body run.
+func TestSplitInvarianceManyChunks(t *testing.T) {
+	space := splitSpace(t)
+	r := rand.New(rand.NewSource(5))
+	whole := Get()
+	defer whole.Release()
+	chunked := Get()
+	defer chunked.Release()
+
+	checked := 0
+	for id := webgraph.PageID(0); int(id) < space.N() && checked < 10; id++ {
+		if space.Status[id] != 200 {
+			continue
+		}
+		checked++
+		body := space.PageBytes(id)
+		baseURL := space.URL(id)
+		detected, _ := charset.DetectInfo(body)
+		wdoc, wcs := whole.Run(body, charset.Unknown, detected.Charset, baseURL)
+		for trial := 0; trial < 50; trial++ {
+			rest := body
+			for len(rest) > 0 {
+				n := 1 + r.Intn(len(rest))
+				chunked.Feed(rest[:n])
+				rest = rest[n:]
+			}
+			cdoc, ccs := chunked.RunBuffered(charset.Unknown, detected.Charset, baseURL)
+			if diff, ok := equalDocs(wdoc, wcs, cdoc, ccs); !ok {
+				t.Fatalf("page %d trial %d: %s", id, trial, diff)
+			}
+		}
+	}
+}
+
+// FuzzParsePipeline cross-checks three implementations on arbitrary
+// bytes: the pipeline over the whole body, the pipeline over a split
+// feed, and the legacy parse composition. All three must agree.
+func FuzzParsePipeline(f *testing.F) {
+	space := splitSpace(f)
+	for id := webgraph.PageID(0); id < 8; id++ {
+		f.Add(space.PageBytes(id), uint16(64), uint8(0))
+	}
+	f.Add([]byte(`<a href="http://x/">t</a>`), uint16(3), uint8(1))
+	f.Add([]byte(`<base href="/d/"><a href=a>`), uint16(10), uint8(2))
+	f.Add([]byte(`<meta charset="tis-620"><title>&#3588;</title>`), uint16(5), uint8(3))
+	f.Add([]byte("<script>var a='<a href=x>'</script>\x80\xFE"), uint16(1), uint8(4))
+
+	bases := []string{
+		"http://example.com/dir/page.html",
+		"http://%zz/bad",
+		"",
+		"http://user:p@h/",
+	}
+	f.Fuzz(func(t *testing.T, body []byte, split uint16, sel uint8) {
+		baseURL := bases[int(sel)%len(bases)]
+		header := genCharsets[int(sel/8)%len(genCharsets)]
+		detected, _ := charset.DetectInfo(body)
+
+		pipe := Get()
+		defer pipe.Release()
+		doc, cs := pipe.Run(body, header, detected.Charset, baseURL)
+
+		// Against legacy.
+		want, wantCS := legacyParse(body, header, detected.Charset, baseURL)
+		if cs != wantCS || doc.TitleString() != want.Title || string(doc.Base) != want.Base ||
+			string(doc.MetaCharsetRaw) != want.MetaCharsetRaw || doc.MetaCharset != want.MetaCharset ||
+			doc.NoFollow != want.NoFollow || doc.NoIndex != want.NoIndex {
+			t.Fatalf("pipeline/legacy scalar mismatch: (%v %q %q %q %v %v %v) vs (%v %q %q %q %v %v %v)",
+				cs, doc.Title, doc.Base, doc.MetaCharsetRaw, doc.MetaCharset, doc.NoFollow, doc.NoIndex,
+				wantCS, want.Title, want.Base, want.MetaCharsetRaw, want.MetaCharset, want.NoFollow, want.NoIndex)
+		}
+		if len(doc.Links) != len(want.Links) {
+			t.Fatalf("pipeline %d links %q, legacy %d links %q", len(doc.Links), doc.LinkStrings(), len(want.Links), want.Links)
+		}
+		for i := range want.Links {
+			if string(doc.Links[i]) != want.Links[i] {
+				t.Fatalf("link[%d]: pipeline %q, legacy %q", i, doc.Links[i], want.Links[i])
+			}
+		}
+
+		// Against the split feed. Re-run the whole-body parse on a second
+		// pipeline because doc's views die with pipe's next use.
+		off := int(split) % (len(body) + 1)
+		chunked := Get()
+		defer chunked.Release()
+		chunked.Feed(body[:off])
+		chunked.Feed(body[off:])
+		cdoc, ccs := chunked.RunBuffered(header, detected.Charset, baseURL)
+		if diff, ok := equalDocs(doc, cs, cdoc, ccs); !ok {
+			t.Fatalf("split at %d: %s", off, diff)
+		}
+	})
+}

@@ -384,6 +384,10 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 	}
 
 	var visit core.Visit
+	// bodyBuf is reused across iterations: page bodies are regenerated in
+	// place and consumed synchronously by the classifier before the next
+	// iteration overwrites them (see core.Visit.Body's ownership note).
+	var bodyBuf []byte
 	for {
 		if ckp != nil && res.Crawled >= nextCk {
 			if err := writeCk(); err != nil {
@@ -478,10 +482,13 @@ func Run(space *webgraph.Space, cfg Config) (*Result, error) {
 			Truncated:   truncated,
 		}
 		if needBody && visit.Status == 200 {
-			visit.Body = space.PageBytes(id)
+			reused := cap(bodyBuf) > 0
+			bodyBuf = space.PageBytesAppend(bodyBuf[:0], id)
+			visit.Body = bodyBuf
 			if truncated {
 				visit.Body = visit.Body[:len(visit.Body)/2]
 			}
+			tel.Parse.Observe(int64(len(visit.Body)), reused, 0, false)
 		}
 		if visit.Status == 200 && relevant(space, id) {
 			res.RelevantCrawled++

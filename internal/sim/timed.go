@@ -163,6 +163,10 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 	}
 	recordSample()
 
+	// bodyBuf is reused across events: bodies are regenerated in place and
+	// consumed synchronously by the classifier before the next event
+	// overwrites them (see core.Visit.Body's ownership note).
+	var bodyBuf []byte
 	for {
 		if cfg.MaxPages > 0 && res.Crawled >= cfg.MaxPages {
 			break
@@ -218,10 +222,13 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 			Truncated:   truncated,
 		}
 		if needBody && visit.Status == 200 {
-			visit.Body = space.PageBytes(id)
+			reused := cap(bodyBuf) > 0
+			bodyBuf = space.PageBytesAppend(bodyBuf[:0], id)
+			visit.Body = bodyBuf
 			if truncated {
 				visit.Body = visit.Body[:len(visit.Body)/2]
 			}
+			tel.Parse.Observe(int64(len(visit.Body)), reused, 0, false)
 		}
 		res.Crawled++
 		tel.Pages.Inc()

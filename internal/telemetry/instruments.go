@@ -147,6 +147,63 @@ func (d *DetectStats) Observe(scanned int64, earlyExit, poolHit bool) {
 	}
 }
 
+// ParseStats instruments the streaming parse pipeline: pages parsed,
+// body bytes tokenized, pooled-pipeline reuse, and how often link
+// normalization fell off the zero-alloc fast path. Nil and the zero
+// value are no-ops.
+type ParseStats struct {
+	Pages      *Counter // pages run through the parse pipeline
+	Bytes      *Counter // body bytes tokenized
+	PoolHits   *Counter // runs served by a recycled pooled pipeline
+	SlowFalls  *Counter // link normalizations that fell to the allocating slow path
+	Transcodes *Counter // pages transcoded before tokenizing (ISO-2022-JP)
+}
+
+// NewParseStats builds the bundle (nil when reg is nil). subsystem
+// prefixes the metric names ("crawl", "sim") so both engine bundles can
+// share one registry without colliding.
+func NewParseStats(reg *Registry, subsystem string) *ParseStats {
+	if reg == nil {
+		return nil
+	}
+	return &ParseStats{
+		Pages: reg.Counter(
+			fmt.Sprintf("langcrawl_%s_parse_total", subsystem),
+			"Pages run through the streaming parse pipeline."),
+		Bytes: reg.Counter(
+			fmt.Sprintf("langcrawl_%s_parse_bytes_total", subsystem),
+			"Body bytes tokenized by the parse pipeline."),
+		PoolHits: reg.Counter(
+			fmt.Sprintf("langcrawl_%s_parse_pool_hit_total", subsystem),
+			"Parse runs served by a recycled pooled pipeline."),
+		SlowFalls: reg.Counter(
+			fmt.Sprintf("langcrawl_%s_parse_slow_fall_total", subsystem),
+			"Link normalizations that fell off the zero-alloc fast path."),
+		Transcodes: reg.Counter(
+			fmt.Sprintf("langcrawl_%s_parse_transcode_total", subsystem),
+			"Pages transcoded to UTF-8 before tokenizing."),
+	}
+}
+
+// Observe records one parse-pipeline run. Nil-safe, like every record
+// path in the package.
+func (p *ParseStats) Observe(bytes int64, poolHit bool, slowFalls int64, transcoded bool) {
+	if p == nil {
+		return
+	}
+	p.Pages.Inc()
+	p.Bytes.Add(bytes)
+	if poolHit {
+		p.PoolHits.Inc()
+	}
+	if slowFalls > 0 {
+		p.SlowFalls.Add(slowFalls)
+	}
+	if transcoded {
+		p.Transcodes.Inc()
+	}
+}
+
 // CrawlStats instruments the live crawler (both engines): fetch
 // pipeline, worker idling, retry/breaker activity, and the append
 // sinks, plus a tracer for the rare interesting transitions.
@@ -172,6 +229,7 @@ type CrawlStats struct {
 	ClassifyTime *Histogram // seconds per classification (detection included)
 
 	Detect   *DetectStats
+	Parse    *ParseStats
 	Frontier *FrontierStats
 	Log      *BatchStats
 	DB       *BatchStats
@@ -205,6 +263,7 @@ func NewCrawlStats(reg *Registry) *CrawlStats {
 		ClassifyTime: reg.Histogram("langcrawl_classify_seconds", "Classification time in seconds, detection included.", nil),
 
 		Detect:   NewDetectStats(reg, "crawl"),
+		Parse:    NewParseStats(reg, "crawl"),
 		Frontier: NewFrontierStats(reg),
 		Log:      NewBatchStats(reg, "crawlog"),
 		DB:       NewBatchStats(reg, "linkdb"),
@@ -241,6 +300,7 @@ type SimStats struct {
 	ClassifierTime *Histogram  // seconds per classification
 
 	Detect   *DetectStats
+	Parse    *ParseStats
 	Frontier *FrontierStats
 	Ckpt     *CheckpointStats
 	Trace    *Tracer
@@ -259,6 +319,7 @@ func NewSimStats(reg *Registry) *SimStats {
 		PagesPerSec:    reg.GaugeFloat("langcrawl_sim_pages_per_sec", "Crawl throughput (virtual time for the timed engine)."),
 		ClassifierTime: reg.Histogram("langcrawl_sim_classifier_seconds", "Classifier scoring time in seconds.", nil),
 		Detect:         NewDetectStats(reg, "sim"),
+		Parse:          NewParseStats(reg, "sim"),
 		Frontier:       NewFrontierStats(reg),
 		Ckpt:           NewCheckpointStats(reg),
 		Trace:          reg.Tracer("langcrawl_sim_events", 0),

@@ -30,6 +30,14 @@ type PageSpec struct {
 // with headings, paragraphs, and anchor elements interleaved with text —
 // what a link extractor meets in the wild.
 func HTMLPage(spec PageSpec, r *rng.RNG) []byte {
+	return AppendHTMLPage(nil, spec, r)
+}
+
+// AppendHTMLPage is HTMLPage appending into a caller-owned buffer, so
+// tight simulation loops can regenerate page after page without a fresh
+// slice each time. It returns the extended buffer; the bytes appended
+// are identical to HTMLPage's.
+func AppendHTMLPage(dst []byte, spec PageSpec, r *rng.RNG) []byte {
 	g := New(spec.Lang, r)
 	var sb strings.Builder
 
@@ -63,7 +71,7 @@ func HTMLPage(spec PageSpec, r *rng.RNG) []byte {
 	if codec == nil {
 		codec = charset.CodecFor(charset.UTF8)
 	}
-	return codec.Encode(sb.String())
+	return charset.AppendEncode(codec, dst, sb.String())
 }
 
 func escapeHTML(s string) string {

@@ -1,0 +1,229 @@
+package urlutil
+
+import "bytes"
+
+// This file is the allocation-free fast path for URL normalization.
+// AppendNormalized handles the overwhelmingly common shape of crawl
+// links — absolute http/https URLs made of plain ASCII with no percent
+// escapes, dot segments, or exotic authority forms — and refuses
+// ("handled=false") anything it cannot prove it normalizes exactly like
+// Normalize. The differential suite in internal/parse pins the two
+// against each other on a generated corpus, so the fast path may only
+// ever be conservative, never divergent.
+
+// AppendNormalized appends the canonical form of ref (per Normalize) to
+// dst and returns the extended slice.
+//
+// handled=false means ref is outside the fast path's proven subset; the
+// caller must fall back to Normalize/Resolve, and dst is returned
+// truncated to its original length. handled=true with a non-nil error
+// means ref is definitively rejected (same accept/reject behavior as
+// Normalize, though the error value may differ for non-http schemes that
+// url.Parse itself would have refused).
+func AppendNormalized(dst, ref []byte) (out []byte, handled bool, err error) {
+	n0 := len(dst)
+	fail := func() ([]byte, bool, error) { return dst[:n0], false, nil }
+
+	ref = bytes.TrimSpace(ref)
+	if len(ref) == 0 {
+		return dst[:n0], true, ErrEmptyURL
+	}
+
+	// Scheme. Only literal http:// and https:// go fast; any other
+	// scheme-looking prefix is rejected outright, exactly as
+	// normalizeURL's scheme switch would after parsing.
+	var https bool
+	var rest []byte
+	switch {
+	case hasPrefixFold(ref, "http://"):
+		rest = ref[len("http://"):]
+	case hasPrefixFold(ref, "https://"):
+		rest = ref[len("https://"):]
+		https = true
+	default:
+		if n := schemeLen(ref); n > 0 {
+			if schemeIsHTTP(ref[:n]) {
+				// "http:path" / "https:/path" without an authority —
+				// rare and fiddly; let the slow path sort it out.
+				return fail()
+			}
+			return dst[:n0], true, ErrUnsupportedScheme
+		}
+		// No scheme: a relative reference (or garbage). Needs Resolve.
+		return fail()
+	}
+
+	// Fragment never reaches the server; url.Parse splits it off first
+	// and normalizeURL drops it.
+	if i := bytes.IndexByte(rest, '#'); i >= 0 {
+		rest = rest[:i]
+	}
+
+	// Authority runs to the first '/' or '?'.
+	authEnd := len(rest)
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '/' || rest[i] == '?' {
+			authEnd = i
+			break
+		}
+	}
+	auth, tail := rest[:authEnd], rest[authEnd:]
+	if len(auth) == 0 {
+		return dst[:n0], true, ErrNoHost
+	}
+	if bytes.IndexByte(auth, '@') >= 0 {
+		return dst[:n0], true, ErrUserinfo
+	}
+
+	host, port := auth, []byte(nil)
+	if i := bytes.IndexByte(auth, ':'); i >= 0 {
+		if bytes.IndexByte(auth[i+1:], ':') >= 0 {
+			return fail() // multi-colon authority: slow path decides
+		}
+		host, port = auth[:i], auth[i+1:]
+		if len(port) == 0 {
+			return fail()
+		}
+		for _, c := range port {
+			if c < '0' || c > '9' {
+				return fail()
+			}
+		}
+	}
+	if len(host) == 0 {
+		return dst[:n0], true, ErrNoHost
+	}
+	for _, c := range host {
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z',
+			'0' <= c && c <= '9', c == '.', c == '-', c == '_':
+		default:
+			return fail()
+		}
+	}
+
+	if https {
+		dst = append(dst, "https://"...)
+	} else {
+		dst = append(dst, "http://"...)
+	}
+	for _, c := range host {
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	// Default ports vanish; every other port survives verbatim. This is
+	// exactly normalizeURL's TrimSuffix(":80"/":443") on host:port.
+	if port != nil && !(len(port) == 2 && !https && port[0] == '8' && port[1] == '0') &&
+		!(len(port) == 3 && https && port[0] == '4' && port[1] == '4' && port[2] == '3') {
+		dst = append(dst, ':')
+		dst = append(dst, port...)
+	}
+
+	path, query := tail, []byte(nil)
+	hasQuery := false
+	if i := bytes.IndexByte(tail, '?'); i >= 0 {
+		path, query, hasQuery = tail[:i], tail[i+1:], true
+	}
+	if len(path) == 0 {
+		dst = append(dst, '/')
+	} else {
+		// path[0] == '/' by construction. Accept only bytes that
+		// url.Parse keeps unescaped in Path AND String() re-emits
+		// verbatim, and only paths path.Clean leaves alone (no "//",
+		// no segment starting with '.'), so emitting the raw bytes is
+		// provably what normalizeURL would produce.
+		prev := byte(0)
+		for i := 0; i < len(path); i++ {
+			c := path[i]
+			if !pathByteOK(c) {
+				return fail()
+			}
+			if prev == '/' && (c == '/' || c == '.') {
+				return fail()
+			}
+			prev = c
+		}
+		dst = append(dst, path...)
+	}
+	if hasQuery && len(query) > 0 {
+		// url.Parse stores RawQuery verbatim and String() re-emits it
+		// verbatim; it only rejects control bytes. '#' cannot appear
+		// (cut with the fragment above).
+		for _, c := range query {
+			if c < 0x20 || c == 0x7f {
+				return fail()
+			}
+		}
+		dst = append(dst, '?')
+		dst = append(dst, query...)
+	}
+	// An empty query ("...?") is dropped, matching ForceQuery=false.
+	return dst, true, nil
+}
+
+// pathByteOK reports whether c round-trips through url.Parse + String
+// unchanged inside a path. Deliberately conservative: '%' (escapes),
+// "!*'()" (legal but pointless to prove), and everything non-ASCII fall
+// back to the slow path.
+func pathByteOK(c byte) bool {
+	switch {
+	case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		return true
+	}
+	switch c {
+	case '-', '.', '_', '~', '$', '&', '+', ',', '/', ':', ';', '=', '@':
+		return true
+	}
+	return false
+}
+
+// hasPrefixFold reports whether b starts with the lowercase-ASCII prefix
+// under ASCII case folding.
+func hasPrefixFold(b []byte, prefix string) bool {
+	if len(b) < len(prefix) {
+		return false
+	}
+	for i := 0; i < len(prefix); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// schemeLen returns the length of a syntactically valid URI scheme at
+// the start of b (the part before ':'), or 0 when b does not start with
+// one.
+func schemeLen(b []byte) int {
+	if len(b) == 0 {
+		return 0
+	}
+	c := b[0]
+	if !('a' <= c && c <= 'z' || 'A' <= c && c <= 'Z') {
+		return 0
+	}
+	for i := 1; i < len(b); i++ {
+		switch c := b[i]; {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z',
+			'0' <= c && c <= '9', c == '+', c == '-', c == '.':
+		case c == ':':
+			return i
+		default:
+			return 0
+		}
+	}
+	return 0
+}
+
+// schemeIsHTTP reports whether the scheme bytes are "http" or "https"
+// under ASCII folding.
+func schemeIsHTTP(s []byte) bool {
+	return (len(s) == 4 && hasPrefixFold(s, "http")) ||
+		(len(s) == 5 && hasPrefixFold(s, "https"))
+}

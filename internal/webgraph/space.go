@@ -148,6 +148,13 @@ func (s *Space) PageByURL(u string) (PageID, bool) {
 // — this is what lets the simulator run a byte-level charset detector
 // without storing petabytes of page text.
 func (s *Space) PageBytes(id PageID) []byte {
+	return s.PageBytesAppend(nil, id)
+}
+
+// PageBytesAppend is PageBytes appending into a caller-owned buffer, so
+// simulation hot loops can regenerate bodies without a fresh allocation
+// per page. The appended bytes are identical to PageBytes's.
+func (s *Space) PageBytesAppend(dst []byte, id PageID) []byte {
 	out := s.Outlinks(id)
 	hrefs := make([]string, len(out))
 	for i, t := range out {
@@ -160,7 +167,7 @@ func (s *Space) PageBytes(id PageID) []byte {
 		Links:           hrefs,
 		Paragraphs:      2 + int(id%3),
 	}
-	return textgen.HTMLPage(spec, rng.New2(s.Seed^0xC0FFEE, uint64(id)))
+	return textgen.AppendHTMLPage(dst, spec, rng.New2(s.Seed^0xC0FFEE, uint64(id)))
 }
 
 // Stats summarizes the space the way the paper's Table 3 does.
