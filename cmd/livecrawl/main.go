@@ -27,6 +27,7 @@ import (
 	"langcrawl/internal/crawlog"
 	"langcrawl/internal/dist"
 	"langcrawl/internal/faults"
+	"langcrawl/internal/hostile"
 	"langcrawl/internal/kvstore"
 	"langcrawl/internal/linkdb"
 	"langcrawl/internal/telemetry"
@@ -67,6 +68,11 @@ func main() {
 		workerID     = flag.String("worker-id", "", "worker identity in -coord mode (default <hostname>-<pid>)")
 		workerDir    = flag.String("worker-dir", "", "worker state directory in -coord mode (default distworker-<id>)")
 		stopAfter    = flag.Int("stop-after", 0, "crash harness: emulate a SIGKILL after this many cumulative pages (worker mode)")
+		maxRedirects = flag.Int("max-redirects", 0, "redirect chain cap per request (0 = default 10, negative = refuse all redirects)")
+		stallWait    = flag.Duration("stall-timeout", 0, "abort a body transfer with no progress for this long (0 = default 30s, negative = off)")
+		reqTimeout   = flag.Duration("request-timeout", 0, "end-to-end deadline per HTTP request (0 = default 60s, negative = off)")
+		hostBudget   = flag.Int("host-budget", 0, "max pages crawled per host; any budget also enables the spider-trap URL heuristics (0 = unlimited)")
+		hostileSpec  = flag.String("hostile", "", "self-serve mode: mix adversarial hosts into the space, e.g. 'trap=1,loop=2,storm=1,seed=7' (see internal/hostile)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
@@ -93,7 +99,17 @@ func main() {
 		if space, err = webgraph.Generate(gen); err != nil {
 			fatal(err)
 		}
-		srv := httptest.NewServer(webserve.New(space))
+		ws := webserve.New(space)
+		var adversary *hostile.Model
+		if *hostileSpec != "" {
+			hc, err := hostile.ParseSpec(*hostileSpec)
+			if err != nil {
+				fatal(err)
+			}
+			adversary = hostile.New(hc)
+			ws.Hostile = adversary
+		}
+		srv := httptest.NewServer(ws)
 		defer srv.Close()
 		addr := srv.Listener.Addr().String()
 		cfg.Client = &http.Client{
@@ -108,9 +124,16 @@ func main() {
 		for _, id := range space.Seeds {
 			cfg.Seeds = append(cfg.Seeds, space.URL(id))
 		}
+		if adversary != nil {
+			cfg.Seeds = append(cfg.Seeds, adversary.EntryURLs()...)
+			fmt.Printf("mixing in adversarial hosts: %s\n", strings.Join(adversary.Hosts(), ", "))
+		}
 		fmt.Printf("serving %d pages (%d relevant) on %s\n",
 			space.N(), space.RelevantTotal(), addr)
 	} else {
+		if *hostileSpec != "" {
+			fatal(fmt.Errorf("-hostile mixes adversarial hosts into the self-served space; it cannot apply to external -seeds"))
+		}
 		cfg.Seeds = strings.Split(*seeds, ",")
 	}
 
@@ -129,6 +152,12 @@ func main() {
 		fatal(err)
 	}
 	cfg.MaxPages = *maxPages
+	cfg.MaxRedirects = *maxRedirects
+	cfg.StallTimeout = *stallWait
+	cfg.RequestTimeout = *reqTimeout
+	if *hostBudget > 0 {
+		cfg.HostBudget = crawler.HostBudget{MaxPages: *hostBudget}
+	}
 	cfg.FrontierPath = *frontier
 	cfg.Parallelism = *parallel
 	cfg.FrontierShards = *shards

@@ -24,6 +24,7 @@ import (
 	"langcrawl/internal/crawlog"
 	"langcrawl/internal/dist"
 	"langcrawl/internal/faults"
+	"langcrawl/internal/hostile"
 	"langcrawl/internal/metrics"
 	"langcrawl/internal/sim"
 	"langcrawl/internal/telemetry"
@@ -65,6 +66,10 @@ func main() {
 		workerID  = flag.String("worker-id", "", "worker identity in -coord mode (default <hostname>-<pid>)")
 		workerDir = flag.String("worker-dir", "", "worker state directory in -coord mode (default distworker-<id>)")
 		stopAfter = flag.Int("stop-after", 0, "crash harness: emulate a SIGKILL after this many cumulative pages (worker mode)")
+		hostileS  = flag.String("hostile", "", "worker mode: mix adversarial hosts into the loopback space, e.g. 'trap=1,storm=1,seed=7' (see internal/hostile)")
+		maxRedir  = flag.Int("max-redirects", 0, "worker mode: redirect chain cap per request (0 = default 10, negative = refuse all)")
+		stallWait = flag.Duration("stall-timeout", 0, "worker mode: abort a body transfer with no progress for this long (0 = default 30s, negative = off)")
+		hostCap   = flag.Int("host-budget", 0, "worker mode: max pages crawled per host; enables the spider-trap heuristics (0 = unlimited)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
@@ -105,8 +110,12 @@ func main() {
 	// it — a distributed simulation with no shared web server at all.
 	if *coord != "" {
 		runDistWorker(space, strategy, classifier,
-			*coord, *workerID, *workerDir, *stopAfter, *drainWait, *ckEvery)
+			*coord, *workerID, *workerDir, *stopAfter, *drainWait, *ckEvery,
+			*hostileS, *maxRedir, *stallWait, *hostCap)
 		return
+	}
+	if *hostileS != "" || *maxRedir != 0 || *stallWait != 0 || *hostCap != 0 {
+		fatal(fmt.Errorf("-hostile/-max-redirects/-stall-timeout/-host-budget harden the live worker; they need -coord (the simulator has no HTTP layer)"))
 	}
 
 	cfg := sim.Config{
@@ -268,7 +277,8 @@ func runComparison(space *webgraph.Space, spec string, classifier core.Classifie
 // coordinator-leased batches with the live engine. All workers generate
 // the same space, so the crawl is consistent without a shared server.
 func runDistWorker(space *webgraph.Space, strategy core.Strategy, classifier core.Classifier,
-	coordURL, workerID, workerDir string, stopAfter int, drainWait time.Duration, ckEvery int) {
+	coordURL, workerID, workerDir string, stopAfter int, drainWait time.Duration, ckEvery int,
+	hostileSpec string, maxRedirects int, stallTimeout time.Duration, hostBudget int) {
 	id := workerID
 	if id == "" {
 		host, _ := os.Hostname()
@@ -278,7 +288,17 @@ func runDistWorker(space *webgraph.Space, strategy core.Strategy, classifier cor
 	if dir == "" {
 		dir = "distworker-" + id
 	}
-	srv := httptest.NewServer(webserve.New(space))
+	ws := webserve.New(space)
+	if hostileSpec != "" {
+		hc, err := hostile.ParseSpec(hostileSpec)
+		if err != nil {
+			fatal(err)
+		}
+		m := hostile.New(hc)
+		ws.Hostile = m
+		fmt.Printf("worker %s: mixing in adversarial hosts: %s\n", id, strings.Join(m.Hosts(), ", "))
+	}
+	srv := httptest.NewServer(ws)
 	defer srv.Close()
 	addr := srv.Listener.Addr().String()
 	client := &http.Client{
@@ -302,6 +322,9 @@ func runDistWorker(space *webgraph.Space, strategy core.Strategy, classifier cor
 			Client:          client,
 			IgnoreRobots:    true,
 			CheckpointEvery: ckEvery,
+			MaxRedirects:    maxRedirects,
+			StallTimeout:    stallTimeout,
+			HostBudget:      crawler.HostBudget{MaxPages: hostBudget},
 		},
 		StopAfter: stopAfter,
 		Stop:      stop,

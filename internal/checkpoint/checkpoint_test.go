@@ -37,6 +37,10 @@ func sampleState(crawled int) *checkpoint.State {
 		Breakers: []checkpoint.Breaker{
 			{Host: "h0.example", State: 1, Failures: 5, Successes: 2, Probing: true, OpenedAt: 17.5, Trips: 1},
 		},
+		HostUsage: []checkpoint.HostUsage{
+			{Host: "h0.example", Pages: 12, URLs: 340, Bytes: 1 << 20, Traps: 2, Quarantined: true},
+			{Host: "h1.example", Pages: 1, URLs: 8, Bytes: 4096},
+		},
 		Faults: metrics.FaultCounters{
 			Attempts: 40, Retries: 6, Failures: 7, Truncated: 1,
 			BreakerTrips: 1, BreakerSkips: 2, WastedFetches: 3,

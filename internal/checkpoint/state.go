@@ -53,6 +53,19 @@ type Breaker struct {
 	Trips     int32
 }
 
+// HostUsage is one host's persisted budget consumption (see the live
+// crawler's HostBudget guard). Without it a kill-resume cycle shorter
+// than the budget would reset the meters every era and an infinite URL
+// trap could treadmill forever without ever tripping quarantine.
+type HostUsage struct {
+	Host        string
+	Pages       int
+	URLs        int
+	Bytes       int64
+	Traps       int
+	Quarantined bool
+}
+
 // State is everything a crawl needs to continue as if never killed.
 type State struct {
 	Kind     Kind
@@ -81,6 +94,9 @@ type State struct {
 	Bloom []byte
 
 	Breakers []Breaker
+	// HostUsage carries the live crawler's per-host budget meters,
+	// sorted by host (empty when budgets are off or for sim runs).
+	HostUsage []HostUsage
 	// Faults carries the fault counters; Faults.Attempts doubles as the
 	// sampler-stream position a resumed simulator fast-forwards to.
 	Faults metrics.FaultCounters
@@ -128,6 +144,16 @@ func (s *State) Encode() []byte {
 		b = binary.AppendUvarint(b, uint64(br.Successes))
 		b = binary.AppendUvarint(b, uint64(br.Trips))
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(br.OpenedAt))
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(s.HostUsage)))
+	for _, hu := range s.HostUsage {
+		b = appendStr(b, hu.Host)
+		b = binary.AppendUvarint(b, uint64(hu.Pages))
+		b = binary.AppendUvarint(b, uint64(hu.URLs))
+		b = binary.AppendUvarint(b, uint64(hu.Bytes))
+		b = binary.AppendUvarint(b, uint64(hu.Traps))
+		b = append(b, boolByte(hu.Quarantined))
 	}
 
 	f := s.Faults
@@ -199,6 +225,19 @@ func Decode(b []byte) (*State, error) {
 		br.Trips = int32(d.uint())
 		br.OpenedAt = d.float()
 		s.Breakers = append(s.Breakers, br)
+	}
+
+	nu := d.count(1 << 26)
+	s.HostUsage = make([]HostUsage, 0, min(nu, 1<<20))
+	for i := 0; i < nu && d.err == nil; i++ {
+		var hu HostUsage
+		hu.Host = d.str()
+		hu.Pages = d.int()
+		hu.URLs = d.int()
+		hu.Bytes = int64(d.uint())
+		hu.Traps = d.int()
+		hu.Quarantined = d.byte() != 0
+		s.HostUsage = append(s.HostUsage, hu)
 	}
 
 	f := &s.Faults

@@ -1,0 +1,99 @@
+package conformance
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"langcrawl/internal/core"
+	"langcrawl/internal/crawler"
+	"langcrawl/internal/webgraph"
+	"langcrawl/internal/webserve"
+)
+
+// BenchmarkHostileCrawl measures what the hostile-web defense layer
+// costs on a well-behaved web: one iteration is one full live crawl of
+// the benign conformance space over loopback HTTP, with the defenses
+// off (stall watchdog and per-request deadline disabled, no budgets)
+// versus on (redirect cap, watchdog, request deadline, host budgets
+// with trap heuristics). The golden tests prove the defenses change nothing
+// behaviorally on this space; this benchmark pins that they stay off
+// the hot path too. pages/s is the headline; ns/op is what the
+// regression gate tracks.
+func BenchmarkHostileCrawl(b *testing.B) {
+	sp, err := webgraph.Generate(webgraph.ThaiLike(SpacePages, SpaceSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := benchWeb(b, sp)
+	seeds := liveSeeds(sp)
+
+	// Retry/breaker stay off in both arms: the benign space mints ~1%
+	// genuine 5xx pages whose retry backoff sleeps would swamp the
+	// layer under measurement.
+	arms := []struct {
+		name string
+		mut  func(*crawler.Config)
+	}{
+		{"defenses=off", func(cfg *crawler.Config) {
+			cfg.StallTimeout = -1
+			cfg.RequestTimeout = -1
+		}},
+		{"defenses=on", func(cfg *crawler.Config) {
+			cfg.MaxRedirects = 5
+			cfg.StallTimeout = 100 * time.Millisecond
+			cfg.RequestTimeout = 5 * time.Second
+			cfg.HostBudget = crawler.HostBudget{MaxURLs: 500}
+		}},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			pages := 0
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				cfg := crawler.Config{
+					Seeds:        seeds,
+					Strategy:     core.BreadthFirst{},
+					Classifier:   Classifier(),
+					Client:       client,
+					IgnoreRobots: true,
+				}
+				arm.mut(&cfg)
+				c, err := crawler.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := c.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Crawled == 0 {
+					b.Fatal("crawl fetched nothing")
+				}
+				pages += res.Crawled
+			}
+			b.ReportMetric(float64(pages)/time.Since(start).Seconds(), "pages/s")
+		})
+	}
+}
+
+// benchWeb is liveWeb for benchmarks: the benign space on a loopback
+// listener with every virtual host dialed to it.
+func benchWeb(b *testing.B, sp *webgraph.Space) *http.Client {
+	b.Helper()
+	ts := httptest.NewServer(webserve.New(sp))
+	b.Cleanup(ts.Close)
+	addr := ts.Listener.Addr().String()
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, network, addr)
+			},
+		},
+		Timeout: 10 * time.Second,
+	}
+}

@@ -65,7 +65,7 @@ func (c *Crawler) openCheckpoint() (*ckState, error) {
 // The resume_total telemetry counter is NOT bumped here — for live
 // crawls checkpoint.RecoverCrawl (which the cmds run first, to truncate
 // the torn log tails) owns that count.
-func (ck *ckState) resume(res *Result, seen *checkpoint.Seen, flt *faultCtl, push func(checkpoint.Entry)) bool {
+func (ck *ckState) resume(res *Result, seen *checkpoint.Seen, flt *faultCtl, guard *hostGuard, push func(checkpoint.Entry)) bool {
 	if ck == nil || ck.st == nil {
 		return false
 	}
@@ -77,6 +77,7 @@ func (ck *ckState) resume(res *Result, seen *checkpoint.Seen, flt *faultCtl, pus
 	res.MaxQueueLen = st.MaxQueue
 	seen.Restore(st.VisitedURLs, st.Bloom)
 	flt.restore(st.Faults, faults.SnapshotsFromCheckpoint(st.Breakers))
+	guard.restoreUsage(st.HostUsage)
 	for _, e := range st.Frontier {
 		push(e)
 	}
@@ -105,6 +106,7 @@ func (ck *ckState) write(c *Crawler, res *Result, seen *checkpoint.Seen, entries
 		VisitedURLs:   seen.URLs(),
 		Bloom:         seen.BloomBytes(),
 		Breakers:      faults.SnapshotsToCheckpoint(c.flt.breakerSnapshot()),
+		HostUsage:     c.guard.snapshotUsage(),
 		Faults:        c.flt.snapshot(),
 		LogPos:        logPos,
 		DBPos:         dbPos,

@@ -9,12 +9,15 @@
 package crawler
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
+	"sync"
 	"time"
 
 	"langcrawl/internal/charset"
@@ -116,6 +119,30 @@ type Config struct {
 	// (cooldown in wall seconds); while open, the host's queued URLs are
 	// demoted rather than fetched. The zero value disables breakers.
 	Breaker faults.BreakerConfig
+	// MaxRedirects caps the redirect chain followed per request: 0 means
+	// the net/http default of 10, negative refuses all redirects. The
+	// installed policy also breaks redirect loops and re-enters
+	// cross-host hops into robots and politeness accounting; a refused
+	// chain yields the last 3xx response as the page observation.
+	// Ignored when Client already carries its own CheckRedirect.
+	MaxRedirects int
+	// RequestTimeout bounds each HTTP request (robots and page fetches)
+	// end to end, independent of the client's own Timeout. 0 inherits
+	// Client.Timeout, falling back to 60s when the client has none — a
+	// bare http.Client must not hang forever on a silent server.
+	// Negative disables the per-request deadline.
+	RequestTimeout time.Duration
+	// StallTimeout is the minimum-throughput watchdog: a response body
+	// that delivers no bytes for this long is aborted and classified as
+	// a timeout (retried and breaker-counted like one). 0 means the
+	// default 30s, negative disables the watchdog.
+	StallTimeout time.Duration
+	// HostBudget bounds what any one host may consume (pages, bytes,
+	// novel frontier URLs) and enables the spider-trap URL heuristics;
+	// a host exceeding its budget is quarantined — cut off for the rest
+	// of the crawl, via the breaker machinery when breakers are on. The
+	// zero value disables the guard.
+	HostBudget HostBudget
 	// Telemetry, when non-nil, receives runtime counters, latency
 	// histograms, and trace events from both engines (see
 	// telemetry.NewCrawlStats). Observation-only: an instrumented crawl
@@ -166,12 +193,17 @@ type Result struct {
 // Crawler runs one crawl. Create with New, run with Run; a Crawler is
 // single-use.
 type Crawler struct {
-	cfg     Config
-	client  *http.Client
-	robots  map[string]*Robots
-	lastHit map[string]time.Time
-	flt     *faultCtl
-	tel     *telemetry.CrawlStats // nil when telemetry is off
+	cfg    Config
+	client *http.Client
+	// robotsMu guards the robots cache on its own: the redirect policy
+	// reads it from inside client.Do on worker goroutines, outside any
+	// engine lock.
+	robotsMu sync.Mutex
+	robots   map[string]*Robots
+	polite   *politeness
+	guard    *hostGuard // nil when HostBudget is off
+	flt      *faultCtl
+	tel      *telemetry.CrawlStats // nil when telemetry is off
 }
 
 // New validates cfg and returns a ready crawler.
@@ -195,15 +227,25 @@ func New(cfg Config) (*Crawler, error) {
 		tel = &telemetry.CrawlStats{}
 	}
 	c := &Crawler{
-		cfg:     cfg,
-		client:  cfg.Client,
-		robots:  make(map[string]*Robots),
-		lastHit: make(map[string]time.Time),
-		flt:     newFaultCtl(cfg.Retry, cfg.Breaker, tel),
-		tel:     tel,
+		cfg:    cfg,
+		client: cfg.Client,
+		robots: make(map[string]*Robots),
+		polite: newPoliteness(),
+		flt:    newFaultCtl(cfg.Retry, cfg.Breaker, tel),
+		tel:    tel,
 	}
+	c.guard = newHostGuard(cfg.HostBudget, c.flt, tel.Hostile)
 	if c.client == nil {
 		c.client = http.DefaultClient
+	}
+	if c.client.CheckRedirect == nil {
+		// Install the hardened redirect policy on a copy, so the
+		// caller's client (often http.DefaultClient) is never mutated.
+		// A caller-supplied CheckRedirect wins — their policy, their
+		// rules.
+		cl := *c.client
+		cl.CheckRedirect = c.checkRedirect
+		c.client = &cl
 	}
 	return c, nil
 }
@@ -242,7 +284,7 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	resumed := ck.resume(res, seen, c.flt, func(e checkpoint.Entry) {
+	resumed := ck.resume(res, seen, c.flt, c.guard, func(e checkpoint.Entry) {
 		queue.Push(qitem{url: e.URL, dist: e.Dist, prio: e.Prio}, e.Prio)
 	})
 	if !resumed {
@@ -326,6 +368,9 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 			continue
 		}
 		host := urlutil.Host(item.url)
+		if !c.guard.admitFetch(host) {
+			continue // quarantined host: the URL is dropped outright
+		}
 		if !c.flt.allow(host) {
 			// Open breaker: demote the URL so other hosts go first, and
 			// drop it for good only after maxDemotions round trips.
@@ -348,10 +393,12 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 			continue
 		}
 		interval := c.cfg.HostInterval
-		if rb := c.robots[host]; rb != nil {
+		if rb := c.cachedRobots(host); rb != nil {
 			interval = rb.Delay(interval) // honor Crawl-delay
 		}
-		c.politeWait(host, interval)
+		if wait := c.polite.reserve(host, interval); wait > 0 {
+			time.Sleep(wait)
+		}
 
 		out := c.fetchWithRetry(ctx, item.url, host)
 		res.Errors += out.transportErrs
@@ -368,6 +415,7 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 		visit, links, rec := out.visit, out.links, out.rec
 		res.Crawled++
 		c.tel.Pages.Inc()
+		c.guard.recordPage(host, int64(len(visit.Body)))
 		score := c.classify(visit)
 		if score >= 0.5 {
 			res.Relevant++
@@ -391,7 +439,7 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 			if c.cfg.LinkSink != nil {
 				var out []checkpoint.Entry
 				for _, l := range links {
-					if !seen.Has(l) {
+					if !seen.Has(l) && c.guard.admitLink(l) {
 						out = append(out, checkpoint.Entry{URL: l, Dist: int32(dec.Dist), Prio: dec.Priority})
 					}
 				}
@@ -402,7 +450,7 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 				}
 			} else {
 				for _, l := range links {
-					if !seen.Has(l) {
+					if !seen.Has(l) && c.guard.admitLink(l) {
 						queue.Push(qitem{url: l, dist: int32(dec.Dist), prio: dec.Priority}, dec.Priority)
 					}
 				}
@@ -449,27 +497,31 @@ func (c *Crawler) classify(visit *core.Visit) float64 {
 	return score
 }
 
-// politeWait sleeps until host may be hit again, given the effective
-// per-host interval (the configured one, possibly raised by the host's
-// Crawl-delay).
-func (c *Crawler) politeWait(host string, interval time.Duration) {
-	if interval <= 0 {
-		return
-	}
-	if last, ok := c.lastHit[host]; ok {
-		if wait := interval - time.Since(last); wait > 0 {
-			time.Sleep(wait)
-		}
-	}
-	c.lastHit[host] = time.Now()
+// cachedRobots returns host's cached robots policy, or nil when the
+// host has not been consulted yet. Safe from any goroutine.
+func (c *Crawler) cachedRobots(host string) *Robots {
+	c.robotsMu.Lock()
+	defer c.robotsMu.Unlock()
+	return c.robots[host]
 }
 
 // allowed consults (fetching and caching once per host) robots.txt.
+// The cache is guarded by robotsMu; the fetch itself happens unlocked,
+// so under the parallel engine a host's robots may be fetched more than
+// once in a race, which is harmless — the first cached result wins.
 func (c *Crawler) allowed(ctx context.Context, pageURL, host string) bool {
+	c.robotsMu.Lock()
 	rb, ok := c.robots[host]
+	c.robotsMu.Unlock()
 	if !ok {
 		rb = c.fetchRobots(ctx, pageURL)
-		c.robots[host] = rb
+		c.robotsMu.Lock()
+		if cached, again := c.robots[host]; again {
+			rb = cached // lost the race; use the first result
+		} else {
+			c.robots[host] = rb
+		}
+		c.robotsMu.Unlock()
 	}
 	return robotsAllowsURL(rb, pageURL)
 }
@@ -483,12 +535,21 @@ func robotsAllowsURL(rb *Robots, pageURL string) bool {
 	return rb.Allowed(u.Path)
 }
 
+// robotsMaxBytes caps how much of a robots.txt is read. Files over the
+// cap are truncated at the last complete line: parsing a directive
+// sliced mid-line as if it were whole can silently flip Allow/Disallow
+// semantics ("Disallow: /tmp-only" cut to "Disallow: /" blocks the
+// whole host).
+const robotsMaxBytes = 64 << 10
+
 func (c *Crawler) fetchRobots(ctx context.Context, pageURL string) *Robots {
 	u, err := url.Parse(pageURL)
 	if err != nil {
 		return &Robots{}
 	}
 	u.Path, u.RawQuery, u.Fragment = "/robots.txt", "", ""
+	ctx, cancel := c.requestContext(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
 	if err != nil {
 		return &Robots{}
@@ -502,17 +563,76 @@ func (c *Crawler) fetchRobots(ctx context.Context, pageURL string) *Robots {
 	if resp.StatusCode != http.StatusOK {
 		return &Robots{}
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	// One byte past the cap makes truncation detectable, as in fetch.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, robotsMaxBytes+1))
 	if err != nil {
 		return &Robots{}
 	}
-	return ParseRobots(body, c.cfg.UserAgent)
+	oversize := len(body) > robotsMaxBytes
+	if oversize {
+		body = body[:robotsMaxBytes]
+		if i := bytes.LastIndexByte(body, '\n'); i >= 0 {
+			body = body[:i+1] // drop the trailing partial line
+		} else {
+			body = nil // one giant line: nothing parseable survived
+		}
+		c.tel.Hostile.RobotsOversize()
+	}
+	rb := ParseRobots(body, c.cfg.UserAgent)
+	rb.Oversize = oversize
+	return rb
+}
+
+// requestContext derives the per-request deadline from Config: an
+// explicit RequestTimeout wins; 0 inherits the client's own Timeout
+// when it has one, else applies the 60s safety default; negative means
+// no per-request deadline.
+func (c *Crawler) requestContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	d := c.cfg.RequestTimeout
+	if d == 0 {
+		if c.client.Timeout > 0 {
+			return ctx, func() {}
+		}
+		d = defaultRequestTimeout
+	}
+	if d < 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// stallInterval resolves Config.StallTimeout (0 = default, <0 = off).
+func (c *Crawler) stallInterval() time.Duration {
+	if c.cfg.StallTimeout < 0 {
+		return 0
+	}
+	if c.cfg.StallTimeout == 0 {
+		return defaultStallTimeout
+	}
+	return c.cfg.StallTimeout
 }
 
 // fetch GETs pageURL and assembles the visit record: status, declared
 // charset (Content-Type header first, META second), true charset (by
-// detection over the body), and normalized extracted links.
+// detection over the body), and normalized extracted links. The request
+// runs under the per-request deadline and the stall watchdog; a body
+// cut short by a lying Content-Length is salvaged as a truncated page.
 func (c *Crawler) fetch(ctx context.Context, pageURL string) (*core.Visit, []string, *crawlog.Record, error) {
+	ctx, cancelReq := c.requestContext(ctx)
+	defer cancelReq()
+	// The watchdog aborts through its own cancel-cause, armed before Do
+	// so a slow-loris header phase counts as a stall too; the fired flag
+	// (not the transport's error text) tells a stall from an ordinary
+	// deadline.
+	var watch *stallWatch
+	stall := c.stallInterval()
+	if stall > 0 {
+		var cancelStall context.CancelCauseFunc
+		ctx, cancelStall = context.WithCancelCause(ctx)
+		defer cancelStall(nil)
+		watch = newStallWatch(stall, cancelStall)
+		defer watch.stop()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, pageURL, nil)
 	if err != nil {
 		return nil, nil, nil, err
@@ -520,18 +640,50 @@ func (c *Crawler) fetch(ctx context.Context, pageURL string) (*core.Visit, []str
 	req.Header.Set("User-Agent", c.cfg.UserAgent)
 	resp, err := c.client.Do(req)
 	if err != nil {
+		if watch != nil && watch.stop() {
+			c.tel.Hostile.Stall()
+			return nil, nil, nil, errStalled{d: stall}
+		}
 		return nil, nil, nil, err
 	}
 	defer resp.Body.Close()
 
+	// An explicit slow-down (429, or 503 with Retry-After) holds the
+	// host in the politeness ledger, so retries and future frontier pops
+	// for it wait the advertised time.
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			c.polite.hold(strings.ToLower(resp.Request.URL.Hostname()), time.Now().Add(d))
+			c.tel.Hostile.Throttle()
+		}
+	}
+
 	// Read one byte past the cap so truncation is detectable: a body of
 	// exactly MaxBodyBytes is complete, one more byte means it was cut.
-	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes+1))
-	if err != nil {
-		return nil, nil, nil, err
+	var r io.Reader = io.LimitReader(resp.Body, c.cfg.MaxBodyBytes+1)
+	if watch != nil {
+		r = watch.wrap(r)
 	}
-	truncated := int64(len(body)) > c.cfg.MaxBodyBytes
-	if truncated {
+	body, err := io.ReadAll(r)
+	truncated := false
+	if err != nil {
+		switch {
+		case watch != nil && watch.stop():
+			c.tel.Hostile.Stall()
+			return nil, nil, nil, errStalled{d: stall}
+		case len(body) > 0 && errors.Is(err, io.ErrUnexpectedEOF):
+			// The server declared more bytes than it sent (flipped
+			// Content-Length). What arrived is still a usable page;
+			// keep it, marked truncated so weak detector evidence is
+			// not held against it.
+			c.tel.Hostile.Salvage()
+			truncated = true
+		default:
+			return nil, nil, nil, err
+		}
+	}
+	if int64(len(body)) > c.cfg.MaxBodyBytes {
+		truncated = true
 		body = body[:c.cfg.MaxBodyBytes]
 	}
 

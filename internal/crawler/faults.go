@@ -137,6 +137,22 @@ func (f *faultCtl) failure(host string) {
 	f.mu.Unlock()
 }
 
+// quarantine pins host's breaker open for the rest of the crawl (the
+// host-budget guard's verdict for trap hosts). With breakers disabled
+// this is a no-op — the guard's own quarantine set still refuses the
+// host, it just does not survive a checkpoint resume.
+func (f *faultCtl) quarantine(host string) {
+	if f.breakers == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	br := f.breakers.Get(host)
+	prev := br.State()
+	br.Quarantine(f.now())
+	f.noteTransition(host, prev, br.State())
+}
+
 // gaveUp books one permanently failed URL.
 func (f *faultCtl) gaveUp() {
 	f.mu.Lock()
@@ -291,14 +307,20 @@ func (c *Crawler) fetchWithRetry(ctx context.Context, pageURL, host string) fetc
 			}
 			return out
 		}
-		// Log the failed attempt, back off, refetch.
+		// Log the failed attempt, back off, refetch. A Retry-After hold
+		// on the host (429/503 storms) stretches the backoff to honor
+		// the advertised wait.
 		frec := rec
 		if frec == nil {
 			frec = &crawlog.Record{URL: pageURL}
 		}
 		frec.Failure = uint8(class)
 		out.failed = append(out.failed, frec)
-		if !sleepBackoff(ctx, c.flt.backoff(attempt)) {
+		delay := c.flt.backoff(attempt)
+		if hold := c.polite.holdRemaining(host); hold > delay {
+			delay = hold
+		}
+		if !sleepBackoff(ctx, delay) {
 			out.err = ctx.Err()
 			c.flt.gaveUp()
 			return out

@@ -1,0 +1,411 @@
+package crawler
+
+// This file is the hostile-web defense layer: the redirect policy, the
+// stalled-transfer watchdog, and the per-host budget guard with
+// spider-trap heuristics. Every defense is observation-only on a benign
+// space — with the default configuration a crawl of a well-behaved web
+// produces byte-identical logs to a crawl without this file (the
+// conformance goldens hold it to that). See DESIGN.md §16 for the
+// attack → defense matrix.
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"langcrawl/internal/checkpoint"
+	"langcrawl/internal/telemetry"
+	"langcrawl/internal/urlutil"
+)
+
+const (
+	// defaultMaxRedirects mirrors net/http's own 10-hop limit, so the
+	// default policy differs from the stock client only by loop
+	// detection and cross-host accounting.
+	defaultMaxRedirects = 10
+	// defaultRequestTimeout bounds a request end to end when neither
+	// Config.RequestTimeout nor the client's Timeout is set — embedders
+	// with a bare http.Client must not hang forever on a silent server.
+	defaultRequestTimeout = 60 * time.Second
+	// defaultStallTimeout is the watchdog's no-progress allowance: a
+	// body transfer delivering no bytes for this long is aborted.
+	defaultStallTimeout = 30 * time.Second
+	// trapStrikeLimit is how many trap-suspect links a host may mint
+	// before the guard quarantines it outright.
+	trapStrikeLimit = 32
+)
+
+// HostBudget bounds what any single host may consume of the crawl and
+// enables the spider-trap URL heuristics. The zero value disables the
+// guard entirely; any non-zero field enables it, with unset caps
+// unlimited and the heuristic knobs defaulted.
+type HostBudget struct {
+	// MaxPages caps pages successfully crawled per host (0 = unlimited).
+	MaxPages int
+	// MaxBytes caps body bytes read per host (0 = unlimited).
+	MaxBytes int64
+	// MaxURLs caps novel URLs admitted to the frontier per host
+	// (0 = unlimited) — the budget that starves infinite URL spaces.
+	MaxURLs int
+	// MaxPathDepth rejects links with more path segments than this
+	// (default 24) — calendar-style traps deepen forever.
+	MaxPathDepth int
+	// MaxSegmentRepeats rejects links repeating any one path segment
+	// more than this many times (default 4) — /a/b/a/b/… loops.
+	MaxSegmentRepeats int
+}
+
+// Enabled reports whether any budget or heuristic is requested.
+func (b HostBudget) Enabled() bool { return b != HostBudget{} }
+
+// WithDefaults fills the heuristic knobs of an enabled budget.
+func (b HostBudget) WithDefaults() HostBudget {
+	if b.MaxPathDepth <= 0 {
+		b.MaxPathDepth = 24
+	}
+	if b.MaxSegmentRepeats <= 0 {
+		b.MaxSegmentRepeats = 4
+	}
+	return b
+}
+
+// hostUsage is one host's consumption so far.
+type hostUsage struct {
+	pages int
+	urls  int
+	bytes int64
+	traps int // trap-heuristic strikes
+}
+
+// hostGuard enforces HostBudget. A nil guard (budgets disabled) is
+// valid: every method no-ops on the benign fast path at the cost of one
+// nil check. Quarantining goes through the breaker machinery when
+// breakers are configured — a pinned-open breaker survives checkpoints,
+// so a resumed crawl keeps trap hosts cut off — and is additionally
+// tracked in the guard's own set so it works with breakers off.
+type hostGuard struct {
+	mu          sync.Mutex
+	budget      HostBudget
+	flt         *faultCtl
+	tel         *telemetry.HostileStats
+	usage       map[string]*hostUsage
+	quarantined map[string]bool
+}
+
+func newHostGuard(budget HostBudget, flt *faultCtl, tel *telemetry.HostileStats) *hostGuard {
+	if !budget.Enabled() {
+		return nil
+	}
+	return &hostGuard{
+		budget:      budget.WithDefaults(),
+		flt:         flt,
+		tel:         tel,
+		usage:       make(map[string]*hostUsage),
+		quarantined: make(map[string]bool),
+	}
+}
+
+func (g *hostGuard) use(host string) *hostUsage {
+	u, ok := g.usage[host]
+	if !ok {
+		u = &hostUsage{}
+		g.usage[host] = u
+	}
+	return u
+}
+
+// quarantineLocked cuts host off for the rest of the crawl. Called with
+// g.mu held; the breaker call takes faultCtl's own lock (never the
+// reverse order, so no deadlock).
+func (g *hostGuard) quarantineLocked(host string) {
+	if g.quarantined[host] {
+		return
+	}
+	g.quarantined[host] = true
+	g.tel.Quarantine()
+	g.flt.quarantine(host)
+}
+
+// admitFetch reports whether a frontier pop for host may proceed.
+func (g *hostGuard) admitFetch(host string) bool {
+	if g == nil {
+		return true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.quarantined[host] {
+		g.tel.QuarantineHit()
+		return false
+	}
+	return true
+}
+
+// admitLink reports whether a freshly extracted link may enter the
+// frontier, charging it against its host's novel-URL budget and running
+// the trap heuristics. Refusals are counted, and hosts that keep
+// minting trap-suspect links or exhaust their URL budget are
+// quarantined.
+func (g *hostGuard) admitLink(link string) bool {
+	if g == nil {
+		return true
+	}
+	host := urlutil.Host(link)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.quarantined[host] {
+		g.tel.QuarantineHit()
+		return false
+	}
+	u := g.use(host)
+	if trapPath(pathOf(link), g.budget.MaxPathDepth, g.budget.MaxSegmentRepeats) {
+		g.tel.TrapURL()
+		u.traps++
+		if u.traps >= trapStrikeLimit {
+			g.quarantineLocked(host)
+		}
+		return false
+	}
+	if g.budget.MaxURLs > 0 && u.urls >= g.budget.MaxURLs {
+		g.tel.BudgetURL()
+		g.quarantineLocked(host)
+		return false
+	}
+	u.urls++
+	return true
+}
+
+// snapshotUsage captures every host's budget meters, sorted by host,
+// for the checkpoint. Without this a resumed crawl would restart every
+// meter at zero: kill-resume cycles shorter than the budget would let
+// an infinite URL trap treadmill forever without tripping quarantine.
+func (g *hostGuard) snapshotUsage() []checkpoint.HostUsage {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]checkpoint.HostUsage, 0, len(g.usage))
+	for host, u := range g.usage {
+		out = append(out, checkpoint.HostUsage{
+			Host:        host,
+			Pages:       u.pages,
+			URLs:        u.urls,
+			Bytes:       u.bytes,
+			Traps:       u.traps,
+			Quarantined: g.quarantined[host],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+// restoreUsage reinstates checkpointed budget meters. Quarantine flags
+// are restored silently (no telemetry, no breaker call): the pinned
+// breaker that enforces a surviving quarantine rides in the
+// checkpoint's own breaker section.
+func (g *hostGuard) restoreUsage(us []checkpoint.HostUsage) {
+	if g == nil || len(us) == 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, hu := range us {
+		g.usage[hu.Host] = &hostUsage{
+			pages: hu.Pages,
+			urls:  hu.URLs,
+			bytes: hu.Bytes,
+			traps: hu.Traps,
+		}
+		if hu.Quarantined {
+			g.quarantined[hu.Host] = true
+		}
+	}
+}
+
+// recordPage charges one successfully crawled page of n body bytes
+// against host, quarantining it when a page or byte budget is exceeded.
+func (g *hostGuard) recordPage(host string, n int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	u := g.use(host)
+	u.pages++
+	u.bytes += n
+	if (g.budget.MaxPages > 0 && u.pages >= g.budget.MaxPages) ||
+		(g.budget.MaxBytes > 0 && u.bytes >= g.budget.MaxBytes) {
+		g.quarantineLocked(host)
+	}
+}
+
+// pathOf extracts the path component of a normalized URL without a full
+// parse: everything between the host and the query/fragment.
+func pathOf(link string) string {
+	i := strings.Index(link, "://")
+	if i < 0 {
+		return link
+	}
+	rest := link[i+3:]
+	if j := strings.IndexByte(rest, '/'); j >= 0 {
+		rest = rest[j:]
+	} else {
+		return "/"
+	}
+	if j := strings.IndexAny(rest, "?#"); j >= 0 {
+		rest = rest[:j]
+	}
+	return rest
+}
+
+// trapPath applies the spider-trap heuristics to a URL path: too many
+// segments (calendar traps deepen forever) or any one segment repeating
+// too often (/a/b/a/b/… mirror loops).
+func trapPath(path string, maxDepth, maxRepeats int) bool {
+	depth := 0
+	counts := make(map[string]int, 8)
+	for len(path) > 0 {
+		if path[0] == '/' {
+			path = path[1:]
+			continue
+		}
+		seg := path
+		if j := strings.IndexByte(path, '/'); j >= 0 {
+			seg, path = path[:j], path[j:]
+		} else {
+			path = ""
+		}
+		depth++
+		if depth > maxDepth {
+			return true
+		}
+		counts[seg]++
+		if counts[seg] > maxRepeats {
+			return true
+		}
+	}
+	return false
+}
+
+// errStalled is the watchdog's abort cause. It implements net.Error
+// with Timeout() true so faults.Classify files stalled transfers as
+// ConnectTimeout — retried and breaker-counted like any slow host.
+type errStalled struct{ d time.Duration }
+
+func (e errStalled) Error() string {
+	return "crawler: transfer stalled (no bytes for " + e.d.String() + ")"
+}
+func (e errStalled) Timeout() bool   { return true }
+func (e errStalled) Temporary() bool { return true }
+
+// stallWatch aborts a body read that stops making progress. The reader
+// side bumps an atomic byte counter; a self-rearming timer checks it
+// every interval and cancels the request context (with errStalled as
+// the cause) when a full interval passes without a single new byte.
+// This is a minimum-throughput guard, not a total deadline: a slow but
+// dripping transfer lives until RequestTimeout, a frozen one dies after
+// one interval.
+type stallWatch struct {
+	n      atomic.Int64
+	fired  atomic.Bool
+	seen   int64 // timer-goroutine only (AfterFunc callbacks never overlap)
+	timer  *time.Timer
+	d      time.Duration
+	cancel func(error)
+}
+
+// newStallWatch arms a watchdog that cancels via cancel on stall.
+func newStallWatch(d time.Duration, cancel func(error)) *stallWatch {
+	w := &stallWatch{d: d, cancel: cancel}
+	w.timer = time.AfterFunc(d, w.tick)
+	return w
+}
+
+func (w *stallWatch) tick() {
+	n := w.n.Load()
+	if n == w.seen {
+		w.fired.Store(true)
+		w.cancel(errStalled{d: w.d})
+		return
+	}
+	w.seen = n
+	w.timer.Reset(w.d)
+}
+
+// stop disarms the watchdog and reports whether it had fired.
+func (w *stallWatch) stop() bool {
+	w.timer.Stop()
+	return w.fired.Load()
+}
+
+// wrap counts bytes read from r through to the watchdog.
+func (w *stallWatch) wrap(r io.Reader) io.Reader {
+	return &progressReader{r: r, n: &w.n}
+}
+
+type progressReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (p *progressReader) Read(b []byte) (int, error) {
+	n, err := p.r.Read(b)
+	p.n.Add(int64(n))
+	return n, err
+}
+
+// redirectLimit resolves Config.MaxRedirects: 0 means the net/http
+// default of 10, negative refuses all redirects.
+func (c *Crawler) redirectLimit() int {
+	if c.cfg.MaxRedirects < 0 {
+		return 0
+	}
+	if c.cfg.MaxRedirects == 0 {
+		return defaultMaxRedirects
+	}
+	return c.cfg.MaxRedirects
+}
+
+// checkRedirect is the hardened redirect policy installed on the
+// crawler's client (unless the caller supplied their own): it caps the
+// chain length, breaks loops by URL equality along the chain, and makes
+// cross-host hops re-enter the crawler's accounting — the destination's
+// cached robots rules are consulted and a politeness slot is booked, so
+// a redirect is not a side door around either. All three refusals
+// return http.ErrUseLastResponse: the chain stops and the last 3xx
+// becomes the page observation (no links follow from a non-200), which
+// bounds hostile chains without burning retries on them.
+func (c *Crawler) checkRedirect(req *http.Request, via []*http.Request) error {
+	if len(via) > c.redirectLimit() {
+		c.tel.Hostile.Capped()
+		return http.ErrUseLastResponse
+	}
+	target := req.URL.String()
+	for _, v := range via {
+		if v.URL.String() == target {
+			c.tel.Hostile.Loop()
+			return http.ErrUseLastResponse
+		}
+	}
+	prev := via[len(via)-1]
+	cross := req.URL.Host != prev.URL.Host
+	c.tel.Hostile.Redirect(cross)
+	if cross {
+		host := strings.ToLower(req.URL.Hostname())
+		if !c.cfg.IgnoreRobots {
+			// Cached rules only: fetching robots from inside a redirect
+			// would recurse into the client. An unknown host passes
+			// (optimistic, like the first fetch of any host).
+			if rb := c.cachedRobots(host); rb != nil && !robotsAllowsURL(rb, target) {
+				c.tel.Hostile.Denied()
+				return http.ErrUseLastResponse
+			}
+		}
+		c.polite.touch(host, c.cfg.HostInterval)
+	}
+	return nil
+}

@@ -68,7 +68,7 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	resumed := ck.resume(res, seen, c.flt, func(e checkpoint.Entry) {
+	resumed := ck.resume(res, seen, c.flt, c.guard, func(e checkpoint.Entry) {
 		fr.Push(qitem{url: e.URL, dist: e.Dist, prio: e.Prio}, e.Prio)
 	})
 	if resumed {
@@ -126,10 +126,6 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 		res.MaxQueueLen = max(res.MaxQueueLen, fr.MaxLen())
 		return ck.write(c, res, seen, entries, logPos, dbPos)
 	}
-
-	// nextAllowed books per-host start times under mu; workers sleep
-	// outside the lock until their slot.
-	nextAllowed := make(map[string]time.Time)
 
 	worker := func(w int) {
 		for {
@@ -224,6 +220,10 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 				continue
 			}
 			host := urlutil.Host(item.url)
+			if !c.guard.admitFetch(host) {
+				mu.Unlock()
+				continue // quarantined host: the URL is dropped outright
+			}
 			if !c.flt.allow(host) {
 				// Open breaker: demote rather than lose the URL, dropping
 				// it only after maxDemotions round trips.
@@ -243,22 +243,15 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 				continue
 			}
 			interval := c.cfg.HostInterval
-			if rb := c.robots[host]; rb != nil {
+			if rb := c.cachedRobots(host); rb != nil {
 				// Crawl-delay is honored once the host's robots have been
 				// fetched (best effort: the very first request per host
 				// books with the configured interval).
 				interval = rb.Delay(interval)
 			}
-			var wait time.Duration
-			if interval > 0 {
-				now := time.Now()
-				start := now
-				if t, booked := nextAllowed[host]; booked && t.After(start) {
-					start = t
-				}
-				nextAllowed[host] = start.Add(interval)
-				wait = start.Sub(now)
-			}
+			// The politeness ledger books the host's next slot under its
+			// own lock; the worker sleeps outside mu until its turn.
+			wait := c.polite.reserve(host, interval)
 			started++
 			inflight++
 			mu.Unlock()
@@ -269,7 +262,7 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 
 			allowed := true
 			if !c.cfg.IgnoreRobots {
-				allowed = c.allowedLocked(ctx, &mu, item.url, host)
+				allowed = c.allowed(ctx, item.url, host)
 			}
 
 			if allowed {
@@ -302,6 +295,7 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 				visit, links, rec := out.visit, out.links, out.rec
 				res.Crawled++
 				c.tel.Pages.Inc()
+				c.guard.recordPage(host, int64(len(visit.Body)))
 				if s >= 0.5 {
 					res.Relevant++
 					c.tel.Relevant.Inc()
@@ -322,7 +316,7 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 				var sunk []checkpoint.Entry
 				if visit.Status == 200 && dec.Follow {
 					for _, l := range links {
-						if seen.Has(l) {
+						if seen.Has(l) || !c.guard.admitLink(l) {
 							continue
 						}
 						if c.cfg.LinkSink != nil {
@@ -412,25 +406,4 @@ func (c *Crawler) runParallel(ctx context.Context) (*Result, error) {
 		}
 	}
 	return res, runErr
-}
-
-// allowedLocked is the robots check for the parallel engine: the cache
-// is consulted under the caller's mutex, but the robots.txt fetch itself
-// happens unlocked (a host's robots may be fetched more than once under
-// a race, which is harmless).
-func (c *Crawler) allowedLocked(ctx context.Context, mu *sync.Mutex, pageURL, host string) bool {
-	mu.Lock()
-	rb, ok := c.robots[host]
-	mu.Unlock()
-	if !ok {
-		rb = c.fetchRobots(ctx, pageURL)
-		mu.Lock()
-		if cached, again := c.robots[host]; again {
-			rb = cached // lost the race; use the first result
-		} else {
-			c.robots[host] = rb
-		}
-		mu.Unlock()
-	}
-	return robotsAllowsURL(rb, pageURL)
 }

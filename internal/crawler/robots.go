@@ -18,6 +18,9 @@ type Robots struct {
 	// requests (0 = unspecified). Polite crawlers honor the larger of
 	// this and their own configured interval.
 	CrawlDelay time.Duration
+	// Oversize marks a robots.txt that exceeded the fetch cap and was
+	// truncated at its last complete line before parsing.
+	Oversize bool
 }
 
 type robotsRule struct {

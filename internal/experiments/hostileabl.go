@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"langcrawl/internal/charset"
+	"langcrawl/internal/core"
+	"langcrawl/internal/crawler"
+	"langcrawl/internal/crawlog"
+	"langcrawl/internal/faults"
+	"langcrawl/internal/hostile"
+	"langcrawl/internal/telemetry"
+	"langcrawl/internal/webgraph"
+	"langcrawl/internal/webserve"
+)
+
+// AblationHostile measures what the hostile-web defenses (DESIGN.md §16)
+// buy. Unlike the other ablations this one runs the live crawler over
+// loopback HTTP, because the adversarial behaviors — infinite URL traps,
+// redirect loops, stalls, body bombs, retry storms — only exist at the
+// protocol level. A benign space and the adversarial zoo are served side
+// by side; the defended crawl must self-terminate against an infinite
+// URL space, crawl the benign subset exactly, and quarantine the trap,
+// while a budget-less crawl given the same page budget lets the trap
+// starve benign coverage.
+func (r *Runner) AblationHostile() *Outcome {
+	o := &Outcome{ID: "abl-hostile", Title: "Hostile web: defended vs undefended live crawl on a mixed space"}
+
+	space, err := webgraph.Generate(webgraph.ThaiLike(400, r.opt.Seed+77))
+	if err != nil {
+		panic(err)
+	}
+	m := hostile.New(hostile.Config{
+		Seed: r.opt.Seed, Traps: 1, Redirects: 1, Loops: 2, Stalls: 1, Bombs: 2, Storms: 1,
+		ChainLen: 8, StallBytes: 64, StallPause: 100 * time.Millisecond, StallDrips: 2,
+		BombBytes: 256 << 10, StormLen: 2, RetryAfter: time.Second,
+	})
+	srv := webserve.New(space)
+	srv.Hostile = m
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("experiments: abl-hostile listener: %v", err))
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) //nolint:errcheck // closed below; Serve returns ErrServerClosed
+	defer hs.Close()
+	addr := ln.Addr().String()
+	client := &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, network, addr)
+			},
+		},
+		Timeout: 10 * time.Second,
+	}
+
+	benignSeeds := make([]string, len(space.Seeds))
+	for i, id := range space.Seeds {
+		benignSeeds[i] = space.URL(id)
+	}
+	mixedSeeds := append(append([]string(nil), benignSeeds...), m.EntryURLs()...)
+
+	type armResult struct {
+		crawled int
+		benign  map[string]bool // benign-host URLs in the crawl log
+		hostile int             // hostile-host log records (wasted fetches)
+		stats   *telemetry.CrawlStats
+	}
+	run := func(seeds []string, defended bool, maxPages int) armResult {
+		var buf bytes.Buffer
+		w, err := crawlog.NewWriter(&buf, crawlog.Header{Seeds: seeds})
+		if err != nil {
+			panic(err)
+		}
+		stats := telemetry.NewCrawlStats(telemetry.NewRegistry())
+		cfg := crawler.Config{
+			Seeds:          seeds,
+			Strategy:       core.BreadthFirst{},
+			Classifier:     core.MetaClassifier{Target: charset.LangThai},
+			Client:         client,
+			Log:            w,
+			IgnoreRobots:   true,
+			MaxPages:       maxPages,
+			Telemetry:      stats,
+			MaxRedirects:   5,
+			StallTimeout:   150 * time.Millisecond,
+			RequestTimeout: 5 * time.Second,
+			Retry:          faults.RetryPolicy{MaxAttempts: 2, BaseDelay: 0.05},
+			Breaker:        faults.BreakerConfig{Threshold: 3, Cooldown: 0.05},
+		}
+		if defended {
+			cfg.HostBudget = crawler.HostBudget{MaxURLs: 400}
+		}
+		c, err := crawler.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		res, err := c.Run(context.Background())
+		if err != nil {
+			panic(fmt.Sprintf("experiments: abl-hostile crawl: %v", err))
+		}
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+		rd, err := crawlog.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			panic(err)
+		}
+		recs, err := rd.ReadAll()
+		if err != nil {
+			panic(err)
+		}
+		out := armResult{crawled: res.Crawled, benign: make(map[string]bool), stats: stats}
+		for _, rec := range recs {
+			host := rec.URL
+			host = strings.TrimPrefix(host, "http://")
+			if i := strings.IndexByte(host, '/'); i >= 0 {
+				host = host[:i]
+			}
+			if m.IsHostile(host) {
+				out.hostile++
+			} else {
+				out.benign[rec.URL] = true
+			}
+		}
+		return out
+	}
+
+	// Baseline: the same defended configuration on the pure benign space
+	// (hostile hosts unseeded and unlinked) — the exact benign URL set.
+	base := run(benignSeeds, true, 0)
+	// Defended: hostile mixed in, every defense on, no page cap — the
+	// crawl must terminate on its own despite the infinite trap space.
+	def := run(mixedSeeds, true, 0)
+	// No budget: same attack surface and the page budget the defended
+	// crawl actually consumed, but no per-host guard — the trap is free
+	// to starve the benign crawl.
+	open := run(mixedSeeds, false, def.crawled)
+
+	coverage := func(a armResult) float64 {
+		hit := 0
+		for u := range a.benign {
+			if base.benign[u] {
+				hit++
+			}
+		}
+		return 100 * float64(hit) / float64(len(base.benign))
+	}
+	defCov, openCov := coverage(def), coverage(open)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %8s %10s %10s %12s %10s\n",
+		"arm", "crawled", "benign %", "hostile", "quarantines", "trap URLs")
+	row := func(name string, a armResult, cov float64) {
+		fmt.Fprintf(&sb, "%-12s %8d %9.1f%% %10d %12d %10d\n",
+			name, a.crawled, cov, a.hostile,
+			a.stats.Hostile.Quarantines.Value(), a.stats.Hostile.TrapURLs.Value())
+	}
+	row("baseline", base, 100)
+	row("defended", def, defCov)
+	row("no-budget", open, openCov)
+	o.Text = sb.String()
+
+	benignExact := len(def.benign) == len(base.benign) && defCov == 100
+	o.Checks = append(o.Checks,
+		check("defended crawl self-terminates against an infinite URL space",
+			def.crawled < base.crawled+600,
+			"crawled %d pages total (%d benign exist)", def.crawled, len(base.benign)),
+		check("hostility costs no benign page: defended benign set is exact",
+			benignExact, "benign %d/%d (%.1f%%)", len(def.benign), len(base.benign), defCov),
+		check("the trap host is quarantined, not crawled forever",
+			def.stats.Hostile.Quarantines.Value() > 0,
+			"quarantines %d (BFS trips the URL budget long before trap links deepen enough for the path heuristic)",
+			def.stats.Hostile.Quarantines.Value()),
+		check("without host budgets the trap starves benign coverage",
+			openCov < defCov && open.hostile > def.hostile,
+			"benign coverage %.1f%% vs %.1f%% defended, hostile fetches %d vs %d",
+			openCov, defCov, open.hostile, def.hostile),
+	)
+	return o
+}

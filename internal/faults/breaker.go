@@ -144,6 +144,23 @@ func (b *CircuitBreaker) RecordFailure(now float64) {
 	}
 }
 
+// quarantineHorizon is the openedAt offset Quarantine pins a breaker
+// open with: far enough in the future that no cooldown elapses within
+// any realistic crawl, yet an ordinary float64 so breaker snapshots
+// round-trip through checkpoints unchanged.
+const quarantineHorizon = 1e15
+
+// Quarantine trips the breaker and pins it open: Allow refuses the host
+// for the rest of the crawl (the openedAt is pushed quarantineHorizon
+// seconds into the future, so the cooldown never elapses). The trap
+// heuristics use this to cut off hosts that mint unbounded URL spaces.
+// The pinned state survives Snapshot/Restore, so a resumed crawl keeps
+// the host quarantined.
+func (b *CircuitBreaker) Quarantine(now float64) {
+	b.trip(now)
+	b.openedAt = now + quarantineHorizon
+}
+
 func (b *CircuitBreaker) trip(now float64) {
 	b.state = Open
 	b.openedAt = now

@@ -49,6 +49,10 @@ const (
 	// is still usable, but classifiers should not hold weak detector
 	// evidence against it.
 	TruncatedBody
+	// Throttled is an explicit slow-down signal: HTTP 429. The host is
+	// healthy but refusing traffic, so a retry after honoring the
+	// advertised Retry-After (or the normal backoff) is worthwhile.
+	Throttled
 )
 
 // String names the class for logs and counters.
@@ -66,6 +70,8 @@ func (c FailureClass) String() string {
 		return "dead-host"
 	case TruncatedBody:
 		return "truncated"
+	case Throttled:
+		return "throttled"
 	default:
 		return "unknown"
 	}
@@ -74,7 +80,7 @@ func (c FailureClass) String() string {
 // Failed reports whether the attempt yielded no usable response.
 // SlowHost and TruncatedBody are degraded successes, not failures.
 func (c FailureClass) Failed() bool {
-	return c == Transient5xx || c == ConnectTimeout || c == DeadHost
+	return c == Transient5xx || c == ConnectTimeout || c == DeadHost || c == Throttled
 }
 
 // Retryable reports whether a retry can plausibly succeed. A dead host
@@ -99,6 +105,9 @@ func Classify(status int, err error) FailureClass {
 	}
 	if status >= 500 && status <= 599 {
 		return Transient5xx
+	}
+	if status == 429 {
+		return Throttled
 	}
 	return None
 }

@@ -1,0 +1,456 @@
+// Package hostile is a deterministic adversarial web model: a family of
+// virtual hosts that misbehave in the ways real webs punish crawlers —
+// spider traps minting unbounded novel URLs, redirect chains and loops
+// (same-host and cross-host), slow-loris body drips, oversized and
+// never-ending bodies, flipped Content-Length, mid-body connection
+// resets, and 429/503 storms with Retry-After. Like webgraph's benign
+// spaces, everything is derived from a seed: the same Config produces
+// the same hosts serving the same bytes, so chaos tests are
+// reproducible. The model plugs into webserve.Server (Hostile field) to
+// mix adversarial hosts into a benign space, or serves standalone via
+// Serve. Every behavior is time-bounded on the server side — a crawler
+// with no defenses at all still terminates, just badly — so the
+// defense-ablation experiments can measure the damage instead of
+// hanging.
+package hostile
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config sizes the adversarial web. The per-kind counts say how many
+// virtual hosts of each behavior exist (0 = none); the knobs below
+// shape the behaviors and default sanely via withDefaults.
+type Config struct {
+	// Seed drives all derived content (trap link names).
+	Seed uint64
+
+	// Traps counts spider-trap hosts: every page mints TrapBranch novel
+	// deeper links plus a fresh session-id link, forever.
+	Traps int
+	// Redirects counts redirect-chain hosts: / hops through ChainLen
+	// 302s before a terminal page. With two or more hosts, odd-indexed
+	// hosts hop cross-host.
+	Redirects int
+	// Loops counts redirect-loop hosts: / leads into a cycle that never
+	// terminates. With two or more hosts, odd-indexed hosts enter a
+	// cross-host ring.
+	Loops int
+	// Stalls counts slow-loris hosts: StallBytes arrive promptly, then
+	// one byte per StallPause for StallDrips drips.
+	Stalls int
+	// Bombs counts body-bomb hosts: even-indexed ones stream BombBytes
+	// of chunked filler, odd-indexed ones declare a Content-Length they
+	// never deliver (flipped length → unexpected EOF).
+	Bombs int
+	// Resets counts hosts that reset the TCP connection mid-body.
+	Resets int
+	// Storms counts hosts that answer the first StormLen requests with
+	// alternating 429/503 carrying Retry-After (delta-seconds on
+	// even-indexed hosts, HTTP-date on odd) before recovering.
+	Storms int
+
+	// TrapBranch is links minted per trap page (default 4).
+	TrapBranch int
+	// ChainLen is redirect hops before a chain terminates (default 8).
+	ChainLen int
+	// StallBytes is what a stall host sends before dripping (default 64).
+	StallBytes int
+	// StallPause is the gap between drip bytes (default 1s).
+	StallPause time.Duration
+	// StallDrips bounds the drip so the server side always terminates
+	// (default 8).
+	StallDrips int
+	// BombBytes bounds an endless body's total size (default 4 MiB).
+	BombBytes int64
+	// StormLen is 429/503 responses served before recovery (default 4).
+	StormLen int
+	// RetryAfter is the advertised Retry-After (default 2s; rounded up
+	// to whole seconds in the delta-seconds form).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.TrapBranch <= 0 {
+		c.TrapBranch = 4
+	}
+	if c.ChainLen <= 0 {
+		c.ChainLen = 8
+	}
+	if c.StallBytes <= 0 {
+		c.StallBytes = 64
+	}
+	if c.StallPause <= 0 {
+		c.StallPause = time.Second
+	}
+	if c.StallDrips <= 0 {
+		c.StallDrips = 8
+	}
+	if c.BombBytes <= 0 {
+		c.BombBytes = 4 << 20
+	}
+	if c.StormLen <= 0 {
+		c.StormLen = 4
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	return c
+}
+
+// kinds in declaration order; host names are <kind><i>.hostile.test.
+var kinds = []string{"trap", "redir", "loop", "stall", "bomb", "reset", "storm"}
+
+func (c Config) count(kind string) int {
+	switch kind {
+	case "trap":
+		return c.Traps
+	case "redir":
+		return c.Redirects
+	case "loop":
+		return c.Loops
+	case "stall":
+		return c.Stalls
+	case "bomb":
+		return c.Bombs
+	case "reset":
+		return c.Resets
+	case "storm":
+		return c.Storms
+	}
+	return 0
+}
+
+// ParseSpec builds a Config from a compact flag value like
+// "trap=2,redir=1,loop=2,stall=1,bomb=2,reset=1,storm=1,seed=7".
+// Unknown keys and malformed counts are errors; an empty spec is an
+// empty (all-benign) config.
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	if strings.TrimSpace(spec) == "" {
+		return c, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return c, fmt.Errorf("hostile: bad spec element %q (want key=n)", part)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return c, fmt.Errorf("hostile: bad count in %q", part)
+		}
+		switch key {
+		case "seed":
+			c.Seed = uint64(n)
+		case "trap":
+			c.Traps = n
+		case "redir":
+			c.Redirects = n
+		case "loop":
+			c.Loops = n
+		case "stall":
+			c.Stalls = n
+		case "bomb":
+			c.Bombs = n
+		case "reset":
+			c.Resets = n
+		case "storm":
+			c.Storms = n
+		default:
+			return c, fmt.Errorf("hostile: unknown behavior %q", key)
+		}
+	}
+	return c, nil
+}
+
+// role identifies one adversarial host.
+type role struct {
+	kind string
+	idx  int
+}
+
+// Model is the instantiated adversarial web. Safe for concurrent use.
+type Model struct {
+	cfg     Config
+	hosts   map[string]role
+	entries []string
+
+	mu     sync.Mutex
+	served map[string]int // per-host page requests (storm counters)
+}
+
+// New builds the model for cfg.
+func New(cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	m := &Model{
+		cfg:    cfg,
+		hosts:  make(map[string]role),
+		served: make(map[string]int),
+	}
+	for _, kind := range kinds {
+		for i := 0; i < cfg.count(kind); i++ {
+			h := fmt.Sprintf("%s%d.hostile.test", kind, i)
+			m.hosts[h] = role{kind: kind, idx: i}
+			m.entries = append(m.entries, "http://"+h+"/")
+		}
+	}
+	return m
+}
+
+// Hosts returns the adversarial host names, sorted.
+func (m *Model) Hosts() []string {
+	out := make([]string, 0, len(m.hosts))
+	for h := range m.hosts {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EntryURLs returns one seed URL per adversarial host, in kind order —
+// mix these into a crawl's seed list to expose it to the full zoo.
+func (m *Model) EntryURLs() []string {
+	return append([]string(nil), m.entries...)
+}
+
+// IsHostile reports whether host belongs to the model.
+func (m *Model) IsHostile(host string) bool {
+	_, ok := m.hosts[host]
+	return ok
+}
+
+// Serve handles a request for host if it is one of the model's, and
+// reports whether it did. robots.txt is deliberately not handled here —
+// the embedding server decides robots policy for hostile hosts too.
+func (m *Model) Serve(w http.ResponseWriter, r *http.Request, host string) bool {
+	ro, ok := m.hosts[host]
+	if !ok {
+		return false
+	}
+	switch ro.kind {
+	case "trap":
+		m.serveTrap(w, r, host)
+	case "redir":
+		m.serveRedir(w, r, host, ro.idx)
+	case "loop":
+		m.serveLoop(w, r, host, ro.idx)
+	case "stall":
+		m.serveStall(w, r)
+	case "bomb":
+		m.serveBomb(w, r, ro.idx)
+	case "reset":
+		m.serveReset(w, r)
+	case "storm":
+		m.serveStorm(w, r, host, ro.idx)
+	}
+	return true
+}
+
+// page writes a minimal HTML page with the given links.
+func page(w http.ResponseWriter, title string, links []string) {
+	var b strings.Builder
+	b.WriteString("<html><head><title>")
+	b.WriteString(title)
+	b.WriteString("</title></head><body>")
+	for _, l := range links {
+		b.WriteString(`<a href="`)
+		b.WriteString(l)
+		b.WriteString(`">link</a> `)
+	}
+	b.WriteString("</body></html>")
+	body := b.String()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(body))
+}
+
+// serveTrap answers every path with a page minting TrapBranch deeper
+// calendar-style links plus one fresh session-id link: an infinite URL
+// space. Link names derive from (seed, host, path), so the space is the
+// same in every run.
+func (m *Model) serveTrap(w http.ResponseWriter, r *http.Request, host string) {
+	base := strings.TrimSuffix(r.URL.Path, "/")
+	links := make([]string, 0, m.cfg.TrapBranch+1)
+	for k := 0; k < m.cfg.TrapBranch; k++ {
+		h := tag(m.cfg.Seed, host, r.URL.Path, uint64(k))
+		links = append(links, fmt.Sprintf("http://%s%s/d%s", host, base, h))
+	}
+	sid := tag(m.cfg.Seed, host, r.URL.Path, ^uint64(0))
+	links = append(links, fmt.Sprintf("http://%s/session?sid=%s", host, sid))
+	page(w, "trap "+host+r.URL.Path, links)
+}
+
+// serveRedir walks / through ChainLen 302 hops to a terminal page.
+// Odd-indexed hosts (when there are at least two) hop cross-host, so
+// the chain re-enters another host's politeness and robots accounting.
+func (m *Model) serveRedir(w http.ResponseWriter, r *http.Request, host string, idx int) {
+	hop := 0
+	if s, ok := strings.CutPrefix(r.URL.Path, "/hop"); ok {
+		hop, _ = strconv.Atoi(s)
+	}
+	if hop >= m.cfg.ChainLen {
+		page(w, "redirect chain end "+host, nil)
+		return
+	}
+	target := host
+	if m.cfg.Redirects > 1 && idx%2 == 1 {
+		target = fmt.Sprintf("redir%d.hostile.test", (idx+1)%m.cfg.Redirects)
+	}
+	http.Redirect(w, r, fmt.Sprintf("http://%s/hop%d", target, hop+1), http.StatusFound)
+}
+
+// serveLoop never terminates a redirect chain. Even-indexed hosts run a
+// same-host cycle (/ → /a → /b → /a); odd-indexed ones (when there are
+// at least two hosts) push /ring around a cross-host ring.
+func (m *Model) serveLoop(w http.ResponseWriter, r *http.Request, host string, idx int) {
+	next := fmt.Sprintf("loop%d.hostile.test", (idx+1)%m.cfg.Loops)
+	switch {
+	case r.URL.Path == "/ring":
+		http.Redirect(w, r, "http://"+next+"/ring", http.StatusFound)
+	case m.cfg.Loops > 1 && idx%2 == 1:
+		http.Redirect(w, r, "http://"+next+"/ring", http.StatusFound)
+	case r.URL.Path == "/a":
+		http.Redirect(w, r, "http://"+host+"/b", http.StatusFound)
+	case r.URL.Path == "/b":
+		http.Redirect(w, r, "http://"+host+"/a", http.StatusFound)
+	default:
+		http.Redirect(w, r, "http://"+host+"/a", http.StatusFound)
+	}
+}
+
+// serveStall is a slow loris: StallBytes up front, then one byte per
+// StallPause. The drip is bounded by StallDrips (and the client going
+// away), so the server side always finishes.
+func (m *Model) serveStall(w http.ResponseWriter, r *http.Request) {
+	fl, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	prefix := "<html><head><title>stall</title></head><body>"
+	for len(prefix) < m.cfg.StallBytes {
+		prefix += "."
+	}
+	_, _ = w.Write([]byte(prefix))
+	if fl != nil {
+		fl.Flush()
+	}
+	t := time.NewTicker(m.cfg.StallPause)
+	defer t.Stop()
+	for i := 0; i < m.cfg.StallDrips; i++ {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-t.C:
+		}
+		if _, err := w.Write([]byte(".")); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	_, _ = w.Write([]byte("</body></html>"))
+}
+
+// serveBomb sends bodies that punish unbounded readers. Even-indexed
+// hosts stream BombBytes of chunked filler (no Content-Length — a
+// "never-ending" body from the client's view); odd-indexed hosts
+// declare ten times the Content-Length they deliver, so trusting the
+// header yields an unexpected EOF.
+func (m *Model) serveBomb(w http.ResponseWriter, r *http.Request, idx int) {
+	if idx%2 == 1 {
+		sent := 4 << 10
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Header().Set("Content-Length", strconv.Itoa(sent*10))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("<html><body>" + strings.Repeat("x", sent-12)))
+		return // 9/10 of the declared body never comes
+	}
+	fl, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	chunk := []byte(strings.Repeat("bomb", 2048)) // 8 KiB
+	for sent := int64(0); sent < m.cfg.BombBytes; sent += int64(len(chunk)) {
+		if r.Context().Err() != nil {
+			return
+		}
+		if _, err := w.Write(chunk); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+}
+
+// serveReset tears the TCP connection down mid-body with a hard RST
+// (SO_LINGER 0), after promising more bytes than it sent.
+func (m *Model) serveReset(w http.ResponseWriter, r *http.Request) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// No hijacking (e.g. HTTP/2): approximate with a short body.
+		w.Header().Set("Content-Length", "4096")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("<html><body>reset"))
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	_, _ = conn.Write([]byte("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: 4096\r\n\r\n<html><body>reset"))
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0) // close sends RST, not FIN
+	}
+	_ = conn.Close()
+}
+
+// serveStorm answers the first StormLen requests with alternating
+// 429/503 plus Retry-After — delta-seconds on even-indexed hosts,
+// HTTP-date on odd — then recovers to a terminal page.
+func (m *Model) serveStorm(w http.ResponseWriter, r *http.Request, host string, idx int) {
+	m.mu.Lock()
+	m.served[host]++
+	n := m.served[host]
+	m.mu.Unlock()
+	if n > m.cfg.StormLen {
+		page(w, "storm over "+host, nil)
+		return
+	}
+	secs := int((m.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if idx%2 == 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	} else {
+		w.Header().Set("Retry-After", time.Now().Add(m.cfg.RetryAfter).UTC().Format(http.TimeFormat))
+	}
+	status := http.StatusTooManyRequests
+	if n%2 == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	http.Error(w, "storm", status)
+}
+
+// tag derives a short stable hex tag from the seed and strings (FNV-1a).
+func tag(seed uint64, host, path string, k uint64) string {
+	h := uint64(1469598103934665603) ^ seed
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(host)
+	mix(path)
+	for i := 0; i < 8; i++ {
+		h ^= (k >> (8 * i)) & 0xff
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%08x", uint32(h^(h>>32)))
+}

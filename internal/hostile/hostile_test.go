@@ -1,0 +1,220 @@
+package hostile
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewHostNaming(t *testing.T) {
+	m := New(Config{Traps: 2, Redirects: 1, Storms: 1, Seed: 3})
+	want := []string{"redir0.hostile.test", "storm0.hostile.test", "trap0.hostile.test", "trap1.hostile.test"}
+	if got := m.Hosts(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Hosts() = %v, want %v", got, want)
+	}
+	entries := m.EntryURLs()
+	if len(entries) != 4 || entries[0] != "http://trap0.hostile.test/" {
+		t.Errorf("EntryURLs() = %v", entries)
+	}
+	if !m.IsHostile("trap1.hostile.test") || m.IsHostile("benign.test") {
+		t.Error("IsHostile misclassifies")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Traps: 1, Seed: 42}
+	a, b := New(cfg), New(cfg)
+	pa, pb := trapBody(t, a, "/x"), trapBody(t, b, "/x")
+	if pa != pb {
+		t.Error("same seed produced different trap pages")
+	}
+	c := New(Config{Traps: 1, Seed: 43})
+	if pc := trapBody(t, c, "/x"); pc == pa {
+		t.Error("different seed produced identical trap pages")
+	}
+}
+
+func trapBody(t *testing.T, m *Model, path string) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "http://trap0.hostile.test"+path, nil)
+	if !m.Serve(rec, req, "trap0.hostile.test") {
+		t.Fatal("trap host not served")
+	}
+	return rec.Body.String()
+}
+
+func TestTrapMintsNovelDeepLinks(t *testing.T) {
+	m := New(Config{Traps: 1, Seed: 7, TrapBranch: 3})
+	body := trapBody(t, m, "/a")
+	if n := strings.Count(body, `<a href="`); n != 4 { // 3 deeper + 1 session
+		t.Errorf("trap page mints %d links, want 4", n)
+	}
+	if !strings.Contains(body, "http://trap0.hostile.test/a/d") {
+		t.Errorf("trap links do not deepen the current path: %s", body)
+	}
+	if !strings.Contains(body, "/session?sid=") {
+		t.Error("trap page lacks a session-id link")
+	}
+	// Deeper pages mint again: the space is genuinely unbounded.
+	deeper := trapBody(t, m, "/a/deadbeef")
+	if !strings.Contains(deeper, "http://trap0.hostile.test/a/deadbeef/d") {
+		t.Error("deeper trap page stopped minting")
+	}
+}
+
+func TestRedirChainTerminates(t *testing.T) {
+	m := New(Config{Redirects: 1, ChainLen: 3})
+	hops := 0
+	path := "/"
+	for ; hops < 10; hops++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", "http://redir0.hostile.test"+path, nil)
+		m.Serve(rec, req, "redir0.hostile.test")
+		if rec.Code == http.StatusOK {
+			break
+		}
+		if rec.Code != http.StatusFound {
+			t.Fatalf("hop %d: status %d", hops, rec.Code)
+		}
+		loc := rec.Header().Get("Location")
+		i := strings.Index(loc, ".test")
+		path = loc[i+len(".test"):]
+	}
+	if hops != 3 {
+		t.Errorf("chain terminated after %d hops, want 3", hops)
+	}
+}
+
+func TestLoopNeverTerminates(t *testing.T) {
+	m := New(Config{Loops: 1})
+	seen := map[string]bool{}
+	path := "/"
+	for i := 0; i < 20; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", "http://loop0.hostile.test"+path, nil)
+		m.Serve(rec, req, "loop0.hostile.test")
+		if rec.Code != http.StatusFound {
+			t.Fatalf("loop host answered %d, never terminates", rec.Code)
+		}
+		loc := rec.Header().Get("Location")
+		seen[loc] = true
+		path = loc[strings.Index(loc, ".test")+len(".test"):]
+	}
+	if len(seen) > 3 {
+		t.Errorf("loop visits %d distinct URLs, want a tight cycle", len(seen))
+	}
+}
+
+func TestCrossHostRing(t *testing.T) {
+	m := New(Config{Loops: 2})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "http://loop0.hostile.test/ring", nil)
+	m.Serve(rec, req, "loop0.hostile.test")
+	if loc := rec.Header().Get("Location"); loc != "http://loop1.hostile.test/ring" {
+		t.Errorf("ring hop = %q, want the next host", loc)
+	}
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest("GET", "http://loop1.hostile.test/ring", nil)
+	m.Serve(rec, req, "loop1.hostile.test")
+	if loc := rec.Header().Get("Location"); loc != "http://loop0.hostile.test/ring" {
+		t.Errorf("ring does not close: %q", loc)
+	}
+}
+
+func TestBombFlippedContentLength(t *testing.T) {
+	m := New(Config{Bombs: 2})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "http://bomb1.hostile.test/", nil)
+	m.Serve(rec, req, "bomb1.hostile.test")
+	declared := rec.Header().Get("Content-Length")
+	if declared != "40960" {
+		t.Errorf("declared Content-Length %s, want 40960", declared)
+	}
+	if rec.Body.Len() >= 40960 {
+		t.Error("flipped-length bomb delivered its declared body")
+	}
+}
+
+func TestBombStreamBounded(t *testing.T) {
+	m := New(Config{Bombs: 1, BombBytes: 32 << 10})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "http://bomb0.hostile.test/", nil)
+	m.Serve(rec, req, "bomb0.hostile.test")
+	if n := rec.Body.Len(); n < 32<<10 || n > 33<<10 {
+		t.Errorf("stream bomb sent %d bytes, want ~32 KiB bound", n)
+	}
+}
+
+func TestStormSchedule(t *testing.T) {
+	m := New(Config{Storms: 2, StormLen: 2, RetryAfter: 3 * time.Second})
+	// Even-indexed host: delta-seconds form; 429 then 503 then recovery.
+	wantStatus := []int{http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusOK}
+	for i, want := range wantStatus {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", "http://storm0.hostile.test/", nil)
+		m.Serve(rec, req, "storm0.hostile.test")
+		if rec.Code != want {
+			t.Fatalf("request %d: status %d, want %d", i, rec.Code, want)
+		}
+		if want != http.StatusOK {
+			if ra := rec.Header().Get("Retry-After"); ra != "3" {
+				t.Errorf("request %d: Retry-After %q, want delta-seconds 3", i, ra)
+			}
+		}
+	}
+	// Odd-indexed host advertises the HTTP-date form.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "http://storm1.hostile.test/", nil)
+	m.Serve(rec, req, "storm1.hostile.test")
+	ra := rec.Header().Get("Retry-After")
+	if _, err := http.ParseTime(ra); err != nil {
+		t.Errorf("odd storm host Retry-After %q is not an HTTP-date: %v", ra, err)
+	}
+}
+
+func TestStallDripBounded(t *testing.T) {
+	m := New(Config{Stalls: 1, StallBytes: 32, StallPause: time.Millisecond, StallDrips: 3})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.Serve(w, r, "stall0.hostile.test")
+	}))
+	defer ts.Close()
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) < 32 {
+		t.Errorf("stall sent %d bytes, want at least the %d-byte prefix", len(body), 32)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("server-side stall is not time-bounded")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	c, err := ParseSpec("trap=2, redir=1,storm=3,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Traps != 2 || c.Redirects != 1 || c.Storms != 3 || c.Seed != 7 {
+		t.Errorf("ParseSpec = %+v", c)
+	}
+	if c, err := ParseSpec(""); err != nil || c != (Config{}) {
+		t.Errorf("empty spec: %+v, %v", c, err)
+	}
+	for _, bad := range []string{"trap", "trap=x", "trap=-1", "gremlin=1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

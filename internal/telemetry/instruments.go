@@ -204,6 +204,151 @@ func (p *ParseStats) Observe(bytes int64, poolHit bool, slowFalls int64, transco
 	}
 }
 
+// HostileStats instruments the crawler's hostile-web defenses: redirect
+// policing, the stalled-body watchdog, body salvage, trap heuristics,
+// host quarantines, and Retry-After throttle handling. Every event goes
+// through a nil-safe method so consumers record unconditionally even
+// when the bundle pointer itself is nil (the zero-value CrawlStats).
+type HostileStats struct {
+	Redirects      *Counter // redirect hops followed by the policy
+	CrossHost      *Counter // hops that changed host (re-entered politeness accounting)
+	RedirectLoops  *Counter // chains broken because a URL repeated
+	RedirectCaps   *Counter // chains cut at the MaxRedirects cap
+	RedirectDenied *Counter // cross-host hops refused by cached robots rules
+	Stalls         *Counter // bodies aborted by the min-throughput watchdog
+	Salvaged       *Counter // short bodies (Content-Length lies) kept as truncated pages
+	TrapURLs       *Counter // links refused by the path-depth / repeat-segment heuristics
+	BudgetURLs     *Counter // links refused by an exhausted per-host URL budget
+	Quarantines    *Counter // hosts quarantined by a budget or trap verdict
+	QuarantineHits *Counter // queued URLs dropped because their host is quarantined
+	Throttles      *Counter // 429/503 responses carrying a usable Retry-After
+	OversizeRobots *Counter // robots.txt files cut at the read cap
+}
+
+// NewHostileStats builds the bundle (nil when reg is nil).
+func NewHostileStats(reg *Registry) *HostileStats {
+	if reg == nil {
+		return nil
+	}
+	return &HostileStats{
+		Redirects:      reg.Counter("langcrawl_redirect_total", "Redirect hops followed."),
+		CrossHost:      reg.Counter("langcrawl_redirect_cross_host_total", "Redirect hops that changed host."),
+		RedirectLoops:  reg.Counter("langcrawl_redirect_loop_total", "Redirect chains broken by loop detection."),
+		RedirectCaps:   reg.Counter("langcrawl_redirect_capped_total", "Redirect chains cut at the hop cap."),
+		RedirectDenied: reg.Counter("langcrawl_redirect_denied_total", "Cross-host redirects refused by cached robots rules."),
+		Stalls:         reg.Counter("langcrawl_stall_abort_total", "Bodies aborted by the stalled-transfer watchdog."),
+		Salvaged:       reg.Counter("langcrawl_body_salvaged_total", "Short bodies kept as truncated pages despite a Content-Length mismatch."),
+		TrapURLs:       reg.Counter("langcrawl_trap_url_total", "Links refused by the spider-trap URL heuristics."),
+		BudgetURLs:     reg.Counter("langcrawl_budget_url_total", "Links refused by an exhausted per-host URL budget."),
+		Quarantines:    reg.Counter("langcrawl_host_quarantine_total", "Hosts quarantined by budget or trap verdicts."),
+		QuarantineHits: reg.Counter("langcrawl_quarantine_drop_total", "Queued URLs dropped because their host is quarantined."),
+		Throttles:      reg.Counter("langcrawl_throttle_total", "429/503 responses with a usable Retry-After."),
+		OversizeRobots: reg.Counter("langcrawl_robots_oversize_total", "robots.txt files cut at the read cap."),
+	}
+}
+
+// The record methods are nil-safe so crawler code can call them through
+// a nil *HostileStats (telemetry off) without guarding.
+
+// Redirect records one followed hop; cross marks a host change.
+func (h *HostileStats) Redirect(cross bool) {
+	if h == nil {
+		return
+	}
+	h.Redirects.Inc()
+	if cross {
+		h.CrossHost.Inc()
+	}
+}
+
+// Loop records a chain broken by loop detection.
+func (h *HostileStats) Loop() {
+	if h == nil {
+		return
+	}
+	h.RedirectLoops.Inc()
+}
+
+// Capped records a chain cut at the hop cap.
+func (h *HostileStats) Capped() {
+	if h == nil {
+		return
+	}
+	h.RedirectCaps.Inc()
+}
+
+// Denied records a cross-host hop refused by cached robots rules.
+func (h *HostileStats) Denied() {
+	if h == nil {
+		return
+	}
+	h.RedirectDenied.Inc()
+}
+
+// Stall records a body aborted by the watchdog.
+func (h *HostileStats) Stall() {
+	if h == nil {
+		return
+	}
+	h.Stalls.Inc()
+}
+
+// Salvage records a short body kept as a truncated page.
+func (h *HostileStats) Salvage() {
+	if h == nil {
+		return
+	}
+	h.Salvaged.Inc()
+}
+
+// TrapURL records a link refused by the trap heuristics.
+func (h *HostileStats) TrapURL() {
+	if h == nil {
+		return
+	}
+	h.TrapURLs.Inc()
+}
+
+// BudgetURL records a link refused by a per-host URL budget.
+func (h *HostileStats) BudgetURL() {
+	if h == nil {
+		return
+	}
+	h.BudgetURLs.Inc()
+}
+
+// Quarantine records a host being quarantined.
+func (h *HostileStats) Quarantine() {
+	if h == nil {
+		return
+	}
+	h.Quarantines.Inc()
+}
+
+// QuarantineHit records a queued URL dropped for a quarantined host.
+func (h *HostileStats) QuarantineHit() {
+	if h == nil {
+		return
+	}
+	h.QuarantineHits.Inc()
+}
+
+// Throttle records a usable Retry-After on a 429/503.
+func (h *HostileStats) Throttle() {
+	if h == nil {
+		return
+	}
+	h.Throttles.Inc()
+}
+
+// RobotsOversize records a robots.txt cut at the read cap.
+func (h *HostileStats) RobotsOversize() {
+	if h == nil {
+		return
+	}
+	h.OversizeRobots.Inc()
+}
+
 // CrawlStats instruments the live crawler (both engines): fetch
 // pipeline, worker idling, retry/breaker activity, and the append
 // sinks, plus a tracer for the rare interesting transitions.
@@ -234,6 +379,7 @@ type CrawlStats struct {
 	Log      *BatchStats
 	DB       *BatchStats
 	Ckpt     *CheckpointStats
+	Hostile  *HostileStats
 	Trace    *Tracer
 }
 
@@ -268,6 +414,7 @@ func NewCrawlStats(reg *Registry) *CrawlStats {
 		Log:      NewBatchStats(reg, "crawlog"),
 		DB:       NewBatchStats(reg, "linkdb"),
 		Ckpt:     NewCheckpointStats(reg),
+		Hostile:  NewHostileStats(reg),
 		Trace:    reg.Tracer("langcrawl_crawl_events", 0),
 	}
 }

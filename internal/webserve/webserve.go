@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"langcrawl/internal/hostile"
 	"langcrawl/internal/webgraph"
 )
 
@@ -24,6 +25,11 @@ type Server struct {
 	// RobotsDisallow lists path prefixes served as disallowed in every
 	// host's robots.txt.
 	RobotsDisallow []string
+	// Hostile, when non-nil, takes over requests to its adversarial
+	// hosts (see internal/hostile), mixing attack behaviors into the
+	// benign space. robots.txt stays benign for hostile hosts too — the
+	// handler above serves it before the dispatch.
+	Hostile *hostile.Model
 	// FailFirst, when positive, makes each page URL's first FailFirst
 	// requests answer 503 before the page is served — a flaky server for
 	// exercising retry logic. robots.txt is exempt.
@@ -58,6 +64,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		for _, p := range s.RobotsDisallow {
 			fmt.Fprintf(w, "Disallow: %s\n", p)
 		}
+		return
+	}
+
+	if s.Hostile != nil && s.Hostile.Serve(w, r, host) {
 		return
 	}
 
