@@ -9,7 +9,7 @@ GO ?= go
 # but fails the build on any real erosion.
 COVER_MIN ?= 91.0
 
-.PHONY: all build vet test race bench bench-check bench-baseline cover fuzz crash-suite dist-suite api-suite parse-suite hostile-suite telemetry-smoke experiments report clean
+.PHONY: all build vet test race bench bench-check bench-baseline cover fuzz crash-suite dist-suite api-suite parse-suite hostile-suite fresh-suite telemetry-smoke experiments report clean
 
 all: build vet test
 
@@ -25,14 +25,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Coverage with a hard floor: writes coverage.out, prints the per-function
-# table tail, and fails if total statement coverage drops below COVER_MIN.
-# -coverpkg counts cross-package coverage: the conformance suite is the
-# primary exerciser of dist/crawler/checkpoint, and without it those
-# packages read artificially low.
+# Coverage with a hard floor: writes .cover/coverage.out (git-ignored —
+# the profile is a build artifact and must never be committed), prints
+# the per-function table tail, and fails if total statement coverage
+# drops below COVER_MIN. -coverpkg counts cross-package coverage: the
+# conformance suite is the primary exerciser of dist/crawler/checkpoint,
+# and without it those packages read artificially low.
+COVER_PROFILE := .cover/coverage.out
+
 cover:
-	$(GO) test -coverprofile=coverage.out -coverpkg=./internal/... ./internal/...
-	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	@mkdir -p .cover
+	$(GO) test -coverprofile=$(COVER_PROFILE) -coverpkg=./internal/... ./internal/...
+	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { \
 		if (t + 0 < min + 0) { printf "coverage %.1f%% is below the %.1f%% floor\n", t, min; exit 1 } \
 		printf "coverage %.1f%% (floor %.1f%%)\n", t, min }'
@@ -69,6 +73,9 @@ bench-check:
 	$(GO) test -bench=BenchmarkHostileCrawl -benchtime=1x -count=5 -benchmem -run='^$$' \
 		./internal/conformance | \
 		$(GO) run ./cmd/benchcheck -baseline BENCH_hostile.json -tolerance 0.60
+	$(GO) test -bench=BenchmarkIncrementalCrawl -benchtime=1x -count=5 -benchmem -run='^$$' \
+		./internal/sim | \
+		$(GO) run ./cmd/benchcheck -baseline BENCH_fresh.json -tolerance 0.60
 
 bench-baseline:
 	$(GO) test -bench=. -benchtime=1x -count=5 -benchmem -run='^$$' \
@@ -99,6 +106,10 @@ bench-baseline:
 		./internal/conformance | \
 		$(GO) run ./cmd/benchcheck -baseline BENCH_hostile.json -update \
 		-note "full live crawl of the benign conformance space per iteration; defenses=on must stay within noise of defenses=off"
+	$(GO) test -bench=BenchmarkIncrementalCrawl -benchtime=1x -count=5 -benchmem -run='^$$' \
+		./internal/sim | \
+		$(GO) run ./cmd/benchcheck -baseline BENCH_fresh.json -update \
+		-note "full incremental crawl (discovery + churn + revisit sweeps) over an evolving 4000-page space per iteration; min of 5 runs"
 
 # Short fuzzing passes over the parsers and concurrent structures;
 # extend -fuzztime for real runs.
@@ -156,6 +167,18 @@ hostile-suite:
 	$(GO) test -race -count=1 ./internal/hostile/
 	$(GO) test -race -count=1 -run 'TestHostile|TestTrapPath|TestPathOf|TestParseRetryAfter|TestRobotsOversize' \
 		./internal/crawler/ ./internal/conformance/
+
+# Recrawl & freshness suite: the evolver's determinism/invariant/
+# kill-resume-view units, the server's conditional-GET and evolving-
+# serving tests, the revisit scheduler, the incremental sim engine
+# (zero-churn conformance, churn accounting, kill-resume equivalence),
+# the live crawler's revisit sweeps, and the conformance proofs against
+# the golden traces — all under -race.
+fresh-suite:
+	$(GO) test -race -count=1 ./internal/webgraph/ ./internal/webserve/
+	$(GO) test -race -count=1 \
+		-run 'TestRevisit|TestChangeStats|TestIncremental|TestTimedEvolving|TestRecrawl|TestParseRetryAfter' \
+		./internal/frontier/ ./internal/sim/ ./internal/crawler/ ./internal/conformance/
 
 # End-to-end telemetry check: boots simcrawl with -telemetry-addr and
 # asserts /healthz and the key /metrics series over real HTTP; then

@@ -73,6 +73,9 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", 0, "end-to-end deadline per HTTP request (0 = default 60s, negative = off)")
 		hostBudget   = flag.Int("host-budget", 0, "max pages crawled per host; any budget also enables the spider-trap URL heuristics (0 = unlimited)")
 		hostileSpec  = flag.String("hostile", "", "self-serve mode: mix adversarial hosts into the space, e.g. 'trap=1,loop=2,storm=1,seed=7' (see internal/hostile)")
+		recrawl      = flag.Int("recrawl", 0, "revisit sweeps after discovery drains: refetch the corpus in change-rate order with conditional GET (sequential engine; 0 = off)")
+		evolveSpec   = flag.String("evolve", "", "self-serve mode: evolve the served space ('news', 'archive', or key=val list) so pages edit, die and get born while the crawl runs")
+		evolveTick   = flag.Float64("evolve-tick", 1, "virtual seconds the served space's clock advances per page request (-evolve)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
@@ -100,6 +103,15 @@ func main() {
 			fatal(err)
 		}
 		ws := webserve.New(space)
+		if *evolveSpec != "" {
+			ec, err := webgraph.ParseEvolveSpec(*evolveSpec, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			ws.SetEvolver(webgraph.NewEvolver(space, ec))
+			ws.Tick = *evolveTick
+			fmt.Printf("serving an evolving space (%s), +%gs virtual per request\n", *evolveSpec, *evolveTick)
+		}
 		var adversary *hostile.Model
 		if *hostileSpec != "" {
 			hc, err := hostile.ParseSpec(*hostileSpec)
@@ -133,6 +145,9 @@ func main() {
 	} else {
 		if *hostileSpec != "" {
 			fatal(fmt.Errorf("-hostile mixes adversarial hosts into the self-served space; it cannot apply to external -seeds"))
+		}
+		if *evolveSpec != "" {
+			fatal(fmt.Errorf("-evolve churns the self-served space; it cannot apply to external -seeds"))
 		}
 		cfg.Seeds = strings.Split(*seeds, ",")
 	}
@@ -171,6 +186,12 @@ func main() {
 	}
 	if *brkThreshold > 0 {
 		cfg.Breaker = faults.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown}
+	}
+	if *recrawl > 0 {
+		if *coord != "" {
+			fatal(fmt.Errorf("-recrawl revisits the local corpus after discovery drains; in -coord mode the coordinator owns the frontier"))
+		}
+		cfg.Recrawl = crawler.RecrawlConfig{Passes: *recrawl}
 	}
 
 	// Instruments exist only when an endpoint or reporter will read them;
@@ -346,6 +367,9 @@ func main() {
 		res.Errors, res.RobotsBlocked, res.MaxQueueLen)
 	if res.Faults.Any() {
 		fmt.Printf("faults: %s\n", res.Faults.String())
+	}
+	if *recrawl > 0 {
+		fmt.Printf("recrawl: %s\n", res.Fresh)
 	}
 	if space != nil && res.Crawled > 0 {
 		fmt.Printf("ground truth: %d relevant pages exist; classifier found %d (%.1f%% coverage)\n",

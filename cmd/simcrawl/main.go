@@ -70,6 +70,10 @@ func main() {
 		maxRedir  = flag.Int("max-redirects", 0, "worker mode: redirect chain cap per request (0 = default 10, negative = refuse all)")
 		stallWait = flag.Duration("stall-timeout", 0, "worker mode: abort a body transfer with no progress for this long (0 = default 30s, negative = off)")
 		hostCap   = flag.Int("host-budget", 0, "worker mode: max pages crawled per host; enables the spider-trap heuristics (0 = unlimited)")
+		evolveS   = flag.String("evolve", "", "overlay change processes on the space: 'news', 'archive', or key=val list (edit,delete,birth,drift,latent,skew,seed); needs -recrawl or -timed")
+		recrawl   = flag.Float64("recrawl", 0, "incremental mode: interleave change-rate-ordered revisits with discovery until the virtual clock reaches this horizon (0 = off)")
+		revMin    = flag.Float64("revisit-min", 0, "minimum revisit interval in virtual seconds (-recrawl; 0 = default 64)")
+		revMax    = flag.Float64("revisit-max", 0, "maximum revisit interval in virtual seconds (-recrawl; 0 = default 4096)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
@@ -92,6 +96,19 @@ func main() {
 	classifier, err := cliutil.ParseClassifier(*cls, lang)
 	if err != nil {
 		fatal(err)
+	}
+
+	var evCfg webgraph.EvolveConfig
+	if *evolveS != "" {
+		if evCfg, err = webgraph.ParseEvolveSpec(*evolveS, space.Seed); err != nil {
+			fatal(err)
+		}
+		if *recrawl <= 0 && !*timed {
+			fatal(fmt.Errorf("-evolve needs -recrawl or -timed: the one-shot untimed engine has no clock for the space to evolve against"))
+		}
+	}
+	if *recrawl > 0 && (*timed || *compare != "" || *coord != "") {
+		fatal(fmt.Errorf("-recrawl runs the incremental sim engine; it is incompatible with -timed, -compare and -coord"))
 	}
 
 	if *compare != "" {
@@ -178,9 +195,11 @@ func main() {
 		cfg.Faults = fc
 	}
 	var res *sim.Result
-	if *timed {
+	var freshness *metrics.Series
+	switch {
+	case *timed:
 		tres, err := sim.RunTimed(space, sim.TimedConfig{
-			Config: cfg, HostInterval: *interval, Concurrency: *conns,
+			Config: cfg, HostInterval: *interval, Concurrency: *conns, Evolve: evCfg,
 		})
 		if err != nil {
 			fatal(err)
@@ -188,7 +207,19 @@ func main() {
 		res = &tres.Result
 		fmt.Printf("virtual duration: %.1fs (%.1f pages/s)\n",
 			tres.Duration, float64(res.Crawled)/tres.Duration)
-	} else {
+	case *recrawl > 0:
+		rres, err := sim.RunIncremental(space, cfg, sim.RecrawlConfig{
+			Evolve: evCfg, Horizon: *recrawl, MinGap: *revMin, MaxGap: *revMax,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		res = &rres.Result
+		freshness = rres.Freshness
+		fmt.Printf("recrawl to virtual t=%.0fs: %s\n", rres.VTime, rres.Fresh)
+		fmt.Printf("final freshness: %.1f%% of held pages match the live space\n",
+			rres.Freshness.Last().Y)
+	default:
 		if res, err = sim.Run(space, cfg); err != nil {
 			fatal(err)
 		}
@@ -206,13 +237,19 @@ func main() {
 		seriesSet("Coverage", "coverage %", res.Coverage),
 		seriesSet("URL queue size", "queue size URLs", res.QueueSize),
 	}
+	names := []string{"harvest", "coverage", "queue"}
+	if freshness != nil {
+		fset := metrics.NewSet("Corpus freshness", "virtual time (s)", "% of held pages fresh")
+		fset.Series = append(fset.Series, freshness)
+		sets = append(sets, fset)
+		names = append(names, "freshness")
+	}
 	if *plot {
 		for _, set := range sets {
 			fmt.Println(set.RenderASCII(72, 16))
 		}
 	}
 	if *csvPrefix != "" {
-		names := []string{"harvest", "coverage", "queue"}
 		for i, set := range sets {
 			path := fmt.Sprintf("%s-%s.csv", *csvPrefix, names[i])
 			f, err := os.Create(path)

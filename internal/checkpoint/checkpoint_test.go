@@ -28,7 +28,7 @@ func sampleState(crawled int) *checkpoint.State {
 		MaxQueue:      57,
 		Frontier: []checkpoint.Entry{
 			{URL: "http://h0.example/a", ID: 7, Dist: -2, Prio: 0.25},
-			{URL: "http://h1.example/b", ID: 9, Dist: 3, Prio: -1.5},
+			{URL: "http://h1.example/b", ID: 9, Dist: 3, Prio: -1.5, Revisit: true},
 		},
 		VisitedURLs: []string{"http://h0.example/", "http://h1.example/"},
 		VisitedBits: checkpoint.PackBits([]bool{true, false, true, true, false, false, false, false, true}),
@@ -47,6 +47,18 @@ func sampleState(crawled int) *checkpoint.State {
 		},
 		LogPos: 12345,
 		DBPos:  678,
+		Pass:   2,
+		VTime:  99.75,
+		Fresh: metrics.FreshCounters{
+			Revisits: 14, Unchanged: 9, Changed: 3, Deleted: 1, Born: 2, CondHits: 8,
+		},
+		Revisit: []checkpoint.RevisitRec{
+			{URL: "http://h0.example/a", ID: 7, Dist: -2, Version: 4, Visits: 5, Changes: 2,
+				Hash: 0xdeadbeefcafe, ETag: `"7-4"`, LastMod: "Tue, 05 Apr 2005 12:00:00 GMT",
+				LastVisit: 31.5, Due: 47.25, Held: true},
+			{URL: "http://h1.example/b", ID: 9, Dist: 1, Visits: 1, Dead: true},
+		},
+		FreshCurve: []checkpoint.Point{{X: 10, Y: 100}, {X: 20, Y: 87.5}},
 	}
 }
 

@@ -37,6 +37,36 @@ type Entry struct {
 	ID   uint32
 	Dist int32
 	Prio float64
+	// Revisit marks an entry queued by the incremental (recrawl) mode's
+	// revisit scheduler rather than by link discovery: on resume it must
+	// bypass the seen-set and already-crawled skips, because the whole
+	// point of the entry is to refetch a URL the crawl has seen.
+	Revisit bool
+}
+
+// RevisitRec is one URL's persisted revisit-ledger state: the change
+// history the incremental crawl mode uses to estimate per-URL change
+// rates, plus the cache validators and body hash the next revalidation
+// compares against. Live crawls fill URL/ETag/LastMod; the simulator
+// fills ID/Version.
+type RevisitRec struct {
+	URL     string
+	ID      uint32
+	Dist    int32
+	Version uint32
+	Visits  uint32
+	Changes uint32
+	Hash    uint64
+	ETag    string
+	LastMod string
+	// LastVisit and Due are virtual-time stamps (simulator only; the
+	// live crawler's pass-based scheduler leaves them zero).
+	LastVisit float64
+	Due       float64
+	Dead      bool
+	// Held says the crawl holds a live copy (false for a tracked page
+	// that answered 404 — latent or deleted — at its last visit).
+	Held bool
 }
 
 // Breaker is one host's persisted circuit-breaker position, mirroring
@@ -106,6 +136,29 @@ type State struct {
 	// files back to exactly these positions.
 	LogPos int64
 	DBPos  int64
+
+	// Incremental (recrawl) mode state. All zero/empty for one-shot
+	// crawls, so the fields cost nothing when the mode is off.
+
+	// Pass is the revisit pass the run was in (0 = still discovering).
+	Pass int
+	// VTime is the simulator's virtual clock at capture time; a resumed
+	// run fast-forwards its Evolver to exactly this instant, which is
+	// what makes kill-resume deterministic on an evolving space.
+	VTime float64
+	// Fresh carries the revisit outcome counters.
+	Fresh metrics.FreshCounters
+	// Revisit is the revisit ledger, in first-observation order.
+	Revisit []RevisitRec
+	// FreshCurve is the freshness series sampled so far, carried so a
+	// resumed run's curve is point-identical to an uninterrupted one.
+	FreshCurve []Point
+}
+
+// Point is one persisted sample of a metrics series (X typically a
+// virtual time or crawl count, Y the sampled value).
+type Point struct {
+	X, Y float64
 }
 
 // Encode serializes s: magic, payload, CRC32 trailer.
@@ -126,6 +179,7 @@ func (s *State) Encode() []byte {
 		b = binary.AppendUvarint(b, uint64(e.ID))
 		b = binary.AppendUvarint(b, zigzag(e.Dist))
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Prio))
+		b = append(b, boolByte(e.Revisit))
 	}
 
 	b = binary.AppendUvarint(b, uint64(len(s.VisitedURLs)))
@@ -164,6 +218,35 @@ func (s *State) Encode() []byte {
 	b = binary.AppendUvarint(b, uint64(s.LogPos))
 	b = binary.AppendUvarint(b, uint64(s.DBPos))
 
+	b = binary.AppendUvarint(b, uint64(s.Pass))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.VTime))
+	fr := s.Fresh
+	for _, v := range []int{fr.Revisits, fr.Unchanged, fr.Changed, fr.Deleted, fr.Born, fr.CondHits} {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(s.Revisit)))
+	for _, r := range s.Revisit {
+		b = appendStr(b, r.URL)
+		b = binary.AppendUvarint(b, uint64(r.ID))
+		b = binary.AppendUvarint(b, zigzag(r.Dist))
+		b = binary.AppendUvarint(b, uint64(r.Version))
+		b = binary.AppendUvarint(b, uint64(r.Visits))
+		b = binary.AppendUvarint(b, uint64(r.Changes))
+		b = binary.LittleEndian.AppendUint64(b, r.Hash)
+		b = appendStr(b, r.ETag)
+		b = appendStr(b, r.LastMod)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.LastVisit))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.Due))
+		b = append(b, boolByte(r.Dead), boolByte(r.Held))
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(s.FreshCurve)))
+	for _, p := range s.FreshCurve {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(p.X))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(p.Y))
+	}
+
 	crc := crc32.ChecksumIEEE(b[len(stateMagic):])
 	return binary.LittleEndian.AppendUint32(b, crc)
 }
@@ -201,6 +284,7 @@ func Decode(b []byte) (*State, error) {
 		e.ID = uint32(d.uint())
 		e.Dist = unzigzag(d.uint())
 		e.Prio = d.float()
+		e.Revisit = d.byte() != 0
 		s.Frontier = append(s.Frontier, e)
 	}
 
@@ -246,6 +330,46 @@ func Decode(b []byte) (*State, error) {
 	}
 	s.LogPos = int64(d.uint())
 	s.DBPos = int64(d.uint())
+
+	s.Pass = d.int()
+	s.VTime = d.float()
+	fr := &s.Fresh
+	for _, p := range []*int{&fr.Revisits, &fr.Unchanged, &fr.Changed, &fr.Deleted, &fr.Born, &fr.CondHits} {
+		*p = d.int()
+	}
+
+	nr := d.count(1 << 26)
+	if nr > 0 {
+		s.Revisit = make([]RevisitRec, 0, min(nr, 1<<20))
+	}
+	for i := 0; i < nr && d.err == nil; i++ {
+		var r RevisitRec
+		r.URL = d.str()
+		r.ID = uint32(d.uint())
+		r.Dist = unzigzag(d.uint())
+		r.Version = uint32(d.uint())
+		r.Visits = uint32(d.uint())
+		r.Changes = uint32(d.uint())
+		r.Hash = d.fixed64()
+		r.ETag = d.str()
+		r.LastMod = d.str()
+		r.LastVisit = d.float()
+		r.Due = d.float()
+		r.Dead = d.byte() != 0
+		r.Held = d.byte() != 0
+		s.Revisit = append(s.Revisit, r)
+	}
+
+	nc := d.count(1 << 26)
+	if nc > 0 {
+		s.FreshCurve = make([]Point, 0, min(nc, 1<<20))
+	}
+	for i := 0; i < nc && d.err == nil; i++ {
+		var p Point
+		p.X = d.float()
+		p.Y = d.float()
+		s.FreshCurve = append(s.FreshCurve, p)
+	}
 
 	if d.err != nil || len(d.b) != 0 {
 		return nil, ErrCorruptState
@@ -330,6 +454,16 @@ func (d *decoder) bytes() []byte {
 	}
 	v := append([]byte(nil), d.b[:n]...)
 	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) fixed64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
 	return v
 }
 

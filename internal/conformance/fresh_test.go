@@ -1,0 +1,96 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+
+	"langcrawl/internal/checkpoint"
+	"langcrawl/internal/sim"
+	"langcrawl/internal/webgraph"
+)
+
+// TestIncrementalZeroChurnMatchesGolden holds the incremental engine to
+// the golden traces: with no change processes its discovery phase must
+// visit exactly the pages the reference sequential engine does, in the
+// same order. Revisits revalidate but never re-enter the visit trace,
+// so the captured sequence is comparable one to one.
+func TestIncrementalZeroChurnMatchesGolden(t *testing.T) {
+	sp := space(t)
+	for _, c := range Cases() {
+		want := golden(t, c.Key)
+		tr := &Trace{Strategy: c.Strategy.Name()}
+		res, err := sim.RunIncremental(sp, sim.Config{
+			Strategy:   c.Strategy,
+			Classifier: Classifier(),
+			OnVisit:    func(id webgraph.PageID) { tr.Visits = append(tr.Visits, id) },
+		}, sim.RecrawlConfig{
+			// Horizon: the whole space's discovery plus revisit headroom.
+			Horizon: float64(SpacePages) + 200,
+			MinGap:  50,
+			MaxGap:  400,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Key, err)
+		}
+		// Summary fields: discovery numbers, with the revisit traffic
+		// backed out of Crawled.
+		tr.Crawled = res.Crawled - res.Fresh.Revisits
+		tr.Relevant = res.RelevantCrawled
+		tr.Harvest = 100 * float64(tr.Relevant) / float64(tr.Crawled)
+		tr.Coverage = res.FinalCoverage()
+		if d := want.Diff(tr); d != "" {
+			t.Errorf("%s: incremental discovery diverged from golden: %s", c.Key, d)
+		}
+		if res.Fresh.Revisits == 0 {
+			t.Errorf("%s: horizon left no room for revisits", c.Key)
+		}
+		if res.Fresh.Changed+res.Fresh.Deleted+res.Fresh.Born != 0 {
+			t.Errorf("%s: phantom churn on the static conformance space: %s", c.Key, res.Fresh)
+		}
+	}
+}
+
+// TestIncrementalChurnKillResumeEquivalence is the evolving-space
+// kill-resume proof on the conformance space: a seeded-churn
+// incremental crawl killed mid-run and resumed must match the
+// uninterrupted run exactly — counters, virtual clock, freshness curve.
+func TestIncrementalChurnKillResumeEquivalence(t *testing.T) {
+	sp := space(t)
+	cfg := sim.Config{Strategy: Cases()[2].Strategy, Classifier: Classifier()} // soft
+	rc := sim.RecrawlConfig{
+		Evolve:  webgraph.NewsChurn(SpaceSeed),
+		Horizon: 3000,
+		MinGap:  50,
+		MaxGap:  500,
+	}
+	want, err := sim.RunIncremental(sp, cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Fresh.Changed == 0 || want.Fresh.Revisits == 0 {
+		t.Fatalf("churn run observed nothing: %s", want.Fresh)
+	}
+
+	killed := cfg
+	killed.CheckpointDir = t.TempDir()
+	killed.CheckpointEvery = 64
+	killed.StopAfter = want.Crawled / 2
+	if _, err := sim.RunIncremental(sp, killed, rc); err != checkpoint.ErrKilled {
+		t.Fatalf("expected emulated kill, got %v", err)
+	}
+	killed.StopAfter = 0
+	res, err := sim.RunIncremental(sp, killed, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fresh != want.Fresh {
+		t.Errorf("resumed freshness %s\nwant            %s", res.Fresh, want.Fresh)
+	}
+	if res.Crawled != want.Crawled || res.RelevantCrawled != want.RelevantCrawled || res.VTime != want.VTime {
+		t.Errorf("resumed summary (%d,%d,%v), want (%d,%d,%v)",
+			res.Crawled, res.RelevantCrawled, res.VTime, want.Crawled, want.RelevantCrawled, want.VTime)
+	}
+	if !reflect.DeepEqual(res.Freshness.Points, want.Freshness.Points) {
+		t.Error("resumed freshness curve is not point-identical to the uninterrupted run's")
+	}
+}

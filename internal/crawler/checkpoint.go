@@ -111,6 +111,11 @@ func (ck *ckState) write(c *Crawler, res *Result, seen *checkpoint.Seen, entries
 		LogPos:        logPos,
 		DBPos:         dbPos,
 	}
+	if c.rc != nil {
+		st.Pass = c.rc.pass
+		st.Fresh = c.rc.fresh
+		st.Revisit = c.rc.ledgerRecs()
+	}
 	if err := ck.ckp.Write(st); err != nil {
 		return fmt.Errorf("crawler: writing checkpoint: %w", err)
 	}

@@ -176,6 +176,20 @@ type Config struct {
 	// engine finishes the fetch in hand, writes a final checkpoint, and
 	// returns normally. The cmds close it on SIGINT/SIGTERM.
 	Stop <-chan struct{}
+	// Now is the engine's clock (default time.Now). Every politeness
+	// booking — host intervals, cross-host redirect touches, and
+	// Retry-After holds, including HTTP-date values, which are resolved
+	// against this clock — goes through it, so a test or replay harness
+	// that injects a fixed clock gets reproducible hold arithmetic
+	// instead of wall-clock-dependent behavior.
+	Now func() time.Time
+	// Recrawl enables the incremental crawl mode: after the discovery
+	// frontier drains, the sequential engine runs Recrawl.Passes extra
+	// revisit passes over the crawled corpus, ordered by estimated
+	// per-URL change rate and revalidated with conditional GET
+	// (If-None-Match / If-Modified-Since), so unchanged pages cost a 304
+	// and no body bytes. See RecrawlConfig. Zero value disables.
+	Recrawl RecrawlConfig
 }
 
 // Result summarizes a crawl.
@@ -188,6 +202,10 @@ type Result struct {
 	Harvest       *metrics.Series // % classifier-relevant vs pages crawled
 	// Faults tallies attempts, retries, truncations and breaker activity.
 	Faults metrics.FaultCounters
+	// Fresh tallies revisit outcomes (all zero for one-shot crawls).
+	Fresh metrics.FreshCounters
+	// Passes is the number of completed revisit sweeps.
+	Passes int
 }
 
 // Crawler runs one crawl. Create with New, run with Run; a Crawler is
@@ -204,6 +222,10 @@ type Crawler struct {
 	guard    *hostGuard // nil when HostBudget is off
 	flt      *faultCtl
 	tel      *telemetry.CrawlStats // nil when telemetry is off
+	// rc is the incremental-mode revisit controller, nil for one-shot
+	// crawls. Non-nil only with the sequential engine (New enforces it),
+	// so it is accessed without locking.
+	rc *recrawlCtl
 }
 
 // New validates cfg and returns a ready crawler.
@@ -226,15 +248,27 @@ func New(cfg Config) (*Crawler, error) {
 	if tel == nil {
 		tel = &telemetry.CrawlStats{}
 	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Recrawl.Passes < 0 {
+		return nil, errors.New("crawler: Recrawl.Passes must be >= 0")
+	}
+	if cfg.Recrawl.Passes > 0 && (cfg.Parallelism > 1 || cfg.UseParallelEngine) {
+		return nil, errors.New("crawler: Recrawl requires the sequential engine")
+	}
 	c := &Crawler{
 		cfg:    cfg,
 		client: cfg.Client,
 		robots: make(map[string]*Robots),
-		polite: newPoliteness(),
+		polite: newPoliteness(cfg.Now),
 		flt:    newFaultCtl(cfg.Retry, cfg.Breaker, tel),
 		tel:    tel,
 	}
 	c.guard = newHostGuard(cfg.HostBudget, c.flt, tel.Hostile)
+	if cfg.Recrawl.Passes > 0 {
+		c.rc = newRecrawlCtl(cfg.Recrawl)
+	}
 	if c.client == nil {
 		c.client = http.DefaultClient
 	}
@@ -258,6 +292,10 @@ type qitem struct {
 	// at lower priority. In-memory only — not part of the persisted
 	// frontier format.
 	demoted int32
+	// revisit marks an incremental-mode revalidation of an already
+	// crawled URL: it bypasses the seen-set and already-in-DB skips and
+	// is fetched conditionally against the ledger's validators.
+	revisit bool
 }
 
 // Run crawls until the frontier drains, MaxPages is reached, or ctx is
@@ -285,8 +323,17 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	resumed := ck.resume(res, seen, c.flt, c.guard, func(e checkpoint.Entry) {
+		if e.Revisit {
+			if c.rc != nil {
+				c.rc.pushEntry(e)
+			}
+			return
+		}
 		queue.Push(qitem{url: e.URL, dist: e.Dist, prio: e.Prio}, e.Prio)
 	})
+	if resumed && c.rc != nil {
+		c.rc.restore(ck.st)
+	}
 	if !resumed {
 		if c.cfg.FrontierPath != "" {
 			items, err := loadFrontierWarn(c.cfg.FrontierPath)
@@ -332,8 +379,11 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 		entries := make([]checkpoint.Entry, len(items))
 		for i, it := range items {
 			prio := it.prio - float64(it.demoted)
-			entries[i] = checkpoint.Entry{URL: it.url, Dist: it.dist, Prio: prio}
+			entries[i] = checkpoint.Entry{URL: it.url, Dist: it.dist, Prio: prio, Revisit: it.revisit}
 			queue.Push(it, prio)
+		}
+		if c.rc != nil {
+			entries = append(entries, c.rc.pendingEntries()...)
 		}
 		res.MaxQueueLen = max(res.MaxQueueLen, queue.MaxLen())
 		return ck.write(c, res, seen, entries, logPos, dbPos)
@@ -361,10 +411,16 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 			break
 		}
 		item, ok := queue.Pop()
+		if !ok && c.rc != nil {
+			// Discovery drained: the incremental mode takes over, popping
+			// revisits in change-rate order and starting new sweeps until
+			// the configured passes are spent.
+			item, ok = c.rc.next()
+		}
 		if !ok {
 			break
 		}
-		if seen.Has(item.url) {
+		if !item.revisit && seen.Has(item.url) {
 			continue
 		}
 		host := urlutil.Host(item.url)
@@ -383,7 +439,7 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 			continue
 		}
 		seen.Add(item.url)
-		if sinks.db != nil && sinks.db.Has(item.url) {
+		if !item.revisit && sinks.db != nil && sinks.db.Has(item.url) {
 			continue // already crawled in a previous run
 		}
 
@@ -400,7 +456,13 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 			time.Sleep(wait)
 		}
 
+		if item.revisit {
+			c.rc.arm(item.url)
+		}
 		out := c.fetchWithRetry(ctx, item.url, host)
+		if item.revisit {
+			c.rc.disarm()
+		}
 		res.Errors += out.transportErrs
 		if sinks.log != nil {
 			for _, frec := range out.failed {
@@ -416,6 +478,22 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 		res.Crawled++
 		c.tel.Pages.Inc()
 		c.guard.recordPage(host, int64(len(visit.Body)))
+		if item.revisit {
+			// Revalidation outcome: fold it into the ledger and the
+			// freshness counters. Revisits consume the page budget and are
+			// logged, but never classify, expand the frontier, or touch
+			// the link DB — a sweep refreshes copies, it is not discovery.
+			c.rc.applyRevisit(item.url, visit)
+			if sinks.log != nil {
+				if err := sinks.log.Write(rec); err != nil {
+					return res, fmt.Errorf("crawler: writing log: %w", err)
+				}
+			}
+			continue
+		}
+		if c.rc != nil {
+			c.rc.observeDiscovery(item.url, item.dist, visit)
+		}
 		score := c.classify(visit)
 		if score >= 0.5 {
 			res.Relevant++
@@ -462,6 +540,10 @@ func (c *Crawler) runSequential(ctx context.Context) (*Result, error) {
 	}
 	res.MaxQueueLen = max(res.MaxQueueLen, queue.MaxLen())
 	res.Faults = c.flt.snapshot()
+	if c.rc != nil {
+		res.Fresh = c.rc.fresh
+		res.Passes = c.rc.pass
+	}
 	if ck != nil {
 		// Final checkpoint: a later resume sees the finished state and
 		// has nothing left to redo.
@@ -638,6 +720,18 @@ func (c *Crawler) fetch(ctx context.Context, pageURL string) (*core.Visit, []str
 		return nil, nil, nil, err
 	}
 	req.Header.Set("User-Agent", c.cfg.UserAgent)
+	if c.rc != nil {
+		// An armed revisit revalidates instead of refetching: the server
+		// may answer 304 with no body at all if the held copy is current.
+		if etag, lastMod, ok := c.rc.condFor(pageURL); ok {
+			if etag != "" {
+				req.Header.Set("If-None-Match", etag)
+			}
+			if lastMod != "" {
+				req.Header.Set("If-Modified-Since", lastMod)
+			}
+		}
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		if watch != nil && watch.stop() {
@@ -647,13 +741,21 @@ func (c *Crawler) fetch(ctx context.Context, pageURL string) (*core.Visit, []str
 		return nil, nil, nil, err
 	}
 	defer resp.Body.Close()
+	if c.rc != nil && (resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNotModified) {
+		// Stash the response validators for the crawl loop's ledger; the
+		// sequential engine is single-threaded, so plain fields suffice.
+		c.rc.lastVal.url = pageURL
+		c.rc.lastVal.etag = resp.Header.Get("ETag")
+		c.rc.lastVal.lastMod = resp.Header.Get("Last-Modified")
+	}
 
 	// An explicit slow-down (429, or 503 with Retry-After) holds the
 	// host in the politeness ledger, so retries and future frontier pops
 	// for it wait the advertised time.
 	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
-		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
-			c.polite.hold(strings.ToLower(resp.Request.URL.Hostname()), time.Now().Add(d))
+		now := c.cfg.Now()
+		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), now); ok {
+			c.polite.hold(strings.ToLower(resp.Request.URL.Hostname()), now.Add(d))
 			c.tel.Hostile.Throttle()
 		}
 	}

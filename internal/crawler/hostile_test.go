@@ -94,22 +94,56 @@ func TestPathOf(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfter pins the determinism fix: HTTP-date Retry-After
+// values are resolved against the caller's clock, not wall-clock
+// time.Now, so for a fixed "now" the computed hold is exact — a faulted
+// or timed run replays byte-identically no matter when it executes.
 func TestParseRetryAfter(t *testing.T) {
-	if d, ok := parseRetryAfter("120"); !ok || d != 120*time.Second {
+	now := time.Date(2005, 4, 5, 12, 0, 0, 0, time.UTC)
+	if d, ok := parseRetryAfter("120", now); !ok || d != 120*time.Second {
 		t.Errorf("delta-seconds: got %v, %v", d, ok)
 	}
-	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
-	if d, ok := parseRetryAfter(future); !ok || d < 88*time.Second || d > 90*time.Second {
-		t.Errorf("HTTP-date: got %v, %v", d, ok)
+	future := now.Add(90 * time.Second).Format(http.TimeFormat)
+	if d, ok := parseRetryAfter(future, now); !ok || d != 90*time.Second {
+		t.Errorf("HTTP-date vs injected clock must be exact: got %v, %v", d, ok)
 	}
-	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
-	if d, ok := parseRetryAfter(past); !ok || d != 0 {
+	// The same header parsed against a different "now" yields a different
+	// hold — proof the clock, not the wall, decides.
+	if d, ok := parseRetryAfter(future, now.Add(30*time.Second)); !ok || d != 60*time.Second {
+		t.Errorf("HTTP-date vs shifted clock: got %v, %v, want 60s", d, ok)
+	}
+	past := now.Add(-time.Minute).Format(http.TimeFormat)
+	if d, ok := parseRetryAfter(past, now); !ok || d != 0 {
 		t.Errorf("past HTTP-date should be a usable zero hold, got %v, %v", d, ok)
 	}
 	for _, bad := range []string{"", "-5", "soon", "12.5"} {
-		if _, ok := parseRetryAfter(bad); ok {
+		if _, ok := parseRetryAfter(bad, now); ok {
 			t.Errorf("parseRetryAfter(%q) accepted", bad)
 		}
+	}
+}
+
+// TestRetryAfterHoldInjectedClock drives the whole hold computation —
+// header parse, politeness booking, remaining-hold query — through a
+// frozen injected clock and asserts the booked hold is exactly the
+// advertised value. Under wall-clock resolution the remaining hold
+// would shrink between booking and query; with the injected clock it
+// cannot.
+func TestRetryAfterHoldInjectedClock(t *testing.T) {
+	frozen := time.Date(2005, 4, 5, 12, 0, 0, 0, time.UTC)
+	client := hostileWeb(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", frozen.Add(73*time.Second).Format(http.TimeFormat))
+		http.Error(w, "slow down", http.StatusServiceUnavailable)
+	}))
+	c, tel := newHardened(t, Config{Client: client, IgnoreRobots: true, Now: func() time.Time { return frozen }})
+	if _, _, _, err := c.fetch(context.Background(), "http://busy.test/page"); err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if got := c.polite.holdRemaining("busy.test"); got != 73*time.Second {
+		t.Errorf("hold = %v, want exactly 73s under the frozen clock", got)
+	}
+	if tel.Hostile.Throttles.Value() != 1 {
+		t.Errorf("Throttles = %d, want 1", tel.Hostile.Throttles.Value())
 	}
 }
 

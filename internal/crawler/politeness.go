@@ -24,13 +24,21 @@ const maxRetryAfterHold = 5 * time.Minute
 // Each entry is the earliest instant the host may be hit again. The
 // ledger has its own mutex because redirect hops book from inside
 // http.Client.Do on worker goroutines, outside any engine lock.
+//
+// All bookings are computed against the injected clock, never against
+// time.Now directly, so a test (or a replayed run) that pins the clock
+// gets byte-identical hold arithmetic.
 type politeness struct {
 	mu   sync.Mutex
+	now  func() time.Time
 	next map[string]time.Time
 }
 
-func newPoliteness() *politeness {
-	return &politeness{next: make(map[string]time.Time)}
+func newPoliteness(now func() time.Time) *politeness {
+	if now == nil {
+		now = time.Now
+	}
+	return &politeness{now: now, next: make(map[string]time.Time)}
 }
 
 // reserve books the next access slot for host and returns how long the
@@ -40,7 +48,7 @@ func newPoliteness() *politeness {
 func (p *politeness) reserve(host string, interval time.Duration) time.Duration {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	now := time.Now()
+	now := p.now()
 	start := now
 	if t, ok := p.next[host]; ok && t.After(start) {
 		start = t
@@ -61,7 +69,7 @@ func (p *politeness) touch(host string, interval time.Duration) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	start := time.Now()
+	start := p.now()
 	if t, ok := p.next[host]; ok && t.After(start) {
 		start = t
 	}
@@ -71,11 +79,11 @@ func (p *politeness) touch(host string, interval time.Duration) {
 // hold forbids hitting host before until (capped at maxRetryAfterHold
 // from now). Used for Retry-After on 429/503 responses.
 func (p *politeness) hold(host string, until time.Time) {
-	if cap := time.Now().Add(maxRetryAfterHold); until.After(cap) {
-		until = cap
-	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if cap := p.now().Add(maxRetryAfterHold); until.After(cap) {
+		until = cap
+	}
 	if t, ok := p.next[host]; !ok || until.After(t) {
 		p.next[host] = until
 	}
@@ -89,16 +97,18 @@ func (p *politeness) holdRemaining(host string) time.Duration {
 	if !ok {
 		return 0
 	}
-	if d := time.Until(t); d > 0 {
+	if d := t.Sub(p.now()); d > 0 {
 		return d
 	}
 	return 0
 }
 
 // parseRetryAfter interprets a Retry-After header value in either RFC
-// 9110 form: delta-seconds ("120") or an HTTP-date. It reports whether
-// the value was usable; a date in the past yields a zero hold.
-func parseRetryAfter(v string) (time.Duration, bool) {
+// 9110 form: delta-seconds ("120") or an HTTP-date resolved against the
+// caller's clock — never against time.Now, so a run driven by an
+// injected clock reproduces its holds exactly. It reports whether the
+// value was usable; a date at or before now yields a zero hold.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
 	v = strings.TrimSpace(v)
 	if v == "" {
 		return 0, false
@@ -110,7 +120,7 @@ func parseRetryAfter(v string) (time.Duration, bool) {
 		return time.Duration(secs) * time.Second, true
 	}
 	if t, err := http.ParseTime(v); err == nil {
-		if d := time.Until(t); d > 0 {
+		if d := t.Sub(now); d > 0 {
 			return d, true
 		}
 		return 0, true

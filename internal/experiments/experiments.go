@@ -159,7 +159,7 @@ func IDs() []string {
 	return []string{
 		"table1", "table2", "table3", "obs",
 		"fig3", "fig4", "fig5", "fig6", "fig7",
-		"abl-classifier", "abl-locality", "abl-mislabel", "abl-adaptive", "abl-queue", "abl-seeds", "abl-faults", "abl-timed", "abl-hostile",
+		"abl-classifier", "abl-locality", "abl-mislabel", "abl-adaptive", "abl-queue", "abl-seeds", "abl-faults", "abl-timed", "abl-hostile", "abl-recrawl",
 	}
 }
 
@@ -202,6 +202,8 @@ func (r *Runner) Run(id string) (*Outcome, error) {
 		return r.AblationTimed(), nil
 	case "abl-hostile":
 		return r.AblationHostile(), nil
+	case "abl-recrawl":
+		return r.AblationRecrawl(), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
 			id, strings.Join(IDs(), ", "))

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"langcrawl/internal/core"
+	"langcrawl/internal/metrics"
+	"langcrawl/internal/sim"
+	"langcrawl/internal/webgraph"
+)
+
+// AblationRecrawl measures what incremental recrawling buys on an
+// evolving web space. Two churn regimes — a news-like fast-churn preset
+// and an archive-like slow one — are each crawled two ways: a one-shot
+// crawl whose snapshot then decays untended, and an incremental crawl
+// that keeps revalidating pages in change-rate order. The experiment
+// plots corpus freshness against virtual time for all four arms and
+// checks the claims the recrawl mode rests on: revisiting beats
+// one-shot on final freshness, fast churn decays faster than slow, and
+// the whole evolving-space pipeline is deterministic across runs.
+func (r *Runner) AblationRecrawl() *Outcome {
+	o := &Outcome{ID: "abl-recrawl", Title: "Recrawl: one-shot decay vs incremental freshness on evolving spaces"}
+
+	pages := r.opt.ThaiPages / 10
+	if pages < 1000 {
+		pages = 1000
+	}
+	space, err := webgraph.Generate(webgraph.ThaiLike(pages, r.opt.Seed+55))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: abl-recrawl dataset: %v", err))
+	}
+	// Horizon: discovery (one virtual second per fetch) plus several
+	// revisit generations.
+	horizon := 6 * float64(pages)
+
+	cfg := sim.Config{Strategy: core.SoftFocused{}, Classifier: metaThai()}
+	incremental := func(ev webgraph.EvolveConfig) *sim.RecrawlResult {
+		res, err := sim.RunIncremental(space, cfg, sim.RecrawlConfig{
+			Evolve:  ev,
+			Horizon: horizon,
+			MinGap:  64,
+			MaxGap:  float64(pages),
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: abl-recrawl: %v", err))
+		}
+		return res
+	}
+
+	// oneShotDecay replays a single discovery crawl against the same
+	// change processes — one fetch per virtual second, no revisits — and
+	// then lets the snapshot age to the horizon, sampling the fraction of
+	// held copies that still match the live space.
+	oneShotDecay := func(evCfg webgraph.EvolveConfig) *metrics.Series {
+		var order []webgraph.PageID
+		c := cfg
+		c.OnVisit = func(id webgraph.PageID) { order = append(order, id) }
+		if _, err := sim.RunIncremental(space, c, sim.RecrawlConfig{
+			Evolve: evCfg,
+			// The horizon cuts the run at the end of discovery: with
+			// both gap clamps beyond it, no revisit ever comes due.
+			Horizon: horizon,
+			MinGap:  2 * horizon,
+			MaxGap:  2 * horizon,
+		}); err != nil {
+			panic(fmt.Sprintf("experiments: abl-recrawl one-shot: %v", err))
+		}
+		ev := webgraph.NewEvolver(space, evCfg)
+		held := make(map[webgraph.PageID]uint32, len(order))
+		t := 0.0
+		for _, id := range order {
+			t += 1
+			ev.AdvanceTo(t)
+			if ev.Alive(id) {
+				held[id] = ev.Version(id)
+			}
+		}
+		decay := &metrics.Series{}
+		sampleAt := func(at float64) {
+			ev.AdvanceTo(at)
+			fresh := 0
+			for id, v := range held {
+				if ev.Alive(id) && ev.Version(id) == v {
+					fresh++
+				}
+			}
+			pct := 0.0
+			if len(held) > 0 {
+				pct = 100 * float64(fresh) / float64(len(held))
+			}
+			decay.Add(at, pct)
+		}
+		sampleAt(t)
+		step := (horizon - t) / 64
+		for at := t + step; at <= horizon; at += step {
+			sampleAt(at)
+		}
+		return decay
+	}
+
+	news, archive := webgraph.NewsChurn(r.opt.Seed), webgraph.ArchiveChurn(r.opt.Seed)
+	newsInc := incremental(news)
+	newsOnce := oneShotDecay(news)
+	archInc := incremental(archive)
+	archOnce := oneShotDecay(archive)
+
+	set := metrics.NewSet("Corpus freshness under churn", "virtual time (s)", "% of held pages fresh")
+	addSeries(set, newsInc.Freshness, "news/incremental")
+	addSeries(set, newsOnce, "news/one-shot")
+	addSeries(set, archInc.Freshness, "archive/incremental")
+	addSeries(set, archOnce, "archive/one-shot")
+	o.Sets = []*metrics.Set{set}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %9s %9s %8s %6s %9s | %12s %10s\n",
+		"space", "revisits", "unchanged", "changed", "deleted", "born", "cond-hits", "final fresh%", "one-shot%")
+	row := func(name string, inc *sim.RecrawlResult, once *metrics.Series) {
+		f := inc.Fresh
+		fmt.Fprintf(&b, "%-10s %10d %9d %9d %8d %6d %9d | %12.1f %10.1f\n",
+			name, f.Revisits, f.Unchanged, f.Changed, f.Deleted, f.Born, f.CondHits,
+			inc.Freshness.Last().Y, once.Last().Y)
+	}
+	row("news", newsInc, newsOnce)
+	row("archive", archInc, archOnce)
+	o.Text = b.String()
+
+	o.Checks = append(o.Checks,
+		check("incremental recrawl keeps a news-like space fresher than one-shot",
+			newsInc.Freshness.Last().Y > newsOnce.Last().Y,
+			"incremental %.1f%% vs one-shot %.1f%%", newsInc.Freshness.Last().Y, newsOnce.Last().Y),
+		check("incremental recrawl keeps an archive-like space fresher than one-shot",
+			archInc.Freshness.Last().Y > archOnce.Last().Y,
+			"incremental %.1f%% vs one-shot %.1f%%", archInc.Freshness.Last().Y, archOnce.Last().Y),
+		check("fast churn stales a finishing one-shot crawl harder than slow churn",
+			newsOnce.Points[0].Y < archOnce.Points[0].Y,
+			"freshness at end of discovery: news %.1f%% vs archive %.1f%%",
+			newsOnce.Points[0].Y, archOnce.Points[0].Y),
+		check("revisit sweeps observe the full churn mix on the news space",
+			newsInc.Fresh.Changed > 0 && newsInc.Fresh.Deleted > 0 && newsInc.Fresh.Born > 0,
+			"%s", newsInc.Fresh),
+	)
+
+	// Determinism: a repeated news arm must match to the last counter and
+	// curve point — the reproducibility claim of the evolving-space
+	// pipeline.
+	again := incremental(news)
+	same := again.Fresh == newsInc.Fresh && again.Crawled == newsInc.Crawled &&
+		again.VTime == newsInc.VTime && len(again.Freshness.Points) == len(newsInc.Freshness.Points)
+	if same {
+		for i, p := range again.Freshness.Points {
+			if p != newsInc.Freshness.Points[i] {
+				same = false
+				break
+			}
+		}
+	}
+	o.Checks = append(o.Checks,
+		check("seeded churn is deterministic across runs",
+			same, "repeat run: %s, crawled=%d", again.Fresh, again.Crawled))
+
+	return o
+}

@@ -1,0 +1,211 @@
+package frontier
+
+import "cmp"
+
+// ChangeStats is one key's observed revisit history, the evidence the
+// incremental crawl mode estimates per-page change rates from.
+type ChangeStats struct {
+	// Visits counts completed revisit observations.
+	Visits uint32
+	// Changes counts the observations that found the page changed.
+	Changes uint32
+}
+
+// Rate returns the smoothed change-rate estimate (changes+½)/(visits+1):
+// the add-half (Krichevsky–Trofimov) estimator, never zero, so a page
+// with no history still gets a finite revisit interval and a page that
+// has never changed keeps being probed, just rarely.
+func (c ChangeStats) Rate() float64 {
+	return (float64(c.Changes) + 0.5) / (float64(c.Visits) + 1)
+}
+
+// Revisit is a due-time revalidation scheduler: every tracked key has a
+// change history and a next-due instant 1/Rate ahead of its last visit
+// (clamped to [MinGap, MaxGap]), and keys pop in due order. Ties break
+// by key, not by insertion order, so a scheduler rebuilt from a
+// checkpoint ledger — whatever order the records arrive in — pops the
+// exact sequence the original would have. That property is what the
+// incremental engines' kill-resume equivalence rests on.
+//
+// The intended cycle per key is Track → (Pop → Observe | Kill)…; Observe
+// and Kill apply to keys that have just been popped. Not safe for
+// concurrent use.
+type Revisit[K cmp.Ordered] struct {
+	// MinGap and MaxGap clamp the adaptive revisit interval.
+	MinGap, MaxGap float64
+
+	heap []K
+	info map[K]*revisitState
+}
+
+type revisitState struct {
+	stats  ChangeStats
+	due    float64
+	dead   bool
+	queued bool
+}
+
+// NewRevisit returns an empty scheduler with the given interval clamps
+// (maxGap <= 0 means unclamped above).
+func NewRevisit[K cmp.Ordered](minGap, maxGap float64) *Revisit[K] {
+	return &Revisit[K]{MinGap: minGap, MaxGap: maxGap, info: make(map[K]*revisitState)}
+}
+
+// interval is the revisit gap implied by a key's history.
+func (r *Revisit[K]) interval(c ChangeStats) float64 {
+	iv := 1 / c.Rate()
+	if iv < r.MinGap {
+		iv = r.MinGap
+	}
+	if r.MaxGap > 0 && iv > r.MaxGap {
+		iv = r.MaxGap
+	}
+	return iv
+}
+
+// Track registers key with an empty history, first due one zero-history
+// interval after now. Re-tracking a known key is a no-op.
+func (r *Revisit[K]) Track(key K, now float64) {
+	if _, ok := r.info[key]; ok {
+		return
+	}
+	st := &revisitState{}
+	st.due = now + r.interval(st.stats)
+	r.info[key] = st
+	r.push(key, st)
+}
+
+// Observe records one revisit outcome for a popped key and schedules
+// its next due. Unknown and dead keys are ignored.
+func (r *Revisit[K]) Observe(key K, changed bool, now float64) {
+	st := r.info[key]
+	if st == nil || st.dead || st.queued {
+		return
+	}
+	st.stats.Visits++
+	if changed {
+		st.stats.Changes++
+	}
+	st.due = now + r.interval(st.stats)
+	r.push(key, st)
+}
+
+// Kill marks key permanently gone (a deleted page): it is never
+// scheduled again, but its record survives for checkpointing.
+func (r *Revisit[K]) Kill(key K) {
+	if st := r.info[key]; st != nil {
+		st.dead = true
+	}
+}
+
+// Restore re-registers key from a checkpoint ledger record. Live keys
+// re-enter the queue at their persisted due time.
+func (r *Revisit[K]) Restore(key K, stats ChangeStats, due float64, dead bool) {
+	st := &revisitState{stats: stats, due: due, dead: dead}
+	r.info[key] = st
+	if !dead {
+		r.push(key, st)
+	}
+}
+
+// Next peeks the earliest-due key without removing it.
+func (r *Revisit[K]) Next() (key K, due float64, ok bool) {
+	if len(r.heap) == 0 {
+		var zero K
+		return zero, 0, false
+	}
+	k := r.heap[0]
+	return k, r.info[k].due, true
+}
+
+// Pop removes and returns the earliest-due key.
+func (r *Revisit[K]) Pop() (K, bool) {
+	for len(r.heap) > 0 {
+		top := r.heap[0]
+		last := len(r.heap) - 1
+		r.heap[0] = r.heap[last]
+		r.heap = r.heap[:last]
+		if last > 0 {
+			r.siftDown(0)
+		}
+		st := r.info[top]
+		st.queued = false
+		if st.dead {
+			continue // killed while queued: skip silently
+		}
+		return top, true
+	}
+	var zero K
+	return zero, false
+}
+
+// Len returns the number of queued (not dead, not popped) keys.
+func (r *Revisit[K]) Len() int { return len(r.heap) }
+
+// Stats returns key's history, and whether key is tracked at all.
+func (r *Revisit[K]) Stats(key K) (stats ChangeStats, ok bool) {
+	st := r.info[key]
+	if st == nil {
+		return ChangeStats{}, false
+	}
+	return st.stats, true
+}
+
+// State exposes key's full ledger state for checkpointing.
+func (r *Revisit[K]) State(key K) (stats ChangeStats, due float64, dead, ok bool) {
+	st := r.info[key]
+	if st == nil {
+		return ChangeStats{}, 0, false, false
+	}
+	return st.stats, st.due, st.dead, true
+}
+
+func (r *Revisit[K]) push(key K, st *revisitState) {
+	if st.queued {
+		return
+	}
+	st.queued = true
+	r.heap = append(r.heap, key)
+	r.siftUp(len(r.heap) - 1)
+}
+
+// less orders the heap by (due, key): key is the tie-break precisely so
+// pop order is a function of the schedule alone, not of push history.
+func (r *Revisit[K]) less(i, j int) bool {
+	a, b := r.heap[i], r.heap[j]
+	da, db := r.info[a].due, r.info[b].due
+	if da != db {
+		return da < db
+	}
+	return a < b
+}
+
+func (r *Revisit[K]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !r.less(i, parent) {
+			return
+		}
+		r.heap[i], r.heap[parent] = r.heap[parent], r.heap[i]
+		i = parent
+	}
+}
+
+func (r *Revisit[K]) siftDown(i int) {
+	n := len(r.heap)
+	for {
+		l, rt := 2*i+1, 2*i+2
+		best := i
+		if l < n && r.less(l, best) {
+			best = l
+		}
+		if rt < n && r.less(rt, best) {
+			best = rt
+		}
+		if best == i {
+			return
+		}
+		r.heap[i], r.heap[best] = r.heap[best], r.heap[i]
+		i = best
+	}
+}

@@ -1,0 +1,137 @@
+package frontier
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChangeStatsRate(t *testing.T) {
+	if got := (ChangeStats{}).Rate(); got != 0.5 {
+		t.Fatalf("zero-history rate = %v, want 0.5", got)
+	}
+	if got := (ChangeStats{Visits: 3, Changes: 3}).Rate(); got != 3.5/4 {
+		t.Fatalf("always-changed rate = %v, want %v", got, 3.5/4)
+	}
+	// Rate is never zero, so intervals stay finite.
+	c := ChangeStats{Visits: 1000}
+	if got := c.Rate(); got <= 0 || math.IsInf(1/got, 0) {
+		t.Fatalf("never-changed rate = %v, want small positive", got)
+	}
+}
+
+func TestRevisitDueOrder(t *testing.T) {
+	r := NewRevisit[int](0, 0)
+	// Zero-history interval = 1/0.5 = 2.
+	r.Track(3, 10) // due 12
+	r.Track(1, 5)  // due 7
+	r.Track(2, 8)  // due 10
+	if k, due, ok := r.Next(); !ok || k != 1 || due != 7 {
+		t.Fatalf("Next = (%d, %v, %v), want (1, 7, true)", k, due, ok)
+	}
+	var got []int
+	for {
+		k, ok := r.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRevisitTieBreakIsKeyOrder: equal dues pop by key regardless of
+// the order they were scheduled — the checkpoint-rebuild property.
+func TestRevisitTieBreakIsKeyOrder(t *testing.T) {
+	forward := NewRevisit[int](0, 0)
+	backward := NewRevisit[int](0, 0)
+	for _, k := range []int{5, 1, 9, 3, 7} {
+		forward.Track(k, 100)
+	}
+	for _, k := range []int{7, 3, 9, 1, 5} {
+		backward.Track(k, 100)
+	}
+	for i := 0; i < 5; i++ {
+		a, _ := forward.Pop()
+		b, _ := backward.Pop()
+		if a != b {
+			t.Fatalf("pop %d: insertion order leaked into tie-break (%d vs %d)", i, a, b)
+		}
+	}
+}
+
+func TestRevisitObserveAdaptsInterval(t *testing.T) {
+	r := NewRevisit[int](0, 0)
+	r.Track(1, 0)
+	r.Track(2, 0)
+	r.Pop()
+	r.Pop()
+	// Key 1 keeps changing, key 2 never does: 1 must come due sooner.
+	r.Observe(1, true, 100)
+	r.Observe(2, false, 100)
+	s1, _, _, _ := r.State(1)
+	s2, _, _, _ := r.State(2)
+	if s1.Rate() <= s2.Rate() {
+		t.Fatalf("changed page rate %v not above unchanged %v", s1.Rate(), s2.Rate())
+	}
+	if k, _ := r.Pop(); k != 1 {
+		t.Fatalf("churning key did not come due first (got %d)", k)
+	}
+}
+
+func TestRevisitClamps(t *testing.T) {
+	r := NewRevisit[int](50, 400)
+	if iv := r.interval(ChangeStats{}); iv != 50 {
+		t.Fatalf("zero-history interval %v, want MinGap 50", iv)
+	}
+	if iv := r.interval(ChangeStats{Visits: 10000}); iv != 400 {
+		t.Fatalf("never-changed interval %v, want MaxGap 400", iv)
+	}
+}
+
+func TestRevisitKillAndRestore(t *testing.T) {
+	r := NewRevisit[int](0, 0)
+	r.Track(1, 0)
+	r.Track(2, 0)
+	if k, _ := r.Pop(); k != 1 {
+		t.Fatal("setup: expected key 1 first")
+	}
+	r.Observe(1, true, 5) // requeued with history {1,1}
+	if k, _ := r.Pop(); k != 2 {
+		t.Fatal("setup: expected key 2 second")
+	}
+	r.Kill(2)
+	r.Observe(2, true, 6) // ignored after Kill
+	if stats, _ := r.Stats(2); stats != (ChangeStats{}) {
+		t.Fatalf("Observe mutated a killed key: %+v", stats)
+	}
+	// Kill while queued: Pop must skip it.
+	r.Kill(1)
+	if k, ok := r.Pop(); ok {
+		t.Fatalf("popped killed key %d", k)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after killing everything", r.Len())
+	}
+
+	// Rebuild from persisted state: dead keys stay out of the queue but
+	// keep their stats.
+	fresh := NewRevisit[int](0, 0)
+	for _, k := range []int{1, 2} {
+		stats, due, dead, ok := r.State(k)
+		if !ok {
+			t.Fatalf("key %d lost from ledger", k)
+		}
+		fresh.Restore(k, stats, due, dead)
+	}
+	if fresh.Len() != 0 {
+		t.Fatalf("restored scheduler queued dead keys (Len=%d)", fresh.Len())
+	}
+	if stats, _ := fresh.Stats(1); stats != (ChangeStats{Visits: 1, Changes: 1}) {
+		t.Fatalf("restored stats %+v", stats)
+	}
+}

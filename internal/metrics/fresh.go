@@ -1,0 +1,49 @@
+package metrics
+
+import "fmt"
+
+// FreshCounters tallies revisit events of one incremental crawl: how
+// many revisits the engine issued, what each found (unchanged, changed,
+// deleted), how many pages were discovered newly born on an evolving
+// space, and how many revalidations were answered with a 304 and no
+// body bytes. Both incremental engines expose one in their Result, and
+// the recrawl experiments report them alongside the freshness curves.
+type FreshCounters struct {
+	// Revisits is the total number of revisit fetches (conditional or
+	// not), excluding first-time discovery fetches.
+	Revisits int
+	// Unchanged is the number of revisits that found the page identical
+	// to the held copy (by validator or by body comparison).
+	Unchanged int
+	// Changed is the number of revisits that observed a new version.
+	Changed int
+	// Deleted is the number of revisits that found a previously crawled
+	// page gone (404/410); the page leaves the revisit schedule.
+	Deleted int
+	// Born is the number of pages first observed alive after an earlier
+	// attempt found them not yet created.
+	Born int
+	// CondHits is the number of revisits answered 304 Not Modified —
+	// revalidations that transferred no body bytes at all.
+	CondHits int
+}
+
+// Add accumulates o into f.
+func (f *FreshCounters) Add(o FreshCounters) {
+	f.Revisits += o.Revisits
+	f.Unchanged += o.Unchanged
+	f.Changed += o.Changed
+	f.Deleted += o.Deleted
+	f.Born += o.Born
+	f.CondHits += o.CondHits
+}
+
+// Any reports whether any counter is nonzero.
+func (f FreshCounters) Any() bool { return f != FreshCounters{} }
+
+// String renders the counters on one line for CLI summaries.
+func (f FreshCounters) String() string {
+	return fmt.Sprintf(
+		"revisits=%d unchanged=%d changed=%d deleted=%d born=%d cond-hits=%d",
+		f.Revisits, f.Unchanged, f.Changed, f.Deleted, f.Born, f.CondHits)
+}

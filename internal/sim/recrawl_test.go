@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"langcrawl/internal/checkpoint"
+	"langcrawl/internal/core"
+	"langcrawl/internal/webgraph"
+)
+
+// recrawlSpace is a fixture sized so incremental runs stay fast while
+// still churning meaningfully under the presets.
+var recrawlSpace = mustGen(webgraph.ThaiLike(2000, 17))
+
+func TestIncrementalValidation(t *testing.T) {
+	cfg := Config{Strategy: core.SoftFocused{}, Classifier: metaThai()}
+	if _, err := RunIncremental(recrawlSpace, cfg, RecrawlConfig{}); err == nil {
+		t.Error("unbounded incremental crawl accepted (no Horizon, no MaxPages)")
+	}
+	cfg.MaxPages = 10
+	cfg.Faults = faultCfg(0.1, 0)
+	if _, err := RunIncremental(recrawlSpace, cfg, RecrawlConfig{}); err == nil {
+		t.Error("fault injection accepted by the incremental engine")
+	}
+}
+
+// TestIncrementalZeroChurnMatchesRun pins the zero-churn conformance
+// guarantee: with no change processes the incremental engine's
+// discovery is fetch-for-fetch Run's — same visited set, same harvest —
+// and every revisit comes back unchanged.
+func TestIncrementalZeroChurnMatchesRun(t *testing.T) {
+	base := Config{Strategy: core.SoftFocused{}, Classifier: metaThai(), KeepVisited: true}
+	one, err := Run(recrawlSpace, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizon: all of discovery (one fetch per virtual second) plus room
+	// for revisit sweeps.
+	inc, err := RunIncremental(recrawlSpace, base, RecrawlConfig{Horizon: float64(one.Crawled) + 600, MinGap: 50, MaxGap: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(inc.Visited, one.Visited) {
+		t.Error("zero-churn incremental visited set differs from Run's")
+	}
+	if inc.RelevantCrawled != one.RelevantCrawled {
+		t.Errorf("incremental found %d relevant, Run %d", inc.RelevantCrawled, one.RelevantCrawled)
+	}
+	if inc.Fresh.Revisits == 0 {
+		t.Fatal("no revisits inside the horizon")
+	}
+	if inc.Crawled != one.Crawled+inc.Fresh.Revisits {
+		t.Errorf("crawled %d, want discovery %d + revisits %d", inc.Crawled, one.Crawled, inc.Fresh.Revisits)
+	}
+	if inc.Fresh.Unchanged != inc.Fresh.Revisits || inc.Fresh.CondHits != inc.Fresh.Revisits {
+		t.Errorf("static space: every revisit should revalidate unchanged (%s)", inc.Fresh)
+	}
+	if inc.Fresh.Changed != 0 || inc.Fresh.Deleted != 0 || inc.Fresh.Born != 0 {
+		t.Errorf("phantom churn on a static space: %s", inc.Fresh)
+	}
+	if last := inc.Freshness.Last(); last.Y != 100 {
+		t.Errorf("static space ended %.1f%% fresh, want 100%%", last.Y)
+	}
+}
+
+// TestIncrementalChurnObservations: under news-like churn the engine
+// must see edits, deletions and births, account every revisit to
+// exactly one outcome, and end less than perfectly fresh.
+func TestIncrementalChurnObservations(t *testing.T) {
+	cfg := Config{Strategy: core.SoftFocused{}, Classifier: metaThai()}
+	res, err := RunIncremental(recrawlSpace, cfg, RecrawlConfig{
+		Evolve:  webgraph.NewsChurn(42),
+		Horizon: 12000,
+		MinGap:  50,
+		MaxGap:  1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Fresh
+	if f.Revisits == 0 {
+		t.Fatal("no revisits over the horizon")
+	}
+	if f.Changed == 0 || f.Deleted == 0 || f.Born == 0 {
+		t.Errorf("news churn not fully observed: %s", f)
+	}
+	if got := f.Unchanged + f.Changed + f.Deleted + f.Born; got != f.Revisits {
+		t.Errorf("outcomes %d do not account for %d revisits (%s)", got, f.Revisits, f)
+	}
+	if res.Freshness.Len() == 0 {
+		t.Fatal("no freshness samples recorded")
+	}
+	// The curve must actually register staleness at some point: a
+	// churning space can't stay pinned at 100%.
+	min := 100.0
+	for _, p := range res.Freshness.Points {
+		if p.X > 0 && p.Y < min {
+			min = p.Y
+		}
+	}
+	if min >= 100 {
+		t.Error("freshness never dipped below 100% on a churning space")
+	}
+}
+
+// TestIncrementalDeterminism: identical inputs give identical runs —
+// counters, freshness curve, final virtual clock.
+func TestIncrementalDeterminism(t *testing.T) {
+	cfg := Config{Strategy: core.SoftFocused{}, Classifier: metaThai()}
+	rc := RecrawlConfig{Evolve: webgraph.NewsChurn(7), Horizon: 8000, MinGap: 50, MaxGap: 800}
+	a, err := RunIncremental(recrawlSpace, cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunIncremental(recrawlSpace, cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fresh != b.Fresh {
+		t.Errorf("freshness counters diverge:\n%s\n%s", a.Fresh, b.Fresh)
+	}
+	if a.Crawled != b.Crawled || a.RelevantCrawled != b.RelevantCrawled || a.VTime != b.VTime {
+		t.Errorf("run summaries diverge: (%d,%d,%v) vs (%d,%d,%v)",
+			a.Crawled, a.RelevantCrawled, a.VTime, b.Crawled, b.RelevantCrawled, b.VTime)
+	}
+	if !reflect.DeepEqual(a.Freshness.Points, b.Freshness.Points) {
+		t.Error("freshness curves diverge across identical runs")
+	}
+}
+
+// TestIncrementalKillResume kills an incremental crawl mid-churn with
+// the emulated SIGKILL and resumes it: counters, clock and the entire
+// freshness curve must match an uninterrupted run point for point.
+func TestIncrementalKillResume(t *testing.T) {
+	cfg := Config{Strategy: core.SoftFocused{}, Classifier: metaThai()}
+	rc := RecrawlConfig{Evolve: webgraph.NewsChurn(2005), Horizon: 9000, MinGap: 50, MaxGap: 800}
+	want, err := RunIncremental(recrawlSpace, cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Fresh.Revisits == 0 {
+		t.Fatal("baseline run had no revisits")
+	}
+
+	killCfg := cfg
+	killCfg.CheckpointDir = t.TempDir()
+	killCfg.CheckpointEvery = 97
+	// Kill deep in the revisit phase.
+	killCfg.StopAfter = want.Crawled - want.Fresh.Revisits/2
+	if _, err := RunIncremental(recrawlSpace, killCfg, rc); err != checkpoint.ErrKilled {
+		t.Fatalf("expected emulated kill, got %v", err)
+	}
+
+	killCfg.StopAfter = 0
+	res, err := RunIncremental(recrawlSpace, killCfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fresh != want.Fresh {
+		t.Errorf("resumed freshness %s\nwant            %s", res.Fresh, want.Fresh)
+	}
+	if res.Crawled != want.Crawled || res.RelevantCrawled != want.RelevantCrawled {
+		t.Errorf("resumed crawled/relevant %d/%d, want %d/%d",
+			res.Crawled, res.RelevantCrawled, want.Crawled, want.RelevantCrawled)
+	}
+	if res.VTime != want.VTime {
+		t.Errorf("resumed clock %v, want %v", res.VTime, want.VTime)
+	}
+	if !reflect.DeepEqual(res.Freshness.Points, want.Freshness.Points) {
+		t.Errorf("resumed freshness curve differs: %d points vs %d",
+			res.Freshness.Len(), want.Freshness.Len())
+	}
+}
+
+// TestTimedEvolvingSpace: the timed engine fetches from the evolving
+// view at each fetch's completion instant. Latent pages answer 404 and
+// gate discovery of everything behind them, and identical configs give
+// identical runs.
+func TestTimedEvolvingSpace(t *testing.T) {
+	base := TimedConfig{Config: Config{Strategy: core.SoftFocused{}, Classifier: metaThai()}}
+	static, err := RunTimed(recrawlSpace, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn := base
+	churn.Evolve = webgraph.EvolveConfig{Seed: 9, LatentFraction: 0.3}
+	a, err := RunTimed(recrawlSpace, churn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTimed(recrawlSpace, churn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Crawled != b.Crawled || a.RelevantCrawled != b.RelevantCrawled || a.Duration != b.Duration {
+		t.Errorf("evolving timed runs diverge: (%d,%d,%v) vs (%d,%d,%v)",
+			a.Crawled, a.RelevantCrawled, a.Duration, b.Crawled, b.RelevantCrawled, b.Duration)
+	}
+	// 30% of OK pages start unborn with no birth process: they 404, their
+	// outlinks never enter the frontier, and the crawl reaches less.
+	if a.RelevantCrawled >= static.RelevantCrawled {
+		t.Errorf("latent pages did not gate the crawl: %d relevant vs static %d",
+			a.RelevantCrawled, static.RelevantCrawled)
+	}
+}
+
+// BenchmarkIncrementalCrawl is the fresh-suite's end-to-end benchmark:
+// a full incremental crawl — discovery, churn, revisit sweeps — over an
+// evolving space.
+func BenchmarkIncrementalCrawl(b *testing.B) {
+	space := mustGen(webgraph.ThaiLike(4000, 11))
+	cfg := Config{Strategy: core.SoftFocused{}, Classifier: metaThai()}
+	rc := RecrawlConfig{Evolve: webgraph.NewsChurn(3), Horizon: 16000, MinGap: 50, MaxGap: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunIncremental(space, cfg, rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Fresh.Revisits == 0 {
+			b.Fatal("benchmark run performed no revisits")
+		}
+	}
+}

@@ -30,6 +30,12 @@ type TimedConfig struct {
 	// MaxVirtualTime stops the crawl after this many virtual seconds
 	// (0 = unbounded).
 	MaxVirtualTime float64
+	// Evolve overlays change processes on the space (see
+	// webgraph.Evolver): pages edit, drift, die and get born while the
+	// crawl runs, on the same virtual clock the fetches consume. The
+	// zero value leaves the space static and the engine's behavior
+	// exactly as before.
+	Evolve webgraph.EvolveConfig
 }
 
 // TimedResult augments Result with elapsed-time measurements.
@@ -95,6 +101,7 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 	needBody := cfg.Classifier.NeedsBody()
 	observer, _ := cfg.Strategy.(core.QueueObserver)
 	jitter := rng.New2(space.Seed, 0x71BED)
+	evo := webgraph.NewEvolver(space, cfg.Evolve)
 	fs := newFaultState(cfg.Faults, space.Seed, &res.Faults)
 	tel := cfg.Telemetry
 	if tel == nil {
@@ -215,15 +222,26 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 		}
 		inflight--
 
+		// The fetch completes at virtual instant `now`: the page served is
+		// whatever the evolving space holds then. A page that died (or is
+		// not yet born) between discovery and fetch answers 404 — the
+		// moving-target effect a wall-clock crawl of a live web sees.
+		evo.AdvanceTo(now)
 		visit := core.Visit{
 			Status:      int(space.Status[id]),
 			Declared:    space.Declared[id],
-			TrueCharset: space.Charset[id],
+			TrueCharset: evo.Charset(id),
 			Truncated:   truncated,
+		}
+		if space.IsOK(id) && !evo.Alive(id) {
+			visit.Status = 404
+		}
+		if evo.Lang(id) != space.Lang[id] {
+			visit.Declared = evo.Charset(id) // drifted bodies declare UTF-8
 		}
 		if needBody && visit.Status == 200 {
 			reused := cap(bodyBuf) > 0
-			bodyBuf = space.PageBytesAppend(bodyBuf[:0], id)
+			bodyBuf = evo.PageBytesAppend(bodyBuf[:0], id)
 			visit.Body = bodyBuf
 			if truncated {
 				visit.Body = visit.Body[:len(visit.Body)/2]
@@ -232,7 +250,7 @@ func RunTimed(space *webgraph.Space, cfg TimedConfig) (*TimedResult, error) {
 		}
 		res.Crawled++
 		tel.Pages.Inc()
-		if visit.Status == 200 && space.IsRelevant(id) {
+		if visit.Status == 200 && evo.IsRelevant(id) {
 			res.RelevantCrawled++
 			tel.Relevant.Inc()
 		}

@@ -1,0 +1,228 @@
+package webgraph
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"langcrawl/internal/charset"
+)
+
+func evolveSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := Generate(ThaiLike(400, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestEvolverZeroConfigIsNoOp pins the static-equivalence guarantee:
+// with the zero config, every page stays alive at version 0 with its
+// snapshot body, forever.
+func TestEvolverZeroConfigIsNoOp(t *testing.T) {
+	s := evolveSpace(t)
+	e := NewEvolver(s, EvolveConfig{})
+	e.AdvanceTo(1e6)
+	if len(e.Log) != 0 {
+		t.Fatalf("zero-config evolver applied %d mutations", len(e.Log))
+	}
+	for id := 0; id < s.N(); id++ {
+		p := PageID(id)
+		if e.Alive(p) != s.IsOK(p) {
+			t.Fatalf("page %d: Alive=%v, want snapshot IsOK=%v", id, e.Alive(p), s.IsOK(p))
+		}
+		if e.Version(p) != 0 || e.Lang(p) != s.Lang[id] {
+			t.Fatalf("page %d mutated under zero config", id)
+		}
+	}
+	// Spot-check body identity on a few pages.
+	for _, id := range []PageID{0, 1, PageID(s.N() / 2), PageID(s.N() - 1)} {
+		if !bytes.Equal(e.PageBytes(id), s.PageBytes(id)) {
+			t.Fatalf("page %d: evolver body differs from snapshot body", id)
+		}
+	}
+}
+
+// TestEvolverDeterminism: same space, config and horizon ⇒ an identical
+// mutation schedule and identical final view, regardless of how the
+// advance is split into steps.
+func TestEvolverDeterminism(t *testing.T) {
+	s := evolveSpace(t)
+	cfg := NewsChurn(42)
+
+	a := NewEvolver(s, cfg)
+	a.AdvanceTo(300)
+
+	b := NewEvolver(s, cfg)
+	for _, step := range []float64{1, 17.5, 40, 41, 150, 299.9, 300} {
+		b.AdvanceTo(step)
+	}
+
+	if len(a.Log) == 0 {
+		t.Fatal("news churn produced no mutations over 300 virtual seconds")
+	}
+	if !reflect.DeepEqual(a.Log, b.Log) {
+		t.Fatalf("mutation schedules diverge: one-shot %d events, stepped %d events", len(a.Log), len(b.Log))
+	}
+	for id := 0; id < s.N(); id++ {
+		p := PageID(id)
+		if a.Alive(p) != b.Alive(p) || a.Version(p) != b.Version(p) || a.Lang(p) != b.Lang(p) {
+			t.Fatalf("page %d: split advance diverges from one-shot advance", id)
+		}
+	}
+	// Bodies must agree byte for byte too — including edited versions.
+	for _, m := range a.Log[:min(len(a.Log), 50)] {
+		if !bytes.Equal(a.PageBytes(m.ID), b.PageBytes(m.ID)) {
+			t.Fatalf("page %d: bodies diverge after identical schedules", m.ID)
+		}
+	}
+}
+
+// TestEvolverKillResumeView: a fresh evolver advanced straight to the
+// persisted instant reproduces the dead run's view exactly — the
+// property incremental kill-resume rests on.
+func TestEvolverKillResumeView(t *testing.T) {
+	s := evolveSpace(t)
+	cfg := NewsChurn(2005)
+	live := NewEvolver(s, cfg)
+	live.AdvanceTo(87.25) // the instant the "kill" lands
+	resumed := NewEvolver(s, cfg)
+	resumed.AdvanceTo(87.25)
+	if !reflect.DeepEqual(live.Log, resumed.Log) {
+		t.Fatal("resumed evolver replayed a different schedule")
+	}
+	for id := 0; id < s.N(); id++ {
+		p := PageID(id)
+		if live.ETag(p) != resumed.ETag(p) || live.LastModified(p) != resumed.LastModified(p) {
+			t.Fatalf("page %d: resumed validators differ", id)
+		}
+	}
+}
+
+// TestEvolverInvariants checks the structural rules of the change
+// processes: deletion is terminal, versions only grow, seeds never die
+// or go latent, unborn pages are 404 until born, and drift flips
+// relevance while keeping bodies encodable.
+func TestEvolverInvariants(t *testing.T) {
+	s := evolveSpace(t)
+	cfg := NewsChurn(11)
+	e := NewEvolver(s, cfg)
+
+	// Latent pages exist at t=0 and none is a seed.
+	latentAt0 := 0
+	for id := 0; id < s.N(); id++ {
+		if s.IsOK(PageID(id)) && !e.Alive(PageID(id)) {
+			latentAt0++
+		}
+	}
+	if latentAt0 == 0 {
+		t.Fatal("news churn selected no latent pages")
+	}
+	for _, sd := range s.Seeds {
+		if !e.Alive(sd) {
+			t.Fatalf("seed %d is latent", sd)
+		}
+	}
+
+	deleted := make(map[PageID]bool)
+	lastVersion := make(map[PageID]uint32)
+	births := 0
+	e.AdvanceTo(500)
+	for _, m := range e.Log {
+		if deleted[m.ID] {
+			t.Fatalf("page %d mutated after deletion (kind %d at %.2f)", m.ID, m.Kind, m.At)
+		}
+		if m.Version < lastVersion[m.ID] {
+			t.Fatalf("page %d version regressed", m.ID)
+		}
+		lastVersion[m.ID] = m.Version
+		switch m.Kind {
+		case MutDelete:
+			deleted[m.ID] = true
+			if e.isSeed[m.ID] {
+				t.Fatalf("seed %d was deleted", m.ID)
+			}
+		case MutBirth:
+			births++
+		case MutDrift:
+			// A drifted page's body must still encode and carry its
+			// current language.
+			if len(e.PageBytes(m.ID)) == 0 {
+				t.Fatalf("drifted page %d regenerated an empty body", m.ID)
+			}
+		}
+	}
+	if births == 0 {
+		t.Fatal("no latent page was born over 500 virtual seconds")
+	}
+	for id := range deleted {
+		if e.Alive(id) {
+			t.Fatalf("deleted page %d still reports alive", id)
+		}
+	}
+	for _, sd := range s.Seeds {
+		if !e.Alive(sd) {
+			t.Fatalf("seed %d not alive after churn", sd)
+		}
+	}
+	// Drift changed at least one page's relevance vs the snapshot.
+	flipped := 0
+	for id := 0; id < s.N(); id++ {
+		if e.Lang(PageID(id)) != s.Lang[id] {
+			flipped++
+			if e.Lang(PageID(id)) != s.Target && e.Lang(PageID(id)) != charset.LangEnglish {
+				t.Fatalf("page %d drifted to unexpected language %v", id, e.Lang(PageID(id)))
+			}
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("no language drift over 500 virtual seconds")
+	}
+}
+
+// TestEvolverEditedBodiesDiffer: an edit must actually change the
+// served bytes (else revalidation could never observe it), and two
+// versions of one page must differ from each other.
+func TestEvolverEditedBodiesDiffer(t *testing.T) {
+	s := evolveSpace(t)
+	e := NewEvolver(s, EvolveConfig{Seed: 3, EditRate: 0.05})
+	e.AdvanceTo(200)
+	if len(e.Log) == 0 {
+		t.Fatal("no edits happened")
+	}
+	m := e.Log[0]
+	v0 := s.PageBytes(m.ID)
+	vN := e.PageBytes(m.ID)
+	if bytes.Equal(v0, vN) {
+		t.Fatalf("page %d body unchanged after %d edits", m.ID, e.Version(m.ID))
+	}
+	if e.ETag(m.ID) == `"`+"0-0"+`"` {
+		t.Fatal("edited page kept version-0 ETag")
+	}
+}
+
+// TestParseEvolveSpec covers the CLI spec forms.
+func TestParseEvolveSpec(t *testing.T) {
+	news, err := ParseEvolveSpec("news", 9)
+	if err != nil || news != NewsChurn(9) {
+		t.Fatalf("news preset: %+v, %v", news, err)
+	}
+	arch, err := ParseEvolveSpec("archive", 9)
+	if err != nil || arch != ArchiveChurn(9) {
+		t.Fatalf("archive preset: %+v, %v", arch, err)
+	}
+	got, err := ParseEvolveSpec("edit=0.01,latent=0.2,seed=5", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EvolveConfig{Seed: 5, EditRate: 0.01, LatentFraction: 0.2}
+	if got != want {
+		t.Fatalf("spec parse: got %+v want %+v", got, want)
+	}
+	for _, bad := range []string{"nope", "edit=-1", "edit=x", "warp=2", "seed=abc"} {
+		if _, err := ParseEvolveSpec(bad, 0); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}

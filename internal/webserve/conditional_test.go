@@ -1,0 +1,152 @@
+package webserve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"langcrawl/internal/webgraph"
+)
+
+// getCond issues a GET with optional conditional headers.
+func getCond(t *testing.T, srv *Server, host, path, inm, ims string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "http://"+host+path, nil)
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	if ims != "" {
+		req.Header.Set("If-Modified-Since", ims)
+	}
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+// TestStaticValidatorsAnd304: a static space hands out validators on
+// every 200 and honors both conditional forms with a body-free 304.
+func TestStaticValidatorsAnd304(t *testing.T) {
+	space, srv := testServer(t)
+	host := space.Site(space.Seeds[0]).Host
+
+	w := get(t, srv, host, "/")
+	etag := w.Header().Get("ETag")
+	lastMod := w.Header().Get("Last-Modified")
+	if etag == "" || lastMod == "" {
+		t.Fatalf("missing validators: ETag=%q Last-Modified=%q", etag, lastMod)
+	}
+	if _, err := http.ParseTime(lastMod); err != nil {
+		t.Fatalf("Last-Modified %q is not an HTTP date: %v", lastMod, err)
+	}
+
+	served := srv.BodyBytes()
+	// Revalidate by ETag.
+	w = getCond(t, srv, host, "/", etag, "")
+	if w.Code != http.StatusNotModified {
+		t.Fatalf("If-None-Match revalidation: status %d, want 304", w.Code)
+	}
+	if b, _ := io.ReadAll(w.Result().Body); len(b) != 0 {
+		t.Fatalf("304 carried %d body bytes", len(b))
+	}
+	// Revalidate by date.
+	w = getCond(t, srv, host, "/", "", lastMod)
+	if w.Code != http.StatusNotModified {
+		t.Fatalf("If-Modified-Since revalidation: status %d, want 304", w.Code)
+	}
+	if srv.BodyBytes() != served {
+		t.Fatalf("revalidations transferred %d body bytes", srv.BodyBytes()-served)
+	}
+	// A stale validator refetches.
+	w = getCond(t, srv, host, "/", `"no-such"`, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("stale ETag: status %d, want 200", w.Code)
+	}
+	// If-None-Match wins over a matching If-Modified-Since.
+	w = getCond(t, srv, host, "/", `"no-such"`, lastMod)
+	if w.Code != http.StatusOK {
+		t.Fatalf("INM precedence: status %d, want 200", w.Code)
+	}
+	// List form matches any member.
+	w = getCond(t, srv, host, "/", `"x", `+etag, "")
+	if w.Code != http.StatusNotModified {
+		t.Fatalf("INM list form: status %d, want 304", w.Code)
+	}
+}
+
+// TestEvolvingServing drives the evolver through edits and deletions
+// and checks the served view tracks it: new versions invalidate old
+// validators, deleted pages 404.
+func TestEvolvingServing(t *testing.T) {
+	space, err := webgraph.Generate(webgraph.ThaiLike(300, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := webgraph.NewEvolver(space, webgraph.EvolveConfig{Seed: 5, EditRate: 0.05, DeleteRate: 0.005})
+	srv := New(space)
+	srv.SetEvolver(ev)
+
+	seed := space.Seeds[0]
+	host := space.Site(seed).Host
+	w := get(t, srv, host, "/")
+	if w.Code != 200 {
+		t.Fatalf("seed page status %d", w.Code)
+	}
+	etag := w.Header().Get("ETag")
+
+	// Churn until the seed page has been edited.
+	srv.AdvanceTo(2000)
+	if ev.Version(seed) == 0 {
+		t.Skip("seed page not edited in horizon (seed-dependent)")
+	}
+	w = getCond(t, srv, host, "/", etag, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("edited page revalidated 304 against a stale ETag (status %d)", w.Code)
+	}
+	if got := w.Header().Get("ETag"); got == etag {
+		t.Fatal("edited page kept its old ETag")
+	}
+	body, _ := io.ReadAll(w.Result().Body)
+	if string(body) != string(ev.PageBytes(seed)) {
+		t.Fatal("served body is not the evolver's current version")
+	}
+
+	// Find a deleted page and check it 404s.
+	deleted := webgraph.NoPage
+	for _, m := range ev.Log {
+		if m.Kind == webgraph.MutDelete {
+			deleted = m.ID
+			break
+		}
+	}
+	if deleted == webgraph.NoPage {
+		t.Fatal("no deletion over 2000 virtual seconds at delete=0.005")
+	}
+	u := space.URL(deleted)
+	path := strings.TrimPrefix(u, "http://"+space.Site(deleted).Host)
+	w = get(t, srv, space.Site(deleted).Host, path)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("deleted page served status %d, want 404", w.Code)
+	}
+}
+
+// TestTickAdvancesClock: with Tick set, page requests move the virtual
+// clock deterministically.
+func TestTickAdvancesClock(t *testing.T) {
+	space, err := webgraph.Generate(webgraph.ThaiLike(300, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := webgraph.NewEvolver(space, webgraph.EvolveConfig{Seed: 1, EditRate: 0.001})
+	srv := New(space)
+	srv.SetEvolver(ev)
+	srv.Tick = 2.5
+	host := space.Site(space.Seeds[0]).Host
+	for i := 0; i < 4; i++ {
+		get(t, srv, host, "/")
+	}
+	if got := ev.Now(); got != 10 {
+		t.Fatalf("clock at %v after 4 ticks of 2.5, want 10", got)
+	}
+}
